@@ -1,0 +1,260 @@
+// Ablations over the design decisions DESIGN.md calls out:
+//   A1  Monte-Carlo sigma sweep: how parameter spread moves the calibrated
+//       test parameters and shrinks the detectable-R range.
+//   A2  Integrator: trapezoidal vs backward Euler on the measured delay and
+//       pulse width (numerical damping check).
+//   A3  Internal vs external ROP detectability at a fixed w_in (the paper's
+//       claim that external opens are the pulse method's worst case).
+//   A4  Pulse polarity h vs l on the mixed path.
+//   A5  Calibration rule: w_in at the asymptotic onset vs inside the
+//       attenuation region — false-positive count under sensor variation.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppd/cells/dff.hpp"
+#include "ppd/cells/sensor.hpp"
+#include "ppd/core/logic_bridge.hpp"
+#include "ppd/core/rmin.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/util/table.hpp"
+
+namespace {
+
+using namespace ppd;
+
+void ablation_sigma(const bench::ExperimentCli& cli) {
+  std::cout << "\n# --- A1: MC sigma sweep (external ROP) ---\n";
+  util::Table t({"sigma", "T0_ns", "w_in_ns", "w_th_ns", "R_min_ohm"});
+  core::PathFactory f = bench::paper_path_factory();
+  faults::PathFaultSpec fault;
+  fault.kind = faults::FaultKind::kExternalRopOutput;
+  fault.stage = bench::kPaperFaultStage;
+  f.fault = fault;
+  const int samples = std::max(4, static_cast<int>(cli.samples * cli.scale / 3));
+  for (double sigma : {0.01, 0.03, 0.05, 0.08}) {
+    const auto model = mc::VariationModel::uniform_sigma(sigma);
+    core::DelayCalibrationOptions dopt;
+    dopt.samples = samples;
+    dopt.seed = cli.seed;
+    dopt.variation = model;
+    const auto dcal = core::calibrate_delay_test(f, dopt);
+    core::PulseCalibrationOptions popt;
+    popt.samples = samples;
+    popt.seed = cli.seed;
+    popt.variation = model;
+    const auto pcal = core::calibrate_pulse_test(f, popt);
+    core::RminOptions ropt;
+    ropt.samples = std::max(3, samples / 2);
+    ropt.seed = cli.seed;
+    ropt.variation = model;
+    const auto rmin = core::find_r_min(f, pcal, ropt);
+    t.add_row({util::format_double(sigma, 3),
+               util::format_double(dcal.t_nominal * 1e9, 4),
+               util::format_double(pcal.w_in * 1e9, 4),
+               util::format_double(pcal.w_th * 1e9, 4),
+               rmin.detectable ? util::format_double(rmin.r_min, 4) : "n/a"});
+  }
+  t.print(std::cout);
+  std::cout << "# expectation: larger sigma -> larger T0, lower w_th, larger "
+               "R_min (quality traded for yield)\n";
+}
+
+void ablation_integrator(const bench::ExperimentCli&) {
+  std::cout << "\n# --- A2: integrator / step control ---\n";
+  util::Table t({"config", "delay_ps", "w_out_ps"});
+  const core::PathFactory f = bench::paper_path_factory();
+  struct Cfg {
+    const char* name;
+    spice::Integrator integ;
+    bool adaptive;
+    double dt;
+  };
+  for (const Cfg& cfg : {Cfg{"TRAP fixed 1ps", spice::Integrator::kTrapezoidal, false, 1e-12},
+                         Cfg{"TRAP fixed 2ps", spice::Integrator::kTrapezoidal, false, 2e-12},
+                         Cfg{"TRAP adaptive", spice::Integrator::kTrapezoidal, true, 2e-12},
+                         Cfg{"BE fixed 2ps", spice::Integrator::kBackwardEuler, false, 2e-12},
+                         Cfg{"BE adaptive", spice::Integrator::kBackwardEuler, true, 2e-12}}) {
+    core::SimSettings sim;
+    sim.integrator = cfg.integ;
+    sim.adaptive = cfg.adaptive;
+    sim.dt = cfg.dt;
+    core::PathInstance a = core::make_instance(f, 0.0, nullptr);
+    const auto d = core::path_delay(a.path, true, sim);
+    core::PathInstance b = core::make_instance(f, 0.0, nullptr);
+    const auto w = core::output_pulse_width(b.path, core::PulseKind::kH,
+                                            0.35e-9, sim);
+    t.add_row({cfg.name, util::format_double(d.value_or(0) * 1e12, 5),
+               util::format_double(w.value_or(0) * 1e12, 5)});
+  }
+  t.print(std::cout);
+  std::cout << "# expectation: BE's numerical damping shaves pulse width; "
+               "adaptive tracks fixed within a few ps\n";
+}
+
+void ablation_fault_kind(const bench::ExperimentCli&) {
+  std::cout << "\n# --- A3: internal vs external ROP, w_out(R) at w_in = "
+               "0.35 ns ---\n";
+  util::Table t({"R_ohm", "w_out_ps_internal", "w_out_ps_external",
+                 "w_out_ps_branch"});
+  const core::SimSettings sim;
+  for (double r : {1e3, 2e3, 4e3, 8e3, 16e3, 32e3}) {
+    std::vector<std::string> row{util::format_double(r, 4)};
+    for (auto kind : {faults::FaultKind::kInternalRopPullUp,
+                      faults::FaultKind::kExternalRopOutput,
+                      faults::FaultKind::kExternalRopBranch}) {
+      core::PathFactory f = bench::paper_path_factory();
+      faults::PathFaultSpec fault;
+      fault.kind = kind;
+      fault.stage = bench::kPaperFaultStage;
+      f.fault = fault;
+      core::PathInstance inst = core::make_instance(f, r, nullptr);
+      const auto w =
+          core::output_pulse_width(inst.path, core::PulseKind::kH, 0.35e-9, sim);
+      row.push_back(w ? util::format_double(*w * 1e12, 5) : "0 (dampened)");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout << "# expectation: internal ROP dampens at the lowest R "
+               "(one-edge attack); external output ROP is the worst case "
+               "for the method\n";
+}
+
+void ablation_polarity(const bench::ExperimentCli&) {
+  std::cout << "\n# --- A4: pulse polarity h vs l (external ROP) ---\n";
+  util::Table t({"R_ohm", "w_out_ps_h", "w_out_ps_l"});
+  const core::SimSettings sim;
+  for (double r : {4e3, 8e3, 16e3, 32e3}) {
+    core::PathFactory f = bench::paper_path_factory();
+    faults::PathFaultSpec fault;
+    fault.kind = faults::FaultKind::kExternalRopOutput;
+    fault.stage = bench::kPaperFaultStage;
+    f.fault = fault;
+    core::PathInstance a = core::make_instance(f, r, nullptr);
+    const auto wh =
+        core::output_pulse_width(a.path, core::PulseKind::kH, 0.35e-9, sim);
+    core::PathInstance b = core::make_instance(f, r, nullptr);
+    const auto wl =
+        core::output_pulse_width(b.path, core::PulseKind::kL, 0.35e-9, sim);
+    t.add_row({util::format_double(r, 4),
+               wh ? util::format_double(*wh * 1e12, 5) : "0 (dampened)",
+               wl ? util::format_double(*wl * 1e12, 5) : "0 (dampened)"});
+  }
+  t.print(std::cout);
+  std::cout << "# the two pulse kinds stress opposite networks of each gate; "
+               "test generation picks per fault\n";
+}
+
+void ablation_calibration_rule(const bench::ExperimentCli& cli) {
+  std::cout << "\n# --- A5: w_in placement: asymptotic onset vs attenuation "
+               "region ---\n";
+  // Count MC false positives when w_in sits inside the attenuation region
+  // with a threshold derived the same way.
+  const core::PathFactory f = bench::paper_path_factory();
+  const core::SimSettings sim;
+  const auto model = mc::VariationModel::uniform_sigma(cli.sigma);
+  const int samples = std::max(8, static_cast<int>(cli.samples * cli.scale / 2));
+
+  core::PulseCalibrationOptions popt;
+  popt.samples = samples;
+  popt.seed = cli.seed;
+  popt.variation = model;
+  const auto cal = core::calibrate_pulse_test(f, popt);
+
+  // Adversarial variant: w_in in the attenuation region, w_th from the
+  // *nominal* curve with the same guard (what a naive calibration would do).
+  core::PathInstance nominal = core::make_instance(f, 0.0, nullptr);
+  const double w_in_bad = 0.55 * cal.w_in;
+  const auto w_nom = core::output_pulse_width(nominal.path, cal.kind, w_in_bad, sim);
+  const double w_th_bad = w_nom.value_or(0.0) * 0.7;
+
+  int fp_good = 0, fp_bad = 0;
+  for (int s = 0; s < samples; ++s) {
+    mc::Rng rng = core::sample_rng(cli.seed + 99, static_cast<std::size_t>(s));
+    mc::GaussianVariationSource var(model, rng);
+    core::PathInstance i1 = core::make_instance(f, 0.0, &var);
+    const auto w1 = core::output_pulse_width(i1.path, cal.kind, cal.w_in, sim);
+    if (core::pulse_detects(w1, cal.w_th * (1.0 + popt.sensor_guard))) ++fp_good;
+    mc::Rng rng2 = core::sample_rng(cli.seed + 99, static_cast<std::size_t>(s));
+    mc::GaussianVariationSource var2(model, rng2);
+    core::PathInstance i2 = core::make_instance(f, 0.0, &var2);
+    const auto w2 = core::output_pulse_width(i2.path, cal.kind, w_in_bad, sim);
+    if (core::pulse_detects(w2, w_th_bad * (1.0 + popt.sensor_guard))) ++fp_bad;
+  }
+  std::cout << "# asymptotic-onset rule  (w_in = "
+            << util::format_double(cal.w_in * 1e9, 4) << " ns): " << fp_good
+            << "/" << samples << " false positives\n"
+            << "# attenuation-region w_in (w_in = "
+            << util::format_double(w_in_bad * 1e9, 4) << " ns): " << fp_bad
+            << "/" << samples << " false positives\n"
+            << "# expectation: the attenuation region's MC spread produces "
+               "massive yield loss; the paper's rule avoids it (note: the FP "
+               "count here is out-of-sample — calibration guarantees zero "
+               "only on its own MC population, so an occasional tail escape "
+               "is honest behaviour)\n";
+}
+
+void ablation_hardware(const bench::ExperimentCli&) {
+  std::cout << "\n# --- A6: hardware realizations of the test circuitry ---\n";
+  // Pulse catcher: measured width threshold vs delay-chain length (the
+  // silicon knob behind the behavioural w_th).
+  const cells::Process proc;
+  util::Table t({"sensor_delay_stages", "measured_w_th_ps"});
+  for (int stages : {2, 4, 6, 8}) {
+    cells::PulseCatcherOptions o;
+    o.delay_stages = stages;
+    auto caught = [&](double width) {
+      cells::Netlist nl(proc);
+      auto& c = nl.circuit();
+      const spice::NodeId x = c.node("x");
+      spice::Pulse p;
+      p.v2 = proc.vdd;
+      p.delay = 0.5e-9;
+      p.rise = 30e-12;
+      p.fall = 30e-12;
+      p.width = width;
+      c.add_vsource("Vx", x, spice::kGround, p);
+      const cells::PulseCatcher pc = cells::add_pulse_catcher(nl, "pc", x, o);
+      spice::TransientOptions topt;
+      topt.t_stop = 3e-9;
+      topt.dt = 2e-12;
+      topt.adaptive = true;
+      return spice::run_transient(c, topt).wave(pc.caught).at(topt.t_stop) >
+             proc.vdd / 2;
+    };
+    double lo = 10e-12, hi = 600e-12;
+    for (int i = 0; i < 7; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (caught(mid))
+        hi = mid;
+      else
+        lo = mid;
+    }
+    t.add_row({std::to_string(stages), util::format_double(hi * 1e12, 4)});
+  }
+  t.print(std::cout);
+  // Flip-flop: the DF-test budget, measured from the TG master-slave cell.
+  const cells::MeasuredFfTiming ff = cells::measure_ff_timing(proc);
+  std::cout << "# transmission-gate DFF: clk-to-Q = "
+            << util::format_double(ff.clk_to_q * 1e12, 4)
+            << " ps, setup = " << util::format_double(ff.setup * 1e12, 4)
+            << " ps (the DF baseline budgets 60 + 40 ps)\n"
+            << "# expectation: the sensing threshold is a designable silicon\n"
+            << "# quantity (delay stages), and the assumed FF budget matches\n"
+            << "# the measured cell within a few ps\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = bench::ExperimentCli::parse(argc, argv);
+  bench::print_banner(std::cout, "Ablations",
+                      "design-decision ablations (A1-A6), see DESIGN.md");
+  ablation_sigma(cli);
+  ablation_integrator(cli);
+  ablation_fault_kind(cli);
+  ablation_polarity(cli);
+  ablation_calibration_rule(cli);
+  ablation_hardware(cli);
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "ppd/util/error.hpp"
+#include "ppd/util/table.hpp"
+
+namespace ppd::bench {
+
+core::PathFactory paper_path_factory() {
+  core::PathFactory f;
+  f.options = cells::seven_gate_path();
+  return f;
+}
+
+ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
+  const util::Cli cli(argc, argv, {"samples", "seed", "sigma", "csv", "scale"});
+  ExperimentCli e;
+  e.samples = cli.get("samples", e.samples);
+  e.seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
+  e.sigma = cli.get("sigma", e.sigma);
+  e.csv_only = cli.has("csv");
+  e.scale = cli.get("scale", e.scale);
+  return e;
+}
+
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& description) {
+  os << "# === " << figure << " ===\n"
+     << "# " << description << "\n"
+     << "# Favalli & Metra, \"Pulse propagation for the detection of small "
+        "delay defects\", DATE 2007\n";
+}
+
+void print_coverage(std::ostream& os, const std::string& parameter_name,
+                    const core::CoverageResult& result, bool csv_only) {
+  std::vector<std::string> header{"R_ohm"};
+  for (double m : result.multipliers)
+    header.push_back(parameter_name + "x" + util::format_double(m, 3));
+  util::Table table(std::move(header));
+  for (std::size_t r = 0; r < result.resistances.size(); ++r) {
+    std::vector<double> row{result.resistances[r]};
+    for (std::size_t m = 0; m < result.multipliers.size(); ++m)
+      row.push_back(result.coverage[m][r]);
+    table.add_numeric_row(row, 4);
+  }
+  if (csv_only) {
+    os << table.to_csv();
+    return;
+  }
+  table.print(os);
+  os << "# " << result.simulations << " electrical transients\n";
+  // ASCII rendition: one row per resistance, '#' bar for the nominal curve.
+  const std::size_t nominal =
+      std::min<std::size_t>(result.multipliers.size() - 1, 1);
+  os << "# coverage (multiplier " << result.multipliers[nominal] << "):\n";
+  for (std::size_t r = 0; r < result.resistances.size(); ++r) {
+    const int bar =
+        static_cast<int>(std::lround(result.coverage[nominal][r] * 40));
+    os << "# " << util::format_double(result.resistances[r], 4) << "\t|"
+       << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+}
+
+void print_waveforms(std::ostream& os, double vdd,
+                     const std::vector<std::string>& labels,
+                     const std::vector<const wave::Waveform*>& faulty,
+                     const std::vector<const wave::Waveform*>& fault_free,
+                     bool csv_only, double dt_print) {
+  PPD_REQUIRE(labels.size() == faulty.size() && labels.size() == fault_free.size(),
+              "label/waveform arity mismatch");
+  // Merged CSV on a uniform grid.
+  double t_end = 0.0;
+  for (const auto* w : faulty) t_end = std::max(t_end, w->t_end());
+  os << "t_s";
+  for (const auto& l : labels) os << ",V(" << l << ")_faulty,V(" << l << ")_free";
+  os << "\n";
+  for (double t = 0.0; t <= t_end + 1e-15; t += dt_print) {
+    os << util::format_double(t, 6);
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      os << ',' << util::format_double(faulty[i]->at(t), 5) << ','
+         << util::format_double(fault_free[i]->at(t), 5);
+    os << "\n";
+  }
+  if (csv_only) return;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    os << "# V(" << labels[i] << ") faulty:\n"
+       << wave::ascii_plot(*faulty[i], 0.0, vdd, 72, 6)
+       << "# V(" << labels[i] << ") fault-free:\n"
+       << wave::ascii_plot(*fault_free[i], 0.0, vdd, 72, 6);
+  }
+}
+
+}  // namespace ppd::bench

@@ -1,0 +1,51 @@
+// Shared fixtures for the figure-reproduction benches: the paper's
+// experimental setup (7-gate sensitized path, fault at the output of the
+// second gate), waveform printing, and coverage-table formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ppd/core/coverage.hpp"
+#include "ppd/core/measure.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/cli.hpp"
+#include "ppd/util/table.hpp"
+
+namespace ppd::bench {
+
+/// The paper's Sect. 4 workload: a 7-gate mixed path; faults go at the
+/// output of gate 2 (stage index 1).
+[[nodiscard]] core::PathFactory paper_path_factory();
+constexpr std::size_t kPaperFaultStage = 1;
+
+/// Standard experiment knobs every figure bench accepts.
+struct ExperimentCli {
+  int samples = 40;           ///< --samples
+  std::uint64_t seed = 2007;  ///< --seed
+  double sigma = 0.05;        ///< --sigma
+  bool csv_only = false;      ///< --csv
+  double scale = 1.0;         ///< --scale: multiply default workload sizes
+
+  static ExperimentCli parse(int argc, const char* const* argv);
+};
+
+/// Print a figure header (paper reference + what the series mean).
+void print_banner(std::ostream& os, const std::string& figure,
+                  const std::string& description);
+
+/// Print a coverage result as the rows the figure plots, one line per
+/// resistance with one column per multiplier, plus an ASCII rendition.
+void print_coverage(std::ostream& os, const std::string& parameter_name,
+                    const core::CoverageResult& result, bool csv_only);
+
+/// Waveform set printer (Fig. 2/3/5 style): faulty vs fault-free voltages
+/// of the labelled nodes, as CSV (down-sampled) and stacked ASCII strips.
+void print_waveforms(std::ostream& os, double vdd,
+                     const std::vector<std::string>& labels,
+                     const std::vector<const wave::Waveform*>& faulty,
+                     const std::vector<const wave::Waveform*>& fault_free,
+                     bool csv_only, double dt_print = 40e-12);
+
+}  // namespace ppd::bench

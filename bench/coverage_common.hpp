@@ -1,0 +1,68 @@
+// Shared driver for the coverage figures (6-9): calibrate the requested
+// method on the paper's 7-gate path, sweep the defect resistance, print the
+// figure's series.
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppd/faults/fault.hpp"
+
+namespace ppd::bench {
+
+enum class Method { kDelay, kPulse };
+
+inline int run_coverage_figure(int argc, const char* const* argv,
+                               const std::string& figure, Method method,
+                               const faults::PathFaultSpec& fault,
+                               std::vector<double> resistances) {
+  const auto cli = ExperimentCli::parse(argc, argv);
+  core::PathFactory factory = paper_path_factory();
+  factory.fault = fault;
+
+  core::CoverageOptions copt;
+  copt.samples = std::max(4, static_cast<int>(cli.samples * cli.scale));
+  copt.seed = cli.seed;
+  copt.variation = mc::VariationModel::uniform_sigma(cli.sigma);
+  copt.resistances = std::move(resistances);
+
+  if (method == Method::kDelay) {
+    core::DelayCalibrationOptions dopt;
+    dopt.samples = copt.samples;
+    dopt.seed = cli.seed;
+    dopt.variation = copt.variation;
+    const auto cal = core::calibrate_delay_test(factory, dopt);
+    print_banner(std::cout, figure,
+                 std::string("C_del(R) for a ") +
+                     faults::fault_kind_name(fault.kind) +
+                     " at gate 2's output; clock T' in {0.9, 1.0, 1.1} x T0");
+    std::cout << "# calibrated T0 = " << util::format_double(cal.t_nominal, 5)
+              << " s (worst fault-free delay "
+              << util::format_double(cal.worst_fault_free_delay, 5)
+              << " s + FF overhead "
+              << util::format_double(cal.flip_flops.overhead(), 4)
+              << " s, 10% clock guard)\n";
+    const auto res = core::run_delay_coverage(factory, cal, copt);
+    print_coverage(std::cout, "T", res, cli.csv_only);
+  } else {
+    core::PulseCalibrationOptions popt;
+    popt.samples = copt.samples;
+    popt.seed = cli.seed;
+    popt.variation = copt.variation;
+    const auto cal = core::calibrate_pulse_test(factory, popt);
+    print_banner(std::cout, figure,
+                 std::string("C_pulse(R) for a ") +
+                     faults::fault_kind_name(fault.kind) +
+                     " at gate 2's output; threshold in {0.9, 1.0, 1.1} x w_th");
+    std::cout << "# calibrated w_in = " << util::format_double(cal.w_in, 5)
+              << " s, w_th = " << util::format_double(cal.w_th, 5)
+              << " s (min fault-free w_out "
+              << util::format_double(cal.min_fault_free_w_out, 5)
+              << " s, 10% sensor guard)\n";
+    const auto res = core::run_pulse_coverage(factory, cal, copt);
+    print_coverage(std::cout, "wth", res, cli.csv_only);
+  }
+  return 0;
+}
+
+}  // namespace ppd::bench

@@ -1,0 +1,79 @@
+// Circuit-scale pulse-test generation — the experiment the paper's
+// announced logic-level tool enables (our extension, not a paper figure):
+//
+//   STA -> non-critical (slack) fault sites -> ROP fault list ->
+//   greedy pulse-test ATPG -> fault coverage vs defect resistance,
+//
+// on the C432-class benchmark. The point mirrors Figs. 6-9 at circuit
+// scale: the pulse method covers slack-site opens that at-speed delay
+// testing cannot see until the defect has eaten the whole slack.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/faultsim.hpp"
+#include "ppd/logic/sta.hpp"
+#include "ppd/util/table.hpp"
+
+namespace {
+
+using namespace ppd;
+
+int run(int argc, char** argv) {
+  const auto cli = bench::ExperimentCli::parse(argc, argv);
+  bench::print_banner(std::cout, "Circuit-scale fault simulation (extension)",
+                      "STA + pulse-test ATPG + fault coverage on the "
+                      "C432-class benchmark");
+
+  const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+  const auto lib = logic::GateTimingLibrary::generic();
+  const logic::StaResult sta = logic::run_sta(nl, lib);
+  std::cout << "# benchmark: " << nl.gate_count() << " gates, critical delay "
+            << util::format_double(sta.critical_delay * 1e9, 4) << " ns\n";
+
+  // Fault sites: every gate with at least 20% of the cycle as slack —
+  // exactly the defects at-speed testing cannot screen.
+  const double min_slack = 0.20 * sta.critical_delay;
+  const auto sites = logic::slack_sites(nl, sta, min_slack);
+  std::cout << "# " << sites.size() << " of " << nl.gate_count()
+            << " gates have slack >= "
+            << util::format_double(min_slack * 1e9, 3) << " ns\n";
+
+  const logic::FaultSimulator sim(nl, lib);
+  util::Table t({"R_ohm", "faults", "pulse_cov", "tests", "compacted",
+                 "atspeed_DF_cov", "reduced_DF_cov", "no_sens_path"});
+  for (double r : {1e3, 2e3, 4e3, 8e3, 16e3, 32e3}) {
+    const auto faults = logic::enumerate_rop_faults(sites, r);
+    logic::AtpgOptions aopt;
+    aopt.paths_per_site = static_cast<std::size_t>(32 * cli.scale);
+    const auto res = logic::generate_pulse_tests(sim, faults, aopt);
+    const auto compacted = logic::compact_tests(sim, faults, res.tests);
+    // DF-testing comparison: at speed, and at a 40%-reduced clock (the
+    // aggressive end of slack-interval testing).
+    const auto df_at_speed =
+        logic::run_delay_testing(sim, faults, logic::DelayTestModel{}, aopt);
+    logic::DelayTestModel reduced;
+    reduced.clock_period = 0.6 * (sta.critical_delay + reduced.ff_overhead);
+    const auto df_reduced = logic::run_delay_testing(sim, faults, reduced, aopt);
+    t.add_row({util::format_double(r, 4), std::to_string(res.faults_total),
+               util::format_double(res.coverage.coverage(res.faults_total), 3),
+               std::to_string(res.tests.size()),
+               std::to_string(compacted.size()),
+               util::format_double(df_at_speed.coverage(res.faults_total), 3),
+               util::format_double(df_reduced.coverage(res.faults_total), 3),
+               std::to_string(res.aborted)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "# expectations: pulse coverage ramps with R and saturates at the\n"
+         "# statically-true-path limit (greedy selection wiggles a little);\n"
+         "# at-speed DF coverage is 0 BY CONSTRUCTION (every fault hides\n"
+         "# behind >= 20% slack); even a 40%-reduced clock trails the pulse\n"
+         "# method until the defect is huge. 'no_sens_path' counts faults\n"
+         "# with no two-phase-sensitizable path among the candidates.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,69 @@
+// Figure 5: faulty vs fault-free waveforms for a resistive bridging fault
+// between two gate outputs (Fig. 4 circuit), at a resistance just above the
+// critical value. The aggressor holds its level; the victim's pulse becomes
+// incomplete and dies within a few logic levels even though the extra delay
+// on a single transition is modest.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/util/table.hpp"
+
+namespace {
+
+using namespace ppd;
+
+int run(int argc, char** argv) {
+  const auto cli = bench::ExperimentCli::parse(argc, argv);
+  const double r_fault = 1.2e3;  // just above the ~1 kOhm critical value
+  bench::print_banner(std::cout, "Figure 5",
+                      "pulse through externally-bridged path (R = 1.2 kOhm, "
+                      "aggressor steady low), signals A -> B -> C -> D");
+
+  cells::PathOptions po;
+  po.kinds.assign(6, cells::GateKind::kInv);
+  const double w_in = 0.35e-9;
+  spice::TransientOptions topt;
+  topt.t_stop = 2.5e-9;
+  topt.dt = 2e-12;
+
+  cells::Path faulty = cells::build_path(cells::Process{}, po);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kBridge;
+  spec.stage = 1;
+  spec.aggressor_high = false;  // fights the victim's rising pulse
+  (void)faults::inject_on_path(faulty, spec, r_fault);
+  faulty.drive_pulse(true, w_in, 0.3e-9);
+  const auto res_faulty = spice::run_transient(faulty.netlist().circuit(), topt);
+
+  cells::Path clean = cells::build_path(cells::Process{}, po);
+  clean.drive_pulse(true, w_in, 0.3e-9);
+  const auto res_free = spice::run_transient(clean.netlist().circuit(), topt);
+
+  const std::vector<std::string> labels{"A", "B", "C", "D", "E", "F"};
+  std::vector<const wave::Waveform*> wf, wc;
+  for (std::size_t i = 0; i < 6; ++i) {
+    wf.push_back(&res_faulty.wave(faulty.stage_outputs()[i]));
+    wc.push_back(&res_free.wave(clean.stage_outputs()[i]));
+  }
+  bench::print_waveforms(std::cout, cells::Process{}.vdd, labels, wf, wc,
+                         cli.csv_only);
+
+  const double vdd = cells::Process{}.vdd;
+  const auto w_out_faulty = wave::pulse_width(*wf.back(), vdd / 2, true);
+  const auto w_out_free = wave::pulse_width(*wc.back(), vdd / 2, true);
+  std::cout << "# victim peak (faulty B): "
+            << util::format_double(wf[1]->max_value(), 4) << " V of "
+            << util::format_double(vdd, 3) << " V\n"
+            << "# pulse width at path output, fault-free: "
+            << (w_out_free ? util::format_double(*w_out_free, 4) : "none")
+            << " s, faulty: "
+            << (w_out_faulty ? util::format_double(*w_out_faulty, 4)
+                             : "dampened")
+            << "\n";
+  return w_out_free.has_value() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,14 @@
+// Figure 6: delay-fault-testing coverage C_del(R) for an external resistive
+// open, at applied clocks 0.9/1.0/1.1 x T0. Expected shape: sigmoid rising
+// with R, shifted strongly by the +/-10% clock-period uncertainty — the
+// baseline's weakness the paper contrasts against.
+#include "coverage_common.hpp"
+
+int main(int argc, char** argv) {
+  ppd::faults::PathFaultSpec fault;
+  fault.kind = ppd::faults::FaultKind::kExternalRopOutput;
+  fault.stage = ppd::bench::kPaperFaultStage;
+  return ppd::bench::run_coverage_figure(
+      argc, argv, "Figure 6", ppd::bench::Method::kDelay, fault,
+      ppd::core::logspace(1e3, 128e3, 13));
+}

@@ -1,0 +1,15 @@
+// Figure 7: pulse-testing coverage C_pulse(R) for an external resistive
+// open, at sensing thresholds 0.9/1.0/1.1 x w_th. Expected shape: sigmoid
+// comparable to Fig. 6 at nominal, but far less sensitive to the threshold
+// variation than DF testing is to the clock period (local generation and
+// detection — no clock distribution network in the loop).
+#include "coverage_common.hpp"
+
+int main(int argc, char** argv) {
+  ppd::faults::PathFaultSpec fault;
+  fault.kind = ppd::faults::FaultKind::kExternalRopOutput;
+  fault.stage = ppd::bench::kPaperFaultStage;
+  return ppd::bench::run_coverage_figure(
+      argc, argv, "Figure 7", ppd::bench::Method::kPulse, fault,
+      ppd::core::logspace(1e3, 128e3, 13));
+}

@@ -1,0 +1,15 @@
+// Figure 8: delay-fault-testing coverage C_del(R) for a resistive bridging
+// fault. Expected shape: full coverage just above the critical resistance
+// (huge extra delay), collapsing rapidly as R grows because the additional
+// delay shrinks below the path's slack.
+#include "coverage_common.hpp"
+
+int main(int argc, char** argv) {
+  ppd::faults::PathFaultSpec fault;
+  fault.kind = ppd::faults::FaultKind::kBridge;
+  fault.stage = ppd::bench::kPaperFaultStage;
+  fault.aggressor_high = false;
+  return ppd::bench::run_coverage_figure(
+      argc, argv, "Figure 8", ppd::bench::Method::kDelay, fault,
+      ppd::core::logspace(1.2e3, 64e3, 13));
+}

@@ -1,0 +1,16 @@
+// Figure 9: pulse-testing coverage C_pulse(R) for a resistive bridging
+// fault — the paper's headline result. The injected pulse keeps being
+// dampened far beyond the resistance where the bridge's extra transition
+// delay has become negligible, so the pulse method covers a much wider R
+// range than reduced-clock DF testing (Fig. 8).
+#include "coverage_common.hpp"
+
+int main(int argc, char** argv) {
+  ppd::faults::PathFaultSpec fault;
+  fault.kind = ppd::faults::FaultKind::kBridge;
+  fault.stage = ppd::bench::kPaperFaultStage;
+  fault.aggressor_high = false;
+  return ppd::bench::run_coverage_figure(
+      argc, argv, "Figure 9", ppd::bench::Method::kPulse, fault,
+      ppd::core::logspace(1.2e3, 64e3, 13));
+}

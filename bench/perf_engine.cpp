@@ -1,0 +1,105 @@
+// Engine micro/meso benchmarks (google-benchmark): solver throughput,
+// transistor-level transient cost vs path length, logic-level event
+// simulation, and path sensitization — the costs that size every
+// Monte-Carlo experiment in this repository.
+#include <benchmark/benchmark.h>
+
+#include "ppd/core/measure.hpp"
+#include "ppd/linalg/dense.hpp"
+#include "ppd/linalg/sparse.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/sensitize.hpp"
+#include "ppd/logic/sim.hpp"
+#include "ppd/mc/rng.hpp"
+
+namespace {
+
+using namespace ppd;
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mc::Rng rng(7);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    linalg::DenseLu lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Circuit-like pattern: a ladder (diagonal + neighbours) plus one sparse
+  // long-range coupling per row — random dense-ish patterns would just
+  // measure fill-in, which MNA matrices don't exhibit.
+  mc::Rng rng(7);
+  linalg::SparseBuilder b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    b.add(r, r, 4.0);
+    if (r > 0) b.add(r, r - 1, rng.uniform(-1.0, 1.0));
+    if (r + 1 < n) b.add(r, r + 1, rng.uniform(-1.0, 1.0));
+    b.add(r, rng.below(n), rng.uniform(-0.2, 0.2));
+  }
+  const linalg::SparseMatrix a(b);
+  std::vector<double> rhs(n, 1.0);
+  for (auto _ : state) {
+    linalg::SparseLu lu(a);
+    benchmark::DoNotOptimize(lu.solve(rhs));
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(48)->Arg(192)->Arg(768);
+
+void BM_PathTransient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::PathFactory f;
+  f.options.kinds.assign(n, cells::GateKind::kInv);
+  core::SimSettings sim;
+  for (auto _ : state) {
+    core::PathInstance inst = core::make_instance(f, 0.0, nullptr);
+    benchmark::DoNotOptimize(
+        core::output_pulse_width(inst.path, core::PulseKind::kH, 0.4e-9, sim));
+  }
+}
+BENCHMARK(BM_PathTransient)->Arg(3)->Arg(7)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_LogicEventSim(benchmark::State& state) {
+  const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+  std::vector<logic::Stimulus> stim(nl.inputs().size());
+  for (std::size_t i = 0; i < stim.size(); ++i)
+    stim[i] = logic::Stimulus::pulse(false, 1e-9 + static_cast<double>(i) * 1e-11,
+                                     0.4e-9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(logic::simulate(nl, stim));
+}
+BENCHMARK(BM_LogicEventSim)->Unit(benchmark::kMicrosecond);
+
+void BM_SensitizePath(benchmark::State& state) {
+  const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+  const auto paths = logic::enumerate_paths_through(nl, nl.find("G110"), 24);
+  for (auto _ : state) {
+    int ok = 0;
+    for (const auto& p : paths)
+      if (logic::sensitize_path(nl, p).ok) ++ok;
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SensitizePath)->Unit(benchmark::kMicrosecond);
+
+void BM_CircuitBuild(benchmark::State& state) {
+  core::PathFactory f;
+  f.options = cells::seven_gate_path();
+  for (auto _ : state) {
+    core::PathInstance inst = core::make_instance(f, 0.0, nullptr);
+    benchmark::DoNotOptimize(inst.path.netlist().circuit().device_count());
+  }
+}
+BENCHMARK(BM_CircuitBuild)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// The paper's closing remark, made concrete: "since the proposed method is
+// completely independent of synchronization constraints, it can also be
+// used to test bus lines using handshake protocols to transfer data."
+//
+// Setup: a 4-line bus whose line 0 carries the request strobe. The
+// receiver side uses a transistor-level pulse catcher as its acknowledge
+// generator: a request pulse wide enough to survive the wire raises ACK.
+// The test procedure sends a request pulse and waits for ACK — a series
+// resistive open or an inter-line bridge on the request line dampens the
+// strobe, ACK never rises, and the handshake *times out*, exposing the
+// defect with no clock involved at all.
+//
+//   $ ./example_bus_handshake
+#include <iostream>
+
+#include "ppd/cells/bus.hpp"
+#include "ppd/cells/sensor.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/table.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace {
+
+using namespace ppd;
+
+enum class BusDefect { kNone, kSeriesOpen, kBridgeToNeighbor };
+
+/// Run one handshake attempt; returns true when ACK rises (request seen).
+bool handshake(BusDefect defect, double ohms, double strobe_width) {
+  cells::Process proc;
+  cells::Netlist nl(proc);
+  const cells::Bus bus = cells::build_bus(nl, cells::BusOptions{});
+
+  switch (defect) {
+    case BusDefect::kNone:
+      break;
+    case BusDefect::kSeriesOpen:
+      (void)cells::inject_bus_open(nl, bus, /*line=*/0, /*segment=*/2, ohms);
+      break;
+    case BusDefect::kBridgeToNeighbor:
+      (void)cells::inject_bus_bridge(nl, bus, 0, 1, /*segment=*/2, ohms);
+      break;
+  }
+
+  // ACK generator: pulse catcher on the request line's receiver output.
+  cells::PulseCatcherOptions po;
+  po.delay_stages = 4;  // threshold ~ 90 ps: generous for the 350 ps strobe
+  const cells::PulseCatcher ack =
+      cells::add_pulse_catcher(nl, "ack", bus.outputs[0], po);
+
+  // Data lines idle low; request strobe on line 0.
+  for (std::size_t l = 1; l < bus.lines; ++l) cells::hold_bus_line(nl, bus, l, false);
+  cells::drive_bus_pulse(nl, bus, 0, /*positive=*/true, strobe_width, 0.5e-9);
+
+  spice::TransientOptions t;
+  t.t_stop = 5e-9;  // the protocol's timeout window
+  t.dt = 2e-12;
+  t.adaptive = true;
+  const auto res = spice::run_transient(nl.circuit(), t);
+  return res.wave(ack.caught).at(t.t_stop) > proc.vdd / 2;
+}
+
+}  // namespace
+
+int main() {
+  const double strobe = 0.35e-9;
+  std::cout << "4-line bus, request strobe " << strobe * 1e12
+            << " ps on line 0, pulse-catcher ACK at the far end\n\n";
+  ppd::util::Table t({"bus condition", "R_ohm", "handshake"});
+  const auto verdict = [&](bool ok) {
+    return ok ? "ACK (pass)" : "timeout -> DEFECT DETECTED";
+  };
+  t.add_row({"fault-free", "-", verdict(handshake(BusDefect::kNone, 0, strobe))});
+  for (double r : {10e3, 40e3, 80e3})
+    t.add_row({"series open, segment 2", ppd::util::format_double(r, 4),
+               verdict(handshake(BusDefect::kSeriesOpen, r, strobe))});
+  for (double r : {300.0, 2e3})
+    t.add_row({"bridge to line 1", ppd::util::format_double(r, 4),
+               verdict(handshake(BusDefect::kBridgeToNeighbor, r, strobe))});
+  t.print(std::cout);
+  std::cout << "\nNo clock anywhere in the loop: the pulse is generated,\n"
+               "transported and detected locally, which is the property the\n"
+               "paper highlights for handshake-based bus testing.\n";
+  return 0;
+}

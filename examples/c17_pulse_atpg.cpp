@@ -1,0 +1,81 @@
+// Test generation at the logic level (paper Sect. 5) on the authentic
+// ISCAS-85 c17 benchmark:
+//
+//   1. pick a fault site (gate output),
+//   2. enumerate the PI->PO paths through it,
+//   3. sensitize each path (side inputs at non-controlling values) with the
+//      line-justification ATPG,
+//   4. estimate the pulse widths each path supports with the calibrated
+//      attenuation model,
+//   5. verify the chosen vector + pulse with the event-driven timed
+//      simulator (the pulse must arrive at the path output).
+//
+//   $ ./example_c17_pulse_atpg [--site=16]
+#include <iostream>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/sensitize.hpp"
+#include "ppd/logic/sim.hpp"
+#include "ppd/util/cli.hpp"
+#include "ppd/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppd;
+  const util::Cli cli(argc, argv, {"site"});
+  const std::string site = cli.get("site", std::string("16"));
+
+  const logic::Netlist nl = logic::c17();
+  std::cout << "c17: " << nl.inputs().size() << " PIs, "
+            << nl.outputs().size() << " POs, " << nl.gate_count()
+            << " NAND2 gates\nfault site: output of gate " << site << "\n\n";
+
+  const logic::NetId via = nl.find(site);
+  const auto paths = logic::enumerate_paths_through(nl, via, 64);
+  const auto lib = logic::GateTimingLibrary::generic();
+
+  util::Table t({"path", "vector(1,2,3,6,7)", "w_in_ps(min)", "w_out_ps",
+                 "sim_check"});
+  for (const auto& p : paths) {
+    std::string path_str;
+    for (logic::NetId n : p.nets) {
+      if (!path_str.empty()) path_str += ">";
+      path_str += nl.gate(n).name;
+    }
+    const auto sens = logic::sensitize_path(nl, p);
+    if (!sens.ok) {
+      t.add_row({path_str, "not sensitizable", "-", "-", "-"});
+      continue;
+    }
+    std::string vec;
+    for (bool b : sens.pi_values) vec += b ? '1' : '0';
+
+    // Smallest pulse the path propagates with >= 100 ps at the output,
+    // according to the per-gate attenuation model.
+    const auto kinds = logic::path_kinds(nl, p);
+    const auto w_min = logic::required_input_width(lib, kinds, 100e-12);
+    const double w_use = w_min.value_or(0.4e-9) * 1.2;
+    const double w_pred = logic::chain_pulse_out(lib, kinds, w_use);
+
+    // Event-driven verification: apply the vector, pulse the path input,
+    // check a pulse arrives at the path output.
+    std::vector<logic::Stimulus> stim(nl.inputs().size());
+    std::size_t pi_index = 0;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      stim[i].initial = sens.pi_values[i];
+      if (nl.inputs()[i] == p.input()) pi_index = i;
+    }
+    stim[pi_index] = logic::Stimulus::pulse(sens.pi_values[pi_index], 1e-9, w_use);
+    const auto sim = logic::simulate(nl, stim);
+    const bool arrived = sim.activity(p.output()) >= 2;
+
+    t.add_row({path_str, vec,
+               w_min ? util::format_double(*w_min * 1e12, 4) : ">2000",
+               util::format_double(w_pred * 1e12, 4),
+               arrived ? "pulse at PO" : "NO PULSE"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaths whose pulse arrives can be tested for ROPs/bridges "
+               "at this site;\ntest generation picks the one supporting the "
+               "smallest w_in (Sect. 5).\n";
+  return 0;
+}

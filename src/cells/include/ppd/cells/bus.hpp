@@ -1,0 +1,72 @@
+// On-chip bus model: N parallel lines, each a driver inverter feeding a
+// distributed-RC (pi-segment) interconnect with inter-line coupling
+// capacitance, terminated by a receiver inverter.
+//
+// This is the substrate for the paper's closing remark: "since the proposed
+// method is completely independent of synchronization constraints, it can
+// also be used to test bus lines using handshake protocols to transfer
+// data" — a request pulse travelling a defective line is dampened or
+// delayed, so the acknowledge never fires and the handshake times out.
+//
+// Defects map naturally: a series resistive open is an increase of one
+// segment resistor (handles are exposed); an inter-line bridge is a
+// resistor between adjacent-line taps.
+#pragma once
+
+#include <vector>
+
+#include "ppd/cells/netlist.hpp"
+
+namespace ppd::cells {
+
+struct BusOptions {
+  std::size_t lines = 4;
+  std::size_t segments = 4;          ///< RC segments per line
+  double segment_resistance = 60.0;  ///< [ohm] per segment
+  double segment_capacitance = 10e-15;  ///< [F] to ground per segment
+  double coupling_capacitance = 6e-15;  ///< [F] between adjacent lines/segment
+  bool repeaters = false;            ///< inverter repeater at mid-bus
+};
+
+/// Handles into a built bus.
+struct Bus {
+  std::size_t lines = 0;
+  std::size_t segments = 0;
+  std::vector<spice::NodeId> inputs;     ///< driver gate inputs (drive here)
+  std::vector<spice::DeviceId> sources;  ///< per-line stimulus source
+  /// taps[line][k]: k = 0 is the driver output, k = segments is the far end.
+  std::vector<std::vector<spice::NodeId>> taps;
+  std::vector<spice::NodeId> far_ends;   ///< receiver inputs
+  std::vector<spice::NodeId> outputs;    ///< receiver (inverter) outputs
+  /// segment_resistors[line][k]: wire resistance between taps k and k+1 —
+  /// a series resistive open is injected by raising one of these.
+  std::vector<std::vector<spice::DeviceId>> segment_resistors;
+  /// Number of inverting stages between a line's input and its output.
+  int inversions_per_line = 2;
+};
+
+/// Build a bus inside `netlist`. Every line gets a settable voltage source
+/// on its input (initially DC 0).
+[[nodiscard]] Bus build_bus(Netlist& netlist, const BusOptions& options);
+
+/// Drive line `line` with a pulse of the given 50% width (polarity
+/// `positive`, launch at `t_launch`, edges `transition`).
+void drive_bus_pulse(Netlist& netlist, const Bus& bus, std::size_t line,
+                     bool positive, double width, double t_launch,
+                     double transition = 30e-12);
+
+/// Hold line `line` at a steady level.
+void hold_bus_line(Netlist& netlist, const Bus& bus, std::size_t line, bool high);
+
+/// Inject a series resistive open into segment `segment` of `line`
+/// (adds `ohms` to the nominal wire resistance). Returns the resistor id.
+spice::DeviceId inject_bus_open(Netlist& netlist, const Bus& bus,
+                                std::size_t line, std::size_t segment,
+                                double ohms);
+
+/// Bridge two lines at segment tap `segment` with `ohms`.
+spice::DeviceId inject_bus_bridge(Netlist& netlist, const Bus& bus,
+                                  std::size_t line_a, std::size_t line_b,
+                                  std::size_t segment, double ohms);
+
+}  // namespace ppd::cells

@@ -1,0 +1,48 @@
+// Transistor-level transmission-gate master-slave D flip-flop.
+//
+// The reduced-clock DF-test baseline (core/delay_test.hpp) budgets a
+// clock-to-Q and a setup time for the launch/capture flip-flops. This cell
+// makes those numbers *measurable* instead of assumed: build the flip-flop,
+// exercise it with the electrical engine, and extract tau_CQ and t_setup by
+// bisection (see measure_ff_timing and the dff tests).
+//
+// Topology (positive-edge triggered):
+//
+//   D ──TG(clk̄/clk)──●── inv ──●──TG(clk/clk̄)──●── inv ── Q
+//              master ▲        │          slave ▲         │
+//                     └─ inv ◄─┘                └─ inv ◄──┘   (weak keepers)
+//
+// Transmission gates use the symmetric level-1 MOSFETs; keepers are
+// half-width inverters fed back through always-on weak transmission.
+#pragma once
+
+#include "ppd/cells/netlist.hpp"
+
+namespace ppd::cells {
+
+struct DffInst {
+  spice::NodeId d = spice::kGround;
+  spice::NodeId clk = spice::kGround;
+  spice::NodeId clk_b = spice::kGround;  ///< internally generated
+  spice::NodeId q = spice::kGround;
+  spice::NodeId master = spice::kGround;  ///< master latch node
+  spice::NodeId slave = spice::kGround;   ///< slave latch node
+};
+
+/// Instantiate a DFF with data input `d` and clock `clk` (both must exist).
+/// `q` is created as `name`.q.
+[[nodiscard]] DffInst add_dff(Netlist& netlist, const std::string& name,
+                              spice::NodeId d, spice::NodeId clk);
+
+/// Measured flip-flop timing (see core::FlipFlopTiming for the model).
+struct MeasuredFfTiming {
+  double clk_to_q = 0.0;     ///< 50% clk rise -> 50% Q change, ample setup
+  double setup = 0.0;        ///< smallest D-before-clk lead that still latches
+  bool valid = false;
+};
+
+/// Characterize the flip-flop electrically: clock-to-Q with generous setup,
+/// then setup time by bisection on the D-to-clk lead.
+[[nodiscard]] MeasuredFfTiming measure_ff_timing(const Process& process);
+
+}  // namespace ppd::cells

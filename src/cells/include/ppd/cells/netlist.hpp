@@ -1,0 +1,132 @@
+// Transistor-level standard-cell netlist builder.
+//
+// Gates are instantiated as level-1 MOSFETs plus explicit capacitors
+// (gate-channel, overlap/Miller, drain junction). Every gate instance keeps
+// enough structural metadata for the fault injector to splice resistive
+// opens into its pull-up/pull-down stacks or its output net.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppd/cells/process.hpp"
+#include "ppd/cells/variation.hpp"
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::cells {
+
+/// kAoi21: out = !(a*b + c); kOai21: out = !((a+b) * c) — the classic
+/// static-CMOS complex gates (inputs ordered a, b, c).
+enum class GateKind {
+  kInv,
+  kNand2,
+  kNand3,
+  kNor2,
+  kNor3,
+  kAnd2,
+  kOr2,
+  kBuf,
+  kAoi21,
+  kOai21,
+};
+
+[[nodiscard]] const char* gate_kind_name(GateKind kind);
+[[nodiscard]] int gate_input_count(GateKind kind);
+/// True when a rising input edge produces a falling output edge.
+[[nodiscard]] bool gate_inverting(GateKind kind);
+/// Non-controlling side-input value for path sensitization (true = VDD).
+/// For simple gates every side input takes the same value; AOI/OAI need the
+/// per-input variant below.
+[[nodiscard]] bool gate_noncontrolling_high(GateKind kind);
+
+/// Per-input tie value that sensitizes a path entering input 0
+/// (true = tie to VDD). Matches gate_noncontrolling_high for simple gates;
+/// resolves the mixed requirements of AOI21/OAI21.
+[[nodiscard]] bool gate_side_tie_high(GateKind kind, std::size_t input_index);
+
+using GateId = std::size_t;
+
+/// Structural record of one instantiated gate.
+struct GateInst {
+  GateKind kind = GateKind::kInv;
+  std::string name;
+  std::vector<spice::NodeId> inputs;
+  spice::NodeId output = spice::kGround;
+
+  std::vector<spice::DeviceId> pullup;    ///< PMOS transistors
+  std::vector<spice::DeviceId> pulldown;  ///< NMOS transistors
+  std::vector<spice::DeviceId> caps;      ///< intrinsic capacitors
+
+  /// A (device, terminal) reference into the circuit.
+  struct TerminalRef {
+    spice::DeviceId device;
+    std::size_t terminal;
+  };
+
+  /// Rail-side transistor terminals whose collective rewiring inserts a
+  /// series resistance into the whole pull-down (resp. pull-up) network —
+  /// the internal-ROP injection points (Fig. 1a of the paper).
+  std::vector<TerminalRef> pd_rail;
+  std::vector<TerminalRef> pu_rail;
+
+  /// Transistor *gate* terminals driven by this cell's input `i`, plus the
+  /// capacitors modelling that pin — what an external fan-out-branch ROP
+  /// (Fig. 1b) must rewire.
+  std::vector<std::vector<TerminalRef>> input_pins;   ///< indexed by input
+  std::vector<std::vector<TerminalRef>> input_caps;   ///< indexed by input
+
+  /// Transistor drain terminals driving the output net (for an external
+  /// output ROP the driver side keeps these and its junction caps).
+  std::vector<TerminalRef> output_drains;
+
+  /// Capacitor terminals that belong to the *driver side* of the output net
+  /// (drain junction caps and the drain end of the driver Miller caps); an
+  /// external output ROP moves these together with `output_drains`.
+  std::vector<TerminalRef> output_caps;
+};
+
+/// A circuit under construction plus its rails and gate metadata.
+class Netlist {
+ public:
+  explicit Netlist(Process process);
+
+  [[nodiscard]] spice::Circuit& circuit() { return circuit_; }
+  [[nodiscard]] const spice::Circuit& circuit() const { return circuit_; }
+  [[nodiscard]] const Process& process() const { return process_; }
+
+  [[nodiscard]] spice::NodeId vdd() const { return vdd_; }
+  /// Node tied high / low through the rails (for non-controlling inputs).
+  [[nodiscard]] spice::NodeId tie_high() const { return vdd_; }
+  [[nodiscard]] spice::NodeId tie_low() const { return spice::kGround; }
+
+  /// Use `source` for subsequently added gates (nullptr = nominal corner).
+  void set_variation(VariationSource* source) { variation_ = source; }
+
+  /// Instantiate a gate; `inputs` arity must match the kind.
+  GateId add_gate(GateKind kind, const std::string& name,
+                  const std::vector<spice::NodeId>& inputs,
+                  const std::string& output_name);
+
+  /// Attach a lumped load capacitor (interconnect estimate) to a node.
+  spice::DeviceId add_load(const std::string& name, spice::NodeId node,
+                           double farads);
+
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] const GateInst& gate(GateId id) const;
+  [[nodiscard]] GateInst& gate_mutable(GateId id);
+
+ private:
+  /// One perturbed transistor + its intrinsic caps. Returns the device id.
+  spice::DeviceId add_transistor(GateInst& inst, const std::string& name,
+                                 spice::MosType type, spice::NodeId d,
+                                 spice::NodeId g, spice::NodeId s);
+
+  Process process_;
+  spice::Circuit circuit_;
+  spice::NodeId vdd_ = spice::kGround;
+  VariationSource* variation_ = nullptr;
+  VariationSource nominal_;
+  std::vector<GateInst> gates_;
+};
+
+}  // namespace ppd::cells

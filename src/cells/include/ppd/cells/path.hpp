@@ -1,0 +1,76 @@
+// Builder for the paper's central workload: a sensitized combinational path
+// of N gates, side inputs tied to non-controlling values, driven by a local
+// pulse/transition generator and loaded per stage with an interconnect
+// estimate plus optional dummy fan-out gates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ppd/cells/netlist.hpp"
+#include "ppd/spice/analysis.hpp"
+
+namespace ppd::cells {
+
+struct PathOptions {
+  /// Stage kinds in order, path enters input 0 of every gate. Only
+  /// primitive kinds (INV/NAND*/NOR*) are allowed on a path.
+  std::vector<GateKind> kinds;
+  double stage_load = 10e-15;      ///< lumped interconnect load per stage [F]
+  int extra_fanout = 1;            ///< dummy INV loads per stage output
+  double input_transition = 50e-12;///< source rise/fall time [s]
+};
+
+/// A built path plus the handles the test methods need.
+class Path {
+ public:
+  Path(std::unique_ptr<Netlist> netlist, spice::DeviceId source,
+       spice::NodeId input, std::vector<GateId> stages,
+       std::vector<spice::NodeId> outputs, double input_transition);
+
+  [[nodiscard]] Netlist& netlist() { return *netlist_; }
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+  [[nodiscard]] spice::NodeId input() const { return input_; }
+  [[nodiscard]] spice::NodeId output() const { return outputs_.back(); }
+  [[nodiscard]] const std::vector<GateId>& stages() const { return stages_; }
+  [[nodiscard]] const std::vector<spice::NodeId>& stage_outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] std::size_t length() const { return stages_.size(); }
+
+  /// Number of inverting stages; even parity means an input rising edge
+  /// arrives at the output as a rising edge.
+  [[nodiscard]] int inversions() const;
+  [[nodiscard]] bool same_polarity() const { return inversions() % 2 == 0; }
+
+  /// Drive the input with a single transition (delay-test stimulus).
+  /// `rising` refers to the path input. Returns the nominal launch time.
+  double drive_transition(bool rising, double t_launch);
+
+  /// Drive the input with a pulse of the given width (pulse-test stimulus).
+  /// `positive` = h-pulse (low-high-low); width measured between the 50%
+  /// points of the ideal source. Returns the launch time of the first edge.
+  double drive_pulse(bool positive, double width, double t_launch);
+
+  /// Quiescent input level currently configured (value at t = 0).
+  [[nodiscard]] double rest_level() const;
+
+ private:
+  std::unique_ptr<Netlist> netlist_;
+  spice::DeviceId source_;
+  spice::NodeId input_;
+  std::vector<GateId> stages_;
+  std::vector<spice::NodeId> outputs_;
+  double input_transition_;
+};
+
+/// Build a path. Throws PreconditionError for non-primitive kinds.
+[[nodiscard]] Path build_path(const Process& process, const PathOptions& options,
+                              VariationSource* variation = nullptr);
+
+/// Convenience: the paper's 7-gate experimental path (Sect. 4) — a mix of
+/// inverting primitives with the fault site at the output of gate 2.
+[[nodiscard]] PathOptions seven_gate_path();
+
+}  // namespace ppd::cells

@@ -1,0 +1,38 @@
+// Generic 180 nm-class process description used by the cell library.
+//
+// The paper used an (unnamed) commercial process; absolute numbers in our
+// reproduction therefore differ, but every reported result is a relative
+// quantity (coverage vs. R, w_out vs. w_in, +/-10% parameter sweeps), which
+// this parameter set preserves. See DESIGN.md, "Reproduction stance".
+#pragma once
+
+namespace ppd::cells {
+
+struct Process {
+  double vdd = 1.8;          ///< supply voltage [V]
+
+  // Level-1 MOSFET parameters.
+  double l = 180e-9;         ///< drawn channel length [m]
+  double wn = 1.0e-6;        ///< default NMOS width [m]
+  double wp = 2.0e-6;        ///< default PMOS width [m]
+  double kp_n = 170e-6;      ///< NMOS u*Cox [A/V^2]
+  double kp_p = 60e-6;       ///< PMOS u*Cox [A/V^2]
+  double vt_n = 0.45;        ///< NMOS threshold [V]
+  double vt_p = -0.45;       ///< PMOS threshold [V]
+  double lambda_n = 0.06;    ///< [1/V]
+  double lambda_p = 0.08;    ///< [1/V]
+
+  // Capacitance estimates.
+  double cox_area = 8.6e-3;  ///< gate oxide capacitance [F/m^2]
+  double cgo_width = 0.30e-9;///< gate overlap capacitance per width [F/m]
+  double cj_width = 0.9e-9;  ///< drain/source junction capacitance per width [F/m]
+
+  /// Gate-to-channel capacitance of one transistor [F].
+  [[nodiscard]] double gate_cap(double w) const { return cox_area * w * l; }
+  /// Gate-drain (Miller) overlap capacitance [F].
+  [[nodiscard]] double overlap_cap(double w) const { return cgo_width * w; }
+  /// Drain junction capacitance [F].
+  [[nodiscard]] double junction_cap(double w) const { return cj_width * w; }
+};
+
+}  // namespace ppd::cells

@@ -1,0 +1,57 @@
+// Transistor-level transition-sensing circuit — a hardware realization of
+// the w_th threshold the core method models behaviourally (the paper uses
+// the self-checking transition detectors of Metra et al. [9]; this is the
+// classic dynamic equivalent).
+//
+// Topology: the watched node X and a delayed copy Xd (even inverter chain)
+// gate a series NMOS stack that discharges a precharged dynamic node KEEP.
+// Only a pulse whose width exceeds the chain delay (plus the discharge
+// time) overlaps long enough to pull KEEP low; an output inverter then
+// raises CAUGHT. The effective minimal detectable width — the circuit's
+// w_th — is set by the number of delay stages and the sense-stack strength,
+// and can be measured with `measure_catcher_threshold`-style sweeps in the
+// tests.
+//
+//               vdd ──p(reset)──┐
+//                               KEEP ──inv── CAUGHT
+//    X ──────────── n1 gate ────┤
+//    X ─inv─inv─ Xd n2 gate ────┤
+//                               gnd
+#pragma once
+
+#include "ppd/cells/netlist.hpp"
+
+namespace ppd::cells {
+
+struct PulseCatcherOptions {
+  /// Delay-chain length (even, >= 2): more stages => larger threshold.
+  int delay_stages = 2;
+  /// Dynamic-node capacitance [F]: larger => slower discharge => larger
+  /// threshold.
+  double keep_cap = 8e-15;
+  /// Width multiplier of the sense-stack NMOS devices.
+  double sense_strength = 1.0;
+  /// Watch a negative pulse (rest-high node): adds an input inverter.
+  bool invert_input = false;
+  /// Time at which precharge ends and the catcher starts sensing [s].
+  double t_arm = 0.1e-9;
+};
+
+/// Handles to the instantiated sensor.
+struct PulseCatcher {
+  spice::NodeId keep = spice::kGround;    ///< dynamic node (precharged high)
+  spice::NodeId caught = spice::kGround;  ///< output flag (high = pulse seen)
+  spice::NodeId delayed = spice::kGround; ///< tap of the delay chain
+  spice::DeviceId reset_source = 0;       ///< precharge control source
+};
+
+/// Attach a pulse catcher to `watched`. The caller reads the CAUGHT node
+/// after the test window: V(caught) > VDD/2 means a pulse at least as wide
+/// as the circuit's threshold passed by — i.e. in the paper's convention,
+/// the *absence* of a fault.
+[[nodiscard]] PulseCatcher add_pulse_catcher(Netlist& netlist,
+                                             const std::string& name,
+                                             spice::NodeId watched,
+                                             const PulseCatcherOptions& options = {});
+
+}  // namespace ppd::cells

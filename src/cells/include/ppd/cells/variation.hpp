@@ -1,0 +1,30 @@
+// Per-device process variation hooks. The Monte-Carlo engine implements
+// VariationSource with a seeded RNG; the default implementation is the
+// nominal (identity) corner.
+#pragma once
+
+namespace ppd::cells {
+
+/// Multiplicative perturbations applied to one transistor at build time.
+/// Multiplicative VT keeps the NMOS/PMOS sign convention intact.
+struct TransistorVariation {
+  double vt_mult = 1.0;
+  double kp_mult = 1.0;
+  double w_mult = 1.0;
+};
+
+/// Source of per-device variations, queried by the cell builder in a
+/// deterministic order (device insertion order), so that a seeded
+/// implementation yields reproducible circuit samples.
+class VariationSource {
+ public:
+  virtual ~VariationSource() = default;
+
+  /// Variation for the next transistor to be instantiated.
+  virtual TransistorVariation transistor() { return {}; }
+
+  /// Multiplier for the next capacitor to be instantiated.
+  virtual double cap_mult() { return 1.0; }
+};
+
+}  // namespace ppd::cells

@@ -1,0 +1,120 @@
+#include "ppd/cells/bus.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+
+Bus build_bus(Netlist& netlist, const BusOptions& options) {
+  PPD_REQUIRE(options.lines >= 1, "bus needs at least one line");
+  PPD_REQUIRE(options.segments >= 1, "bus needs at least one segment");
+  PPD_REQUIRE(options.segment_resistance > 0.0, "segment R must be positive");
+  PPD_REQUIRE(options.segment_capacitance > 0.0, "segment C must be positive");
+
+  spice::Circuit& ckt = netlist.circuit();
+  Bus bus;
+  bus.lines = options.lines;
+  bus.segments = options.segments;
+  bus.inversions_per_line = options.repeaters ? 3 : 2;
+
+  for (std::size_t l = 0; l < options.lines; ++l) {
+    const std::string ln = "bus" + std::to_string(l);
+    const spice::NodeId in = ckt.node(ln + ".in");
+    bus.inputs.push_back(in);
+    bus.sources.push_back(
+        ckt.add_vsource("V" + ln, in, spice::kGround, spice::Dc{0.0}));
+
+    // Driver inverter.
+    const GateId drv = netlist.add_gate(GateKind::kInv, ln + ".drv", {in},
+                                        ln + ".t0");
+    std::vector<spice::NodeId> taps{netlist.gate(drv).output};
+    std::vector<spice::DeviceId> resistors;
+
+    // Distributed RC: R between taps, C to ground at each tap.
+    const std::size_t mid = options.segments / 2;
+    for (std::size_t k = 0; k < options.segments; ++k) {
+      spice::NodeId prev = taps.back();
+      if (options.repeaters && k == mid && options.segments >= 2) {
+        const GateId rep = netlist.add_gate(GateKind::kInv, ln + ".rep", {prev},
+                                            ln + ".r" + std::to_string(k));
+        prev = netlist.gate(rep).output;
+        taps.back() = prev;  // the repeater output becomes the tap
+      }
+      const spice::NodeId next = ckt.node(ln + ".t" + std::to_string(k + 1));
+      resistors.push_back(ckt.add_resistor("R" + ln + "." + std::to_string(k),
+                                           prev, next,
+                                           options.segment_resistance));
+      ckt.add_capacitor("C" + ln + "." + std::to_string(k), next, spice::kGround,
+                        options.segment_capacitance);
+      taps.push_back(next);
+    }
+
+    // Receiver inverter.
+    const GateId rcv = netlist.add_gate(GateKind::kInv, ln + ".rcv",
+                                        {taps.back()}, ln + ".out");
+    bus.taps.push_back(std::move(taps));
+    bus.segment_resistors.push_back(std::move(resistors));
+    bus.far_ends.push_back(bus.taps.back().back());
+    bus.outputs.push_back(netlist.gate(rcv).output);
+  }
+
+  // Inter-line coupling capacitance at matching taps of adjacent lines.
+  if (options.coupling_capacitance > 0.0) {
+    for (std::size_t l = 0; l + 1 < options.lines; ++l) {
+      for (std::size_t k = 1; k <= options.segments; ++k) {
+        ckt.add_capacitor(
+            "Cc" + std::to_string(l) + "_" + std::to_string(k),
+            bus.taps[l][k], bus.taps[l + 1][k], options.coupling_capacitance);
+      }
+    }
+  }
+  return bus;
+}
+
+void drive_bus_pulse(Netlist& netlist, const Bus& bus, std::size_t line,
+                     bool positive, double width, double t_launch,
+                     double transition) {
+  PPD_REQUIRE(line < bus.lines, "bus line out of range");
+  PPD_REQUIRE(width > transition, "pulse width must exceed the transition time");
+  const double vdd = netlist.process().vdd;
+  spice::Pulse p;
+  p.v1 = positive ? 0.0 : vdd;
+  p.v2 = positive ? vdd : 0.0;
+  p.delay = t_launch - 0.5 * transition;
+  PPD_REQUIRE(p.delay > 0.0, "launch time too early");
+  p.rise = transition;
+  p.fall = transition;
+  p.width = width - transition;
+  netlist.circuit().vsource(bus.sources[line]).set_spec(p);
+}
+
+void hold_bus_line(Netlist& netlist, const Bus& bus, std::size_t line, bool high) {
+  PPD_REQUIRE(line < bus.lines, "bus line out of range");
+  netlist.circuit()
+      .vsource(bus.sources[line])
+      .set_spec(spice::Dc{high ? netlist.process().vdd : 0.0});
+}
+
+spice::DeviceId inject_bus_open(Netlist& netlist, const Bus& bus,
+                                std::size_t line, std::size_t segment,
+                                double ohms) {
+  PPD_REQUIRE(line < bus.lines, "bus line out of range");
+  PPD_REQUIRE(segment < bus.segments, "bus segment out of range");
+  PPD_REQUIRE(ohms > 0.0, "defect resistance must be positive");
+  spice::Resistor& r =
+      netlist.circuit().resistor(bus.segment_resistors[line][segment]);
+  r.set_resistance(r.resistance() + ohms);
+  return bus.segment_resistors[line][segment];
+}
+
+spice::DeviceId inject_bus_bridge(Netlist& netlist, const Bus& bus,
+                                  std::size_t line_a, std::size_t line_b,
+                                  std::size_t segment, double ohms) {
+  PPD_REQUIRE(line_a < bus.lines && line_b < bus.lines, "bus line out of range");
+  PPD_REQUIRE(line_a != line_b, "cannot bridge a line with itself");
+  PPD_REQUIRE(segment <= bus.segments, "bus segment out of range");
+  return netlist.circuit().add_resistor(
+      "Rbr.bus" + std::to_string(line_a) + "_" + std::to_string(line_b),
+      bus.taps[line_a][segment], bus.taps[line_b][segment], ohms);
+}
+
+}  // namespace ppd::cells

@@ -1,0 +1,157 @@
+#include "ppd/cells/dff.hpp"
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::cells {
+
+namespace {
+
+spice::MosParams nmos_params(const Process& p) {
+  spice::MosParams m;
+  m.type = spice::MosType::kNmos;
+  m.w = p.wn;
+  m.l = p.l;
+  m.vt0 = p.vt_n;
+  m.kp = p.kp_n;
+  m.lambda = p.lambda_n;
+  return m;
+}
+
+spice::MosParams pmos_params(const Process& p) {
+  spice::MosParams m;
+  m.type = spice::MosType::kPmos;
+  m.w = p.wp;
+  m.l = p.l;
+  m.vt0 = p.vt_p;
+  m.kp = p.kp_p;
+  m.lambda = p.lambda_p;
+  return m;
+}
+
+/// Transmission gate between a and b: conducts when `on` is high.
+void add_tg(Netlist& nl, const std::string& name, spice::NodeId a,
+            spice::NodeId b, spice::NodeId on, spice::NodeId on_b) {
+  spice::Circuit& ckt = nl.circuit();
+  ckt.add_mosfet(name + ".n", a, on, b, nmos_params(nl.process()));
+  ckt.add_mosfet(name + ".p", a, on_b, b, pmos_params(nl.process()));
+}
+
+}  // namespace
+
+DffInst add_dff(Netlist& netlist, const std::string& name, spice::NodeId d,
+                spice::NodeId clk) {
+  spice::Circuit& ckt = netlist.circuit();
+
+  DffInst ff;
+  ff.d = d;
+  ff.clk = clk;
+
+  // Local clock inversion.
+  const GateId clkb_inv =
+      netlist.add_gate(GateKind::kInv, name + ".ckb", {clk}, name + ".clkb");
+  ff.clk_b = netlist.gate(clkb_inv).output;
+
+  // Master: input TG transparent when clk is LOW.
+  const spice::NodeId n1 = ckt.node(name + ".m");
+  ff.master = n1;
+  add_tg(netlist, name + ".tgi", d, n1, ff.clk_b, clk);
+  const GateId inv1 =
+      netlist.add_gate(GateKind::kInv, name + ".i1", {n1}, name + ".mb");
+  const spice::NodeId n2 = netlist.gate(inv1).output;
+  // Master keeper: closed when clk is HIGH.
+  const GateId inv2 =
+      netlist.add_gate(GateKind::kInv, name + ".i2", {n2}, name + ".mk");
+  add_tg(netlist, name + ".tgk1", netlist.gate(inv2).output, n1, clk, ff.clk_b);
+
+  // Slave: TG transparent when clk is HIGH.
+  const spice::NodeId n4 = ckt.node(name + ".s");
+  ff.slave = n4;
+  add_tg(netlist, name + ".tgs", n2, n4, clk, ff.clk_b);
+  const GateId inv3 =
+      netlist.add_gate(GateKind::kInv, name + ".i3", {n4}, name + ".q");
+  ff.q = netlist.gate(inv3).output;
+  // Slave keeper: closed when clk is LOW.
+  const GateId inv4 =
+      netlist.add_gate(GateKind::kInv, name + ".i4", {ff.q}, name + ".sk");
+  add_tg(netlist, name + ".tgk2", netlist.gate(inv4).output, n4, ff.clk_b, clk);
+
+  // Small explicit node capacitances on the pass-gate internal nodes (their
+  // transistors are added raw, without the cell library's parasitics).
+  ckt.add_capacitor(name + ".cm", n1, spice::kGround, 1.5e-15);
+  ckt.add_capacitor(name + ".cs", n4, spice::kGround, 1.5e-15);
+  return ff;
+}
+
+MeasuredFfTiming measure_ff_timing(const Process& process) {
+  // Fixture: clocked DFF, D programmable, Q loaded lightly. Two rising
+  // clock edges: the first latches 0, the second latches 1; `lead` is how
+  // long D rises before the second edge.
+  const double t_edge1 = 1.0e-9;
+  const double t_edge2 = 2.2e-9;
+  const double t_stop = 3.4e-9;
+
+  const auto q_latched_high = [&](double lead, double* t_q_rise) {
+    Netlist nl(process);
+    spice::Circuit& ckt = nl.circuit();
+    const spice::NodeId d = ckt.node("d");
+    const spice::NodeId clk = ckt.node("clk");
+    spice::Pwl dspec;
+    dspec.points = {{0.0, 0.0},
+                    {t_edge2 - lead, 0.0},
+                    {t_edge2 - lead + 30e-12, process.vdd}};
+    ckt.add_vsource("Vd", d, spice::kGround, dspec);
+    spice::Pulse cspec;
+    cspec.v1 = 0.0;
+    cspec.v2 = process.vdd;
+    cspec.delay = t_edge1 - 15e-12;
+    cspec.rise = 30e-12;
+    cspec.fall = 30e-12;
+    cspec.width = 0.5e-9;
+    cspec.period = t_edge2 - t_edge1;
+    ckt.add_vsource("Vclk", clk, spice::kGround, cspec);
+    const DffInst ff = add_dff(nl, "ff", d, clk);
+    nl.add_load("Cq", ff.q, 5e-15);
+
+    spice::TransientOptions opt;
+    opt.t_stop = t_stop;
+    opt.dt = 2e-12;
+    opt.adaptive = true;
+    // Break the slave keeper's OP ambiguity toward Q = 0.
+    opt.op.nodesets = {{ff.slave, process.vdd}, {ff.q, 0.0}};
+    const auto res = spice::run_transient(ckt, opt);
+    const auto& q = res.wave(ff.q);
+    const bool high = q.at(t_stop) > process.vdd / 2;
+    if (high && t_q_rise != nullptr) {
+      const auto t = wave::first_crossing(q, process.vdd / 2, wave::Edge::kRise,
+                                          t_edge2 - 0.2e-9);
+      *t_q_rise = t.value_or(t_stop);
+    }
+    return high;
+  };
+
+  MeasuredFfTiming m;
+  // Clock-to-Q with a very comfortable setup.
+  double t_q = 0.0;
+  if (!q_latched_high(0.5e-9, &t_q)) return m;  // broken cell
+  m.clk_to_q = t_q - t_edge2;
+
+  // Setup: bisect the smallest lead that still latches (50 ps resolution
+  // window down to ~4 ps).
+  double lo = -0.1e-9;  // D after the edge: must fail
+  double hi = 0.4e-9;   // generous: must pass
+  if (q_latched_high(lo, nullptr)) return m;  // suspicious; report invalid
+  for (int i = 0; i < 7; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (q_latched_high(mid, nullptr))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  m.setup = hi;
+  m.valid = true;
+  return m;
+}
+
+}  // namespace ppd::cells

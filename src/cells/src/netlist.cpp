@@ -1,0 +1,330 @@
+#include "ppd/cells/netlist.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInv: return "INV";
+    case GateKind::kNand2: return "NAND2";
+    case GateKind::kNand3: return "NAND3";
+    case GateKind::kNor2: return "NOR2";
+    case GateKind::kNor3: return "NOR3";
+    case GateKind::kAnd2: return "AND2";
+    case GateKind::kOr2: return "OR2";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kAoi21: return "AOI21";
+    case GateKind::kOai21: return "OAI21";
+  }
+  return "?";
+}
+
+int gate_input_count(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInv:
+    case GateKind::kBuf: return 1;
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kAnd2:
+    case GateKind::kOr2: return 2;
+    case GateKind::kNand3:
+    case GateKind::kNor3:
+    case GateKind::kAoi21:
+    case GateKind::kOai21: return 3;
+  }
+  return 0;
+}
+
+bool gate_inverting(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInv:
+    case GateKind::kNand2:
+    case GateKind::kNand3:
+    case GateKind::kNor2:
+    case GateKind::kNor3:
+    case GateKind::kAoi21:
+    case GateKind::kOai21: return true;
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kBuf: return false;
+  }
+  return false;
+}
+
+bool gate_noncontrolling_high(GateKind kind) {
+  switch (kind) {
+    case GateKind::kNand2:
+    case GateKind::kNand3:
+    case GateKind::kAnd2: return true;  // controlling value of NAND/AND is 0
+    case GateKind::kNor2:
+    case GateKind::kNor3:
+    case GateKind::kOr2: return false;  // controlling value of NOR/OR is 1
+    case GateKind::kInv:
+    case GateKind::kBuf: return true;   // no side inputs; value unused
+    case GateKind::kAoi21:
+    case GateKind::kOai21:
+      // Mixed side values; resolved per input by gate_side_tie_high.
+      return true;
+  }
+  return true;
+}
+
+bool gate_side_tie_high(GateKind kind, std::size_t input_index) {
+  switch (kind) {
+    case GateKind::kAoi21:
+      // out = !(a*b + c); path on a: b must be 1, c must be 0.
+      return input_index == 1;
+    case GateKind::kOai21:
+      // out = !((a+b)*c); path on a: b must be 0, c must be 1.
+      return input_index == 2;
+    default:
+      return gate_noncontrolling_high(kind);
+  }
+}
+
+Netlist::Netlist(Process process) : process_(process) {
+  PPD_REQUIRE(process_.vdd > 0.0, "vdd must be positive");
+  vdd_ = circuit_.node("vdd");
+  circuit_.add_vsource("Vdd", vdd_, spice::kGround, spice::Dc{process_.vdd});
+}
+
+const GateInst& Netlist::gate(GateId id) const {
+  PPD_REQUIRE(id < gates_.size(), "gate id out of range");
+  return gates_[id];
+}
+
+GateInst& Netlist::gate_mutable(GateId id) {
+  PPD_REQUIRE(id < gates_.size(), "gate id out of range");
+  return gates_[id];
+}
+
+spice::DeviceId Netlist::add_load(const std::string& name, spice::NodeId node,
+                                  double farads) {
+  VariationSource& var = variation_ != nullptr ? *variation_ : nominal_;
+  return circuit_.add_capacitor(name, node, spice::kGround,
+                                farads * var.cap_mult());
+}
+
+spice::DeviceId Netlist::add_transistor(GateInst& inst, const std::string& name,
+                                        spice::MosType type, spice::NodeId d,
+                                        spice::NodeId g, spice::NodeId s) {
+  VariationSource& var = variation_ != nullptr ? *variation_ : nominal_;
+  const TransistorVariation tv = var.transistor();
+
+  spice::MosParams p;
+  p.type = type;
+  p.l = process_.l;
+  if (type == spice::MosType::kNmos) {
+    p.w = process_.wn * tv.w_mult;
+    p.vt0 = process_.vt_n * tv.vt_mult;
+    p.kp = process_.kp_n * tv.kp_mult;
+    p.lambda = process_.lambda_n;
+  } else {
+    p.w = process_.wp * tv.w_mult;
+    p.vt0 = process_.vt_p * tv.vt_mult;
+    p.kp = process_.kp_p * tv.kp_mult;
+    p.lambda = process_.lambda_p;
+  }
+  const spice::DeviceId mos = circuit_.add_mosfet(name, d, g, s, p);
+
+  // Intrinsic capacitances, scaled with the (perturbed) width. The rail for
+  // a device's parasitics is its own flavour's supply.
+  const spice::NodeId rail = type == spice::MosType::kNmos ? spice::kGround : vdd_;
+  const double cm = var.cap_mult();
+  const auto add_cap = [&](const std::string& cname, spice::NodeId a,
+                           spice::NodeId b, double f) -> spice::DeviceId {
+    const spice::DeviceId id = circuit_.add_capacitor(cname, a, b, f * cm);
+    inst.caps.push_back(id);
+    return id;
+  };
+  // Gate-channel capacitance to the rail.
+  if (g != rail) add_cap(name + ".cg", g, rail, process_.gate_cap(p.w));
+  // Gate-drain overlap (Miller).
+  if (g != d) {
+    const spice::DeviceId cgd = add_cap(name + ".cgd", g, d,
+                                        process_.overlap_cap(p.w));
+    if (d == inst.output) inst.output_caps.push_back({cgd, 1});
+  }
+  // Drain junction capacitance.
+  if (d != rail) {
+    const spice::DeviceId cj = add_cap(name + ".cjd", d, rail,
+                                       process_.junction_cap(p.w));
+    if (d == inst.output) inst.output_caps.push_back({cj, 0});
+  }
+  // Source junction capacitance for internal stack nodes only.
+  if (s != rail && s != vdd_ && s != spice::kGround)
+    add_cap(name + ".cjs", s, rail, process_.junction_cap(p.w));
+  return mos;
+}
+
+GateId Netlist::add_gate(GateKind kind, const std::string& name,
+                         const std::vector<spice::NodeId>& inputs,
+                         const std::string& output_name) {
+  PPD_REQUIRE(static_cast<int>(inputs.size()) == gate_input_count(kind),
+              std::string("wrong input arity for ") + gate_kind_name(kind));
+
+  GateInst inst;
+  inst.kind = kind;
+  inst.name = name;
+  inst.inputs = inputs;
+  inst.output = circuit_.node(output_name);
+  inst.input_pins.resize(inputs.size());
+  inst.input_caps.resize(inputs.size());
+
+  const spice::NodeId out = inst.output;
+  const spice::NodeId gnd = spice::kGround;
+
+  // Helpers recording metadata as transistors are created. `pin` < 0 means
+  // the transistor's gate is an internal net (second stage of AND/OR).
+  const auto pmos = [&](const std::string& n, spice::NodeId d, spice::NodeId g,
+                        spice::NodeId s, int pin) {
+    const std::size_t caps_before = inst.caps.size();
+    const spice::DeviceId id = add_transistor(inst, n, spice::MosType::kPmos, d, g, s);
+    inst.pullup.push_back(id);
+    if (pin >= 0) {
+      inst.input_pins[static_cast<std::size_t>(pin)].push_back({id, 1});
+      for (std::size_t c = caps_before; c < inst.caps.size(); ++c) {
+        const auto& cap = circuit_.device(inst.caps[c]);
+        for (std::size_t t = 0; t < cap.nodes().size(); ++t)
+          if (cap.nodes()[t] == g)
+            inst.input_caps[static_cast<std::size_t>(pin)].push_back(
+                {inst.caps[c], t});
+      }
+    }
+    if (s == vdd_) inst.pu_rail.push_back({id, 2});
+    if (d == out) inst.output_drains.push_back({id, 0});
+    return id;
+  };
+  const auto nmos = [&](const std::string& n, spice::NodeId d, spice::NodeId g,
+                        spice::NodeId s, int pin) {
+    const std::size_t caps_before = inst.caps.size();
+    const spice::DeviceId id = add_transistor(inst, n, spice::MosType::kNmos, d, g, s);
+    inst.pulldown.push_back(id);
+    if (pin >= 0) {
+      inst.input_pins[static_cast<std::size_t>(pin)].push_back({id, 1});
+      for (std::size_t c = caps_before; c < inst.caps.size(); ++c) {
+        const auto& cap = circuit_.device(inst.caps[c]);
+        for (std::size_t t = 0; t < cap.nodes().size(); ++t)
+          if (cap.nodes()[t] == g)
+            inst.input_caps[static_cast<std::size_t>(pin)].push_back(
+                {inst.caps[c], t});
+      }
+    }
+    if (s == gnd) inst.pd_rail.push_back({id, 2});
+    if (d == out) inst.output_drains.push_back({id, 0});
+    return id;
+  };
+
+  switch (kind) {
+    case GateKind::kInv: {
+      pmos(name + ".mp", out, inputs[0], vdd_, 0);
+      nmos(name + ".mn", out, inputs[0], gnd, 0);
+      break;
+    }
+    case GateKind::kBuf: {
+      const spice::NodeId mid = circuit_.new_node(name + ".x");
+      pmos(name + ".mp0", mid, inputs[0], vdd_, 0);
+      nmos(name + ".mn0", mid, inputs[0], gnd, 0);
+      pmos(name + ".mp1", out, mid, vdd_, -1);
+      nmos(name + ".mn1", out, mid, gnd, -1);
+      break;
+    }
+    case GateKind::kNand2: {
+      pmos(name + ".mpa", out, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", out, inputs[1], vdd_, 1);
+      const spice::NodeId mid = circuit_.new_node(name + ".s");
+      nmos(name + ".mna", out, inputs[0], mid, 0);
+      nmos(name + ".mnb", mid, inputs[1], gnd, 1);
+      break;
+    }
+    case GateKind::kNand3: {
+      pmos(name + ".mpa", out, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", out, inputs[1], vdd_, 1);
+      pmos(name + ".mpc", out, inputs[2], vdd_, 2);
+      const spice::NodeId m1 = circuit_.new_node(name + ".s1");
+      const spice::NodeId m2 = circuit_.new_node(name + ".s2");
+      nmos(name + ".mna", out, inputs[0], m1, 0);
+      nmos(name + ".mnb", m1, inputs[1], m2, 1);
+      nmos(name + ".mnc", m2, inputs[2], gnd, 2);
+      break;
+    }
+    case GateKind::kNor2: {
+      const spice::NodeId mid = circuit_.new_node(name + ".s");
+      pmos(name + ".mpa", mid, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", out, inputs[1], mid, 1);
+      nmos(name + ".mna", out, inputs[0], gnd, 0);
+      nmos(name + ".mnb", out, inputs[1], gnd, 1);
+      break;
+    }
+    case GateKind::kNor3: {
+      const spice::NodeId m1 = circuit_.new_node(name + ".s1");
+      const spice::NodeId m2 = circuit_.new_node(name + ".s2");
+      pmos(name + ".mpa", m1, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", m2, inputs[1], m1, 1);
+      pmos(name + ".mpc", out, inputs[2], m2, 2);
+      nmos(name + ".mna", out, inputs[0], gnd, 0);
+      nmos(name + ".mnb", out, inputs[1], gnd, 1);
+      nmos(name + ".mnc", out, inputs[2], gnd, 2);
+      break;
+    }
+    case GateKind::kAnd2:
+    case GateKind::kOr2: {
+      // First stage (NAND2/NOR2) drives an internal net, second stage is an
+      // inverter whose networks provide this composite's pull-up/pull-down
+      // metadata (they drive the output).
+      const spice::NodeId mid = circuit_.new_node(name + ".y");
+      if (kind == GateKind::kAnd2) {
+        pmos(name + ".mpa", mid, inputs[0], vdd_, 0);
+        pmos(name + ".mpb", mid, inputs[1], vdd_, 1);
+        const spice::NodeId s = circuit_.new_node(name + ".s");
+        nmos(name + ".mna", mid, inputs[0], s, 0);
+        nmos(name + ".mnb", s, inputs[1], gnd, 1);
+      } else {
+        const spice::NodeId s = circuit_.new_node(name + ".s");
+        pmos(name + ".mpa", s, inputs[0], vdd_, 0);
+        pmos(name + ".mpb", mid, inputs[1], s, 1);
+        nmos(name + ".mna", mid, inputs[0], gnd, 0);
+        nmos(name + ".mnb", mid, inputs[1], gnd, 1);
+      }
+      // The first stage's rail terminals must not be confused with the
+      // output stage's: reset and let the inverter define them.
+      inst.pu_rail.clear();
+      inst.pd_rail.clear();
+      pmos(name + ".mpi", out, mid, vdd_, -1);
+      nmos(name + ".mni", out, mid, gnd, -1);
+      break;
+    }
+    case GateKind::kAoi21: {
+      // out = !(a*b + c). PDN: series(a,b) parallel c; PUN (dual):
+      // (a parallel b) in series with c.
+      const spice::NodeId pm = circuit_.new_node(name + ".p");
+      pmos(name + ".mpa", pm, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", pm, inputs[1], vdd_, 1);
+      pmos(name + ".mpc", out, inputs[2], pm, 2);
+      const spice::NodeId nm = circuit_.new_node(name + ".s");
+      nmos(name + ".mna", out, inputs[0], nm, 0);
+      nmos(name + ".mnb", nm, inputs[1], gnd, 1);
+      nmos(name + ".mnc", out, inputs[2], gnd, 2);
+      break;
+    }
+    case GateKind::kOai21: {
+      // out = !((a+b) * c). PDN: (a parallel b) in series with c;
+      // PUN (dual): series(a,b) parallel c.
+      const spice::NodeId pm = circuit_.new_node(name + ".p");
+      pmos(name + ".mpa", pm, inputs[0], vdd_, 0);
+      pmos(name + ".mpb", out, inputs[1], pm, 1);
+      pmos(name + ".mpc", out, inputs[2], vdd_, 2);
+      const spice::NodeId nm = circuit_.new_node(name + ".s");
+      nmos(name + ".mna", nm, inputs[0], gnd, 0);
+      nmos(name + ".mnb", nm, inputs[1], gnd, 1);
+      nmos(name + ".mnc", out, inputs[2], nm, 2);
+      break;
+    }
+  }
+
+  gates_.push_back(std::move(inst));
+  return gates_.size() - 1;
+}
+
+}  // namespace ppd::cells

@@ -1,0 +1,137 @@
+#include "ppd/cells/path.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+
+namespace {
+
+bool primitive_kind(GateKind k) {
+  switch (k) {
+    case GateKind::kInv:
+    case GateKind::kNand2:
+    case GateKind::kNand3:
+    case GateKind::kNor2:
+    case GateKind::kNor3:
+    case GateKind::kAoi21:
+    case GateKind::kOai21: return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Path::Path(std::unique_ptr<Netlist> netlist, spice::DeviceId source,
+           spice::NodeId input, std::vector<GateId> stages,
+           std::vector<spice::NodeId> outputs, double input_transition)
+    : netlist_(std::move(netlist)),
+      source_(source),
+      input_(input),
+      stages_(std::move(stages)),
+      outputs_(std::move(outputs)),
+      input_transition_(input_transition) {
+  PPD_REQUIRE(netlist_ != nullptr, "path needs a netlist");
+  PPD_REQUIRE(!stages_.empty(), "path needs at least one gate");
+  PPD_REQUIRE(outputs_.size() == stages_.size(), "stage/output mismatch");
+}
+
+int Path::inversions() const {
+  int n = 0;
+  for (GateId id : stages_)
+    if (gate_inverting(netlist_->gate(id).kind)) ++n;
+  return n;
+}
+
+double Path::drive_transition(bool rising, double t_launch) {
+  const double vdd = netlist_->process().vdd;
+  spice::Pulse p;
+  p.v1 = rising ? 0.0 : vdd;
+  p.v2 = rising ? vdd : 0.0;
+  p.delay = t_launch - 0.5 * input_transition_;
+  PPD_REQUIRE(p.delay > 0.0, "launch time too early for the transition time");
+  p.rise = input_transition_;
+  p.fall = input_transition_;
+  p.width = 1.0;  // effectively a step within any realistic window
+  netlist_->circuit().vsource(source_).set_spec(p);
+  return t_launch;
+}
+
+double Path::drive_pulse(bool positive, double width, double t_launch) {
+  PPD_REQUIRE(width > 0.0, "pulse width must be positive");
+  const double vdd = netlist_->process().vdd;
+  spice::Pulse p;
+  p.v1 = positive ? 0.0 : vdd;
+  p.v2 = positive ? vdd : 0.0;
+  p.delay = t_launch - 0.5 * input_transition_;
+  PPD_REQUIRE(p.delay > 0.0, "launch time too early for the transition time");
+  p.rise = input_transition_;
+  p.fall = input_transition_;
+  // SPICE pulse width is the flat-top time; the 50%-to-50% width adds one
+  // transition time (half of the leading plus half of the trailing edge).
+  const double flat = width - input_transition_;
+  PPD_REQUIRE(flat > 0.0, "pulse width must exceed the transition time");
+  p.width = flat;
+  netlist_->circuit().vsource(source_).set_spec(p);
+  return t_launch;
+}
+
+double Path::rest_level() const {
+  const auto* src =
+      dynamic_cast<const spice::VoltageSource*>(&netlist_->circuit().device(source_));
+  PPD_REQUIRE(src != nullptr, "path source is not a voltage source");
+  return src->value_at(0.0);
+}
+
+Path build_path(const Process& process, const PathOptions& options,
+                VariationSource* variation) {
+  PPD_REQUIRE(!options.kinds.empty(), "path needs at least one gate");
+  auto netlist = std::make_unique<Netlist>(process);
+  netlist->set_variation(variation);
+  spice::Circuit& ckt = netlist->circuit();
+
+  const spice::NodeId input = ckt.node("in");
+  // Rest level low: a later drive_* call reconfigures the source.
+  const spice::DeviceId source =
+      ckt.add_vsource("Vin", input, spice::kGround, spice::Dc{0.0});
+
+  std::vector<GateId> stages;
+  std::vector<spice::NodeId> outputs;
+  spice::NodeId prev = input;
+  for (std::size_t i = 0; i < options.kinds.size(); ++i) {
+    const GateKind kind = options.kinds[i];
+    PPD_REQUIRE(primitive_kind(kind),
+                "only primitive gate kinds are allowed on a path");
+    const std::string gname = "g" + std::to_string(i);
+    const std::string oname = "n" + std::to_string(i + 1);
+
+    std::vector<spice::NodeId> inputs{prev};
+    for (int k = 1; k < gate_input_count(kind); ++k)
+      inputs.push_back(gate_side_tie_high(kind, static_cast<std::size_t>(k))
+                           ? netlist->tie_high()
+                           : netlist->tie_low());
+
+    const GateId gid = netlist->add_gate(kind, gname, inputs, oname);
+    const spice::NodeId out = netlist->gate(gid).output;
+    if (options.stage_load > 0.0)
+      netlist->add_load("Cw" + std::to_string(i), out, options.stage_load);
+    for (int f = 0; f < options.extra_fanout; ++f) {
+      const std::string fname = gname + ".f" + std::to_string(f);
+      netlist->add_gate(GateKind::kInv, fname, {out}, fname + ".o");
+    }
+    stages.push_back(gid);
+    outputs.push_back(out);
+    prev = out;
+  }
+
+  return Path(std::move(netlist), source, input, std::move(stages),
+              std::move(outputs), options.input_transition);
+}
+
+PathOptions seven_gate_path() {
+  PathOptions o;
+  o.kinds = {GateKind::kInv,  GateKind::kNand2, GateKind::kInv, GateKind::kNor2,
+             GateKind::kInv,  GateKind::kNand2, GateKind::kInv};
+  return o;
+}
+
+}  // namespace ppd::cells

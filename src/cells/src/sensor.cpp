@@ -1,0 +1,84 @@
+#include "ppd/cells/sensor.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+
+PulseCatcher add_pulse_catcher(Netlist& netlist, const std::string& name,
+                               spice::NodeId watched,
+                               const PulseCatcherOptions& options) {
+  PPD_REQUIRE(options.delay_stages >= 2 && options.delay_stages % 2 == 0,
+              "delay chain must be even and at least 2 stages");
+  PPD_REQUIRE(options.keep_cap > 0.0, "keep capacitance must be positive");
+  PPD_REQUIRE(options.sense_strength > 0.0, "sense strength must be positive");
+  PPD_REQUIRE(options.t_arm > 0.0, "arming time must be positive");
+
+  spice::Circuit& ckt = netlist.circuit();
+  const Process& proc = netlist.process();
+
+  // Optional polarity normalization.
+  spice::NodeId x = watched;
+  if (options.invert_input) {
+    const GateId inv =
+        netlist.add_gate(GateKind::kInv, name + ".pin", {watched}, name + ".x");
+    x = netlist.gate(inv).output;
+  }
+
+  // Delay chain X -> ... -> Xd (even stages: non-inverted copy).
+  spice::NodeId prev = x;
+  for (int i = 0; i < options.delay_stages; ++i) {
+    const GateId g = netlist.add_gate(GateKind::kInv,
+                                      name + ".d" + std::to_string(i), {prev},
+                                      name + ".n" + std::to_string(i));
+    prev = netlist.gate(g).output;
+  }
+  const spice::NodeId delayed = prev;
+
+  // Dynamic KEEP node: precharge PMOS + hold capacitance + sense stack.
+  const spice::NodeId keep = ckt.node(name + ".keep");
+  const spice::NodeId mid = ckt.node(name + ".mid");
+  const spice::NodeId reset = ckt.node(name + ".rst");
+
+  spice::MosParams pre;
+  pre.type = spice::MosType::kPmos;
+  pre.w = proc.wp;
+  pre.l = proc.l;
+  pre.vt0 = proc.vt_p;
+  pre.kp = proc.kp_p;
+  pre.lambda = proc.lambda_p;
+  ckt.add_mosfet(name + ".mpre", keep, reset, netlist.vdd(), pre);
+
+  spice::MosParams sense;
+  sense.type = spice::MosType::kNmos;
+  sense.w = proc.wn * options.sense_strength;
+  sense.l = proc.l;
+  sense.vt0 = proc.vt_n;
+  sense.kp = proc.kp_n;
+  sense.lambda = proc.lambda_n;
+  ckt.add_mosfet(name + ".mn1", keep, x, mid, sense);
+  ckt.add_mosfet(name + ".mn2", mid, delayed, spice::kGround, sense);
+
+  ckt.add_capacitor(name + ".ck", keep, spice::kGround, options.keep_cap);
+  ckt.add_capacitor(name + ".cm", mid, spice::kGround, 0.5e-15);
+
+  // Precharge control: low (PMOS on) until t_arm, then high (sensing).
+  spice::Pwl rst;
+  rst.points = {{0.0, 0.0},
+                {options.t_arm, 0.0},
+                {options.t_arm + 20e-12, proc.vdd}};
+  const spice::DeviceId rst_src =
+      ckt.add_vsource("V" + name + ".rst", reset, spice::kGround, rst);
+
+  // Output flag.
+  const GateId out_inv =
+      netlist.add_gate(GateKind::kInv, name + ".oinv", {keep}, name + ".caught");
+
+  PulseCatcher pc;
+  pc.keep = keep;
+  pc.caught = netlist.gate(out_inv).output;
+  pc.delayed = delayed;
+  pc.reset_source = rst_src;
+  return pc;
+}
+
+}  // namespace ppd::cells

@@ -1,0 +1,44 @@
+// Bridge between the logic-level tool and the electrical substrate:
+//
+//  * extract the cell kinds along a logic path so the same path can be
+//    rebuilt transistor-level (cells::build_path) for precise analysis —
+//    the Fig. 11 flow screens paths at logic level, then characterizes the
+//    survivors electrically;
+//  * calibrate the logic-level pulse-attenuation library (GateTiming) from
+//    electrical single-gate measurements, the reproducible procedure behind
+//    GateTimingLibrary::generic().
+#pragma once
+
+#include "ppd/cells/netlist.hpp"
+#include "ppd/core/measure.hpp"
+#include "ppd/logic/attenuation.hpp"
+#include "ppd/logic/paths.hpp"
+
+namespace ppd::core {
+
+/// Map the gates along a logic path to electrical cell kinds. AND/OR expand
+/// to NAND+INV / NOR+INV. Throws PreconditionError for kinds without a
+/// transistor-level realization here (XOR/XNOR).
+[[nodiscard]] std::vector<cells::GateKind> to_cell_kinds(
+    const logic::Netlist& netlist, const logic::Path& path);
+
+struct TimingCalibrationOptions {
+  SimSettings sim;
+  double stage_load = 10e-15;   ///< load used for the single-gate fixture
+  /// Width grid for the per-gate w_out(w_in) fit.
+  std::vector<double> w_grid;   ///< default: 20 ps .. 400 ps, 20 pts
+};
+
+/// Measure GateTiming for one primitive kind with the electrical simulator:
+/// rise/fall delays from step stimuli, (w_block, w_pass, shrink) from a
+/// pulse-width sweep through a single gate.
+[[nodiscard]] logic::GateTiming calibrate_gate_timing(
+    const cells::Process& process, cells::GateKind kind,
+    const TimingCalibrationOptions& options = {});
+
+/// Calibrate INV/NAND2/NOR2 and populate a library (NOT/NAND/AND and
+/// NOR/OR share entries; the default falls back to the inverter).
+[[nodiscard]] logic::GateTimingLibrary calibrate_timing_library(
+    const cells::Process& process, const TimingCalibrationOptions& options = {});
+
+}  // namespace ppd::core

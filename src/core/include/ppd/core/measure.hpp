@@ -1,0 +1,92 @@
+// Electrical-level measurements underlying both test methods:
+// path propagation delay (DF testing) and the pulse transfer function
+// w_out = f_p(w_in) (the proposed method), evaluated on freshly built
+// Monte-Carlo instances of a sensitized path with an optional injected
+// defect.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/mc/variation.hpp"
+
+namespace ppd::core {
+
+/// Pulse polarity at the path input (paper Sect. 4: kinds h and l).
+enum class PulseKind { kH, kL };  // h: low-high-low, l: high-low-high
+
+/// Transient settings shared by all measurements.
+struct SimSettings {
+  double dt = 2e-12;
+  double t_launch = 0.3e-9;      ///< stimulus launch time
+  double t_tail = 2.5e-9;        ///< settle window after the stimulus
+  spice::Integrator integrator = spice::Integrator::kTrapezoidal;
+  /// Iteration-count step control, validated against fixed stepping in the
+  /// test suite; the default favours Monte-Carlo throughput.
+  bool adaptive = true;
+  double dt_max = 8e-12;
+};
+
+/// Recipe for building path instances: the experiment framework rebuilds a
+/// fresh transistor-level circuit per Monte-Carlo sample, with the same
+/// fault site spliced in each time.
+struct PathFactory {
+  cells::Process process;
+  cells::PathOptions options;
+  std::optional<faults::PathFaultSpec> fault;
+};
+
+/// A built instance: the path plus its injected defect handle (present only
+/// when the factory has a fault and resistance > 0).
+struct PathInstance {
+  PathInstance(cells::Path p, std::optional<faults::InjectedFault> f)
+      : path(std::move(p)), fault(std::move(f)) {}
+  cells::Path path;
+  std::optional<faults::InjectedFault> fault;
+};
+
+/// Build one instance; `fault_ohms <= 0` builds fault-free.
+[[nodiscard]] PathInstance make_instance(const PathFactory& factory,
+                                         double fault_ohms,
+                                         cells::VariationSource* variation);
+
+/// Deterministic per-sample RNG derivation (same sample index -> same
+/// circuit instance, regardless of evaluation order).
+[[nodiscard]] mc::Rng sample_rng(std::uint64_t seed, std::size_t sample);
+
+/// 50%-to-50% propagation delay of a single input transition through the
+/// path. Returns nullopt when the output never switches within the window
+/// (an unbounded delay defect).
+[[nodiscard]] std::optional<double> path_delay(cells::Path& path,
+                                               bool input_rising,
+                                               const SimSettings& sim);
+
+/// Output pulse width at 50% VDD for an injected input pulse of 50%-width
+/// `w_in`. Returns nullopt when the pulse is dampened (never completes at
+/// the output). The polarity observed at the output accounts for the path's
+/// inversion parity.
+[[nodiscard]] std::optional<double> output_pulse_width(cells::Path& path,
+                                                       PulseKind kind,
+                                                       double w_in,
+                                                       const SimSettings& sim);
+
+/// Sampled pulse transfer function of one circuit instance (Fig. 10): pairs
+/// (w_in, w_out) over a width grid, with 0 recorded for dampened pulses.
+struct TransferCurve {
+  std::vector<double> w_in;
+  std::vector<double> w_out;  ///< 0 when dampened
+};
+
+[[nodiscard]] TransferCurve transfer_function(cells::Path& path, PulseKind kind,
+                                              const std::vector<double>& w_in_grid,
+                                              const SimSettings& sim);
+
+/// Uniformly spaced grid helper [lo, hi] with n points (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Log-spaced grid helper [lo, hi] with n points (n >= 2, lo > 0).
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace ppd::core

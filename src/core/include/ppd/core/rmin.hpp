@@ -1,0 +1,37 @@
+// Minimal detectable resistance (paper Sect. 5, Fig. 11): for a calibrated
+// (w_in, w_th) pair and a fault site, the smallest defect resistance the
+// pulse method detects across the whole Monte-Carlo population.
+#pragma once
+
+#include <cstdint>
+
+#include "ppd/core/pulse_test.hpp"
+
+namespace ppd::core {
+
+struct RminOptions {
+  int samples = 20;
+  std::uint64_t seed = 1;
+  mc::VariationModel variation;
+  SimSettings sim;
+  double r_lo = 100.0;       ///< search bracket [ohm]
+  double r_hi = 100e3;
+  int bisection_steps = 10;  ///< ~3 decades / 2^10 => <1% resolution
+  /// Required detected fraction of the MC population (1.0 = every instance).
+  double target_coverage = 1.0;
+};
+
+struct RminResult {
+  bool detectable = false;  ///< false when even r_hi is not detected
+  double r_min = 0.0;       ///< valid when detectable
+  std::size_t simulations = 0;
+};
+
+/// Bisection over R assuming detection is monotone in R (true for ROPs: a
+/// larger series resistance dampens the pulse more). The factory's fault
+/// spec must be set.
+[[nodiscard]] RminResult find_r_min(const PathFactory& factory,
+                                    const PulseTestCalibration& cal,
+                                    const RminOptions& options);
+
+}  // namespace ppd::core

@@ -1,0 +1,85 @@
+#include "ppd/core/coverage.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+
+namespace {
+
+void validate(const CoverageOptions& options) {
+  PPD_REQUIRE(options.samples > 0, "need at least one MC sample");
+  PPD_REQUIRE(!options.resistances.empty(), "need a resistance sweep");
+  PPD_REQUIRE(!options.multipliers.empty(), "need at least one multiplier");
+}
+
+CoverageResult make_result(const CoverageOptions& options) {
+  CoverageResult res;
+  res.resistances = options.resistances;
+  res.multipliers = options.multipliers;
+  res.coverage.assign(options.multipliers.size(),
+                      std::vector<double>(options.resistances.size(), 0.0));
+  return res;
+}
+
+}  // namespace
+
+CoverageResult run_delay_coverage(const PathFactory& factory,
+                                  const DelayTestCalibration& cal,
+                                  const CoverageOptions& options) {
+  validate(options);
+  PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
+  CoverageResult res = make_result(options);
+
+  for (std::size_t r = 0; r < options.resistances.size(); ++r) {
+    for (int s = 0; s < options.samples; ++s) {
+      mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
+      mc::GaussianVariationSource var(options.variation, rng);
+      PathInstance inst =
+          make_instance(factory, options.resistances[r], &var);
+      const auto d = path_delay(inst.path, cal.input_rising, options.sim);
+      ++res.simulations;
+      for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+        const double t_applied = options.multipliers[m] * cal.t_nominal;
+        if (delay_detects(d, t_applied, cal.flip_flops))
+          res.coverage[m][r] += 1.0;
+      }
+    }
+    for (auto& row : res.coverage)
+      row[r] /= static_cast<double>(options.samples);
+  }
+  return res;
+}
+
+CoverageResult run_pulse_coverage(const PathFactory& factory,
+                                  const PulseTestCalibration& cal,
+                                  const CoverageOptions& options) {
+  validate(options);
+  PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
+  CoverageResult res = make_result(options);
+
+  for (std::size_t r = 0; r < options.resistances.size(); ++r) {
+    for (int s = 0; s < options.samples; ++s) {
+      mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
+      mc::GaussianVariationSource var(options.variation, rng);
+      PathInstance inst =
+          make_instance(factory, options.resistances[r], &var);
+      // This die's generator produces its own width (uncertainty (a)).
+      mc::Rng gen_rng = sample_rng(options.seed ^ 0xABCDull,
+                                   static_cast<std::size_t>(s));
+      const double w_applied =
+          cal.w_in * gen_rng.normal_clipped(1.0, options.generator_sigma, 4.0);
+      const auto w_out =
+          output_pulse_width(inst.path, cal.kind, w_applied, options.sim);
+      ++res.simulations;
+      for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+        const double w_th_applied = options.multipliers[m] * cal.w_th;
+        if (pulse_detects(w_out, w_th_applied)) res.coverage[m][r] += 1.0;
+      }
+    }
+    for (auto& row : res.coverage)
+      row[r] /= static_cast<double>(options.samples);
+  }
+  return res;
+}
+
+}  // namespace ppd::core

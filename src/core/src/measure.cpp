@@ -1,0 +1,104 @@
+#include "ppd/core/measure.hpp"
+
+#include <cmath>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::core {
+
+PathInstance make_instance(const PathFactory& factory, double fault_ohms,
+                           cells::VariationSource* variation) {
+  cells::Path path = cells::build_path(factory.process, factory.options, variation);
+  std::optional<faults::InjectedFault> injected;
+  if (factory.fault.has_value() && fault_ohms > 0.0)
+    injected = faults::inject_on_path(path, *factory.fault, fault_ohms);
+  return PathInstance(std::move(path), std::move(injected));
+}
+
+mc::Rng sample_rng(std::uint64_t seed, std::size_t sample) {
+  // Distinct, well-mixed stream per (seed, sample).
+  return mc::Rng(seed ^ (0x9e3779b97f4a7c15ULL * (sample + 1)));
+}
+
+namespace {
+
+spice::TransientOptions transient_options(const SimSettings& sim, double t_stop,
+                                          const cells::Path& path) {
+  spice::TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = sim.dt;
+  opt.integrator = sim.integrator;
+  opt.adaptive = sim.adaptive;
+  opt.dt_max = sim.dt_max;
+  // The measurements only look at the path terminals.
+  opt.probe = {path.input(), path.output()};
+  return opt;
+}
+
+}  // namespace
+
+std::optional<double> path_delay(cells::Path& path, bool input_rising,
+                                 const SimSettings& sim) {
+  path.drive_transition(input_rising, sim.t_launch);
+  const double t_stop = sim.t_launch + sim.t_tail;
+  const auto res =
+      spice::run_transient(path.netlist().circuit(),
+                           transient_options(sim, t_stop, path));
+  const double half = path.netlist().process().vdd / 2.0;
+  const bool out_rising = path.same_polarity() == input_rising;
+  return wave::propagation_delay(
+      res.wave(path.input()), res.wave(path.output()), half,
+      input_rising ? wave::Edge::kRise : wave::Edge::kFall,
+      out_rising ? wave::Edge::kRise : wave::Edge::kFall);
+}
+
+std::optional<double> output_pulse_width(cells::Path& path, PulseKind kind,
+                                         double w_in, const SimSettings& sim) {
+  const bool positive_in = kind == PulseKind::kH;
+  path.drive_pulse(positive_in, w_in, sim.t_launch);
+  const double t_stop = sim.t_launch + w_in + sim.t_tail;
+  const auto res =
+      spice::run_transient(path.netlist().circuit(),
+                           transient_options(sim, t_stop, path));
+  const double half = path.netlist().process().vdd / 2.0;
+  const bool positive_out = path.same_polarity() == positive_in;
+  return wave::pulse_width(res.wave(path.output()), half, positive_out);
+}
+
+TransferCurve transfer_function(cells::Path& path, PulseKind kind,
+                                const std::vector<double>& w_in_grid,
+                                const SimSettings& sim) {
+  TransferCurve curve;
+  curve.w_in = w_in_grid;
+  curve.w_out.reserve(w_in_grid.size());
+  for (double w : w_in_grid) {
+    const auto out = output_pulse_width(path, kind, w, sim);
+    curve.w_out.push_back(out.value_or(0.0));
+  }
+  return curve;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  PPD_REQUIRE(n >= 2, "linspace needs at least 2 points");
+  PPD_REQUIRE(hi > lo, "linspace needs hi > lo");
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return v;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  PPD_REQUIRE(lo > 0.0, "logspace needs lo > 0");
+  PPD_REQUIRE(n >= 2, "logspace needs at least 2 points");
+  PPD_REQUIRE(hi > lo, "logspace needs hi > lo");
+  std::vector<double> v(n);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                              static_cast<double>(n - 1));
+  return v;
+}
+
+}  // namespace ppd::core

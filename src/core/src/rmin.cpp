@@ -1,0 +1,63 @@
+#include "ppd/core/rmin.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+
+namespace {
+
+/// Fraction of the MC population detected at resistance r.
+double detected_fraction(const PathFactory& factory,
+                         const PulseTestCalibration& cal,
+                         const RminOptions& options, double r,
+                         std::size_t& simulations) {
+  int detected = 0;
+  for (int s = 0; s < options.samples; ++s) {
+    mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
+    mc::GaussianVariationSource var(options.variation, rng);
+    PathInstance inst = make_instance(factory, r, &var);
+    const auto w_out = output_pulse_width(inst.path, cal.kind, cal.w_in, options.sim);
+    ++simulations;
+    if (pulse_detects(w_out, cal.w_th)) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(options.samples);
+}
+
+}  // namespace
+
+RminResult find_r_min(const PathFactory& factory, const PulseTestCalibration& cal,
+                      const RminOptions& options) {
+  PPD_REQUIRE(factory.fault.has_value(), "r_min needs a fault site");
+  PPD_REQUIRE(options.r_hi > options.r_lo && options.r_lo > 0.0,
+              "invalid resistance bracket");
+  PPD_REQUIRE(options.target_coverage > 0.0 && options.target_coverage <= 1.0,
+              "target coverage must be in (0, 1]");
+
+  RminResult res;
+  // Bracket check: detected at r_hi, undetected at r_lo.
+  if (detected_fraction(factory, cal, options, options.r_hi, res.simulations) <
+      options.target_coverage) {
+    res.detectable = false;
+    return res;
+  }
+  res.detectable = true;
+  double lo = options.r_lo;
+  double hi = options.r_hi;
+  if (detected_fraction(factory, cal, options, lo, res.simulations) >=
+      options.target_coverage) {
+    res.r_min = lo;  // detected across the whole bracket
+    return res;
+  }
+  for (int i = 0; i < options.bisection_steps; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (detected_fraction(factory, cal, options, mid, res.simulations) >=
+        options.target_coverage)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  res.r_min = hi;
+  return res;
+}
+
+}  // namespace ppd::core

@@ -1,0 +1,86 @@
+// Fault models of the paper (Sect. 2) and their injection into a built
+// transistor-level netlist:
+//
+//  * internal ROP  — series resistance inside a gate's pull-up or pull-down
+//    network (Fig. 1a): slows exactly one output transition, so a pulse
+//    shrinks at the faulty gate and dies within a few logic levels.
+//  * external ROP  — series resistance on the gate output or on one fan-out
+//    branch (Fig. 1b): slows both transitions; a pulse survives unless its
+//    width is comparable to the degraded transition time.
+//  * resistive bridge — resistor between two signal nets (Fig. 4); above the
+//    critical resistance it produces extra delay on one transition only.
+//
+// Injection works by node splitting: rewire the recorded terminal groups of
+// the target gate to a fresh node and splice the defect resistor in between.
+// The returned handle exposes the resistor so R can be swept in place.
+#pragma once
+
+#include <string>
+
+#include "ppd/cells/netlist.hpp"
+#include "ppd/cells/path.hpp"
+
+namespace ppd::faults {
+
+enum class FaultKind {
+  kInternalRopPullUp,
+  kInternalRopPullDown,
+  kExternalRopOutput,
+  kExternalRopBranch,
+  kBridge,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// Handle to an injected defect.
+struct InjectedFault {
+  FaultKind kind = FaultKind::kExternalRopOutput;
+  spice::DeviceId resistor = 0;   ///< the defect resistance
+  spice::NodeId spliced_node = spice::kGround;  ///< the node created by splitting
+};
+
+/// Update the defect resistance in place (cheap R sweeps).
+void set_fault_resistance(cells::Netlist& netlist, const InjectedFault& fault,
+                          double ohms);
+
+/// Internal ROP: series R between gate `g`'s pull-down (or pull-up) network
+/// and its rail.
+[[nodiscard]] InjectedFault inject_internal_rop(cells::Netlist& netlist,
+                                                cells::GateId g, bool pull_up,
+                                                double ohms);
+
+/// External ROP on the gate output: driver drains -> R -> every load.
+[[nodiscard]] InjectedFault inject_external_rop_output(cells::Netlist& netlist,
+                                                       cells::GateId g,
+                                                       double ohms);
+
+/// External ROP on one fan-out branch: R between driver output and input
+/// `load_input` of `load` only (other branches unaffected).
+[[nodiscard]] InjectedFault inject_external_rop_branch(cells::Netlist& netlist,
+                                                       cells::GateId driver,
+                                                       cells::GateId load,
+                                                       std::size_t load_input,
+                                                       double ohms);
+
+/// Resistive bridge between the outputs of gates `a` and `b`.
+[[nodiscard]] InjectedFault inject_bridge(cells::Netlist& netlist, cells::GateId a,
+                                          cells::GateId b, double ohms);
+
+/// Fault specification relative to a built Path (the experiments' workload).
+struct PathFaultSpec {
+  FaultKind kind = FaultKind::kExternalRopOutput;
+  /// Gate index along the path (0-based). The paper's experiments put the
+  /// fault at the output of the second gate, i.e. stage = 1.
+  std::size_t stage = 1;
+  /// Bridge only: steady logic level of the aggressor net.
+  bool aggressor_high = false;
+};
+
+/// Inject `spec` into `path`. For a branch ROP the affected branch is the
+/// one continuing along the path (the Fig. 1b / Fig. 3 situation); for a
+/// bridge an aggressor inverter with a steady output is created and bridged
+/// to the stage output (the Fig. 4 situation).
+[[nodiscard]] InjectedFault inject_on_path(cells::Path& path,
+                                           const PathFaultSpec& spec, double ohms);
+
+}  // namespace ppd::faults

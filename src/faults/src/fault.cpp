@@ -1,0 +1,128 @@
+#include "ppd/faults/fault.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInternalRopPullUp: return "internal-ROP-pullup";
+    case FaultKind::kInternalRopPullDown: return "internal-ROP-pulldown";
+    case FaultKind::kExternalRopOutput: return "external-ROP-output";
+    case FaultKind::kExternalRopBranch: return "external-ROP-branch";
+    case FaultKind::kBridge: return "bridge";
+  }
+  return "?";
+}
+
+void set_fault_resistance(cells::Netlist& netlist, const InjectedFault& fault,
+                          double ohms) {
+  netlist.circuit().resistor(fault.resistor).set_resistance(ohms);
+}
+
+InjectedFault inject_internal_rop(cells::Netlist& netlist, cells::GateId g,
+                                  bool pull_up, double ohms) {
+  const cells::GateInst& inst = netlist.gate(g);
+  const auto& rail_refs = pull_up ? inst.pu_rail : inst.pd_rail;
+  PPD_REQUIRE(!rail_refs.empty(), "gate has no rail terminals to break");
+  spice::Circuit& ckt = netlist.circuit();
+  const spice::NodeId rail = pull_up ? netlist.vdd() : spice::kGround;
+  const spice::NodeId split = ckt.new_node(inst.name + ".rop");
+  for (const auto& ref : rail_refs) ckt.device(ref.device).rewire(ref.terminal, split);
+  InjectedFault f;
+  f.kind = pull_up ? FaultKind::kInternalRopPullUp : FaultKind::kInternalRopPullDown;
+  f.spliced_node = split;
+  f.resistor = ckt.add_resistor("Rrop." + inst.name, split, rail, ohms);
+  return f;
+}
+
+InjectedFault inject_external_rop_output(cells::Netlist& netlist, cells::GateId g,
+                                         double ohms) {
+  const cells::GateInst& inst = netlist.gate(g);
+  PPD_REQUIRE(!inst.output_drains.empty(), "gate has no output drivers");
+  spice::Circuit& ckt = netlist.circuit();
+  const spice::NodeId split = ckt.new_node(inst.name + ".drv");
+  for (const auto& ref : inst.output_drains)
+    ckt.device(ref.device).rewire(ref.terminal, split);
+  for (const auto& ref : inst.output_caps)
+    ckt.device(ref.device).rewire(ref.terminal, split);
+  InjectedFault f;
+  f.kind = FaultKind::kExternalRopOutput;
+  f.spliced_node = split;
+  f.resistor = ckt.add_resistor("Rrop." + inst.name, split, inst.output, ohms);
+  return f;
+}
+
+InjectedFault inject_external_rop_branch(cells::Netlist& netlist,
+                                         cells::GateId driver, cells::GateId load,
+                                         std::size_t load_input, double ohms) {
+  const cells::GateInst& drv = netlist.gate(driver);
+  const cells::GateInst& ld = netlist.gate(load);
+  PPD_REQUIRE(load_input < ld.inputs.size(), "load input index out of range");
+  PPD_REQUIRE(ld.inputs[load_input] == drv.output,
+              "load input is not connected to the driver output");
+  spice::Circuit& ckt = netlist.circuit();
+  const spice::NodeId split = ckt.new_node(drv.name + "." + ld.name + ".br");
+  cells::GateInst& ld_mut = netlist.gate_mutable(load);
+  for (const auto& ref : ld_mut.input_pins[load_input])
+    ckt.device(ref.device).rewire(ref.terminal, split);
+  for (const auto& ref : ld_mut.input_caps[load_input])
+    ckt.device(ref.device).rewire(ref.terminal, split);
+  ld_mut.inputs[load_input] = split;
+  InjectedFault f;
+  f.kind = FaultKind::kExternalRopBranch;
+  f.spliced_node = split;
+  f.resistor =
+      ckt.add_resistor("Rrop." + drv.name + "." + ld.name, drv.output, split, ohms);
+  return f;
+}
+
+InjectedFault inject_bridge(cells::Netlist& netlist, cells::GateId a,
+                            cells::GateId b, double ohms) {
+  const cells::GateInst& ga = netlist.gate(a);
+  const cells::GateInst& gb = netlist.gate(b);
+  PPD_REQUIRE(ga.output != gb.output, "cannot bridge a node with itself");
+  spice::Circuit& ckt = netlist.circuit();
+  InjectedFault f;
+  f.kind = FaultKind::kBridge;
+  f.spliced_node = gb.output;
+  f.resistor =
+      ckt.add_resistor("Rbr." + ga.name + "." + gb.name, ga.output, gb.output, ohms);
+  return f;
+}
+
+InjectedFault inject_on_path(cells::Path& path, const PathFaultSpec& spec,
+                             double ohms) {
+  PPD_REQUIRE(spec.stage < path.length(), "fault stage beyond path length");
+  cells::Netlist& nl = path.netlist();
+  const cells::GateId g = path.stages()[spec.stage];
+
+  switch (spec.kind) {
+    case FaultKind::kInternalRopPullUp:
+      return inject_internal_rop(nl, g, /*pull_up=*/true, ohms);
+    case FaultKind::kInternalRopPullDown:
+      return inject_internal_rop(nl, g, /*pull_up=*/false, ohms);
+    case FaultKind::kExternalRopOutput:
+      return inject_external_rop_output(nl, g, ohms);
+    case FaultKind::kExternalRopBranch: {
+      PPD_REQUIRE(spec.stage + 1 < path.length(),
+                  "branch ROP needs a downstream on-path gate");
+      const cells::GateId load = path.stages()[spec.stage + 1];
+      return inject_external_rop_branch(nl, g, load, 0, ohms);
+    }
+    case FaultKind::kBridge: {
+      // Aggressor inverter with a steady output at the requested level:
+      // input tied low -> output high, input tied high -> output low.
+      const spice::NodeId tie =
+          spec.aggressor_high ? nl.tie_low() : nl.tie_high();
+      const cells::GateInst& victim = nl.gate(g);
+      const cells::GateId agg = nl.add_gate(cells::GateKind::kInv,
+                                            victim.name + ".agg", {tie},
+                                            victim.name + ".aggo");
+      return inject_bridge(nl, g, agg, ohms);
+    }
+  }
+  throw PreconditionError("unknown fault kind");
+}
+
+}  // namespace ppd::faults

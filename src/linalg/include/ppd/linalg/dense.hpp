@@ -1,0 +1,64 @@
+// Dense column-major matrix with LU factorization (partial pivoting).
+//
+// MNA systems for the circuits in this project are small (tens of nodes), so
+// a dense factorization is the default solver; the sparse path
+// (ppd/linalg/sparse.hpp) exists for larger netlists and is validated against
+// this one in the test suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppd::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  /// Reset every entry to zero without reallocating.
+  void set_zero();
+
+  /// y = A * x  (dimensions must match).
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;  // column-major
+};
+
+/// LU factorization with partial (row) pivoting of a square matrix.
+/// Throws NumericalError when the matrix is numerically singular.
+class DenseLu {
+ public:
+  /// Factorize a copy of `a`.
+  explicit DenseLu(const DenseMatrix& a, double pivot_tol = 1e-13);
+
+  /// Solve A x = b for one right-hand side.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Determinant of the factorized matrix (sign included).
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t order() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i] of A
+  int perm_sign_ = 1;
+};
+
+/// Vector helpers shared by the solvers and the Newton loop.
+[[nodiscard]] double norm_inf(const std::vector<double>& v);
+[[nodiscard]] double norm2(const std::vector<double>& v);
+
+}  // namespace ppd::linalg

@@ -1,0 +1,115 @@
+#include "ppd/linalg/dense.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+double& DenseMatrix::operator()(std::size_t r, std::size_t c) {
+  PPD_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[c * rows_ + r];
+}
+
+double DenseMatrix::operator()(std::size_t r, std::size_t c) const {
+  PPD_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[c * rows_ + r];
+}
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  PPD_REQUIRE(x.size() == cols_, "dimension mismatch in multiply");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    const double* col = data_.data() + c * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) y[r] += col[r] * xc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseLu::DenseLu(const DenseMatrix& a, double pivot_tol) : lu_(a) {
+  PPD_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t piv = k;
+    double piv_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > piv_mag) {
+        piv = r;
+        piv_mag = mag;
+      }
+    }
+    if (!(piv_mag > pivot_tol))
+      throw NumericalError("DenseLu: matrix is numerically singular at column " +
+                           std::to_string(k));
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_piv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) * inv_piv;
+      lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> DenseLu::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  PPD_REQUIRE(b.size() == n, "dimension mismatch in solve");
+  std::vector<double> x(n);
+  // Forward substitution on Pb with unit-lower L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+double DenseLu::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double norm_inf(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace ppd::linalg

@@ -1,0 +1,68 @@
+// Logic-level pulse-attenuation model (after Omana et al. [10], the model
+// the paper builds its logic-level tool on): each gate maps an input pulse
+// width to an output pulse width through a piecewise-linear characteristic
+//
+//        0                                  w <= w_block   (filtered)
+//  w' =  (w - w_block) * k                  w_block < w < w_pass
+//        w - shrink                         w >= w_pass    (asymptotic)
+//
+// with k chosen to make the characteristic continuous at w_pass. Chaining
+// these per-gate maps along a path reproduces the three-region path-level
+// transfer function of Fig. 10 at logic-simulation cost, which is what makes
+// Fig. 11-scale path screening tractable. The constants can be calibrated
+// from the electrical simulator (core::calibrate_timing_library).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ppd/logic/netlist.hpp"
+
+namespace ppd::logic {
+
+struct GateTiming {
+  double delay_rise = 60e-12;   ///< input change -> rising output [s]
+  double delay_fall = 50e-12;   ///< input change -> falling output [s]
+  double w_block = 40e-12;      ///< pulses at or below: fully dampened
+  double w_pass = 120e-12;      ///< pulses at or above: asymptotic region
+  double shrink = 5e-12;        ///< width loss in the asymptotic region
+
+  /// Average delay, used when edge polarity is unknown.
+  [[nodiscard]] double delay_avg() const { return 0.5 * (delay_rise + delay_fall); }
+};
+
+class GateTimingLibrary {
+ public:
+  /// Timing for a kind; falls back to the default entry.
+  [[nodiscard]] const GateTiming& timing(LogicKind kind) const;
+  void set(LogicKind kind, const GateTiming& t) { by_kind_[kind] = t; }
+  void set_default(const GateTiming& t) { default_ = t; }
+
+  /// Hand-calibrated values matching the repository's 180nm-class cells.
+  [[nodiscard]] static GateTimingLibrary generic();
+
+ private:
+  std::map<LogicKind, GateTiming> by_kind_;
+  GateTiming default_;
+};
+
+/// One gate's width map.
+[[nodiscard]] double gate_pulse_out(const GateTiming& t, double w_in);
+
+/// Chain the width map along a sequence of gate kinds (0 once dampened).
+[[nodiscard]] double chain_pulse_out(const GateTimingLibrary& lib,
+                                     const std::vector<LogicKind>& kinds,
+                                     double w_in);
+
+/// Smallest input width whose chained output meets `w_out_target`,
+/// found by bisection; returns nullopt when even `w_in_max` fails.
+[[nodiscard]] std::optional<double> required_input_width(
+    const GateTimingLibrary& lib, const std::vector<LogicKind>& kinds,
+    double w_out_target, double w_in_max = 2e-9, double resolution = 1e-13);
+
+/// Sum of per-gate average delays along a kind sequence (a quick path-delay
+/// estimate for path ranking).
+[[nodiscard]] double chain_delay(const GateTimingLibrary& lib,
+                                 const std::vector<LogicKind>& kinds);
+
+}  // namespace ppd::logic

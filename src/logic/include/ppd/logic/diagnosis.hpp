@@ -1,0 +1,52 @@
+// Fault-dictionary diagnosis: once a pulse-test set is applied on the
+// tester, the pass/fail pattern (syndrome) across the tests points back at
+// the defect location. The dictionary stores each modelled fault's
+// predicted syndrome; diagnosis returns the faults whose prediction matches
+// the observation exactly, plus near misses (Hamming distance) to absorb
+// modelling error — the classic cause-effect dictionary flow, driven here
+// by the pulse-propagation fault simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "ppd/logic/faultsim.hpp"
+
+namespace ppd::logic {
+
+class FaultDictionary {
+ public:
+  /// Precompute the syndrome of every fault under every test.
+  FaultDictionary(const FaultSimulator& sim, std::vector<LogicFault> faults,
+                  const std::vector<PulseTest>& tests);
+
+  [[nodiscard]] std::size_t fault_count() const { return faults_.size(); }
+  [[nodiscard]] std::size_t test_count() const { return tests_; }
+  [[nodiscard]] const LogicFault& fault(std::size_t i) const;
+  /// Predicted syndrome of fault i: syndrome[t] is 1 when test t fails.
+  [[nodiscard]] const std::vector<char>& syndrome(std::size_t i) const;
+
+  /// Faults whose prediction equals `observed` (observed[t] = 1 for a
+  /// failing test).
+  [[nodiscard]] std::vector<std::size_t> exact_matches(
+      const std::vector<char>& observed) const;
+
+  struct NearMatch {
+    std::size_t fault_index;
+    std::size_t distance;  ///< Hamming distance to the observation
+  };
+  /// Faults within `max_distance` of the observation, closest first
+  /// (ties in fault order). Exact matches are included at distance 0.
+  [[nodiscard]] std::vector<NearMatch> near_matches(
+      const std::vector<char>& observed, std::size_t max_distance) const;
+
+  /// Diagnostic resolution: number of distinct syndromes over the fault
+  /// list divided by the fault count (1.0 = fully distinguishable).
+  [[nodiscard]] double resolution() const;
+
+ private:
+  std::vector<LogicFault> faults_;
+  std::size_t tests_ = 0;
+  std::vector<std::vector<char>> syndromes_;
+};
+
+}  // namespace ppd::logic

@@ -1,0 +1,185 @@
+// Logic-level pulse-propagation fault simulator — the tool the paper's
+// conclusion announces ("a logic level fault simulation tool is under
+// development in order to apply our method to the case of large
+// combinational networks").
+//
+// Faults are resistive opens attached to gate outputs; their electrical
+// effect is folded into the faulty gate's attenuation model through
+// R-proportional coefficients (calibrated against the transistor-level
+// simulator; see the faultsim tests). Pulse polarity is tracked along each
+// path because an internal ROP only attacks the output edge driven by the
+// broken network:
+//
+//   * internal pull-up ROP   — dampens pulses whose output leading edge
+//                              rises (positive output pulses);
+//   * internal pull-down ROP — mirror (negative output pulses);
+//   * external ROP           — dampens both polarities and adds delay.
+//
+// On top of the simulator sits a greedy pulse-test ATPG: enumerate paths
+// through each fault site, sensitize them (two-phase, see sensitize.hpp),
+// pick the injected width at the fault-free chain's asymptotic onset, and
+// keep tests until the fault list is covered or abandoned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppd/logic/attenuation.hpp"
+#include "ppd/logic/sensitize.hpp"
+
+namespace ppd::logic {
+
+enum class LogicFaultKind {
+  kInternalRopPullUp,
+  kInternalRopPullDown,
+  kExternalRop,
+};
+
+[[nodiscard]] const char* logic_fault_kind_name(LogicFaultKind kind);
+
+struct LogicFault {
+  NetId gate = 0;            ///< fault site: this gate's output
+  LogicFaultKind kind = LogicFaultKind::kExternalRop;
+  double resistance = 10e3;  ///< defect resistance [ohm]
+};
+
+/// R-proportional degradation coefficients (effective capacitances): the
+/// slowed edge's filtering threshold grows by R * c, the propagation delay
+/// by R * c_delay. Defaults fitted against the electrical layer for the
+/// default process and loads.
+struct FaultTimingCoefficients {
+  double c_internal = 35e-15;  ///< [F] w_block growth, attacked polarity
+  double c_external = 14e-15;  ///< [F] w_block growth, both polarities
+  double c_delay = 16e-15;     ///< [F] added delay per ohm (external)
+  /// Width loss of *wide* (asymptotic-region) pulses. An internal ROP's
+  /// one-edge attack shrinks every pulse (electrically ~50 fF/ohm at the
+  /// default loads); an external ROP slows both edges symmetrically, so
+  /// wide pulses keep most of their width (the paper's own observation) —
+  /// only a small residual shrink remains.
+  double c_internal_shrink = 30e-15;
+  double c_external_shrink = 5e-15;
+};
+
+/// One applied pulse test: a sensitized path, the PI vector holding the
+/// side inputs, the injected width and the sensing threshold.
+struct PulseTest {
+  Path path;
+  std::vector<bool> vector;  ///< PI values (path input's rest value included)
+  bool positive_pulse = true;  ///< h (low-high-low) or l at the path input
+  double w_in = 0.0;
+  double w_th = 0.0;
+};
+
+/// Per-fault verdicts plus the aggregate.
+struct FaultCoverage {
+  std::vector<char> detected;  ///< parallel to the fault list
+  std::size_t detected_count = 0;
+  [[nodiscard]] double coverage(std::size_t faults) const {
+    return faults == 0 ? 0.0
+                       : static_cast<double>(detected_count) /
+                             static_cast<double>(faults);
+  }
+};
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const Netlist& netlist, GateTimingLibrary library,
+                 FaultTimingCoefficients coefficients = {});
+
+  /// Output pulse width predicted for `test`, with `fault` active
+  /// (nullptr = fault-free machine). 0 means the pulse died.
+  [[nodiscard]] double response(const PulseTest& test,
+                                const LogicFault* fault) const;
+
+  /// Response with SEVERAL simultaneous faults active. Unlike the
+  /// transition-ordering method the paper criticizes ([7]), pulse dampening
+  /// only *compounds* along a path — multiple defects can never mask each
+  /// other back into a passing response (asserted by the test suite).
+  [[nodiscard]] double response_multi(const PulseTest& test,
+                                      const std::vector<LogicFault>& faults) const;
+
+  /// Detection predicate: the faulty response falls below the threshold
+  /// while the path is structurally exercised (the fault site must lie on
+  /// the test's path — opens elsewhere don't affect it in this model).
+  [[nodiscard]] bool detects(const PulseTest& test, const LogicFault& fault) const;
+
+  /// Simulate a test set against a fault list.
+  [[nodiscard]] FaultCoverage run(const std::vector<LogicFault>& faults,
+                                  const std::vector<PulseTest>& tests) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+  [[nodiscard]] const GateTimingLibrary& library() const { return library_; }
+
+  /// The faulty gate's effective timing for a pulse of the given output
+  /// polarity (exposed for tests).
+  [[nodiscard]] GateTiming faulty_timing(const Gate& gate, const LogicFault& fault,
+                                         bool positive_output_pulse) const;
+
+ private:
+  const Netlist& netlist_;
+  GateTimingLibrary library_;
+  FaultTimingCoefficients coeff_;
+};
+
+/// Enumerate ROP faults (all three kinds) of resistance `r` at each site.
+[[nodiscard]] std::vector<LogicFault> enumerate_rop_faults(
+    const std::vector<NetId>& sites, double r);
+
+struct AtpgOptions {
+  std::size_t paths_per_site = 16;   ///< enumeration cap per fault site
+  double w_th_floor = 60e-12;        ///< smallest realizable sensor threshold
+  double sensor_guard = 0.10;        ///< w_th back-off from fault-free width
+  double w_in_max = 1.2e-9;          ///< largest generator width available
+  /// Grid used to locate the fault-free asymptotic onset.
+  std::size_t w_grid_points = 13;
+  SensitizeOptions sensitize;
+};
+
+struct AtpgResult {
+  std::vector<PulseTest> tests;
+  FaultCoverage coverage;
+  std::size_t faults_total = 0;
+  std::size_t aborted = 0;  ///< faults with no sensitizable path
+};
+
+/// Greedy test generation over `faults` (deterministic).
+[[nodiscard]] AtpgResult generate_pulse_tests(const FaultSimulator& sim,
+                                              const std::vector<LogicFault>& faults,
+                                              const AtpgOptions& options = {});
+
+/// Reverse-pass test-set compaction: drop every test whose detected faults
+/// are covered by the remaining tests (classic ATPG static compaction).
+/// Returns the compacted set; coverage is preserved by construction.
+[[nodiscard]] std::vector<PulseTest> compact_tests(
+    const FaultSimulator& sim, const std::vector<LogicFault>& faults,
+    std::vector<PulseTest> tests);
+
+/// Logic-level model of reduced-clock delay-fault testing, for the
+/// circuit-scale comparison against the pulse method: a fault on a
+/// sensitized path is detected when the faulty path delay plus the
+/// flip-flop overhead exceeds the applied test clock.
+struct DelayTestModel {
+  double clock_period = 0.0;   ///< applied (reduced) test clock T'
+  double ff_overhead = 100e-12;
+};
+
+/// Worst-edge path delay with `fault` active (nullptr = fault-free).
+[[nodiscard]] double path_delay_logic(const FaultSimulator& sim, const Path& path,
+                                      const LogicFault* fault);
+
+/// Would reduced-clock DF testing along `path` expose `fault`? The path
+/// must be sensitizable (caller's responsibility) and carry the fault.
+[[nodiscard]] bool delay_test_detects(const FaultSimulator& sim, const Path& path,
+                                      const LogicFault& fault,
+                                      const DelayTestModel& model);
+
+/// Circuit-scale DF-testing coverage over the same fault list: for each
+/// fault, try the enumerated sensitizable paths through its site at clock
+/// `model.clock_period` (0 = the circuit's critical delay, i.e. at-speed).
+[[nodiscard]] FaultCoverage run_delay_testing(const FaultSimulator& sim,
+                                              const std::vector<LogicFault>& faults,
+                                              DelayTestModel model,
+                                              const AtpgOptions& options = {});
+
+}  // namespace ppd::logic

@@ -1,0 +1,37 @@
+// Structural path enumeration through a fault site — the test-generation
+// front end of Sect. 5: to detect a fault we must pick a PI-to-PO path
+// through the fault location, then sensitize it and choose the pulse pair
+// (w_in, w_th) the path supports.
+#pragma once
+
+#include <vector>
+
+#include "ppd/logic/netlist.hpp"
+
+namespace ppd::logic {
+
+/// A structural path: consecutive nets from a primary input to a primary
+/// output; nets[i+1] is a fanout gate of nets[i].
+struct Path {
+  std::vector<NetId> nets;
+
+  [[nodiscard]] NetId input() const { return nets.front(); }
+  [[nodiscard]] NetId output() const { return nets.back(); }
+  [[nodiscard]] std::size_t length() const { return nets.size(); }
+};
+
+/// Gate kinds traversed by the path (excluding the PI pseudo-gate).
+[[nodiscard]] std::vector<LogicKind> path_kinds(const Netlist& netlist,
+                                                const Path& path);
+
+/// All PI->PO paths through `via`, capped at `limit` (breadth bounded both
+/// upstream and downstream; deterministic order).
+[[nodiscard]] std::vector<Path> enumerate_paths_through(const Netlist& netlist,
+                                                        NetId via,
+                                                        std::size_t limit = 64);
+
+/// All PI->PO paths of the circuit, capped at `limit`.
+[[nodiscard]] std::vector<Path> enumerate_all_paths(const Netlist& netlist,
+                                                    std::size_t limit = 256);
+
+}  // namespace ppd::logic

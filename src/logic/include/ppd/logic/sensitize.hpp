@@ -1,0 +1,58 @@
+// Static path sensitization by line justification: find a primary-input
+// assignment that puts every side input of every on-path gate at its
+// non-controlling value, so a transition or pulse launched at the path
+// input propagates to the path output (the test-application precondition of
+// Sects. 3 and 5). Classic branch-and-backtrack justification with an
+// effort bound — the same machinery path-delay-fault ATPG uses, which the
+// paper notes "can easily be modified" for pulse tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppd/logic/paths.hpp"
+
+namespace ppd::logic {
+
+struct SensitizationResult {
+  bool ok = false;
+  /// PI assignment (ordered as netlist.inputs()); unconstrained inputs are
+  /// filled with 0.
+  std::vector<bool> pi_values;
+  /// care[i] is false when PI i is a certified don't-care: the three-valued
+  /// verification proved the path stays sensitized (both phases, output
+  /// toggling) for EVERY completion of that input. Empty when the ternary
+  /// certification failed and the whole vector must be applied as-is.
+  std::vector<char> pi_care;
+  std::uint64_t nodes_visited = 0;
+
+  /// Number of certified don't-care inputs.
+  [[nodiscard]] std::size_t dont_care_count() const;
+};
+
+struct SensitizeOptions {
+  std::uint64_t effort_limit = 200000;  ///< node budget per restart
+  /// The justifier backtracks within each requirement but commits choices
+  /// greedily across requirements; randomized restarts with permuted branch
+  /// order recover most of the lost completeness cheaply.
+  int restarts = 8;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Try to sensitize `path` for a *transition/pulse* launch: side inputs at
+/// non-controlling values under BOTH phases of the path's input PI, with
+/// the path output toggling between the phases (a single-phase static
+/// sensitization is not enough for the pulse method — the pulse visits both
+/// input values). XOR/XNOR side inputs impose no non-controlling
+/// requirement (they always propagate), only consistency.
+[[nodiscard]] SensitizationResult sensitize_path(const Netlist& netlist,
+                                                 const Path& path,
+                                                 const SensitizeOptions& options = {});
+
+/// Check a PI assignment statically: true when every side input of every
+/// on-path gate evaluates to a non-controlling value.
+[[nodiscard]] bool is_sensitized(const Netlist& netlist, const Path& path,
+                                 const std::vector<bool>& pi_values);
+
+}  // namespace ppd::logic

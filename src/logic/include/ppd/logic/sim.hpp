@@ -1,0 +1,73 @@
+// Event-driven timed gate-level simulator with inertial-delay filtering —
+// the functional half of the paper's logic-level fault-simulation tool.
+// It answers "does this transition/pulse reach the output, and when";
+// quantitative pulse-width estimates come from the attenuation chain
+// (ppd/logic/attenuation.hpp).
+#pragma once
+
+#include <vector>
+
+#include "ppd/logic/attenuation.hpp"
+#include "ppd/logic/netlist.hpp"
+
+namespace ppd::logic {
+
+struct Transition {
+  double t = 0.0;
+  bool value = false;
+};
+
+/// Stimulus on one primary input.
+struct Stimulus {
+  bool initial = false;
+  std::vector<Transition> changes;  ///< strictly increasing times
+
+  /// A single transition at time t.
+  static Stimulus step(bool initial, double t);
+  /// A pulse of the given width starting at time t (returns to `initial`).
+  static Stimulus pulse(bool initial, double t, double width);
+};
+
+struct EventSimOptions {
+  GateTimingLibrary library = GateTimingLibrary::generic();
+  /// When true, an output event scheduled while an opposite event is still
+  /// pending cancels it (classic inertial filtering: pulses shorter than
+  /// the gate delay die).
+  bool inertial = true;
+  double t_stop = 20e-9;
+};
+
+/// Per-net change history.
+class EventSimResult {
+ public:
+  EventSimResult(std::vector<bool> initial,
+                 std::vector<std::vector<Transition>> changes);
+
+  [[nodiscard]] bool initial_value(NetId net) const;
+  [[nodiscard]] const std::vector<Transition>& changes(NetId net) const;
+
+  /// Value of a net at time t.
+  [[nodiscard]] bool value_at(NetId net, double t) const;
+  /// Number of transitions observed on a net.
+  [[nodiscard]] std::size_t activity(NetId net) const;
+  /// Width of the first pulse on the net (two opposite transitions), or
+  /// nullopt when fewer than two transitions occurred.
+  [[nodiscard]] std::optional<double> first_pulse_width(NetId net) const;
+  /// Time of the last transition on the net, or nullopt when silent.
+  [[nodiscard]] std::optional<double> last_change(NetId net) const;
+
+  [[nodiscard]] std::size_t events_processed() const { return events_; }
+  void set_events_processed(std::size_t n) { events_ = n; }
+
+ private:
+  std::vector<bool> initial_;
+  std::vector<std::vector<Transition>> changes_;
+  std::size_t events_ = 0;
+};
+
+/// Run the simulation; `pi_stimuli` ordered as netlist.inputs().
+[[nodiscard]] EventSimResult simulate(const Netlist& netlist,
+                                      const std::vector<Stimulus>& pi_stimuli,
+                                      const EventSimOptions& options = {});
+
+}  // namespace ppd::logic

@@ -1,0 +1,33 @@
+// VCD (Value Change Dump, IEEE 1364) export of event-simulation results —
+// the standard waveform interchange format, viewable in GTKWave and
+// friends. Lets a downstream user *see* the pulse travelling (or dying in)
+// a faulty circuit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ppd/logic/sim.hpp"
+
+namespace ppd::logic {
+
+struct VcdOptions {
+  /// Timescale unit written to the header; event times are rounded to it.
+  double timescale = 1e-12;  ///< 1 ps
+  std::string module_name = "ppd";
+  /// Nets to dump (empty = every net).
+  std::vector<NetId> nets;
+};
+
+/// Write `result` as VCD text. Net names are sanitized (VCD identifiers
+/// must not contain whitespace).
+void write_vcd(std::ostream& os, const Netlist& netlist,
+               const EventSimResult& result, const VcdOptions& options = {});
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string vcd_to_string(const Netlist& netlist,
+                                        const EventSimResult& result,
+                                        const VcdOptions& options = {});
+
+}  // namespace ppd::logic

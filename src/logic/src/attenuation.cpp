@@ -1,0 +1,91 @@
+#include "ppd/logic/attenuation.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+const GateTiming& GateTimingLibrary::timing(LogicKind kind) const {
+  const auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? default_ : it->second;
+}
+
+GateTimingLibrary GateTimingLibrary::generic() {
+  // Values measured from this repository's electrical cells (INV/NAND2/NOR2
+  // with the default stage load); see core::calibrate_timing_library for the
+  // reproducible procedure.
+  GateTimingLibrary lib;
+  GateTiming inv;
+  inv.delay_rise = 65e-12;
+  inv.delay_fall = 55e-12;
+  inv.w_block = 45e-12;
+  inv.w_pass = 140e-12;
+  inv.shrink = 4e-12;
+  lib.set(LogicKind::kNot, inv);
+  lib.set_default(inv);
+
+  GateTiming nand2 = inv;
+  nand2.delay_rise = 75e-12;
+  nand2.delay_fall = 70e-12;
+  nand2.w_block = 55e-12;
+  nand2.w_pass = 170e-12;
+  nand2.shrink = 6e-12;
+  lib.set(LogicKind::kNand, nand2);
+  lib.set(LogicKind::kAnd, nand2);
+
+  GateTiming nor2 = inv;
+  nor2.delay_rise = 95e-12;
+  nor2.delay_fall = 60e-12;
+  nor2.w_block = 60e-12;
+  nor2.w_pass = 180e-12;
+  nor2.shrink = 7e-12;
+  lib.set(LogicKind::kNor, nor2);
+  lib.set(LogicKind::kOr, nor2);
+  return lib;
+}
+
+double gate_pulse_out(const GateTiming& t, double w_in) {
+  PPD_REQUIRE(t.w_pass > t.w_block, "w_pass must exceed w_block");
+  if (w_in <= t.w_block) return 0.0;
+  if (w_in >= t.w_pass) return w_in - t.shrink;
+  // Continuous at w_pass: (w_pass - w_block) * k == w_pass - shrink.
+  const double k = (t.w_pass - t.shrink) / (t.w_pass - t.w_block);
+  return (w_in - t.w_block) * k;
+}
+
+double chain_pulse_out(const GateTimingLibrary& lib,
+                       const std::vector<LogicKind>& kinds, double w_in) {
+  double w = w_in;
+  for (LogicKind k : kinds) {
+    if (w <= 0.0) return 0.0;
+    w = gate_pulse_out(lib.timing(k), w);
+  }
+  return w;
+}
+
+std::optional<double> required_input_width(const GateTimingLibrary& lib,
+                                           const std::vector<LogicKind>& kinds,
+                                           double w_out_target, double w_in_max,
+                                           double resolution) {
+  PPD_REQUIRE(w_out_target >= 0.0, "target width must be non-negative");
+  PPD_REQUIRE(resolution > 0.0, "resolution must be positive");
+  if (chain_pulse_out(lib, kinds, w_in_max) < w_out_target) return std::nullopt;
+  double lo = 0.0;
+  double hi = w_in_max;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (chain_pulse_out(lib, kinds, mid) >= w_out_target)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+double chain_delay(const GateTimingLibrary& lib,
+                   const std::vector<LogicKind>& kinds) {
+  double d = 0.0;
+  for (LogicKind k : kinds) d += lib.timing(k).delay_avg();
+  return d;
+}
+
+}  // namespace ppd::logic

@@ -1,0 +1,67 @@
+#include "ppd/logic/diagnosis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+FaultDictionary::FaultDictionary(const FaultSimulator& sim,
+                                 std::vector<LogicFault> faults,
+                                 const std::vector<PulseTest>& tests)
+    : faults_(std::move(faults)), tests_(tests.size()) {
+  PPD_REQUIRE(!tests.empty(), "dictionary needs at least one test");
+  syndromes_.reserve(faults_.size());
+  for (const LogicFault& f : faults_) {
+    std::vector<char> s(tests_, 0);
+    for (std::size_t t = 0; t < tests_; ++t)
+      s[t] = sim.detects(tests[t], f) ? 1 : 0;
+    syndromes_.push_back(std::move(s));
+  }
+}
+
+const LogicFault& FaultDictionary::fault(std::size_t i) const {
+  PPD_REQUIRE(i < faults_.size(), "fault index out of range");
+  return faults_[i];
+}
+
+const std::vector<char>& FaultDictionary::syndrome(std::size_t i) const {
+  PPD_REQUIRE(i < syndromes_.size(), "fault index out of range");
+  return syndromes_[i];
+}
+
+std::vector<std::size_t> FaultDictionary::exact_matches(
+    const std::vector<char>& observed) const {
+  PPD_REQUIRE(observed.size() == tests_, "syndrome arity mismatch");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < syndromes_.size(); ++i)
+    if (syndromes_[i] == observed) out.push_back(i);
+  return out;
+}
+
+std::vector<FaultDictionary::NearMatch> FaultDictionary::near_matches(
+    const std::vector<char>& observed, std::size_t max_distance) const {
+  PPD_REQUIRE(observed.size() == tests_, "syndrome arity mismatch");
+  std::vector<NearMatch> out;
+  for (std::size_t i = 0; i < syndromes_.size(); ++i) {
+    std::size_t d = 0;
+    for (std::size_t t = 0; t < tests_; ++t)
+      d += syndromes_[i][t] != observed[t] ? 1 : 0;
+    if (d <= max_distance) out.push_back({i, d});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const NearMatch& a, const NearMatch& b) {
+                     return a.distance < b.distance;
+                   });
+  return out;
+}
+
+double FaultDictionary::resolution() const {
+  if (faults_.empty()) return 0.0;
+  std::set<std::vector<char>> distinct(syndromes_.begin(), syndromes_.end());
+  return static_cast<double>(distinct.size()) /
+         static_cast<double>(faults_.size());
+}
+
+}  // namespace ppd::logic

@@ -1,0 +1,97 @@
+#include "ppd/logic/paths.hpp"
+
+#include <algorithm>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+std::vector<LogicKind> path_kinds(const Netlist& netlist, const Path& path) {
+  PPD_REQUIRE(!path.nets.empty(), "empty path");
+  std::vector<LogicKind> kinds;
+  for (NetId id : path.nets) {
+    const Gate& g = netlist.gate(id);
+    if (g.kind == LogicKind::kInput) continue;
+    kinds.push_back(g.kind);
+  }
+  return kinds;
+}
+
+namespace {
+
+/// DFS for all suffixes from `from` to any PO (list of net sequences
+/// starting at `from`), capped.
+void collect_suffixes(const Netlist& nl, NetId from, std::size_t limit,
+                      std::vector<NetId>& stack,
+                      std::vector<std::vector<NetId>>& out) {
+  if (out.size() >= limit) return;
+  stack.push_back(from);
+  if (nl.is_output(from)) out.push_back(stack);
+  if (out.size() < limit)
+    for (NetId next : nl.fanout(from))
+      collect_suffixes(nl, next, limit, stack, out);
+  stack.pop_back();
+}
+
+/// DFS for all prefixes from any PI to `to` (sequences ending at `to`).
+void collect_prefixes(const Netlist& nl, NetId to, std::size_t limit,
+                      std::vector<NetId>& stack,
+                      std::vector<std::vector<NetId>>& out) {
+  if (out.size() >= limit) return;
+  stack.push_back(to);
+  const Gate& g = nl.gate(to);
+  if (g.kind == LogicKind::kInput) {
+    out.emplace_back(stack.rbegin(), stack.rend());
+  } else {
+    for (NetId f : g.fanin) {
+      if (out.size() >= limit) break;
+      collect_prefixes(nl, f, limit, stack, out);
+    }
+  }
+  stack.pop_back();
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_paths_through(const Netlist& netlist, NetId via,
+                                          std::size_t limit) {
+  PPD_REQUIRE(limit > 0, "limit must be positive");
+  std::vector<std::vector<NetId>> prefixes, suffixes;
+  std::vector<NetId> stack;
+  collect_prefixes(netlist, via, limit, stack, prefixes);
+  stack.clear();
+  collect_suffixes(netlist, via, limit, stack, suffixes);
+
+  std::vector<Path> paths;
+  for (const auto& pre : prefixes) {
+    for (const auto& suf : suffixes) {
+      if (paths.size() >= limit) return paths;
+      Path p;
+      p.nets = pre;  // ends at `via`
+      p.nets.insert(p.nets.end(), suf.begin() + 1, suf.end());
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+std::vector<Path> enumerate_all_paths(const Netlist& netlist, std::size_t limit) {
+  PPD_REQUIRE(limit > 0, "limit must be positive");
+  std::vector<Path> paths;
+  std::vector<NetId> stack;
+  std::vector<std::vector<NetId>> suffixes;
+  for (NetId pi : netlist.inputs()) {
+    if (paths.size() >= limit) break;
+    suffixes.clear();
+    stack.clear();
+    collect_suffixes(netlist, pi, limit - paths.size(), stack, suffixes);
+    for (auto& s : suffixes) {
+      Path p;
+      p.nets = std::move(s);
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+}  // namespace ppd::logic

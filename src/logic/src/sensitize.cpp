@@ -1,0 +1,276 @@
+#include "ppd/logic/sensitize.hpp"
+
+#include <algorithm>
+
+#include "ppd/mc/rng.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+namespace {
+
+/// Backtracking line-justification engine over a partial net assignment.
+/// When a shuffle RNG is supplied, branch choices are tried in a random
+/// order (used by the restart loop).
+class Justifier {
+ public:
+  Justifier(const Netlist& nl, std::uint64_t effort, mc::Rng* shuffle = nullptr)
+      : nl_(nl), assign_(nl.size()), effort_(effort), shuffle_(shuffle) {}
+
+  /// Require net == value; justify recursively. Returns false on conflict
+  /// or exhausted effort (assignment restored in either case by the caller
+  /// via trail marks).
+  bool justify(NetId net, bool value) {
+    if (nodes_ >= effort_) return false;
+    ++nodes_;
+    if (assign_[net].has_value()) return *assign_[net] == value;
+    set(net, value);
+    const Gate& g = nl_.gate(net);
+    if (g.kind == LogicKind::kInput) return true;
+
+    switch (g.kind) {
+      case LogicKind::kBuf:
+        return justify(g.fanin[0], value);
+      case LogicKind::kNot:
+        return justify(g.fanin[0], !value);
+      case LogicKind::kAnd:
+      case LogicKind::kNand: {
+        const bool and_out = g.kind == LogicKind::kAnd ? value : !value;
+        if (and_out) return justify_all(g.fanin, true);
+        return justify_any(g.fanin, false);
+      }
+      case LogicKind::kOr:
+      case LogicKind::kNor: {
+        const bool or_out = g.kind == LogicKind::kOr ? value : !value;
+        if (or_out) return justify_any(g.fanin, true);
+        return justify_all(g.fanin, false);
+      }
+      case LogicKind::kXor:
+      case LogicKind::kXnor: {
+        const bool parity = g.kind == LogicKind::kXor ? value : !value;
+        return justify_parity(g.fanin, parity);
+      }
+      case LogicKind::kInput:
+        break;
+    }
+    return false;
+  }
+
+  std::size_t trail_mark() const { return trail_.size(); }
+  void rollback(std::size_t mark) {
+    while (trail_.size() > mark) {
+      assign_[trail_.back()].reset();
+      trail_.pop_back();
+    }
+  }
+
+  [[nodiscard]] const std::optional<bool>& value(NetId net) const {
+    return assign_[net];
+  }
+  [[nodiscard]] std::uint64_t nodes() const { return nodes_; }
+
+ private:
+  void set(NetId net, bool value) {
+    assign_[net] = value;
+    trail_.push_back(net);
+  }
+
+  bool justify_all(const std::vector<NetId>& nets, bool value) {
+    for (NetId n : nets)
+      if (!justify(n, value)) return false;
+    return true;
+  }
+
+  /// One of `nets` at `value`; try each choice with rollback.
+  bool justify_any(const std::vector<NetId>& nets, bool value) {
+    std::vector<NetId> order(nets);
+    maybe_shuffle(order);
+    for (NetId n : order) {
+      const std::size_t mark = trail_mark();
+      if (justify(n, value)) return true;
+      rollback(mark);
+      if (nodes_ >= effort_) return false;
+    }
+    return false;
+  }
+
+  void maybe_shuffle(std::vector<NetId>& order) {
+    if (shuffle_ == nullptr) return;
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[shuffle_->below(i)]);
+  }
+
+  /// XOR parity over the fanin: enumerate assignments (fanin counts are
+  /// tiny in practice).
+  bool justify_parity(const std::vector<NetId>& nets, bool parity) {
+    const std::size_t k = nets.size();
+    PPD_REQUIRE(k <= 8, "XOR fanin too wide for parity justification");
+    for (std::uint64_t mask = 0; mask < (1ULL << k); ++mask) {
+      bool p = false;
+      for (std::size_t i = 0; i < k; ++i)
+        if ((mask >> i) & 1ULL) p = !p;
+      if (p != parity) continue;
+      const std::size_t mark = trail_mark();
+      bool ok = true;
+      for (std::size_t i = 0; i < k && ok; ++i)
+        ok = justify(nets[i], ((mask >> i) & 1ULL) != 0);
+      if (ok) return true;
+      rollback(mark);
+      if (nodes_ >= effort_) return false;
+    }
+    return false;
+  }
+
+  const Netlist& nl_;
+  std::vector<std::optional<bool>> assign_;
+  std::vector<NetId> trail_;
+  std::uint64_t effort_;
+  std::uint64_t nodes_ = 0;
+  mc::Rng* shuffle_ = nullptr;
+};
+
+}  // namespace
+
+std::size_t SensitizationResult::dont_care_count() const {
+  std::size_t n = 0;
+  for (char c : pi_care) n += c == 0 ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+/// Side-input requirements of a path: (net, required value) pairs.
+std::vector<std::pair<NetId, bool>> path_requirements(const Netlist& netlist,
+                                                      const Path& path) {
+  std::vector<std::pair<NetId, bool>> reqs;
+  for (std::size_t i = 1; i < path.nets.size(); ++i) {
+    const NetId gid = path.nets[i];
+    const Gate& g = netlist.gate(gid);
+    const NetId on_path = path.nets[i - 1];
+    PPD_REQUIRE(std::find(g.fanin.begin(), g.fanin.end(), on_path) !=
+                    g.fanin.end(),
+                "path nets are not connected");
+    const auto cv = controlling_value(g.kind);
+    if (!cv.has_value()) continue;  // NOT/BUF/XOR: nothing to pin
+    for (NetId f : g.fanin) {
+      if (f == on_path) continue;
+      reqs.emplace_back(f, !*cv);
+    }
+  }
+  return reqs;
+}
+
+}  // namespace
+
+SensitizationResult sensitize_path(const Netlist& netlist, const Path& path,
+                                   const SensitizeOptions& options) {
+  PPD_REQUIRE(path.nets.size() >= 2, "path needs at least a PI and one gate");
+  PPD_REQUIRE(options.restarts >= 1, "need at least one attempt");
+  SensitizationResult res;
+
+  const auto reqs = path_requirements(netlist, path);
+  mc::Rng restart_rng(options.seed);
+
+  for (int attempt = 0; attempt < options.restarts; ++attempt) {
+    mc::Rng shuffle = restart_rng.split();
+    // First attempt is deterministic (natural branch order).
+    Justifier j(netlist, options.effort_limit,
+                attempt == 0 ? nullptr : &shuffle);
+    bool ok = true;
+    for (const auto& [net, val] : reqs) {
+      if (!j.justify(net, val)) {
+        ok = false;
+        break;
+      }
+    }
+    res.nodes_visited += j.nodes();
+    if (!ok) continue;
+
+    // Complete the assignment: justified PIs keep their values, free PIs 0.
+    res.pi_values.assign(netlist.inputs().size(), false);
+    for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+      const auto& v = j.value(netlist.inputs()[i]);
+      if (v.has_value()) res.pi_values[i] = *v;
+    }
+    // Line justification commits only sufficient conditions, so the result
+    // must verify against a full evaluation. And because the method
+    // launches *transitions and pulses*, the path must stay sensitized in
+    // BOTH phases of its input (a reconvergent side input may be
+    // non-controlling for one value of the path PI and controlling for the
+    // other), with the path output actually toggling between phases.
+    std::vector<bool> flipped = res.pi_values;
+    std::size_t input_index = netlist.inputs().size();
+    for (std::size_t i = 0; i < netlist.inputs().size(); ++i)
+      if (netlist.inputs()[i] == path.input()) input_index = i;
+    PPD_REQUIRE(input_index < netlist.inputs().size(),
+                "path does not start at a primary input");
+    flipped[input_index] = !flipped[input_index];
+
+    const bool both_phases = is_sensitized(netlist, path, res.pi_values) &&
+                             is_sensitized(netlist, path, flipped);
+    if (both_phases) {
+      const auto v0 = netlist.evaluate(res.pi_values);
+      const auto v1 = netlist.evaluate(flipped);
+      if (v0[path.output()] != v1[path.output()]) {
+        res.ok = true;
+        // Certify don't-cares with the three-valued calculus: only PIs the
+        // justifier actually constrained (plus the path input) need values;
+        // the rest are X if the ternary check still proves sensitization in
+        // both phases with a toggling output.
+        std::vector<Tri> tri(netlist.inputs().size(), Tri::kX);
+        std::vector<char> care(netlist.inputs().size(), 0);
+        for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+          const auto& v = j.value(netlist.inputs()[i]);
+          if (v.has_value() || i == input_index) {
+            tri[i] = tri_from_bool(res.pi_values[i]);
+            care[i] = 1;
+          }
+        }
+        const auto certified = [&](std::vector<Tri> pis) {
+          const auto tv = netlist.evaluate_ternary(pis);
+          for (std::size_t k = 1; k < path.nets.size(); ++k) {
+            const Gate& g = netlist.gate(path.nets[k]);
+            const auto cv = controlling_value(g.kind);
+            if (!cv.has_value()) continue;
+            const Tri bad = tri_from_bool(*cv);
+            for (NetId fn : g.fanin) {
+              if (fn == path.nets[k - 1]) continue;
+              if (tv[fn] == bad || tv[fn] == Tri::kX) return Tri::kX;
+            }
+          }
+          return tv[path.output()];
+        };
+        std::vector<Tri> tri_flipped = tri;
+        tri_flipped[input_index] =
+            tri[input_index] == Tri::k1 ? Tri::k0 : Tri::k1;
+        const Tri o0 = certified(tri);
+        const Tri o1 = certified(tri_flipped);
+        if (o0 != Tri::kX && o1 != Tri::kX && o0 != o1) {
+          res.pi_care = std::move(care);
+        } else {
+          res.pi_care.assign(netlist.inputs().size(), 1);  // apply fully
+        }
+        return res;
+      }
+    }
+  }
+  res.pi_values.clear();
+  return res;
+}
+
+bool is_sensitized(const Netlist& netlist, const Path& path,
+                   const std::vector<bool>& pi_values) {
+  const std::vector<bool> value = netlist.evaluate(pi_values);
+  for (std::size_t i = 1; i < path.nets.size(); ++i) {
+    const Gate& g = netlist.gate(path.nets[i]);
+    const auto cv = controlling_value(g.kind);
+    if (!cv.has_value()) continue;
+    for (NetId f : g.fanin) {
+      if (f == path.nets[i - 1]) continue;
+      if (value[f] == *cv) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ppd::logic

@@ -1,0 +1,201 @@
+#include "ppd/logic/sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+Stimulus Stimulus::step(bool initial, double t) {
+  Stimulus s;
+  s.initial = initial;
+  s.changes.push_back({t, !initial});
+  return s;
+}
+
+Stimulus Stimulus::pulse(bool initial, double t, double width) {
+  PPD_REQUIRE(width > 0.0, "pulse width must be positive");
+  Stimulus s;
+  s.initial = initial;
+  s.changes.push_back({t, !initial});
+  s.changes.push_back({t + width, initial});
+  return s;
+}
+
+EventSimResult::EventSimResult(std::vector<bool> initial,
+                               std::vector<std::vector<Transition>> changes)
+    : initial_(std::move(initial)), changes_(std::move(changes)) {
+  PPD_REQUIRE(initial_.size() == changes_.size(), "malformed sim result");
+}
+
+bool EventSimResult::initial_value(NetId net) const {
+  PPD_REQUIRE(net < initial_.size(), "net id out of range");
+  return initial_[net];
+}
+
+const std::vector<Transition>& EventSimResult::changes(NetId net) const {
+  PPD_REQUIRE(net < changes_.size(), "net id out of range");
+  return changes_[net];
+}
+
+bool EventSimResult::value_at(NetId net, double t) const {
+  bool v = initial_value(net);
+  for (const Transition& tr : changes(net)) {
+    if (tr.t > t) break;
+    v = tr.value;
+  }
+  return v;
+}
+
+std::size_t EventSimResult::activity(NetId net) const {
+  return changes(net).size();
+}
+
+std::optional<double> EventSimResult::first_pulse_width(NetId net) const {
+  const auto& ch = changes(net);
+  if (ch.size() < 2) return std::nullopt;
+  return ch[1].t - ch[0].t;
+}
+
+std::optional<double> EventSimResult::last_change(NetId net) const {
+  const auto& ch = changes(net);
+  if (ch.empty()) return std::nullopt;
+  return ch.back().t;
+}
+
+namespace {
+
+struct Event {
+  double t;
+  std::uint64_t seq;     // stable FIFO order at equal times
+  NetId net;
+  bool value;
+  std::uint64_t epoch;   // lazy-cancellation tag (kPiEpoch = never cancelled)
+
+  bool operator>(const Event& o) const {
+    if (t != o.t) return t > o.t;
+    return seq > o.seq;
+  }
+};
+
+constexpr std::uint64_t kPiEpoch = ~std::uint64_t{0};
+/// Events closer than this are simultaneous (absorbs double round-off in
+/// accumulated delays).
+constexpr double kTieWindow = 1e-15;
+
+}  // namespace
+
+EventSimResult simulate(const Netlist& netlist,
+                        const std::vector<Stimulus>& pi_stimuli,
+                        const EventSimOptions& options) {
+  PPD_REQUIRE(pi_stimuli.size() == netlist.inputs().size(),
+              "stimulus arity must match the primary inputs");
+  PPD_REQUIRE(options.t_stop > 0.0, "t_stop must be positive");
+
+  const std::size_t n = netlist.size();
+
+  // DC initialization from the PI initial values.
+  std::vector<bool> pi_init;
+  pi_init.reserve(pi_stimuli.size());
+  for (const auto& s : pi_stimuli) pi_init.push_back(s.initial);
+  std::vector<bool> value = netlist.evaluate(pi_init);
+  const std::vector<bool> initial = value;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::uint64_t seq = 0;
+
+  // Pending-event bookkeeping per net: `projected` is the value the net
+  // will hold after all scheduled events fire; `epoch` invalidates queue
+  // entries en masse (inertial cancellation); `pending` counts live events.
+  std::vector<std::uint64_t> epoch(n, 0);
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<bool> projected = value;
+
+  const auto schedule = [&](NetId net, bool v, double t) {
+    queue.push({t, seq++, net, v, epoch[net]});
+    ++pending[net];
+    projected[net] = v;
+  };
+
+  for (std::size_t i = 0; i < pi_stimuli.size(); ++i) {
+    const NetId net = netlist.inputs()[i];
+    double prev = -1.0;
+    for (const auto& tr : pi_stimuli[i].changes) {
+      PPD_REQUIRE(tr.t > prev, "stimulus times must be strictly increasing");
+      prev = tr.t;
+      queue.push({tr.t, seq++, net, tr.value, kPiEpoch});
+    }
+  }
+
+  std::vector<std::vector<Transition>> changes(n);
+  std::size_t processed = 0;
+  std::vector<NetId> changed_nets;
+  std::vector<char> gate_marked(n, 0);
+  std::vector<NetId> affected;
+
+  while (!queue.empty()) {
+    const double t_now = queue.top().t;
+    if (t_now > options.t_stop) break;
+
+    // Apply every event in this timestamp batch before evaluating gates:
+    // simultaneous input changes are seen together, which keeps same-instant
+    // cancellations from suppressing legitimate hazards.
+    changed_nets.clear();
+    while (!queue.empty() && queue.top().t <= t_now + kTieWindow) {
+      const Event ev = queue.top();
+      queue.pop();
+      if (ev.epoch != kPiEpoch) {
+        if (ev.epoch != epoch[ev.net]) continue;  // cancelled
+        --pending[ev.net];
+      }
+      if (value[ev.net] == ev.value) continue;  // no actual change
+      value[ev.net] = ev.value;
+      changes[ev.net].push_back({ev.t, ev.value});
+      changed_nets.push_back(ev.net);
+      ++processed;
+    }
+
+    // Gates touched by this batch, deduplicated.
+    affected.clear();
+    for (NetId net : changed_nets) {
+      for (NetId gid : netlist.fanout(net)) {
+        if (!gate_marked[gid]) {
+          gate_marked[gid] = 1;
+          affected.push_back(gid);
+        }
+      }
+    }
+    for (NetId gid : affected) gate_marked[gid] = 0;
+
+    for (NetId gid : affected) {
+      const Gate& g = netlist.gate(gid);
+      std::vector<bool> in;
+      in.reserve(g.fanin.size());
+      for (NetId f : g.fanin) in.push_back(value[f]);
+      const bool target = eval_gate(g.kind, in);
+
+      const bool heading_to = pending[gid] > 0 ? projected[gid] : value[gid];
+      if (target == heading_to) continue;
+
+      if (options.inertial && pending[gid] > 0) {
+        // The inputs changed back before the (strictly future) scheduled
+        // output event fired: cancel it — the classic inertial filter.
+        ++epoch[gid];
+        pending[gid] = 0;
+        projected[gid] = value[gid];
+        if (value[gid] == target) continue;  // glitch fully swallowed
+      }
+
+      const GateTiming& timing = options.library.timing(g.kind);
+      const double delay = target ? timing.delay_rise : timing.delay_fall;
+      schedule(gid, target, t_now + delay);
+    }
+  }
+
+  EventSimResult result(initial, std::move(changes));
+  result.set_events_processed(processed);
+  return result;
+}
+
+}  // namespace ppd::logic

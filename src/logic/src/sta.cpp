@@ -1,0 +1,112 @@
+#include "ppd/logic/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+namespace {
+
+double gate_delay_max(const GateTimingLibrary& lib, LogicKind kind) {
+  const GateTiming& t = lib.timing(kind);
+  return std::max(t.delay_rise, t.delay_fall);
+}
+
+}  // namespace
+
+double StaResult::slack_at(NetId net) const {
+  PPD_REQUIRE(net < slack.size(), "net id out of range");
+  return slack[net];
+}
+
+StaResult run_sta(const Netlist& netlist, const GateTimingLibrary& library,
+                  double clock_period) {
+  const std::size_t n = netlist.size();
+  StaResult res;
+  res.arrival.assign(n, 0.0);
+  res.required.assign(n, std::numeric_limits<double>::infinity());
+  res.slack.assign(n, 0.0);
+
+  const auto order = netlist.topological_order();
+
+  // Forward: latest arrival (PIs arrive at t = 0).
+  for (NetId id : order) {
+    const Gate& g = netlist.gate(id);
+    if (g.kind == LogicKind::kInput) continue;
+    double worst = 0.0;
+    for (NetId f : g.fanin) worst = std::max(worst, res.arrival[f]);
+    res.arrival[id] = worst + gate_delay_max(library, g.kind);
+  }
+  for (NetId o : netlist.outputs())
+    res.critical_delay = std::max(res.critical_delay, res.arrival[o]);
+
+  res.clock_period = clock_period > 0.0 ? clock_period : res.critical_delay;
+
+  // Backward: required times from the outputs.
+  for (NetId o : netlist.outputs())
+    res.required[o] = std::min(res.required[o], res.clock_period);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NetId id = *it;
+    const Gate& g = netlist.gate(id);
+    if (g.kind == LogicKind::kInput) continue;
+    const double req_at_inputs =
+        res.required[id] - gate_delay_max(library, g.kind);
+    for (NetId f : g.fanin)
+      res.required[f] = std::min(res.required[f], req_at_inputs);
+  }
+  // Nets feeding nothing that reaches an output keep infinite required
+  // time; clamp their slack to the clock period for sane reporting.
+  for (NetId id = 0; id < n; ++id) {
+    if (std::isinf(res.required[id]))
+      res.slack[id] = res.clock_period - res.arrival[id];
+    else
+      res.slack[id] = res.required[id] - res.arrival[id];
+  }
+  return res;
+}
+
+Path critical_path(const Netlist& netlist, const StaResult& sta,
+                   const GateTimingLibrary& library) {
+  // Walk backward from the output with the largest arrival, always through
+  // the fanin that dominates the arrival time.
+  PPD_REQUIRE(!netlist.outputs().empty(), "netlist has no outputs");
+  NetId cursor = netlist.outputs().front();
+  for (NetId o : netlist.outputs())
+    if (sta.arrival[o] > sta.arrival[cursor]) cursor = o;
+
+  std::vector<NetId> rev{cursor};
+  while (netlist.gate(cursor).kind != LogicKind::kInput) {
+    const Gate& g = netlist.gate(cursor);
+    const double target =
+        sta.arrival[cursor] - gate_delay_max(library, g.kind);
+    NetId best = g.fanin.front();
+    double best_err = std::numeric_limits<double>::infinity();
+    for (NetId f : g.fanin) {
+      const double err = std::abs(sta.arrival[f] - target);
+      if (err < best_err) {
+        best_err = err;
+        best = f;
+      }
+    }
+    cursor = best;
+    rev.push_back(cursor);
+  }
+  Path p;
+  p.nets.assign(rev.rbegin(), rev.rend());
+  return p;
+}
+
+std::vector<NetId> slack_sites(const Netlist& netlist, const StaResult& sta,
+                               double min_slack) {
+  std::vector<NetId> sites;
+  for (NetId id = 0; id < netlist.size(); ++id) {
+    if (netlist.gate(id).kind == LogicKind::kInput) continue;
+    if (sta.slack[id] >= min_slack) sites.push_back(id);
+  }
+  return sites;
+}
+
+}  // namespace ppd::logic

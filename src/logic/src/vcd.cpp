@@ -1,0 +1,88 @@
+#include "ppd/logic/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+
+namespace {
+
+/// Compact VCD identifier for index i (printable ASCII 33..126).
+std::string vcd_id(std::size_t i) {
+  std::string id;
+  do {
+    id += static_cast<char>(33 + i % 94);
+    i /= 94;
+  } while (i != 0);
+  return id;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == ' ' || c == '\t') c = '_';
+  return out;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Netlist& netlist,
+               const EventSimResult& result, const VcdOptions& options) {
+  PPD_REQUIRE(options.timescale > 0.0, "timescale must be positive");
+
+  std::vector<NetId> nets = options.nets;
+  if (nets.empty())
+    for (NetId id = 0; id < netlist.size(); ++id) nets.push_back(id);
+  for (NetId id : nets)
+    PPD_REQUIRE(id < netlist.size(), "net id out of range");
+
+  os << "$date ppd export $end\n"
+     << "$version ppd pulse-propagation library $end\n"
+     << "$timescale " << static_cast<long long>(std::llround(
+                             options.timescale / 1e-12))
+     << "ps $end\n"
+     << "$scope module " << options.module_name << " $end\n";
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    os << "$var wire 1 " << vcd_id(i) << ' '
+       << sanitize(netlist.gate(nets[i]).name) << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial values.
+  os << "#0\n$dumpvars\n";
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    os << (result.initial_value(nets[i]) ? '1' : '0') << vcd_id(i) << '\n';
+  os << "$end\n";
+
+  // Merge all changes, ordered by time (ties by net order).
+  std::multimap<long long, std::pair<std::size_t, bool>> events;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    for (const Transition& tr : result.changes(nets[i])) {
+      const long long tick = std::llround(tr.t / options.timescale);
+      events.emplace(tick, std::pair{i, tr.value});
+    }
+  }
+  long long current = 0;
+  bool first = true;
+  for (const auto& [tick, change] : events) {
+    if (first || tick != current) {
+      os << '#' << tick << '\n';
+      current = tick;
+      first = false;
+    }
+    os << (change.second ? '1' : '0') << vcd_id(change.first) << '\n';
+  }
+}
+
+std::string vcd_to_string(const Netlist& netlist, const EventSimResult& result,
+                          const VcdOptions& options) {
+  std::ostringstream os;
+  write_vcd(os, netlist, result, options);
+  return os.str();
+}
+
+}  // namespace ppd::logic

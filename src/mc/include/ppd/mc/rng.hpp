@@ -1,0 +1,45 @@
+// Deterministic, seedable random number generation (xoshiro256++ with a
+// splitmix64 seeder). Self-implemented so Monte-Carlo populations are
+// bit-reproducible across standard libraries and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace ppd::mc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Normal truncated to +/- `clip` sigmas (keeps multiplicative parameter
+  /// perturbations physical, e.g. widths strictly positive).
+  double normal_clipped(double mean, double sigma, double clip = 4.0);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Derive an independent stream (for per-sample sub-generators).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace ppd::mc

@@ -1,0 +1,54 @@
+#include "ppd/mc/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::mc {
+
+cells::TransistorVariation GaussianVariationSource::transistor() {
+  cells::TransistorVariation v;
+  v.vt_mult = rng_.normal_clipped(1.0, model_.sigma_vt, model_.clip_sigmas);
+  v.kp_mult = rng_.normal_clipped(1.0, model_.sigma_kp, model_.clip_sigmas);
+  v.w_mult = rng_.normal_clipped(1.0, model_.sigma_w, model_.clip_sigmas);
+  return v;
+}
+
+double GaussianVariationSource::cap_mult() {
+  return rng_.normal_clipped(1.0, model_.sigma_cap, model_.clip_sigmas);
+}
+
+Stats compute_stats(const std::vector<double>& values) {
+  Stats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  PPD_REQUIRE(!values.empty(), "quantile of empty sample");
+  PPD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double f = pos - static_cast<double>(lo);
+  return values[lo] + f * (values[hi] - values[lo]);
+}
+
+}  // namespace ppd::mc

@@ -1,0 +1,87 @@
+// Operating-point and transient analyses over a Circuit.
+//
+// OP: Newton-Raphson from a flat start, with gmin stepping and source
+// stepping as successive fallbacks (the standard SPICE homotopy ladder).
+// Transient: fixed-step or iteration-count-adaptive stepping with
+// trapezoidal (default) or backward-Euler companions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppd/spice/circuit.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::spice {
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double abstol = 1e-6;    ///< absolute voltage tolerance [V]
+  double reltol = 1e-4;
+  double dv_max = 1.0;     ///< per-iteration voltage-step clamp [V]
+  /// Leak conductance added on every node and across every channel [S].
+  /// 1 nS keeps cut-off series stacks well-conditioned at a flat OP start
+  /// while perturbing digital levels by < 1 uV.
+  double gmin = 1e-9;
+};
+
+struct OpOptions {
+  NewtonOptions newton;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+  /// SPICE .NODESET equivalent: initial node-voltage guesses that bias
+  /// Newton toward a chosen solution of a multi-stable circuit (latches,
+  /// ring oscillators). Applied to every homotopy rung's starting point.
+  std::vector<std::pair<NodeId, double>> nodesets;
+};
+
+/// Result of an operating-point analysis.
+struct OpResult {
+  std::vector<double> x;        ///< MNA unknowns (node voltages then branch currents)
+  int iterations = 0;           ///< NR iterations of the final (un-stepped) solve
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+
+  /// Node voltage accessor (ground reads 0).
+  [[nodiscard]] double voltage(NodeId n) const;
+};
+
+[[nodiscard]] OpResult run_op(Circuit& circuit, const OpOptions& options = {});
+
+struct TransientOptions {
+  double t_stop = 4e-9;
+  double dt = 1e-12;            ///< base step
+  Integrator integrator = Integrator::kTrapezoidal;
+  NewtonOptions newton;
+  bool adaptive = false;        ///< iteration-count time-step control
+  double dt_min = 1e-15;
+  double dt_max = 2e-11;
+  /// Use the sparse solver when the MNA order exceeds this; 0 forces sparse.
+  std::size_t sparse_threshold = 192;
+  /// Nodes to record (empty = every node). Restricting the probe set saves
+  /// memory and time in Monte-Carlo sweeps that only measure two terminals.
+  std::vector<NodeId> probe;
+  /// Options for the initial operating point (e.g. .NODESET biases to pick
+  /// a latch state before integrating).
+  OpOptions op;
+};
+
+/// Transient record: one waveform per probed node (all nodes by default).
+struct TransientResult {
+  std::vector<std::string> node_names;       ///< index = NodeId (0 = ground)
+  std::vector<wave::Waveform> node_waves;    ///< index = NodeId; [0] unused
+  std::vector<bool> probed;                  ///< index = NodeId
+  std::size_t steps = 0;
+  std::size_t newton_iterations = 0;
+  std::size_t rejected_steps = 0;
+
+  [[nodiscard]] const wave::Waveform& wave(NodeId n) const;
+  [[nodiscard]] const wave::Waveform& wave(const std::string& node_name) const;
+};
+
+/// Run OP then integrate to t_stop. Throws NumericalError when Newton fails
+/// at the minimum step.
+[[nodiscard]] TransientResult run_transient(Circuit& circuit,
+                                            const TransientOptions& options = {});
+
+}  // namespace ppd::spice

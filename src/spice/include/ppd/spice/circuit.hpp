@@ -1,0 +1,81 @@
+// The circuit container: named nodes plus an ordered collection of devices.
+// Built once per Monte-Carlo sample by the cell library; mutated only
+// through the narrow fault-injection primitives (rewire/insert).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ppd/spice/device.hpp"
+
+namespace ppd::spice {
+
+using DeviceId = std::size_t;
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Get-or-create a named node. "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  /// Create a fresh uniquely-named node (used when splicing faults).
+  NodeId new_node(const std::string& hint);
+
+  [[nodiscard]] bool has_node(const std::string& name) const;
+  /// Lookup only; throws PreconditionError when missing.
+  [[nodiscard]] NodeId find_node(const std::string& name) const;
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+  /// Number of nodes including ground.
+  [[nodiscard]] std::size_t node_count() const { return names_.size(); }
+
+  DeviceId add_resistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  DeviceId add_capacitor(const std::string& name, NodeId a, NodeId b, double farads);
+  DeviceId add_vsource(const std::string& name, NodeId plus, NodeId minus,
+                       SourceSpec spec);
+  DeviceId add_isource(const std::string& name, NodeId into, NodeId out_of,
+                       SourceSpec spec);
+  DeviceId add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                      const MosParams& params);
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] Device& device(DeviceId id);
+  [[nodiscard]] const Device& device(DeviceId id) const;
+  /// Typed accessors; throw PreconditionError on type mismatch.
+  [[nodiscard]] Resistor& resistor(DeviceId id);
+  [[nodiscard]] Capacitor& capacitor(DeviceId id);
+  [[nodiscard]] VoltageSource& vsource(DeviceId id);
+  [[nodiscard]] Mosfet& mosfet(DeviceId id);
+
+  /// Find a device by name; throws when absent.
+  [[nodiscard]] DeviceId find_device(const std::string& name) const;
+  [[nodiscard]] bool has_device(const std::string& name) const;
+
+  /// Assign auxiliary MNA rows; must be called (by the analyses) after the
+  /// last topology change. Idempotent.
+  void finalize();
+  [[nodiscard]] std::size_t unknown_count() const;
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Iteration support for the analyses.
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Human-readable netlist dump (debugging aid).
+  [[nodiscard]] std::string to_netlist() const;
+
+ private:
+  DeviceId insert(std::unique_ptr<Device> dev);
+
+  std::vector<std::string> names_;  // names_[0] == "0" (ground)
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, DeviceId> device_by_name_;
+  std::size_t aux_rows_ = 0;
+  bool finalized_ = false;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace ppd::spice

@@ -1,0 +1,199 @@
+// Device models for the electrical-level substrate: resistor, capacitor,
+// independent sources and a level-1 (Shichman-Hodges) MOSFET.
+//
+// The model set is deliberately the minimum that reproduces the paper's
+// physics: pulse dampening is an RC/drive-strength phenomenon, so a square-
+// law MOSFET with lumped intrinsic capacitances (added by the cell library)
+// captures the waveform shapes of Figs. 2/3/5 and the coverage crossovers of
+// Figs. 6-9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppd/spice/mna.hpp"
+#include "ppd/spice/source.hpp"
+
+namespace ppd::spice {
+
+/// Node handle. 0 is ground.
+using NodeId = int;
+constexpr NodeId kGround = 0;
+
+enum class AnalysisMode { kOperatingPoint, kTransient };
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Everything a device needs to stamp its (linearized, discretized)
+/// companion model for the current Newton iterate.
+struct StampContext {
+  AnalysisMode mode = AnalysisMode::kOperatingPoint;
+  Integrator integrator = Integrator::kTrapezoidal;
+  double t = 0.0;     ///< time of the sought solution
+  double h = 0.0;     ///< current time step (0 in OP)
+  double gmin = 1e-9;
+  double source_scale = 1.0;  ///< source-stepping homotopy factor
+  const std::vector<double>* x = nullptr;  ///< current iterate (may be null in OP start)
+};
+
+class Device {
+ public:
+  Device(std::string name, std::vector<NodeId> nodes);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// Reconnect terminal `terminal` to `node` — the primitive the fault
+  /// injector uses to splice resistive opens into a built circuit.
+  void rewire(std::size_t terminal, NodeId node);
+
+  /// Number of auxiliary MNA rows (branch currents) this device needs.
+  [[nodiscard]] virtual std::size_t aux_rows() const { return 0; }
+  void set_aux_base(std::size_t base) { aux_base_ = base; }
+
+  [[nodiscard]] virtual bool is_nonlinear() const { return false; }
+  [[nodiscard]] virtual bool is_dynamic() const { return false; }
+
+  /// Stamp the device into the MNA system.
+  virtual void stamp(MnaSystem& mna, const StampContext& ctx) const = 0;
+
+  /// Called once when a transient starts, with the operating point.
+  virtual void begin_transient(const std::vector<double>& x_op);
+
+  /// Called when a time step is accepted so dynamic devices can update
+  /// their integration state.
+  virtual void commit_step(const StampContext& ctx, const std::vector<double>& x);
+
+ protected:
+  /// MNA index of terminal `i` (kGroundIndex for ground).
+  [[nodiscard]] MnaIndex idx(std::size_t i) const;
+  /// Voltage of terminal `i` under iterate `x` (0 for ground).
+  [[nodiscard]] double volt(const std::vector<double>& x, std::size_t i) const;
+
+  std::size_t aux_base_ = 0;
+
+ private:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+};
+
+/// Linear resistor between nodes()[0] and nodes()[1].
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  [[nodiscard]] double resistance() const { return ohms_; }
+  void set_resistance(double ohms);
+
+  void stamp(MnaSystem& mna, const StampContext& ctx) const override;
+
+ private:
+  double ohms_;
+};
+
+/// Linear capacitor between nodes()[0] and nodes()[1]. Open in OP (modulo a
+/// gmin leak that keeps otherwise-floating nodes solvable); trapezoidal or
+/// backward-Euler companion in transient.
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  [[nodiscard]] double capacitance() const { return farads_; }
+  void set_capacitance(double farads);
+
+  [[nodiscard]] bool is_dynamic() const override { return true; }
+  void stamp(MnaSystem& mna, const StampContext& ctx) const override;
+  void begin_transient(const std::vector<double>& x_op) override;
+  void commit_step(const StampContext& ctx, const std::vector<double>& x) override;
+
+ private:
+  [[nodiscard]] double branch_voltage(const std::vector<double>& x) const;
+
+  double farads_;
+  double v_state_ = 0.0;  ///< voltage at the last accepted point
+  double i_state_ = 0.0;  ///< current at the last accepted point (TRAP memory)
+};
+
+/// Independent voltage source from nodes()[0] (+) to nodes()[1] (-); adds
+/// one auxiliary branch-current row.
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId plus, NodeId minus, SourceSpec spec);
+
+  [[nodiscard]] const SourceSpec& spec() const { return spec_; }
+  void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+  [[nodiscard]] double value_at(double t) const;
+
+  [[nodiscard]] std::size_t aux_rows() const override { return 1; }
+  void stamp(MnaSystem& mna, const StampContext& ctx) const override;
+
+  /// MNA index of this source's branch current (valid after finalize).
+  [[nodiscard]] MnaIndex current_index() const {
+    return static_cast<MnaIndex>(aux_base_);
+  }
+
+ private:
+  SourceSpec spec_;
+};
+
+/// Independent current source injecting into nodes()[0], out of nodes()[1].
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, NodeId into, NodeId out_of, SourceSpec spec);
+
+  [[nodiscard]] const SourceSpec& spec() const { return spec_; }
+  void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+
+  void stamp(MnaSystem& mna, const StampContext& ctx) const override;
+
+ private:
+  SourceSpec spec_;
+};
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 parameters. vt0 is signed the SPICE way: positive for an
+/// enhancement NMOS, negative for an enhancement PMOS.
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double w = 1e-6;        ///< channel width [m]
+  double l = 180e-9;      ///< channel length [m]
+  double vt0 = 0.45;      ///< threshold voltage [V]
+  double kp = 170e-6;     ///< process transconductance u*Cox [A/V^2]
+  double lambda = 0.05;   ///< channel-length modulation [1/V]
+};
+
+/// Square-law MOSFET, terminals (drain, gate, source). The bulk is assumed
+/// tied to the source rail (no body effect); intrinsic capacitances are
+/// added as explicit Capacitor devices by the cell library so that they can
+/// carry Monte-Carlo variation consistently with W.
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+         const MosParams& params);
+
+  [[nodiscard]] const MosParams& params() const { return params_; }
+
+  [[nodiscard]] bool is_nonlinear() const override { return true; }
+  void stamp(MnaSystem& mna, const StampContext& ctx) const override;
+
+  /// Drain current (drain->source through the channel) and its partial
+  /// derivatives for given terminal voltages; exposed for unit tests.
+  struct Eval {
+    double ids;   ///< channel current, drain to source
+    double gm;    ///< d ids / d vgs
+    double gds;   ///< d ids / d vds
+  };
+  [[nodiscard]] Eval evaluate(double vd, double vg, double vs) const;
+
+ private:
+  /// NMOS-normalized square law for vds >= 0.
+  [[nodiscard]] Eval square_law(double vgs, double vds) const;
+
+  MosParams params_;
+};
+
+}  // namespace ppd::spice

@@ -1,0 +1,30 @@
+// Export a Circuit as a standard SPICE deck (ngspice/HSPICE level-1
+// syntax). The repository's engine is self-contained, but emitting the
+// exact same netlist lets a downstream user cross-validate any experiment
+// against an external simulator — the substitution check DESIGN.md invites.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::spice {
+
+struct SpiceExportOptions {
+  std::string title = "ppd export";
+  /// Emit a .tran card (0 = none).
+  double tran_step = 0.0;
+  double tran_stop = 0.0;
+};
+
+/// Write the deck: .model cards for every distinct MOSFET parameter set,
+/// one element card per device, optional .tran, then .end. Names are
+/// sanitized to SPICE conventions (type-letter prefix, no dots).
+void write_spice(std::ostream& os, const Circuit& circuit,
+                 const SpiceExportOptions& options = {});
+
+[[nodiscard]] std::string spice_to_string(const Circuit& circuit,
+                                          const SpiceExportOptions& options = {});
+
+}  // namespace ppd::spice

@@ -1,0 +1,48 @@
+// Modified-nodal-analysis system assembly. Devices stamp conductances,
+// sources and auxiliary (branch-current) equations through this interface;
+// the analysis engine then factorizes with the dense or sparse solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ppd/linalg/dense.hpp"
+#include "ppd/linalg/sparse.hpp"
+
+namespace ppd::spice {
+
+/// MNA row/column index: 0..n_nodes-1 are node voltages (ground excluded),
+/// then auxiliary rows. A negative index denotes ground and is dropped.
+using MnaIndex = int;
+constexpr MnaIndex kGroundIndex = -1;
+
+class MnaSystem {
+ public:
+  /// `use_sparse` selects the backing solver.
+  MnaSystem(std::size_t unknowns, bool use_sparse);
+
+  void reset();
+
+  /// A(row, col) += value; ground indices are ignored.
+  void add(MnaIndex row, MnaIndex col, double value);
+
+  /// rhs(row) += value; ground ignored.
+  void add_rhs(MnaIndex row, double value);
+
+  /// Factorize and solve. Throws NumericalError on singularity.
+  [[nodiscard]] std::vector<double> solve() const;
+
+  [[nodiscard]] std::size_t unknowns() const { return n_; }
+  [[nodiscard]] bool sparse() const { return use_sparse_; }
+
+ private:
+  std::size_t n_;
+  bool use_sparse_;
+  linalg::DenseMatrix dense_;
+  // Sparse stamping accumulates triplets per solve.
+  std::vector<std::size_t> trip_row_, trip_col_;
+  std::vector<double> trip_val_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace ppd::spice

@@ -1,0 +1,39 @@
+// Independent-source waveform descriptions (DC, PULSE, PWL), mirroring the
+// SPICE source cards the paper's experiments would have used.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+namespace ppd::spice {
+
+/// Constant value.
+struct Dc {
+  double value = 0.0;
+};
+
+/// SPICE-style PULSE(v1 v2 delay rise fall width period). A period of zero
+/// means single-shot: the source stays at v1 after the pulse completes.
+struct Pulse {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double delay = 0.0;
+  double rise = 1e-12;
+  double fall = 1e-12;
+  double width = 0.0;
+  double period = 0.0;  // 0 => non-repeating
+};
+
+/// Piece-wise linear (t, v) points; t strictly increasing; value clamps
+/// outside the specified range.
+struct Pwl {
+  std::vector<std::pair<double, double>> points;
+};
+
+using SourceSpec = std::variant<Dc, Pulse, Pwl>;
+
+/// Evaluate a source specification at time t (t <= 0 gives the initial
+/// value, which the operating-point analysis uses).
+[[nodiscard]] double source_value(const SourceSpec& spec, double t);
+
+}  // namespace ppd::spice

@@ -1,0 +1,255 @@
+#include "ppd/spice/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+namespace {
+
+/// Stamp every device plus the global gmin-to-ground leak.
+void assemble(Circuit& circuit, MnaSystem& mna, const StampContext& ctx) {
+  mna.reset();
+  for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
+  const std::size_t nodes = circuit.node_count() - 1;
+  for (std::size_t i = 0; i < nodes; ++i)
+    mna.add(static_cast<MnaIndex>(i), static_cast<MnaIndex>(i), ctx.gmin);
+}
+
+struct NewtonOutcome {
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Newton-Raphson: iterate full solves of the linearized system until the
+/// voltage update is below tolerance. `x` carries the initial guess in and
+/// the solution out.
+NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
+                           const NewtonOptions& opt, std::vector<double>& x) {
+  const std::size_t node_unknowns = circuit.node_count() - 1;
+  NewtonOutcome out;
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    ctx.x = &x;
+    assemble(circuit, mna, ctx);
+    std::vector<double> x_new;
+    try {
+      x_new = mna.solve();
+    } catch (const NumericalError&) {
+      // Singular linearization (e.g. fully cut-off stacks at a flat start):
+      // report non-convergence and let the caller's homotopy ladder or step
+      // control take over.
+      return out;
+    }
+    ++out.iterations;
+
+    // Clamp node-voltage updates (not branch currents) to aid convergence.
+    bool converged = true;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double dv = x_new[i] - x[i];
+      if (i < node_unknowns) {
+        dv = std::clamp(dv, -opt.dv_max, opt.dv_max);
+        if (std::abs(dv) > opt.abstol + opt.reltol * std::abs(x[i]))
+          converged = false;
+        x[i] += dv;
+      } else {
+        x[i] = x_new[i];
+      }
+    }
+    if (!std::isfinite(linalg::norm_inf(x)))
+      throw NumericalError("Newton iterate diverged to non-finite values");
+    // A below-tolerance update means x is a fixed point of the Newton map:
+    // the system linearized *at x* solves back to x, so the residual is
+    // already small and no confirmation iteration is needed.
+    if (converged) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double OpResult::voltage(NodeId n) const {
+  if (n == kGround) return 0.0;
+  const auto i = static_cast<std::size_t>(n - 1);
+  PPD_REQUIRE(i < x.size(), "node id out of range");
+  return x[i];
+}
+
+OpResult run_op(Circuit& circuit, const OpOptions& options) {
+  circuit.finalize();
+  const std::size_t n = circuit.unknown_count();
+  PPD_REQUIRE(n > 0, "circuit has no unknowns");
+  MnaSystem mna(n, /*use_sparse=*/false);
+
+  // Starting point: flat zero plus any .NODESET biases.
+  std::vector<double> x0(n, 0.0);
+  for (const auto& [node, volts] : options.nodesets) {
+    PPD_REQUIRE(node > 0 && static_cast<std::size_t>(node) < circuit.node_count(),
+                "nodeset node out of range (ground cannot be set)");
+    x0[static_cast<std::size_t>(node - 1)] = volts;
+  }
+
+  OpResult result;
+  result.x = x0;
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kOperatingPoint;
+  ctx.gmin = options.newton.gmin;
+
+  // Plain Newton from the (possibly biased) start.
+  auto attempt = newton_solve(circuit, mna, ctx, options.newton, result.x);
+  if (attempt.converged) {
+    result.iterations = attempt.iterations;
+    return result;
+  }
+
+  // Gmin stepping: start with a heavy leak and relax it.
+  if (options.allow_gmin_stepping) {
+    std::vector<double> x = x0;
+    bool ok = true;
+    for (double gmin = 1e-3; gmin >= options.newton.gmin; gmin *= 0.1) {
+      StampContext step_ctx = ctx;
+      step_ctx.gmin = gmin;
+      if (!newton_solve(circuit, mna, step_ctx, options.newton, x).converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      auto final_run = newton_solve(circuit, mna, ctx, options.newton, x);
+      if (final_run.converged) {
+        result.x = std::move(x);
+        result.iterations = final_run.iterations;
+        result.used_gmin_stepping = true;
+        return result;
+      }
+    }
+  }
+
+  // Source stepping: ramp sources from 0 to full value.
+  if (options.allow_source_stepping) {
+    std::vector<double> x = x0;
+    bool ok = true;
+    for (int k = 1; k <= 20; ++k) {
+      StampContext step_ctx = ctx;
+      step_ctx.source_scale = static_cast<double>(k) / 20.0;
+      if (!newton_solve(circuit, mna, step_ctx, options.newton, x).converged) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      result.x = std::move(x);
+      result.used_source_stepping = true;
+      return result;
+    }
+  }
+
+  throw NumericalError("operating point did not converge");
+}
+
+const wave::Waveform& TransientResult::wave(NodeId n) const {
+  PPD_REQUIRE(n > 0 && static_cast<std::size_t>(n) < node_waves.size(),
+              "node id out of range (ground has no waveform)");
+  PPD_REQUIRE(probed[static_cast<std::size_t>(n)],
+              "node was not in the transient probe set: " +
+                  node_names[static_cast<std::size_t>(n)]);
+  return node_waves[static_cast<std::size_t>(n)];
+}
+
+const wave::Waveform& TransientResult::wave(const std::string& node_name) const {
+  for (std::size_t i = 1; i < node_names.size(); ++i)
+    if (node_names[i] == node_name) return wave(static_cast<NodeId>(i));
+  throw PreconditionError("unknown node: " + node_name);
+}
+
+TransientResult run_transient(Circuit& circuit, const TransientOptions& options) {
+  PPD_REQUIRE(options.t_stop > 0.0, "t_stop must be positive");
+  PPD_REQUIRE(options.dt > 0.0, "dt must be positive");
+
+  const OpResult op = run_op(circuit, options.op);
+  circuit.finalize();
+  const std::size_t n = circuit.unknown_count();
+  const bool use_sparse =
+      options.sparse_threshold == 0 || n > options.sparse_threshold;
+  MnaSystem mna(n, use_sparse);
+
+  for (const auto& dev : circuit.devices()) dev->begin_transient(op.x);
+
+  TransientResult result;
+  result.node_names.resize(circuit.node_count());
+  result.node_waves.resize(circuit.node_count());
+  for (std::size_t i = 0; i < circuit.node_count(); ++i)
+    result.node_names[i] = circuit.node_name(static_cast<NodeId>(i));
+  result.probed.assign(circuit.node_count(), options.probe.empty());
+  result.probed[0] = false;
+  for (NodeId n : options.probe) {
+    PPD_REQUIRE(n > 0 && static_cast<std::size_t>(n) < circuit.node_count(),
+                "probe node out of range");
+    result.probed[static_cast<std::size_t>(n)] = true;
+  }
+  std::vector<std::size_t> probe_list;
+  for (std::size_t i = 1; i < circuit.node_count(); ++i)
+    if (result.probed[i]) probe_list.push_back(i);
+
+  std::vector<double> x = op.x;
+  auto record = [&](double t) {
+    for (std::size_t i : probe_list) result.node_waves[i].append(t, x[i - 1]);
+  };
+  // Record the operating point at t = 0.
+  for (std::size_t i : probe_list) result.node_waves[i].append(0.0, op.x[i - 1]);
+
+  double t = 0.0;
+  double h = options.dt;
+  // NR iteration counts steering the adaptive step (SPICE's iteration-count
+  // time-step control): grow when Newton converges quickly, shrink on slow
+  // or failed convergence.
+  constexpr int kFastIterations = 3;
+  constexpr int kSlowIterations = 8;
+
+  while (t < options.t_stop - 1e-21) {
+    h = std::min(h, options.t_stop - t);
+    StampContext ctx;
+    ctx.mode = AnalysisMode::kTransient;
+    ctx.integrator = options.integrator;
+    ctx.t = t + h;
+    ctx.h = h;
+    ctx.gmin = options.newton.gmin;
+
+    std::vector<double> x_try = x;  // previous point as predictor
+    const NewtonOutcome outcome =
+        newton_solve(circuit, mna, ctx, options.newton, x_try);
+    result.newton_iterations += static_cast<std::size_t>(outcome.iterations);
+
+    if (!outcome.converged) {
+      ++result.rejected_steps;
+      if (!options.adaptive || h <= options.dt_min * 1.0001)
+        throw NumericalError("transient Newton failed at t = " +
+                             std::to_string(ctx.t));
+      h = std::max(h * 0.25, options.dt_min);
+      continue;
+    }
+
+    // Accept the step.
+    x = std::move(x_try);
+    for (const auto& dev : circuit.devices()) dev->commit_step(ctx, x);
+    t += h;
+    record(t);
+    ++result.steps;
+
+    if (options.adaptive) {
+      if (outcome.iterations <= kFastIterations)
+        h = std::min(h * 1.5, options.dt_max);
+      else if (outcome.iterations >= kSlowIterations)
+        h = std::max(h * 0.5, options.dt_min);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppd::spice

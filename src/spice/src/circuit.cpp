@@ -1,0 +1,157 @@
+#include "ppd/spice/circuit.hpp"
+
+#include <sstream>
+
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace ppd::spice {
+
+Circuit::Circuit() {
+  names_.push_back("0");
+  by_name_.emplace("0", kGround);
+  by_name_.emplace("gnd", kGround);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  PPD_REQUIRE(!name.empty(), "node name must not be empty");
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  finalized_ = false;
+  return id;
+}
+
+NodeId Circuit::new_node(const std::string& hint) {
+  for (;;) {
+    std::string candidate = hint + "#" + std::to_string(fresh_counter_++);
+    if (by_name_.find(candidate) == by_name_.end()) return node(candidate);
+  }
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  PPD_REQUIRE(it != by_name_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  PPD_REQUIRE(n >= 0 && static_cast<std::size_t>(n) < names_.size(),
+              "node id out of range");
+  return names_[static_cast<std::size_t>(n)];
+}
+
+DeviceId Circuit::insert(std::unique_ptr<Device> dev) {
+  PPD_REQUIRE(device_by_name_.find(dev->name()) == device_by_name_.end(),
+              "duplicate device name: " + dev->name());
+  for (NodeId n : dev->nodes())
+    PPD_REQUIRE(static_cast<std::size_t>(n) < names_.size(),
+                "device references unknown node");
+  const DeviceId id = devices_.size();
+  device_by_name_.emplace(dev->name(), id);
+  devices_.push_back(std::move(dev));
+  finalized_ = false;
+  return id;
+}
+
+DeviceId Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                               double ohms) {
+  return insert(std::make_unique<Resistor>(name, a, b, ohms));
+}
+
+DeviceId Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                double farads) {
+  return insert(std::make_unique<Capacitor>(name, a, b, farads));
+}
+
+DeviceId Circuit::add_vsource(const std::string& name, NodeId plus, NodeId minus,
+                              SourceSpec spec) {
+  return insert(std::make_unique<VoltageSource>(name, plus, minus, std::move(spec)));
+}
+
+DeviceId Circuit::add_isource(const std::string& name, NodeId into, NodeId out_of,
+                              SourceSpec spec) {
+  return insert(std::make_unique<CurrentSource>(name, into, out_of, std::move(spec)));
+}
+
+DeviceId Circuit::add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                             const MosParams& params) {
+  return insert(std::make_unique<Mosfet>(name, d, g, s, params));
+}
+
+Device& Circuit::device(DeviceId id) {
+  PPD_REQUIRE(id < devices_.size(), "device id out of range");
+  return *devices_[id];
+}
+
+const Device& Circuit::device(DeviceId id) const {
+  PPD_REQUIRE(id < devices_.size(), "device id out of range");
+  return *devices_[id];
+}
+
+namespace {
+template <typename T>
+T& typed_device(Device& d, const char* what) {
+  auto* p = dynamic_cast<T*>(&d);
+  PPD_REQUIRE(p != nullptr, std::string("device is not a ") + what);
+  return *p;
+}
+}  // namespace
+
+Resistor& Circuit::resistor(DeviceId id) {
+  return typed_device<Resistor>(device(id), "resistor");
+}
+Capacitor& Circuit::capacitor(DeviceId id) {
+  return typed_device<Capacitor>(device(id), "capacitor");
+}
+VoltageSource& Circuit::vsource(DeviceId id) {
+  return typed_device<VoltageSource>(device(id), "voltage source");
+}
+Mosfet& Circuit::mosfet(DeviceId id) {
+  return typed_device<Mosfet>(device(id), "mosfet");
+}
+
+DeviceId Circuit::find_device(const std::string& name) const {
+  const auto it = device_by_name_.find(name);
+  PPD_REQUIRE(it != device_by_name_.end(), "unknown device: " + name);
+  return it->second;
+}
+
+bool Circuit::has_device(const std::string& name) const {
+  return device_by_name_.find(name) != device_by_name_.end();
+}
+
+void Circuit::finalize() {
+  std::size_t aux = names_.size() - 1;  // nodes excluding ground come first
+  aux_rows_ = 0;
+  for (const auto& dev : devices_) {
+    dev->set_aux_base(aux);
+    aux += dev->aux_rows();
+    aux_rows_ += dev->aux_rows();
+  }
+  finalized_ = true;
+}
+
+std::size_t Circuit::unknown_count() const {
+  PPD_REQUIRE(finalized_, "circuit must be finalized first");
+  return names_.size() - 1 + aux_rows_;
+}
+
+std::string Circuit::to_netlist() const {
+  std::ostringstream os;
+  os << "* " << devices_.size() << " devices, " << names_.size() << " nodes\n";
+  for (const auto& dev : devices_) {
+    os << dev->name();
+    for (NodeId n : dev->nodes()) os << ' ' << node_name(n);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ppd::spice

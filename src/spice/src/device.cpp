@@ -1,0 +1,245 @@
+#include "ppd/spice/device.hpp"
+
+#include <cmath>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+Device::Device(std::string name, std::vector<NodeId> nodes)
+    : name_(std::move(name)), nodes_(std::move(nodes)) {
+  PPD_REQUIRE(!name_.empty(), "device needs a name");
+  for (NodeId n : nodes_) PPD_REQUIRE(n >= 0, "invalid node id");
+}
+
+void Device::rewire(std::size_t terminal, NodeId node) {
+  PPD_REQUIRE(terminal < nodes_.size(), "terminal index out of range");
+  PPD_REQUIRE(node >= 0, "invalid node id");
+  nodes_[terminal] = node;
+}
+
+MnaIndex Device::idx(std::size_t i) const {
+  PPD_REQUIRE(i < nodes_.size(), "terminal index out of range");
+  const NodeId n = nodes_[i];
+  return n == kGround ? kGroundIndex : static_cast<MnaIndex>(n - 1);
+}
+
+double Device::volt(const std::vector<double>& x, std::size_t i) const {
+  const MnaIndex m = idx(i);
+  if (m == kGroundIndex) return 0.0;
+  PPD_REQUIRE(static_cast<std::size_t>(m) < x.size(), "iterate too small");
+  return x[static_cast<std::size_t>(m)];
+}
+
+void Device::begin_transient(const std::vector<double>&) {}
+void Device::commit_step(const StampContext&, const std::vector<double>&) {}
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name), {a, b}), ohms_(ohms) {
+  PPD_REQUIRE(ohms > 0.0, "resistance must be positive");
+}
+
+void Resistor::set_resistance(double ohms) {
+  PPD_REQUIRE(ohms > 0.0, "resistance must be positive");
+  ohms_ = ohms;
+}
+
+void Resistor::stamp(MnaSystem& mna, const StampContext&) const {
+  const double g = 1.0 / ohms_;
+  const MnaIndex a = idx(0), b = idx(1);
+  mna.add(a, a, g);
+  mna.add(b, b, g);
+  mna.add(a, b, -g);
+  mna.add(b, a, -g);
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name), {a, b}), farads_(farads) {
+  PPD_REQUIRE(farads > 0.0, "capacitance must be positive");
+}
+
+void Capacitor::set_capacitance(double farads) {
+  PPD_REQUIRE(farads > 0.0, "capacitance must be positive");
+  farads_ = farads;
+}
+
+double Capacitor::branch_voltage(const std::vector<double>& x) const {
+  return volt(x, 0) - volt(x, 1);
+}
+
+void Capacitor::stamp(MnaSystem& mna, const StampContext& ctx) const {
+  const MnaIndex a = idx(0), b = idx(1);
+  if (ctx.mode == AnalysisMode::kOperatingPoint) {
+    // Open in DC; a gmin leak keeps capacitively-coupled nodes solvable.
+    mna.add(a, a, ctx.gmin);
+    mna.add(b, b, ctx.gmin);
+    mna.add(a, b, -ctx.gmin);
+    mna.add(b, a, -ctx.gmin);
+    return;
+  }
+  PPD_REQUIRE(ctx.h > 0.0, "transient stamp needs a positive step");
+  // Companion: i = geq * v - ieq_src  with the device current defined from
+  // node a through the capacitor to node b.
+  double geq = 0.0, ieq_src = 0.0;
+  if (ctx.integrator == Integrator::kBackwardEuler) {
+    geq = farads_ / ctx.h;
+    ieq_src = geq * v_state_;
+  } else {  // trapezoidal
+    geq = 2.0 * farads_ / ctx.h;
+    ieq_src = geq * v_state_ + i_state_;
+  }
+  mna.add(a, a, geq);
+  mna.add(b, b, geq);
+  mna.add(a, b, -geq);
+  mna.add(b, a, -geq);
+  mna.add_rhs(a, ieq_src);
+  mna.add_rhs(b, -ieq_src);
+}
+
+void Capacitor::begin_transient(const std::vector<double>& x_op) {
+  v_state_ = branch_voltage(x_op);
+  i_state_ = 0.0;  // steady state: no capacitor current
+}
+
+void Capacitor::commit_step(const StampContext& ctx, const std::vector<double>& x) {
+  const double v_new = branch_voltage(x);
+  if (ctx.integrator == Integrator::kBackwardEuler) {
+    i_state_ = farads_ / ctx.h * (v_new - v_state_);
+  } else {
+    i_state_ = 2.0 * farads_ / ctx.h * (v_new - v_state_) - i_state_;
+  }
+  v_state_ = v_new;
+}
+
+// ----------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
+                             SourceSpec spec)
+    : Device(std::move(name), {plus, minus}), spec_(std::move(spec)) {}
+
+double VoltageSource::value_at(double t) const { return source_value(spec_, t); }
+
+void VoltageSource::stamp(MnaSystem& mna, const StampContext& ctx) const {
+  const MnaIndex p = idx(0), m = idx(1);
+  const auto br = static_cast<MnaIndex>(aux_base_);
+  mna.add(p, br, 1.0);
+  mna.add(m, br, -1.0);
+  mna.add(br, p, 1.0);
+  mna.add(br, m, -1.0);
+  const double t = ctx.mode == AnalysisMode::kOperatingPoint ? 0.0 : ctx.t;
+  mna.add_rhs(br, ctx.source_scale * value_at(t));
+}
+
+// ----------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string name, NodeId into, NodeId out_of,
+                             SourceSpec spec)
+    : Device(std::move(name), {into, out_of}), spec_(std::move(spec)) {}
+
+void CurrentSource::stamp(MnaSystem& mna, const StampContext& ctx) const {
+  const double t = ctx.mode == AnalysisMode::kOperatingPoint ? 0.0 : ctx.t;
+  const double i = ctx.source_scale * source_value(spec_, t);
+  mna.add_rhs(idx(0), i);
+  mna.add_rhs(idx(1), -i);
+}
+
+// ------------------------------------------------------------------ Mosfet
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+               const MosParams& params)
+    : Device(std::move(name), {drain, gate, source}), params_(params) {
+  PPD_REQUIRE(params.w > 0.0 && params.l > 0.0, "W and L must be positive");
+  PPD_REQUIRE(params.kp > 0.0, "KP must be positive");
+  if (params.type == MosType::kNmos)
+    PPD_REQUIRE(params.vt0 > 0.0, "NMOS vt0 must be positive");
+  else
+    PPD_REQUIRE(params.vt0 < 0.0, "PMOS vt0 must be negative");
+}
+
+Mosfet::Eval Mosfet::square_law(double vgs, double vds) const {
+  // NMOS-normalized: expects vds >= 0 and a positive threshold.
+  const double vt = std::abs(params_.vt0);
+  const double beta = params_.kp * params_.w / params_.l;
+  const double vov = vgs - vt;
+  Eval e{0.0, 0.0, 0.0};
+  if (vov <= 0.0) return e;  // cutoff
+  const double lam = params_.lambda;
+  const double clm = 1.0 + lam * vds;
+  if (vds < vov) {
+    // Triode.
+    const double q = vov * vds - 0.5 * vds * vds;
+    e.ids = beta * q * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * ((vov - vds) * clm + q * lam);
+  } else {
+    // Saturation.
+    const double q = 0.5 * vov * vov;
+    e.ids = beta * q * clm;
+    e.gm = beta * vov * clm;
+    e.gds = beta * q * lam;
+  }
+  return e;
+}
+
+Mosfet::Eval Mosfet::evaluate(double vd, double vg, double vs) const {
+  // Mirror PMOS into NMOS space: I_p(vgs, vds) = -I_n(-vgs, -vds).
+  const double sign = params_.type == MosType::kNmos ? 1.0 : -1.0;
+  double vgs = sign * (vg - vs);
+  double vds = sign * (vd - vs);
+  bool swapped = false;
+  if (vds < 0.0) {
+    // Channel symmetry: swap drain and source roles.
+    vgs = vgs - vds;  // vgd in the original frame
+    vds = -vds;
+    swapped = true;
+  }
+  const Eval raw = square_law(vgs, vds);
+  Eval e{0.0, 0.0, 0.0};
+  if (!swapped) {
+    e.ids = sign * raw.ids;
+    e.gm = raw.gm;
+    e.gds = raw.gds;
+  } else {
+    // i(vgs, vds) = -raw(vgs - vds, -vds):
+    //   di/dvgs = -gm_raw ; di/dvds = gm_raw + gds_raw.
+    e.ids = -sign * raw.ids;
+    e.gm = -raw.gm;
+    e.gds = raw.gm + raw.gds;
+  }
+  return e;
+}
+
+void Mosfet::stamp(MnaSystem& mna, const StampContext& ctx) const {
+  const MnaIndex d = idx(0), g = idx(1), s = idx(2);
+  double vd = 0.0, vg = 0.0, vs = 0.0;
+  if (ctx.x != nullptr) {
+    vd = volt(*ctx.x, 0);
+    vg = volt(*ctx.x, 1);
+    vs = volt(*ctx.x, 2);
+  }
+  const Eval e = evaluate(vd, vg, vs);
+  // Linearized channel current (drain -> source):
+  //   i ~= ids0 + gm (vgs - vgs0) + gds (vds - vds0)
+  const double vgs0 = vg - vs;
+  const double vds0 = vd - vs;
+  const double ieq = e.ids - e.gm * vgs0 - e.gds * vds0;
+  mna.add(d, g, e.gm);
+  mna.add(d, s, -e.gm - e.gds);
+  mna.add(d, d, e.gds);
+  mna.add(s, g, -e.gm);
+  mna.add(s, s, e.gm + e.gds);
+  mna.add(s, d, -e.gds);
+  mna.add_rhs(d, -ieq);
+  mna.add_rhs(s, ieq);
+  // gmin across the channel keeps cutoff devices from isolating nodes.
+  mna.add(d, d, ctx.gmin);
+  mna.add(s, s, ctx.gmin);
+  mna.add(d, s, -ctx.gmin);
+  mna.add(s, d, -ctx.gmin);
+}
+
+}  // namespace ppd::spice

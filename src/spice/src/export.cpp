@@ -1,0 +1,121 @@
+#include "ppd/spice/export.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == '.' || c == '#' || c == ' ' || c == '/') c = '_';
+  return out;
+}
+
+std::string node_name(const Circuit& c, NodeId n) {
+  if (n == kGround) return "0";
+  return sanitize(c.node_name(n));
+}
+
+void write_source_spec(std::ostream& os, const SourceSpec& spec) {
+  if (std::holds_alternative<Dc>(spec)) {
+    os << "DC " << std::get<Dc>(spec).value;
+  } else if (std::holds_alternative<Pulse>(spec)) {
+    const Pulse& p = std::get<Pulse>(spec);
+    os << "PULSE(" << p.v1 << ' ' << p.v2 << ' ' << p.delay << ' ' << p.rise
+       << ' ' << p.fall << ' ' << p.width << ' '
+       << (p.period > 0.0 ? p.period : 1.0) << ')';
+  } else {
+    const Pwl& p = std::get<Pwl>(spec);
+    os << "PWL(";
+    for (std::size_t i = 0; i < p.points.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << p.points[i].first << ' ' << p.points[i].second;
+    }
+    os << ')';
+  }
+}
+
+}  // namespace
+
+void write_spice(std::ostream& os, const Circuit& circuit,
+                 const SpiceExportOptions& options) {
+  os << "* " << options.title << "\n";
+
+  // Collect distinct MOSFET models.
+  using ModelKey = std::tuple<MosType, double, double, double>;  // type,vt,kp,lambda
+  std::map<ModelKey, std::string> models;
+  for (const auto& dev : circuit.devices()) {
+    if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      const MosParams& p = m->params();
+      const ModelKey key{p.type, p.vt0, p.kp, p.lambda};
+      if (models.find(key) == models.end()) {
+        const std::string name =
+            (p.type == MosType::kNmos ? "nmod" : "pmod") +
+            std::to_string(models.size());
+        models.emplace(key, name);
+      }
+    }
+  }
+  for (const auto& [key, name] : models) {
+    const auto& [type, vt, kp, lambda] = key;
+    os << ".model " << name << ' ' << (type == MosType::kNmos ? "NMOS" : "PMOS")
+       << " level=1 vto=" << vt << " kp=" << kp << " lambda=" << lambda
+       << "\n";
+  }
+
+  for (const auto& dev : circuit.devices()) {
+    const std::string id = sanitize(dev->name());
+    const auto& n = dev->nodes();
+    if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      os << 'R' << id << ' ' << node_name(circuit, n[0]) << ' '
+         << node_name(circuit, n[1]) << ' ' << r->resistance() << "\n";
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(dev.get())) {
+      os << 'C' << id << ' ' << node_name(circuit, n[0]) << ' '
+         << node_name(circuit, n[1]) << ' ' << c->capacitance() << "\n";
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(dev.get())) {
+      os << 'V' << id << ' ' << node_name(circuit, n[0]) << ' '
+         << node_name(circuit, n[1]) << ' ';
+      write_source_spec(os, v->spec());
+      os << "\n";
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      const MosParams& p = m->params();
+      const std::string& model =
+          models.at(ModelKey{p.type, p.vt0, p.kp, p.lambda});
+      // Bulk tied to the source terminal (the engine ignores body effect).
+      os << 'M' << id << ' ' << node_name(circuit, n[0]) << ' '
+         << node_name(circuit, n[1]) << ' ' << node_name(circuit, n[2]) << ' '
+         << node_name(circuit, n[2]) << ' ' << model << " w=" << p.w
+         << " l=" << p.l << "\n";
+    } else {
+      // Current source is the only remaining concrete device. SPICE's
+      // positive current flows from node+ through the source to node-; our
+      // CurrentSource injects INTO nodes()[0], so node+ is nodes()[1].
+      const auto* i = dynamic_cast<const CurrentSource*>(dev.get());
+      PPD_REQUIRE(i != nullptr, "unknown device kind in export");
+      os << 'I' << id << ' ' << node_name(circuit, n[1]) << ' '
+         << node_name(circuit, n[0]) << ' ';
+      write_source_spec(os, i->spec());
+      os << "\n";
+    }
+  }
+
+  if (options.tran_step > 0.0 && options.tran_stop > 0.0)
+    os << ".tran " << options.tran_step << ' ' << options.tran_stop << "\n";
+  os << ".end\n";
+}
+
+std::string spice_to_string(const Circuit& circuit,
+                            const SpiceExportOptions& options) {
+  std::ostringstream os;
+  write_spice(os, circuit, options);
+  return os.str();
+}
+
+}  // namespace ppd::spice

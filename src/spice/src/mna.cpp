@@ -1,0 +1,57 @@
+#include "ppd/spice/mna.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+MnaSystem::MnaSystem(std::size_t unknowns, bool use_sparse)
+    : n_(unknowns), use_sparse_(use_sparse), rhs_(unknowns, 0.0) {
+  if (!use_sparse_) dense_ = linalg::DenseMatrix(n_, n_);
+}
+
+void MnaSystem::reset() {
+  if (use_sparse_) {
+    trip_row_.clear();
+    trip_col_.clear();
+    trip_val_.clear();
+  } else {
+    dense_.set_zero();
+  }
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+}
+
+void MnaSystem::add(MnaIndex row, MnaIndex col, double value) {
+  if (row < 0 || col < 0) return;
+  const auto r = static_cast<std::size_t>(row);
+  const auto c = static_cast<std::size_t>(col);
+  PPD_REQUIRE(r < n_ && c < n_, "MNA index out of range");
+  if (use_sparse_) {
+    trip_row_.push_back(r);
+    trip_col_.push_back(c);
+    trip_val_.push_back(value);
+  } else {
+    dense_(r, c) += value;
+  }
+}
+
+void MnaSystem::add_rhs(MnaIndex row, double value) {
+  if (row < 0) return;
+  const auto r = static_cast<std::size_t>(row);
+  PPD_REQUIRE(r < n_, "MNA rhs index out of range");
+  rhs_[r] += value;
+}
+
+std::vector<double> MnaSystem::solve() const {
+  if (use_sparse_) {
+    linalg::SparseBuilder b(n_, n_);
+    for (std::size_t k = 0; k < trip_row_.size(); ++k)
+      b.add(trip_row_[k], trip_col_[k], trip_val_[k]);
+    const linalg::SparseMatrix a(b);
+    const linalg::SparseLu lu(a);
+    return lu.solve(rhs_);
+  }
+  const linalg::DenseLu lu(dense_);
+  return lu.solve(rhs_);
+}
+
+}  // namespace ppd::spice

@@ -1,0 +1,59 @@
+#include "ppd/spice/source.hpp"
+
+#include <cmath>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+namespace {
+
+double pulse_value(const Pulse& p, double t) {
+  if (p.period > 0.0 && t > p.delay) {
+    // Fold into the first period.
+    const double local = std::fmod(t - p.delay, p.period);
+    t = p.delay + local;
+  }
+  if (t <= p.delay) return p.v1;
+  double u = t - p.delay;
+  if (u < p.rise) return p.v1 + (p.v2 - p.v1) * (u / p.rise);
+  u -= p.rise;
+  if (u < p.width) return p.v2;
+  u -= p.width;
+  if (u < p.fall) return p.v2 + (p.v1 - p.v2) * (u / p.fall);
+  return p.v1;
+}
+
+double pwl_value(const Pwl& p, double t) {
+  PPD_REQUIRE(!p.points.empty(), "PWL source needs at least one point");
+  if (t <= p.points.front().first) return p.points.front().second;
+  if (t >= p.points.back().first) return p.points.back().second;
+  for (std::size_t i = 1; i < p.points.size(); ++i) {
+    const auto& [t1, v1] = p.points[i];
+    if (t <= t1) {
+      const auto& [t0, v0] = p.points[i - 1];
+      PPD_REQUIRE(t1 > t0, "PWL times must be strictly increasing");
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return p.points.back().second;
+}
+
+}  // namespace
+
+double source_value(const SourceSpec& spec, double t) {
+  return std::visit(
+      [t](const auto& s) -> double {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Dc>) {
+          return s.value;
+        } else if constexpr (std::is_same_v<T, Pulse>) {
+          return pulse_value(s, t);
+        } else {
+          return pwl_value(s, t);
+        }
+      },
+      spec);
+}
+
+}  // namespace ppd::spice

@@ -1,0 +1,28 @@
+// Minimal --key=value CLI parsing for the bench and example binaries.
+// Unrecognized flags raise ParseError so typos do not silently run a
+// different experiment than the operator asked for.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppd::util {
+
+class Cli {
+ public:
+  /// Parse `--key=value` / `--flag` arguments. `allowed` lists every key the
+  /// program understands; anything else throws ParseError.
+  Cli(int argc, const char* const* argv, const std::vector<std::string>& allowed);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def) const;
+  [[nodiscard]] double get(const std::string& key, double def) const;
+  [[nodiscard]] int get(const std::string& key, int def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ppd::util

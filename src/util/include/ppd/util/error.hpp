@@ -1,0 +1,47 @@
+// Error handling primitives shared by every ppd library.
+//
+// The simulator is a library first: precondition violations and numerical
+// failures are reported with exceptions carrying enough context to act on,
+// never with abort() or silent NaNs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppd {
+
+/// Thrown when a caller violates a documented precondition
+/// (bad node index, negative resistance, empty path, ...).
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a numerical procedure fails to produce a usable result
+/// (singular matrix, Newton-Raphson non-convergence, ...).
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing external input (.bench netlists, CLI args) fails.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace ppd
+
+/// Precondition check that survives NDEBUG builds: library contracts must
+/// hold in release runs of the benches as well.
+#define PPD_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ppd::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,28 @@
+// Small string helpers used by the .bench parser and CSV writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppd::util {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Uppercase copy (ASCII).
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace ppd::util

@@ -1,0 +1,41 @@
+// Fixed-width table printer used by the figure-reproduction benches to emit
+// the same rows/series the paper plots, readable both by humans and by a
+// CSV-aware consumer (`Table::to_csv`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with `precision` significant digits.
+  void add_numeric_row(const std::vector<double>& row, int precision = 6);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (header first).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` significant digits (no trailing zeros
+/// beyond what %g produces).
+[[nodiscard]] std::string format_double(double v, int precision = 6);
+
+}  // namespace ppd::util

@@ -1,0 +1,52 @@
+#include "ppd/util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace ppd::util {
+
+Cli::Cli(int argc, const char* const* argv, const std::vector<std::string>& allowed) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--"))
+      throw ParseError("expected --key=value argument, got: " + std::string(arg));
+    arg.remove_prefix(2);
+    std::string key, value = "1";
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      key = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      key = std::string(arg);
+    }
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+      throw ParseError("unknown option --" + key);
+    values_[key] = value;
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double Cli::get(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    throw ParseError("option --" + key + " expects a number, got: " + it->second);
+  return v;
+}
+
+int Cli::get(const std::string& key, int def) const {
+  const double v = get(key, static_cast<double>(def));
+  return static_cast<int>(v);
+}
+
+}  // namespace ppd::util

@@ -1,0 +1,15 @@
+#include "ppd/util/error.hpp"
+
+#include <sstream>
+
+namespace ppd::detail {
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << msg << " [" << expr << " at " << file << ':'
+     << line << ']';
+  throw PreconditionError(os.str());
+}
+
+}  // namespace ppd::detail

@@ -1,0 +1,76 @@
+#include "ppd/util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::util {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PPD_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PPD_REQUIRE(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_numeric_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  PPD_REQUIRE(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size())
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < header_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+}  // namespace ppd::util

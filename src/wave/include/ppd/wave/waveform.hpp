@@ -1,0 +1,102 @@
+// Sampled voltage waveform and the timing measurements the paper's
+// evaluation is built on: 50%-VDD propagation delay, pulse width measured at
+// a voltage threshold, slew, and peak excursion.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppd::wave {
+
+/// A uniformly- or non-uniformly-sampled scalar signal v(t).
+/// Time is strictly increasing; linear interpolation between samples.
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(std::vector<double> time, std::vector<double> value);
+
+  void append(double t, double v);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return time_.size(); }
+  [[nodiscard]] bool empty() const { return time_.empty(); }
+  [[nodiscard]] double time(std::size_t i) const { return time_[i]; }
+  [[nodiscard]] double value(std::size_t i) const { return value_[i]; }
+  [[nodiscard]] const std::vector<double>& times() const { return time_; }
+  [[nodiscard]] const std::vector<double>& values() const { return value_; }
+
+  [[nodiscard]] double t_begin() const;
+  [[nodiscard]] double t_end() const;
+
+  /// Linear interpolation; clamps outside the sampled range.
+  [[nodiscard]] double at(double t) const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> value_;
+};
+
+/// Direction of a threshold crossing.
+enum class Edge { kRise, kFall };
+
+/// Time of the first crossing of `level` with direction `edge` at or after
+/// `t_from`. Uses linear interpolation between samples.
+[[nodiscard]] std::optional<double> first_crossing(const Waveform& w, double level,
+                                                   Edge edge, double t_from = 0.0);
+
+/// All crossings of `level` (both directions), each tagged with its edge.
+struct Crossing {
+  double t;
+  Edge edge;
+};
+[[nodiscard]] std::vector<Crossing> crossings(const Waveform& w, double level);
+
+/// 50%-to-50% propagation delay between an input and an output waveform:
+/// time from the input's crossing of `level` (direction `in_edge`) to the
+/// output's next crossing of `level` in direction `out_edge`.
+[[nodiscard]] std::optional<double> propagation_delay(const Waveform& in,
+                                                      const Waveform& out,
+                                                      double level, Edge in_edge,
+                                                      Edge out_edge,
+                                                      double t_from = 0.0);
+
+/// Width of the first complete pulse in `w` measured at `level`:
+/// for a positive pulse (rest low) the rise->fall interval, for a negative
+/// pulse (rest high) the fall->rise interval. Returns nullopt when the signal
+/// never produces both edges, i.e. the pulse was fully dampened.
+[[nodiscard]] std::optional<double> pulse_width(const Waveform& w, double level,
+                                                bool positive_pulse,
+                                                double t_from = 0.0);
+
+/// Maximum excursion from the waveform's initial value (a dampened pulse has
+/// a small excursion; a propagated one swings ~VDD).
+[[nodiscard]] double peak_excursion(const Waveform& w);
+
+/// 10%-90% transition time of the first edge after `t_from` in the given
+/// direction, thresholds computed against `v_low`/`v_high` rails.
+[[nodiscard]] std::optional<double> slew_time(const Waveform& w, Edge edge,
+                                              double v_low, double v_high,
+                                              double t_from = 0.0);
+
+/// True when the signal keeps toggling through `level` after `t_from`
+/// (at least `min_crossings` crossings) — the oscillation symptom of
+/// low-resistance bridges closing inverting feedback loops.
+[[nodiscard]] bool is_oscillating(const Waveform& w, double level, double t_from,
+                                  std::size_t min_crossings = 6);
+
+/// Write a set of named waveforms as CSV (shared, merged time axis).
+void write_csv(std::ostream& os, const std::vector<std::string>& names,
+               const std::vector<const Waveform*>& waves);
+
+/// Render a waveform as a small ASCII strip chart (for bench/example output,
+/// mirroring the paper's stacked waveform figures).
+[[nodiscard]] std::string ascii_plot(const Waveform& w, double v_min, double v_max,
+                                     std::size_t width = 72, std::size_t height = 8);
+
+}  // namespace ppd::wave

@@ -1,0 +1,204 @@
+#include "ppd/wave/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <set>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::wave {
+
+Waveform::Waveform(std::vector<double> time, std::vector<double> value)
+    : time_(std::move(time)), value_(std::move(value)) {
+  PPD_REQUIRE(time_.size() == value_.size(), "time/value size mismatch");
+  for (std::size_t i = 1; i < time_.size(); ++i)
+    PPD_REQUIRE(time_[i] > time_[i - 1], "time axis must be strictly increasing");
+}
+
+void Waveform::append(double t, double v) {
+  PPD_REQUIRE(time_.empty() || t > time_.back(),
+              "time axis must be strictly increasing");
+  time_.push_back(t);
+  value_.push_back(v);
+}
+
+void Waveform::clear() {
+  time_.clear();
+  value_.clear();
+}
+
+double Waveform::t_begin() const {
+  PPD_REQUIRE(!empty(), "empty waveform");
+  return time_.front();
+}
+
+double Waveform::t_end() const {
+  PPD_REQUIRE(!empty(), "empty waveform");
+  return time_.back();
+}
+
+double Waveform::at(double t) const {
+  PPD_REQUIRE(!empty(), "empty waveform");
+  if (t <= time_.front()) return value_.front();
+  if (t >= time_.back()) return value_.back();
+  const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - time_[lo]) / (time_[hi] - time_[lo]);
+  return value_[lo] + f * (value_[hi] - value_[lo]);
+}
+
+double Waveform::min_value() const {
+  PPD_REQUIRE(!empty(), "empty waveform");
+  return *std::min_element(value_.begin(), value_.end());
+}
+
+double Waveform::max_value() const {
+  PPD_REQUIRE(!empty(), "empty waveform");
+  return *std::max_element(value_.begin(), value_.end());
+}
+
+namespace {
+
+/// Interpolated crossing time between samples i-1 and i.
+double interp_crossing(const Waveform& w, std::size_t i, double level) {
+  const double t0 = w.time(i - 1), t1 = w.time(i);
+  const double v0 = w.value(i - 1), v1 = w.value(i);
+  if (v1 == v0) return t0;
+  return t0 + (level - v0) / (v1 - v0) * (t1 - t0);
+}
+
+}  // namespace
+
+std::optional<double> first_crossing(const Waveform& w, double level, Edge edge,
+                                     double t_from) {
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    if (w.time(i) < t_from) continue;
+    const double v0 = w.value(i - 1), v1 = w.value(i);
+    const bool rise = v0 < level && v1 >= level;
+    const bool fall = v0 > level && v1 <= level;
+    if ((edge == Edge::kRise && rise) || (edge == Edge::kFall && fall)) {
+      const double t = interp_crossing(w, i, level);
+      if (t >= t_from) return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Crossing> crossings(const Waveform& w, double level) {
+  std::vector<Crossing> out;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    const double v0 = w.value(i - 1), v1 = w.value(i);
+    if (v0 < level && v1 >= level)
+      out.push_back({interp_crossing(w, i, level), Edge::kRise});
+    else if (v0 > level && v1 <= level)
+      out.push_back({interp_crossing(w, i, level), Edge::kFall});
+  }
+  return out;
+}
+
+std::optional<double> propagation_delay(const Waveform& in, const Waveform& out,
+                                        double level, Edge in_edge, Edge out_edge,
+                                        double t_from) {
+  const auto t_in = first_crossing(in, level, in_edge, t_from);
+  if (!t_in) return std::nullopt;
+  const auto t_out = first_crossing(out, level, out_edge, *t_in);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+std::optional<double> pulse_width(const Waveform& w, double level,
+                                  bool positive_pulse, double t_from) {
+  const Edge lead = positive_pulse ? Edge::kRise : Edge::kFall;
+  const Edge trail = positive_pulse ? Edge::kFall : Edge::kRise;
+  const auto t_lead = first_crossing(w, level, lead, t_from);
+  if (!t_lead) return std::nullopt;
+  const auto t_trail = first_crossing(w, level, trail, *t_lead);
+  if (!t_trail) return std::nullopt;
+  return *t_trail - *t_lead;
+}
+
+double peak_excursion(const Waveform& w) {
+  PPD_REQUIRE(!w.empty(), "empty waveform");
+  const double v0 = w.value(0);
+  double peak = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    peak = std::max(peak, std::abs(w.value(i) - v0));
+  return peak;
+}
+
+std::optional<double> slew_time(const Waveform& w, Edge edge, double v_low,
+                                double v_high, double t_from) {
+  const double lo = v_low + 0.1 * (v_high - v_low);
+  const double hi = v_low + 0.9 * (v_high - v_low);
+  if (edge == Edge::kRise) {
+    const auto t0 = first_crossing(w, lo, Edge::kRise, t_from);
+    if (!t0) return std::nullopt;
+    const auto t1 = first_crossing(w, hi, Edge::kRise, *t0);
+    if (!t1) return std::nullopt;
+    return *t1 - *t0;
+  }
+  const auto t0 = first_crossing(w, hi, Edge::kFall, t_from);
+  if (!t0) return std::nullopt;
+  const auto t1 = first_crossing(w, lo, Edge::kFall, *t0);
+  if (!t1) return std::nullopt;
+  return *t1 - *t0;
+}
+
+bool is_oscillating(const Waveform& w, double level, double t_from,
+                    std::size_t min_crossings) {
+  std::size_t late = 0;
+  for (const Crossing& x : crossings(w, level))
+    if (x.t >= t_from) ++late;
+  return late >= min_crossings;
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& names,
+               const std::vector<const Waveform*>& waves) {
+  PPD_REQUIRE(names.size() == waves.size(), "names/waves size mismatch");
+  std::set<double> grid;
+  for (const Waveform* w : waves) {
+    PPD_REQUIRE(w != nullptr && !w->empty(), "null or empty waveform");
+    grid.insert(w->times().begin(), w->times().end());
+  }
+  os << "t";
+  for (const auto& n : names) os << ',' << n;
+  os << '\n';
+  for (double t : grid) {
+    os << t;
+    for (const Waveform* w : waves) os << ',' << w->at(t);
+    os << '\n';
+  }
+}
+
+std::string ascii_plot(const Waveform& w, double v_min, double v_max,
+                       std::size_t width, std::size_t height) {
+  PPD_REQUIRE(!w.empty(), "empty waveform");
+  PPD_REQUIRE(v_max > v_min, "v_max must exceed v_min");
+  PPD_REQUIRE(width >= 2 && height >= 2, "plot too small");
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  const double t0 = w.t_begin();
+  const double t1 = w.t_end();
+  const double dt = (t1 - t0) / static_cast<double>(width - 1);
+  for (std::size_t c = 0; c < width; ++c) {
+    const double v = w.at(t0 + dt * static_cast<double>(c));
+    double f = (v - v_min) / (v_max - v_min);
+    f = std::clamp(f, 0.0, 1.0);
+    const std::size_t r =
+        height - 1 - static_cast<std::size_t>(std::lround(f * (height - 1)));
+    rows[r][c] = '*';
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    out += '|';
+    out += row;
+    out += '\n';
+  }
+  out += '+';
+  out += std::string(width, '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace ppd::wave

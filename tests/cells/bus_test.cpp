@@ -1,0 +1,133 @@
+// Bus substrate: construction, propagation, crosstalk, and the defect
+// behaviours the handshake test application relies on.
+#include "ppd/cells/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::cells {
+namespace {
+
+spice::TransientOptions bus_tran(double t_stop = 4e-9) {
+  spice::TransientOptions t;
+  t.t_stop = t_stop;
+  t.dt = 2e-12;
+  t.adaptive = true;
+  return t;
+}
+
+TEST(Bus, ConstructionShape) {
+  Process proc;
+  Netlist nl(proc);
+  BusOptions o;
+  o.lines = 3;
+  o.segments = 5;
+  const Bus bus = build_bus(nl, o);
+  EXPECT_EQ(bus.inputs.size(), 3u);
+  EXPECT_EQ(bus.outputs.size(), 3u);
+  ASSERT_EQ(bus.taps.size(), 3u);
+  EXPECT_EQ(bus.taps[0].size(), 6u);  // driver out + 5 segment taps
+  EXPECT_EQ(bus.segment_resistors[0].size(), 5u);
+  EXPECT_EQ(bus.inversions_per_line, 2);
+  EXPECT_THROW(build_bus(nl, BusOptions{.lines = 0}), PreconditionError);
+}
+
+TEST(Bus, PulseTraversesFaultFreeLine) {
+  Process proc;
+  Netlist nl(proc);
+  const Bus bus = build_bus(nl, BusOptions{});
+  drive_bus_pulse(nl, bus, 0, /*positive=*/true, 0.4e-9, 0.4e-9);
+  const auto res = spice::run_transient(nl.circuit(), bus_tran());
+  // Two inversions: positive pulse in, positive pulse out.
+  const auto w = wave::pulse_width(res.wave(bus.outputs[0]), proc.vdd / 2, true);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(*w, 0.4e-9, 0.12e-9);
+}
+
+TEST(Bus, RepeaterVariantStillPropagates) {
+  Process proc;
+  Netlist nl(proc);
+  BusOptions o;
+  o.repeaters = true;
+  const Bus bus = build_bus(nl, o);
+  EXPECT_EQ(bus.inversions_per_line, 3);
+  drive_bus_pulse(nl, bus, 0, true, 0.4e-9, 0.4e-9);
+  const auto res = spice::run_transient(nl.circuit(), bus_tran());
+  // Odd inversions: the output pulse is negative.
+  const auto w = wave::pulse_width(res.wave(bus.outputs[0]), proc.vdd / 2, false);
+  EXPECT_TRUE(w.has_value());
+}
+
+TEST(Bus, CouplingProducesCrosstalkOnQuietVictim) {
+  Process proc;
+  Netlist nl(proc);
+  BusOptions o;
+  o.lines = 3;
+  o.coupling_capacitance = 20e-15;  // aggressive coupling
+  const Bus bus = build_bus(nl, o);
+  // Aggressors (lines 0 and 2) switch; victim (line 1) held low -> its
+  // far end rests high (one inversion from the driver).
+  drive_bus_pulse(nl, bus, 0, true, 0.5e-9, 0.4e-9);
+  drive_bus_pulse(nl, bus, 2, true, 0.5e-9, 0.4e-9);
+  hold_bus_line(nl, bus, 1, false);
+  const auto res = spice::run_transient(nl.circuit(), bus_tran());
+  const double bump = wave::peak_excursion(res.wave(bus.far_ends[1]));
+  EXPECT_GT(bump, 0.1) << "expected visible capacitive crosstalk";
+  EXPECT_LT(bump, proc.vdd / 2) << "crosstalk must not flip the victim";
+}
+
+TEST(Bus, SeriesOpenDampensThePulse) {
+  auto far_pulse = [](double open_ohms) {
+    Process proc;
+    Netlist nl(proc);
+    const Bus bus = build_bus(nl, BusOptions{});
+    if (open_ohms > 0.0) (void)inject_bus_open(nl, bus, 0, 2, open_ohms);
+    drive_bus_pulse(nl, bus, 0, true, 0.35e-9, 0.4e-9);
+    const auto res = spice::run_transient(nl.circuit(), bus_tran());
+    return wave::pulse_width(res.wave(bus.outputs[0]), proc.vdd / 2, true);
+  };
+  const auto clean = far_pulse(0.0);
+  ASSERT_TRUE(clean.has_value());
+  const auto weak = far_pulse(5e3);
+  ASSERT_TRUE(weak.has_value());
+  EXPECT_LT(*weak, *clean);
+  // A hard open swallows the request pulse completely.
+  EXPECT_FALSE(far_pulse(60e3).has_value());
+}
+
+TEST(Bus, BridgeCouplesAdjacentLines) {
+  Process proc;
+  Netlist nl(proc);
+  BusOptions o;
+  o.lines = 2;
+  const Bus bus = build_bus(nl, o);
+  (void)inject_bus_bridge(nl, bus, 0, 1, 2, 500.0);
+  // Line 0 pulses; line 1 held low (far end rests high).
+  drive_bus_pulse(nl, bus, 0, true, 0.4e-9, 0.4e-9);
+  hold_bus_line(nl, bus, 1, false);
+  const auto res = spice::run_transient(nl.circuit(), bus_tran());
+  // The bridge drags the victim's far end well below its rest level.
+  EXPECT_GT(wave::peak_excursion(res.wave(bus.far_ends[1])), proc.vdd / 3);
+  // And the aggressor's own pulse is degraded by the fight.
+  const auto w = wave::pulse_width(res.wave(bus.outputs[0]), proc.vdd / 2, true);
+  if (w.has_value()) {
+    EXPECT_LT(*w, 0.4e-9);
+  }
+}
+
+TEST(Bus, InjectionValidation) {
+  Process proc;
+  Netlist nl(proc);
+  const Bus bus = build_bus(nl, BusOptions{});
+  EXPECT_THROW(inject_bus_open(nl, bus, 9, 0, 1e3), PreconditionError);
+  EXPECT_THROW(inject_bus_open(nl, bus, 0, 9, 1e3), PreconditionError);
+  EXPECT_THROW(inject_bus_bridge(nl, bus, 0, 0, 1, 1e3), PreconditionError);
+  EXPECT_THROW(drive_bus_pulse(nl, bus, 0, true, 1e-12, 0.4e-9),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::cells

@@ -1,0 +1,108 @@
+// AOI21 / OAI21 complex gates: structure, full DC truth tables, side-input
+// tie values, and pulse propagation through mixed paths containing them.
+#include <gtest/gtest.h>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::cells {
+namespace {
+
+TEST(ComplexGates, Metadata) {
+  EXPECT_EQ(gate_input_count(GateKind::kAoi21), 3);
+  EXPECT_EQ(gate_input_count(GateKind::kOai21), 3);
+  EXPECT_TRUE(gate_inverting(GateKind::kAoi21));
+  EXPECT_TRUE(gate_inverting(GateKind::kOai21));
+  // AOI21 path on input a: b high, c low.
+  EXPECT_TRUE(gate_side_tie_high(GateKind::kAoi21, 1));
+  EXPECT_FALSE(gate_side_tie_high(GateKind::kAoi21, 2));
+  // OAI21 path on input a: b low, c high.
+  EXPECT_FALSE(gate_side_tie_high(GateKind::kOai21, 1));
+  EXPECT_TRUE(gate_side_tie_high(GateKind::kOai21, 2));
+  // Simple gates defer to the single non-controlling value.
+  EXPECT_TRUE(gate_side_tie_high(GateKind::kNand2, 1));
+  EXPECT_FALSE(gate_side_tie_high(GateKind::kNor2, 2));
+}
+
+TEST(ComplexGates, Structure) {
+  Netlist nl{Process{}};
+  auto& c = nl.circuit();
+  const GateId aoi = nl.add_gate(GateKind::kAoi21, "g0",
+                                 {c.node("a"), c.node("b"), c.node("x")}, "o0");
+  const GateInst& inst = nl.gate(aoi);
+  EXPECT_EQ(inst.pullup.size(), 3u);
+  EXPECT_EQ(inst.pulldown.size(), 3u);
+  EXPECT_EQ(inst.pu_rail.size(), 2u);  // parallel PMOS pair touches VDD
+  EXPECT_EQ(inst.pd_rail.size(), 2u);  // nb and nc touch GND
+  EXPECT_EQ(inst.input_pins.size(), 3u);
+  for (const auto& pins : inst.input_pins) EXPECT_EQ(pins.size(), 2u);
+}
+
+class ComplexGateTruth
+    : public ::testing::TestWithParam<std::tuple<GateKind, int>> {};
+
+TEST_P(ComplexGateTruth, DcMatchesBoolean) {
+  // Property: the transistor network realizes the boolean function at every
+  // input corner. Parameter int encodes inputs abc as bits 0..2.
+  const auto [kind, bits] = GetParam();
+  const bool a = (bits & 1) != 0, b = (bits & 2) != 0, x = (bits & 4) != 0;
+  const bool expected = kind == GateKind::kAoi21 ? !((a && b) || x)
+                                                 : !((a || b) && x);
+  Process proc;
+  Netlist nl(proc);
+  const auto tie = [&](bool v) { return v ? nl.tie_high() : nl.tie_low(); };
+  nl.add_gate(kind, "g", {tie(a), tie(b), tie(x)}, "o");
+  const auto op = spice::run_op(nl.circuit());
+  const double v = op.voltage(nl.circuit().find_node("o"));
+  if (expected)
+    EXPECT_GT(v, 0.9 * proc.vdd) << "abc=" << bits;
+  else
+    EXPECT_LT(v, 0.1 * proc.vdd) << "abc=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorners, ComplexGateTruth,
+    ::testing::Combine(::testing::Values(GateKind::kAoi21, GateKind::kOai21),
+                       ::testing::Range(0, 8)));
+
+TEST(ComplexGates, PathWithComplexGatesPropagatesPulse) {
+  Process proc;
+  PathOptions po;
+  po.kinds = {GateKind::kInv, GateKind::kAoi21, GateKind::kOai21,
+              GateKind::kInv};
+  Path path = build_path(proc, po);
+  EXPECT_EQ(path.inversions(), 4);
+  path.drive_pulse(true, 0.45e-9, 0.3e-9);
+  spice::TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  opt.adaptive = true;
+  const auto res = spice::run_transient(path.netlist().circuit(), opt);
+  const auto w =
+      wave::pulse_width(res.wave(path.output()), proc.vdd / 2, true);
+  ASSERT_TRUE(w.has_value()) << "pulse died in the complex-gate path";
+  EXPECT_GT(*w, 0.25e-9);
+}
+
+TEST(ComplexGates, TransitionPropagatesThroughAoiPath) {
+  Process proc;
+  PathOptions po;
+  po.kinds = {GateKind::kAoi21, GateKind::kNand2};
+  Path path = build_path(proc, po);
+  path.drive_transition(true, 0.3e-9);
+  spice::TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 2e-12;
+  opt.adaptive = true;
+  const auto res = spice::run_transient(path.netlist().circuit(), opt);
+  const auto d = wave::propagation_delay(
+      res.wave(path.input()), res.wave(path.output()), proc.vdd / 2,
+      wave::Edge::kRise,
+      path.same_polarity() ? wave::Edge::kRise : wave::Edge::kFall);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+}
+
+}  // namespace
+}  // namespace ppd::cells

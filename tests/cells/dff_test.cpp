@@ -1,0 +1,136 @@
+// Transmission-gate master-slave flip-flop: functional latching, hold
+// behaviour, and electrical characterization of the timing numbers the
+// DF-test baseline budgets.
+#include "ppd/cells/dff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::cells {
+namespace {
+
+struct Fixture {
+  Process proc;
+  Netlist nl{Process{}};
+  DffInst ff;
+  spice::DeviceId vd = 0;
+  spice::DeviceId vclk = 0;
+
+  Fixture() {
+    auto& c = nl.circuit();
+    const spice::NodeId d = c.node("d");
+    const spice::NodeId clk = c.node("clk");
+    vd = c.add_vsource("Vd", d, spice::kGround, spice::Dc{0.0});
+    vclk = c.add_vsource("Vclk", clk, spice::kGround, spice::Dc{0.0});
+    ff = add_dff(nl, "ff", d, clk);
+    nl.add_load("Cq", ff.q, 5e-15);
+  }
+
+  spice::TransientResult run(double t_stop) {
+    spice::TransientOptions opt;
+    opt.t_stop = t_stop;
+    opt.dt = 2e-12;
+    opt.adaptive = true;
+    opt.op.nodesets = {{ff.slave, proc.vdd}, {ff.q, 0.0}};
+    return spice::run_transient(nl.circuit(), opt);
+  }
+};
+
+spice::Pulse clock_train(double vdd, double first_edge, double period) {
+  spice::Pulse p;
+  p.v2 = vdd;
+  p.delay = first_edge - 15e-12;
+  p.rise = 30e-12;
+  p.fall = 30e-12;
+  p.width = period * 0.45;
+  p.period = period;
+  return p;
+}
+
+TEST(Dff, LatchesDataOnRisingEdge) {
+  Fixture f;
+  // D: 0 -> 1 at 1.5 ns -> 0 at 3.5 ns. Clock edges at 1, 2, 3, 4 ns.
+  spice::Pwl d;
+  d.points = {{0.0, 0.0},
+              {1.5e-9, 0.0},
+              {1.53e-9, f.proc.vdd},
+              {3.5e-9, f.proc.vdd},
+              {3.53e-9, 0.0}};
+  f.nl.circuit().vsource(f.vd).set_spec(d);
+  f.nl.circuit().vsource(f.vclk).set_spec(clock_train(f.proc.vdd, 1e-9, 1e-9));
+  const auto res = f.run(4.8e-9);
+  const auto& q = res.wave(f.ff.q);
+  // After edge 1 (D=0): Q low. After edge 2 (D=1): Q high. After edge 3
+  // (D=1): high. After edge 4 (D=0): low again.
+  EXPECT_LT(q.at(1.6e-9), 0.2);
+  EXPECT_GT(q.at(2.6e-9), f.proc.vdd - 0.2);
+  EXPECT_GT(q.at(3.6e-9), f.proc.vdd - 0.2);
+  EXPECT_LT(q.at(4.7e-9), 0.2);
+}
+
+TEST(Dff, HoldsWhileClockIdles) {
+  Fixture f;
+  // One edge latches D=1; D then drops while the clock stays low: Q must
+  // keep the stored 1.
+  spice::Pwl d;
+  d.points = {{0.0, f.proc.vdd}, {1.4e-9, f.proc.vdd}, {1.43e-9, 0.0}};
+  f.nl.circuit().vsource(f.vd).set_spec(d);
+  spice::Pulse clk;
+  clk.v2 = f.proc.vdd;
+  clk.delay = 1e-9;
+  clk.rise = 30e-12;
+  clk.fall = 30e-12;
+  clk.width = 0.2e-9;  // single short pulse, then low forever
+  f.nl.circuit().vsource(f.vclk).set_spec(clk);
+  const auto res = f.run(4e-9);
+  const auto& q = res.wave(f.ff.q);
+  EXPECT_GT(q.at(1.5e-9), f.proc.vdd - 0.2);
+  EXPECT_GT(q.at(4e-9), f.proc.vdd - 0.2) << "stored value leaked away";
+}
+
+TEST(Dff, DataAfterEdgeIsNotCaptured) {
+  Fixture f;
+  // D rises 100 ps AFTER the only rising edge: Q stays low.
+  spice::Pwl d;
+  d.points = {{0.0, 0.0}, {1.1e-9, 0.0}, {1.13e-9, f.proc.vdd}};
+  f.nl.circuit().vsource(f.vd).set_spec(d);
+  spice::Pulse clk;
+  clk.v2 = f.proc.vdd;
+  clk.delay = 1e-9;
+  clk.rise = 30e-12;
+  clk.fall = 30e-12;
+  clk.width = 0.4e-9;
+  f.nl.circuit().vsource(f.vclk).set_spec(clk);
+  const auto res = f.run(3e-9);
+  EXPECT_LT(res.wave(f.ff.q).at(3e-9), 0.2);
+}
+
+TEST(Dff, MeasuredTimingIsPlausible) {
+  const MeasuredFfTiming m = measure_ff_timing(Process{});
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.clk_to_q, 10e-12);
+  EXPECT_LT(m.clk_to_q, 200e-12);
+  EXPECT_GT(m.setup, 0.0);
+  EXPECT_LT(m.setup, 200e-12);
+  // The DF-test baseline's default budget (60 ps + 40 ps) must be of the
+  // same order as the measured silicon: within a factor of 2 each.
+  EXPECT_LT(m.clk_to_q, 2 * 60e-12);
+  EXPECT_GT(m.clk_to_q, 0.5 * 60e-12);
+  EXPECT_LT(m.setup, 2.5 * 40e-12);
+}
+
+TEST(Dff, SlowerProcessSlowsTheFlipFlop) {
+  Process slow;
+  slow.kp_n *= 0.6;
+  slow.kp_p *= 0.6;
+  const auto nominal = measure_ff_timing(Process{});
+  const auto degraded = measure_ff_timing(slow);
+  ASSERT_TRUE(nominal.valid);
+  ASSERT_TRUE(degraded.valid);
+  EXPECT_GT(degraded.clk_to_q, nominal.clk_to_q);
+}
+
+}  // namespace
+}  // namespace ppd::cells

@@ -1,0 +1,157 @@
+#include "ppd/cells/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+namespace {
+
+TEST(GateKindMeta, InputCounts) {
+  EXPECT_EQ(gate_input_count(GateKind::kInv), 1);
+  EXPECT_EQ(gate_input_count(GateKind::kNand2), 2);
+  EXPECT_EQ(gate_input_count(GateKind::kNand3), 3);
+  EXPECT_EQ(gate_input_count(GateKind::kNor3), 3);
+  EXPECT_EQ(gate_input_count(GateKind::kBuf), 1);
+}
+
+TEST(GateKindMeta, InvertingFlags) {
+  EXPECT_TRUE(gate_inverting(GateKind::kInv));
+  EXPECT_TRUE(gate_inverting(GateKind::kNor2));
+  EXPECT_FALSE(gate_inverting(GateKind::kAnd2));
+  EXPECT_FALSE(gate_inverting(GateKind::kBuf));
+}
+
+TEST(GateKindMeta, NonControllingValues) {
+  EXPECT_TRUE(gate_noncontrolling_high(GateKind::kNand2));   // NC of NAND is 1
+  EXPECT_FALSE(gate_noncontrolling_high(GateKind::kNor2));   // NC of NOR is 0
+}
+
+TEST(Netlist, WrongArityThrows) {
+  Netlist nl{Process{}};
+  const spice::NodeId a = nl.circuit().node("a");
+  EXPECT_THROW(static_cast<void>(nl.add_gate(GateKind::kNand2, "g", {a}, "o")), PreconditionError);
+}
+
+TEST(Netlist, InverterStructure) {
+  Netlist nl{Process{}};
+  const spice::NodeId a = nl.circuit().node("a");
+  const GateId g = nl.add_gate(GateKind::kInv, "g", {a}, "o");
+  const GateInst& inst = nl.gate(g);
+  EXPECT_EQ(inst.pullup.size(), 1u);
+  EXPECT_EQ(inst.pulldown.size(), 1u);
+  EXPECT_EQ(inst.pu_rail.size(), 1u);
+  EXPECT_EQ(inst.pd_rail.size(), 1u);
+  EXPECT_EQ(inst.output_drains.size(), 2u);
+  ASSERT_EQ(inst.input_pins.size(), 1u);
+  EXPECT_EQ(inst.input_pins[0].size(), 2u);  // both transistor gates
+  EXPECT_FALSE(inst.caps.empty());
+}
+
+TEST(Netlist, Nand2Structure) {
+  Netlist nl{Process{}};
+  auto& c = nl.circuit();
+  const GateId g =
+      nl.add_gate(GateKind::kNand2, "g", {c.node("a"), c.node("b")}, "o");
+  const GateInst& inst = nl.gate(g);
+  EXPECT_EQ(inst.pullup.size(), 2u);
+  EXPECT_EQ(inst.pulldown.size(), 2u);
+  EXPECT_EQ(inst.pu_rail.size(), 2u);  // parallel PMOS: both touch VDD
+  EXPECT_EQ(inst.pd_rail.size(), 1u);  // series NMOS: one touches GND
+  // Output drains: both PMOS plus the top NMOS.
+  EXPECT_EQ(inst.output_drains.size(), 3u);
+}
+
+TEST(Netlist, Nor2Structure) {
+  Netlist nl{Process{}};
+  auto& c = nl.circuit();
+  const GateId g =
+      nl.add_gate(GateKind::kNor2, "g", {c.node("a"), c.node("b")}, "o");
+  const GateInst& inst = nl.gate(g);
+  EXPECT_EQ(inst.pu_rail.size(), 1u);  // series PMOS
+  EXPECT_EQ(inst.pd_rail.size(), 2u);  // parallel NMOS
+}
+
+TEST(Netlist, And2IsCompositeWithInverterNetworks) {
+  Netlist nl{Process{}};
+  auto& c = nl.circuit();
+  const GateId g =
+      nl.add_gate(GateKind::kAnd2, "g", {c.node("a"), c.node("b")}, "o");
+  const GateInst& inst = nl.gate(g);
+  // The output-stage inverter defines the rail metadata.
+  EXPECT_EQ(inst.pu_rail.size(), 1u);
+  EXPECT_EQ(inst.pd_rail.size(), 1u);
+  EXPECT_EQ(inst.pullup.size(), 3u);   // 2 NAND PMOS + 1 INV PMOS
+  EXPECT_EQ(inst.pulldown.size(), 3u);
+}
+
+class GateDcTruth : public ::testing::TestWithParam<
+                        std::tuple<GateKind, int, int, int>> {};
+
+TEST_P(GateDcTruth, OutputMatchesBoolean) {
+  // Property: the transistor-level gate reproduces its boolean function at
+  // DC for every input corner.
+  const auto [kind, a_high, b_high, expected_high] = GetParam();
+  Process proc;
+  Netlist nl(proc);
+  auto& c = nl.circuit();
+  std::vector<spice::NodeId> ins;
+  ins.push_back(a_high != 0 ? nl.tie_high() : nl.tie_low());
+  if (gate_input_count(kind) >= 2)
+    ins.push_back(b_high != 0 ? nl.tie_high() : nl.tie_low());
+  while (static_cast<int>(ins.size()) < gate_input_count(kind))
+    ins.push_back(nl.tie_high());
+  nl.add_gate(kind, "g", ins, "o");
+  const auto op = spice::run_op(c);
+  const double v = op.voltage(c.find_node("o"));
+  if (expected_high != 0)
+    EXPECT_GT(v, 0.9 * proc.vdd);
+  else
+    EXPECT_LT(v, 0.1 * proc.vdd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TruthTables, GateDcTruth,
+    ::testing::Values(
+        std::tuple{GateKind::kInv, 0, 0, 1}, std::tuple{GateKind::kInv, 1, 0, 0},
+        std::tuple{GateKind::kBuf, 0, 0, 0}, std::tuple{GateKind::kBuf, 1, 0, 1},
+        std::tuple{GateKind::kNand2, 0, 0, 1},
+        std::tuple{GateKind::kNand2, 0, 1, 1},
+        std::tuple{GateKind::kNand2, 1, 0, 1},
+        std::tuple{GateKind::kNand2, 1, 1, 0},
+        std::tuple{GateKind::kNor2, 0, 0, 1},
+        std::tuple{GateKind::kNor2, 0, 1, 0},
+        std::tuple{GateKind::kNor2, 1, 0, 0},
+        std::tuple{GateKind::kNor2, 1, 1, 0},
+        std::tuple{GateKind::kAnd2, 1, 1, 1},
+        std::tuple{GateKind::kAnd2, 1, 0, 0},
+        std::tuple{GateKind::kOr2, 0, 0, 0},
+        std::tuple{GateKind::kOr2, 0, 1, 1}));
+
+TEST(Netlist, VariationScalesTransistors) {
+  // A fixed variation source must change the stored MOSFET parameters.
+  class Fixed : public VariationSource {
+   public:
+    TransistorVariation transistor() override { return {1.1, 0.9, 1.2}; }
+    double cap_mult() override { return 1.3; }
+  };
+  Process proc;
+  Netlist nominal(proc);
+  Netlist varied(proc);
+  Fixed fixed;
+  varied.set_variation(&fixed);
+  const spice::NodeId a0 = nominal.circuit().node("a");
+  const spice::NodeId a1 = varied.circuit().node("a");
+  const GateId g0 = nominal.add_gate(GateKind::kInv, "g", {a0}, "o");
+  const GateId g1 = varied.add_gate(GateKind::kInv, "g", {a1}, "o");
+  const auto& m0 =
+      nominal.circuit().mosfet(nominal.gate(g0).pulldown[0]).params();
+  const auto& m1 = varied.circuit().mosfet(varied.gate(g1).pulldown[0]).params();
+  EXPECT_NEAR(m1.vt0, 1.1 * m0.vt0, 1e-15);
+  EXPECT_NEAR(m1.kp, 0.9 * m0.kp, 1e-15);
+  EXPECT_NEAR(m1.w, 1.2 * m0.w, 1e-15);
+}
+
+}  // namespace
+}  // namespace ppd::cells

@@ -1,0 +1,112 @@
+#include "ppd/cells/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::cells {
+namespace {
+
+TEST(Path, SevenGatePathShape) {
+  const PathOptions po = seven_gate_path();
+  EXPECT_EQ(po.kinds.size(), 7u);
+  Process proc;
+  Path path = build_path(proc, po);
+  EXPECT_EQ(path.length(), 7u);
+  EXPECT_EQ(path.stage_outputs().size(), 7u);
+  EXPECT_EQ(path.inversions(), 7);
+  EXPECT_FALSE(path.same_polarity());
+}
+
+TEST(Path, RejectsNonPrimitiveKinds) {
+  PathOptions po;
+  po.kinds = {GateKind::kAnd2};
+  EXPECT_THROW(static_cast<void>(build_path(Process{}, po)), PreconditionError);
+}
+
+TEST(Path, RejectsEmpty) {
+  EXPECT_THROW(static_cast<void>(build_path(Process{}, PathOptions{})), PreconditionError);
+}
+
+TEST(Path, SensitizedTransitionPropagates) {
+  // A rising input transition reaches the PO of the mixed 7-gate path with
+  // the correct (odd-parity) polarity.
+  Process proc;
+  Path path = build_path(proc, seven_gate_path());
+  path.drive_transition(/*rising=*/true, 0.3e-9);
+
+  spice::TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const auto res = run_transient(path.netlist().circuit(), opt);
+  const auto& out = res.wave(path.output());
+  // Odd inversions: rising input -> falling output.
+  EXPECT_GT(out.at(0.0), 0.9 * proc.vdd);
+  EXPECT_LT(out.at(3e-9), 0.1 * proc.vdd);
+  const auto d = wave::propagation_delay(res.wave(path.input()), out,
+                                         proc.vdd / 2, wave::Edge::kRise,
+                                         wave::Edge::kFall);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.1e-9);
+  EXPECT_LT(*d, 2e-9);
+}
+
+TEST(Path, DelayGrowsWithLength) {
+  Process proc;
+  auto delay_of = [&](std::size_t n) {
+    PathOptions po;
+    po.kinds.assign(n, GateKind::kInv);
+    Path path = build_path(proc, po);
+    path.drive_transition(true, 0.3e-9);
+    spice::TransientOptions opt;
+    opt.t_stop = 4e-9;
+    opt.dt = 2e-12;
+    const auto res = run_transient(path.netlist().circuit(), opt);
+    const bool out_rises = path.same_polarity();
+    const auto d = wave::propagation_delay(
+        res.wave(path.input()), res.wave(path.output()), proc.vdd / 2,
+        wave::Edge::kRise, out_rises ? wave::Edge::kRise : wave::Edge::kFall);
+    EXPECT_TRUE(d.has_value());
+    return d.value_or(0.0);
+  };
+  const double d3 = delay_of(3);
+  const double d6 = delay_of(6);
+  EXPECT_GT(d6, 1.5 * d3);
+}
+
+TEST(Path, DrivePulseValidatesWidth) {
+  Process proc;
+  PathOptions po;
+  po.kinds = {GateKind::kInv};
+  Path path = build_path(proc, po);
+  EXPECT_THROW(path.drive_pulse(true, -1.0, 0.3e-9), PreconditionError);
+  // Width must exceed the source transition time.
+  EXPECT_THROW(path.drive_pulse(true, po.input_transition * 0.5, 0.3e-9),
+               PreconditionError);
+}
+
+TEST(Path, RestLevelFollowsDriveConfig) {
+  Process proc;
+  PathOptions po;
+  po.kinds = {GateKind::kInv};
+  Path path = build_path(proc, po);
+  path.drive_pulse(/*positive=*/true, 0.4e-9, 0.5e-9);
+  EXPECT_DOUBLE_EQ(path.rest_level(), 0.0);
+  path.drive_pulse(/*positive=*/false, 0.4e-9, 0.5e-9);
+  EXPECT_DOUBLE_EQ(path.rest_level(), proc.vdd);
+}
+
+TEST(Path, ExtraFanoutAddsGates) {
+  Process proc;
+  PathOptions po;
+  po.kinds = {GateKind::kInv, GateKind::kInv};
+  po.extra_fanout = 2;
+  Path path = build_path(proc, po);
+  // 2 path gates + 4 dummy loads.
+  EXPECT_EQ(path.netlist().gate_count(), 6u);
+}
+
+}  // namespace
+}  // namespace ppd::cells

@@ -1,0 +1,165 @@
+// Transistor-level pulse catcher: width thresholding, tuning knobs, and an
+// end-to-end hardware fault detection (catcher at a faulty path's output).
+#include "ppd/cells/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::cells {
+namespace {
+
+/// Final CAUGHT level for a positive pulse of `width` fed to a catcher.
+double caught_level(double width, const PulseCatcherOptions& options) {
+  Process proc;
+  Netlist nl(proc);
+  auto& c = nl.circuit();
+  const spice::NodeId x = c.node("x");
+  spice::Pulse p;
+  p.v1 = 0.0;
+  p.v2 = proc.vdd;
+  p.delay = 0.5e-9;
+  p.rise = 30e-12;
+  p.fall = 30e-12;
+  p.width = width;
+  c.add_vsource("Vx", x, spice::kGround, p);
+  const PulseCatcher pc = add_pulse_catcher(nl, "pc", x, options);
+  spice::TransientOptions t;
+  t.t_stop = 2.5e-9;
+  t.dt = 2e-12;
+  t.adaptive = true;
+  const auto res = spice::run_transient(c, t);
+  return res.wave(pc.caught).at(t.t_stop);
+}
+
+TEST(PulseCatcher, ValidatesOptions) {
+  Process proc;
+  Netlist nl(proc);
+  const spice::NodeId x = nl.circuit().node("x");
+  PulseCatcherOptions o;
+  o.delay_stages = 3;  // odd
+  EXPECT_THROW(static_cast<void>(add_pulse_catcher(nl, "pc", x, o)),
+               PreconditionError);
+  o.delay_stages = 0;
+  EXPECT_THROW(static_cast<void>(add_pulse_catcher(nl, "pc", x, o)),
+               PreconditionError);
+  o = {};
+  o.keep_cap = -1.0;
+  EXPECT_THROW(static_cast<void>(add_pulse_catcher(nl, "pc", x, o)),
+               PreconditionError);
+}
+
+TEST(PulseCatcher, ThresholdsPulseWidth) {
+  PulseCatcherOptions o;
+  o.delay_stages = 2;
+  const Process proc;
+  EXPECT_LT(caught_level(20e-12, o), 0.3);              // too narrow: ignored
+  EXPECT_GT(caught_level(80e-12, o), 0.9 * proc.vdd);   // wide: caught
+  EXPECT_GT(caught_level(300e-12, o), 0.9 * proc.vdd);  // very wide: caught
+}
+
+/// Bisected minimal caught width for a given catcher configuration.
+double measure_threshold(const PulseCatcherOptions& options) {
+  const Process proc;
+  double lo = 10e-12, hi = 400e-12;
+  EXPECT_GT(caught_level(hi, options), 0.5 * proc.vdd) << "even 400 ps missed";
+  for (int i = 0; i < 7; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (caught_level(mid, options) > 0.5 * proc.vdd)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+TEST(PulseCatcher, ThresholdGrowsWithDelayChain) {
+  // Property: the minimal caught width grows with the delay-chain length —
+  // the designer's coarse w_th knob.
+  double prev = 0.0;
+  for (int stages : {2, 4, 6}) {
+    PulseCatcherOptions o;
+    o.delay_stages = stages;
+    const double th = measure_threshold(o);
+    EXPECT_GT(th, prev) << "threshold not monotone at " << stages << " stages";
+    EXPECT_GT(th, 20e-12);
+    EXPECT_LT(th, 400e-12);
+    prev = th;
+  }
+}
+
+TEST(PulseCatcher, KeepCapRaisesThreshold) {
+  PulseCatcherOptions small;
+  small.delay_stages = 2;
+  small.keep_cap = 4e-15;
+  PulseCatcherOptions big = small;
+  big.keep_cap = 30e-15;
+  const Process proc;
+  // A width the small-cap catcher sees but the big-cap one misses.
+  const double w = 55e-12;
+  EXPECT_GT(caught_level(w, small), 0.5 * proc.vdd);
+  EXPECT_LT(caught_level(w, big), 0.5 * proc.vdd);
+}
+
+TEST(PulseCatcher, InvertedInputCatchesNegativePulses) {
+  Process proc;
+  Netlist nl(proc);
+  auto& c = nl.circuit();
+  const spice::NodeId x = c.node("x");
+  spice::Pulse p;
+  p.v1 = proc.vdd;  // rest high, negative pulse
+  p.v2 = 0.0;
+  p.delay = 0.5e-9;
+  p.rise = 30e-12;
+  p.fall = 30e-12;
+  p.width = 150e-12;
+  c.add_vsource("Vx", x, spice::kGround, p);
+  PulseCatcherOptions o;
+  o.invert_input = true;
+  const PulseCatcher pc = add_pulse_catcher(nl, "pc", x, o);
+  spice::TransientOptions t;
+  t.t_stop = 2.5e-9;
+  t.dt = 2e-12;
+  t.adaptive = true;
+  const auto res = spice::run_transient(c, t);
+  EXPECT_GT(res.wave(pc.caught).at(t.t_stop), 0.9 * proc.vdd);
+}
+
+TEST(PulseCatcher, HardwareFaultDetectionEndToEnd) {
+  // The paper's full test loop in silicon: pulse generator at the path
+  // input, transition sensor at the path output. The fault-free device
+  // raises CAUGHT; a device with a 20 kOhm open does not.
+  auto caught = [](double fault_r) {
+    Process proc;
+    PathOptions po;
+    po.kinds.assign(5, GateKind::kInv);
+    Path path = build_path(proc, po);
+    if (fault_r > 0.0) {
+      faults::PathFaultSpec spec;
+      spec.kind = faults::FaultKind::kExternalRopOutput;
+      spec.stage = 1;
+      (void)faults::inject_on_path(path, spec, fault_r);
+    }
+    // Odd inversions: positive input pulse -> negative output pulse.
+    PulseCatcherOptions o;
+    o.invert_input = true;
+    o.delay_stages = 4;
+    const PulseCatcher pc =
+        add_pulse_catcher(path.netlist(), "pc", path.output(), o);
+    path.drive_pulse(/*positive=*/true, 0.35e-9, 0.5e-9);
+    spice::TransientOptions t;
+    t.t_stop = 4e-9;
+    t.dt = 2e-12;
+    t.adaptive = true;
+    const auto res = spice::run_transient(path.netlist().circuit(), t);
+    return res.wave(pc.caught).at(t.t_stop) > proc.vdd / 2;
+  };
+  EXPECT_TRUE(caught(0.0)) << "fault-free pulse not sensed";
+  EXPECT_FALSE(caught(20e3)) << "dampened pulse still sensed";
+}
+
+}  // namespace
+}  // namespace ppd::cells

@@ -1,0 +1,104 @@
+// Coverage-experiment behaviour on a short path with an external ROP:
+// monotonicity in R and in the swept test parameter, the paper's
+// qualitative claims in miniature.
+#include "ppd/core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory rop_factory() {
+  PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  f.fault = spec;
+  return f;
+}
+
+CoverageOptions quick_coverage() {
+  CoverageOptions o;
+  o.samples = 4;
+  o.seed = 21;
+  o.resistances = {1e3, 8e3, 40e3, 200e3};
+  return o;
+}
+
+TEST(DelayCoverage, MonotoneInRAndClock) {
+  const PathFactory f = rop_factory();
+  DelayCalibrationOptions dopt;
+  dopt.samples = 4;
+  dopt.seed = 21;
+  const DelayTestCalibration cal = calibrate_delay_test(f, dopt);
+  const CoverageOptions copt = quick_coverage();
+  const CoverageResult res = run_delay_coverage(f, cal, copt);
+
+  ASSERT_EQ(res.coverage.size(), 3u);
+  for (const auto& row : res.coverage) {
+    for (double c : row) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+    // Larger defect -> never less detectable.
+    for (std::size_t r = 1; r < row.size(); ++r)
+      EXPECT_GE(row[r] + 1e-12, row[r - 1]);
+  }
+  // Faster clock (smaller multiplier) -> at least as much coverage.
+  for (std::size_t r = 0; r < res.resistances.size(); ++r) {
+    EXPECT_GE(res.coverage[0][r] + 1e-12, res.coverage[1][r]);  // 0.9 vs 1.0
+    EXPECT_GE(res.coverage[1][r] + 1e-12, res.coverage[2][r]);  // 1.0 vs 1.1
+  }
+  // A huge open defeats even the slow clock.
+  EXPECT_EQ(res.coverage[2].back(), 1.0);
+  EXPECT_EQ(res.simulations,
+            static_cast<std::size_t>(copt.samples) * copt.resistances.size());
+}
+
+TEST(PulseCoverage, MonotoneInRAndThreshold) {
+  const PathFactory f = rop_factory();
+  PulseCalibrationOptions popt;
+  popt.samples = 4;
+  popt.seed = 21;
+  popt.w_in_grid = linspace(0.10e-9, 0.60e-9, 11);
+  const PulseTestCalibration cal = calibrate_pulse_test(f, popt);
+  const CoverageOptions copt = quick_coverage();
+  const CoverageResult res = run_pulse_coverage(f, cal, copt);
+
+  for (const auto& row : res.coverage)
+    for (std::size_t r = 1; r < row.size(); ++r)
+      EXPECT_GE(row[r] + 1e-12, row[r - 1]);
+  // Higher sensing threshold -> at least as much coverage.
+  for (std::size_t r = 0; r < res.resistances.size(); ++r) {
+    EXPECT_GE(res.coverage[2][r] + 1e-12, res.coverage[1][r]);  // 1.1 vs 1.0
+    EXPECT_GE(res.coverage[1][r] + 1e-12, res.coverage[0][r]);  // 1.0 vs 0.9
+  }
+  // A huge open dampens the pulse for every sample.
+  EXPECT_EQ(res.coverage[0].back(), 1.0);
+  // A tiny defect is not flagged at the nominal (calibrated) threshold; the
+  // 1.1x "hot" threshold may legitimately flag marginal small defects.
+  EXPECT_EQ(res.coverage[1].front(), 0.0);
+}
+
+TEST(Coverage, RequiresFaultSpec) {
+  PathFactory f = rop_factory();
+  f.fault.reset();
+  DelayTestCalibration cal;
+  cal.t_nominal = 1e-9;
+  EXPECT_THROW(static_cast<void>(run_delay_coverage(f, cal, quick_coverage())), PreconditionError);
+}
+
+TEST(Coverage, RejectsEmptySweep) {
+  const PathFactory f = rop_factory();
+  DelayTestCalibration cal;
+  cal.t_nominal = 1e-9;
+  CoverageOptions copt = quick_coverage();
+  copt.resistances.clear();
+  EXPECT_THROW(static_cast<void>(run_delay_coverage(f, cal, copt)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,98 @@
+#include "ppd/core/delay_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory small_factory() {
+  PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  return f;
+}
+
+DelayCalibrationOptions quick_options() {
+  DelayCalibrationOptions o;
+  o.samples = 5;
+  o.seed = 11;
+  return o;
+}
+
+TEST(DelayDetects, PredicateLogic) {
+  FlipFlopTiming ff;
+  ff.tau_cq = 50e-12;
+  ff.tau_dc = 50e-12;
+  // Total path requirement: d + 100ps must fit in T.
+  EXPECT_FALSE(delay_detects(0.5e-9, /*t_applied=*/0.7e-9, ff));  // 600 < 700
+  EXPECT_TRUE(delay_detects(0.65e-9, 0.7e-9, ff));                // 750 > 700
+  // Missing transition is always detected.
+  EXPECT_TRUE(delay_detects(std::nullopt, 10.0, ff));
+}
+
+TEST(CalibrateDelayTest, NominalPeriodCoversWorstCaseWithGuard) {
+  const PathFactory f = small_factory();
+  const DelayCalibrationOptions opt = quick_options();
+  const DelayTestCalibration cal = calibrate_delay_test(f, opt);
+  EXPECT_GT(cal.worst_fault_free_delay, 0.0);
+  // T0 * (1 - guard) == worst + overhead exactly, by construction.
+  EXPECT_NEAR(cal.t_nominal * (1.0 - opt.clock_guard),
+              cal.worst_fault_free_delay + opt.flip_flops.overhead(),
+              1e-15);
+}
+
+TEST(CalibrateDelayTest, NoFalsePositivesByConstruction) {
+  // Every calibration instance passes at the guard-banded clock.
+  const PathFactory f = small_factory();
+  const DelayCalibrationOptions opt = quick_options();
+  const DelayTestCalibration cal = calibrate_delay_test(f, opt);
+  const double t_slow_clock = (1.0 - opt.clock_guard) * cal.t_nominal;
+  for (int s = 0; s < opt.samples; ++s) {
+    mc::Rng rng = sample_rng(opt.seed, static_cast<std::size_t>(s));
+    mc::GaussianVariationSource var(opt.variation, rng);
+    PathInstance inst = make_instance(f, 0.0, &var);
+    const auto d = path_delay(inst.path, opt.input_rising, opt.sim);
+    EXPECT_FALSE(delay_detects(d, t_slow_clock, cal.flip_flops))
+        << "fault-free sample " << s << " rejected";
+  }
+}
+
+TEST(CalibrateDelayTest, MoreVariationRaisesT0) {
+  const PathFactory f = small_factory();
+  DelayCalibrationOptions tight = quick_options();
+  tight.variation = mc::VariationModel::uniform_sigma(0.01);
+  DelayCalibrationOptions loose = quick_options();
+  loose.variation = mc::VariationModel::uniform_sigma(0.10);
+  const double t_tight = calibrate_delay_test(f, tight).t_nominal;
+  const double t_loose = calibrate_delay_test(f, loose).t_nominal;
+  EXPECT_GT(t_loose, t_tight);
+}
+
+TEST(MeasuredFlipFlopTiming, FeedsTheBudget) {
+  const FlipFlopTiming t = measured_flip_flop_timing(cells::Process{});
+  EXPECT_GT(t.tau_cq, 10e-12);
+  EXPECT_GT(t.tau_dc, 0.0);
+  EXPECT_LT(t.overhead(), 400e-12);
+  // Calibrating with the measured budget must track the default budget.
+  const PathFactory f = small_factory();
+  DelayCalibrationOptions opt = quick_options();
+  opt.flip_flops = t;
+  const auto measured_cal = calibrate_delay_test(f, opt);
+  const auto default_cal = calibrate_delay_test(f, quick_options());
+  EXPECT_NEAR(measured_cal.t_nominal, default_cal.t_nominal,
+              0.2 * default_cal.t_nominal);
+}
+
+TEST(CalibrateDelayTest, RejectsBadOptions) {
+  const PathFactory f = small_factory();
+  DelayCalibrationOptions opt = quick_options();
+  opt.samples = 0;
+  EXPECT_THROW(static_cast<void>(calibrate_delay_test(f, opt)), PreconditionError);
+  opt = quick_options();
+  opt.clock_guard = 1.5;
+  EXPECT_THROW(static_cast<void>(calibrate_delay_test(f, opt)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,84 @@
+// Uncertainty (a) of Sect. 3 — the on-chip pulse generator's own width
+// fluctuation — must be guarded by the calibration and exercised by the
+// coverage experiments.
+#include <gtest/gtest.h>
+
+#include "ppd/core/coverage.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory rop_factory() {
+  PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  f.fault = spec;
+  return f;
+}
+
+TEST(GeneratorJitter, LargerSigmaLowersCalibratedThreshold) {
+  // A sloppier generator forces a more conservative (smaller) w_th: the
+  // calibration evaluates the fault-free minimum at the slow-generator
+  // tail, where the output pulse is narrower.
+  const PathFactory f = rop_factory();
+  auto calibrate_with = [&](double sigma) {
+    PulseCalibrationOptions o;
+    o.samples = 5;
+    o.seed = 77;
+    o.w_in_grid = linspace(0.10e-9, 0.60e-9, 11);
+    o.generator_sigma = sigma;
+    return calibrate_pulse_test(f, o);
+  };
+  const auto tight = calibrate_with(0.0);
+  const auto sloppy = calibrate_with(0.08);
+  EXPECT_LT(sloppy.w_th, tight.w_th);
+}
+
+TEST(GeneratorJitter, AbsurdSigmaRejected) {
+  const PathFactory f = rop_factory();
+  PulseCalibrationOptions o;
+  o.samples = 2;
+  o.generator_sigma = 0.5;  // 3 sigma > 100%: no realizable pulse
+  EXPECT_THROW(static_cast<void>(calibrate_pulse_test(f, o)), PreconditionError);
+}
+
+TEST(GeneratorJitter, CoverageStillZeroFalsePositiveAtNominal) {
+  // With jitter active in both calibration and application, tiny defects
+  // must still pass at the nominal threshold (the joint guard bands hold).
+  const PathFactory f = rop_factory();
+  PulseCalibrationOptions popt;
+  popt.samples = 6;
+  popt.seed = 77;
+  popt.w_in_grid = linspace(0.10e-9, 0.60e-9, 11);
+  popt.generator_sigma = 0.04;
+  const auto cal = calibrate_pulse_test(f, popt);
+  CoverageOptions copt;
+  copt.samples = 6;
+  copt.seed = 77;
+  copt.resistances = {50.0};
+  copt.generator_sigma = 0.04;
+  const auto res = run_pulse_coverage(f, cal, copt);
+  EXPECT_EQ(res.coverage[1][0], 0.0) << "near-zero defect flagged";
+}
+
+TEST(GeneratorJitter, DeterministicPerSeed) {
+  const PathFactory f = rop_factory();
+  PulseTestCalibration cal;
+  cal.w_in = 0.35e-9;
+  cal.w_th = 0.15e-9;
+  CoverageOptions copt;
+  copt.samples = 4;
+  copt.seed = 99;
+  copt.resistances = {8e3};
+  copt.generator_sigma = 0.05;
+  const auto a = run_pulse_coverage(f, cal, copt);
+  const auto b = run_pulse_coverage(f, cal, copt);
+  EXPECT_EQ(a.coverage, b.coverage);
+}
+
+}  // namespace
+}  // namespace ppd::core

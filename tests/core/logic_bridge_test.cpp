@@ -1,0 +1,111 @@
+#include "ppd/core/logic_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+TEST(ToCellKinds, MapsPrimitives) {
+  logic::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g1 = nl.add_gate(logic::LogicKind::kNand, "g1", {a, b});
+  const auto g2 = nl.add_gate(logic::LogicKind::kNot, "g2", {g1});
+  const auto g3 = nl.add_gate(logic::LogicKind::kNor, "g3", {g2, b});
+  nl.mark_output(g3);
+  logic::Path p;
+  p.nets = {a, g1, g2, g3};
+  const auto kinds = to_cell_kinds(nl, p);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], cells::GateKind::kNand2);
+  EXPECT_EQ(kinds[1], cells::GateKind::kInv);
+  EXPECT_EQ(kinds[2], cells::GateKind::kNor2);
+}
+
+TEST(ToCellKinds, ExpandsAndOrIntoTwoStages) {
+  logic::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g1 = nl.add_gate(logic::LogicKind::kAnd, "g1", {a, b});
+  const auto g2 = nl.add_gate(logic::LogicKind::kOr, "g2", {g1, b});
+  nl.mark_output(g2);
+  logic::Path p;
+  p.nets = {a, g1, g2};
+  const auto kinds = to_cell_kinds(nl, p);
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], cells::GateKind::kNand2);
+  EXPECT_EQ(kinds[1], cells::GateKind::kInv);
+  EXPECT_EQ(kinds[2], cells::GateKind::kNor2);
+  EXPECT_EQ(kinds[3], cells::GateKind::kInv);
+}
+
+TEST(ToCellKinds, RejectsXor) {
+  logic::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g = nl.add_gate(logic::LogicKind::kXor, "g", {a, b});
+  nl.mark_output(g);
+  logic::Path p;
+  p.nets = {a, g};
+  EXPECT_THROW(static_cast<void>(to_cell_kinds(nl, p)), PreconditionError);
+}
+
+TEST(ToCellKinds, WideNandUsesThreeInputCell) {
+  logic::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  const auto g = nl.add_gate(logic::LogicKind::kNand, "g", {a, b, c});
+  nl.mark_output(g);
+  logic::Path p;
+  p.nets = {a, g};
+  EXPECT_EQ(to_cell_kinds(nl, p)[0], cells::GateKind::kNand3);
+}
+
+TEST(CalibrateGateTiming, InverterValuesPlausible) {
+  const cells::Process proc;
+  const logic::GateTiming t =
+      calibrate_gate_timing(proc, cells::GateKind::kInv);
+  EXPECT_GT(t.delay_rise, 5e-12);
+  EXPECT_LT(t.delay_rise, 400e-12);
+  EXPECT_GT(t.delay_fall, 5e-12);
+  EXPECT_GT(t.w_pass, t.w_block);
+  EXPECT_GT(t.w_block, 0.0);
+  EXPECT_LT(t.shrink, 100e-12);
+}
+
+TEST(CalibrateTimingLibrary, StackedGatesFilterHarderThanInverter) {
+  const cells::Process proc;
+  const logic::GateTimingLibrary lib = calibrate_timing_library(proc);
+  const auto& inv = lib.timing(logic::LogicKind::kNot);
+  const auto& nand2 = lib.timing(logic::LogicKind::kNand);
+  const auto& nor2 = lib.timing(logic::LogicKind::kNor);
+  EXPECT_GE(nand2.w_block, inv.w_block);
+  EXPECT_GE(nor2.w_block, inv.w_block);
+  // NOR2 rising output goes through the series PMOS stack: slowest.
+  EXPECT_GT(nor2.delay_rise, inv.delay_rise);
+}
+
+TEST(LogicChainApproximatesElectricalChain, InvChain) {
+  // The calibrated logic model's chained width map should approximate the
+  // electrical 5-inverter chain within ~25% in the asymptotic region.
+  const cells::Process proc;
+  const logic::GateTimingLibrary lib = calibrate_timing_library(proc);
+  const std::vector<logic::LogicKind> kinds(5, logic::LogicKind::kNot);
+
+  PathFactory f;
+  f.options.kinds.assign(5, cells::GateKind::kInv);
+  SimSettings sim;
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  const double w_in = 0.4e-9;
+  const auto w_elec = output_pulse_width(inst.path, PulseKind::kH, w_in, sim);
+  ASSERT_TRUE(w_elec.has_value());
+  const double w_logic = logic::chain_pulse_out(lib, kinds, w_in);
+  EXPECT_NEAR(w_logic, *w_elec, 0.25 * *w_elec);
+}
+
+}  // namespace
+}  // namespace ppd::core

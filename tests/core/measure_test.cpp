@@ -1,0 +1,111 @@
+#include "ppd/core/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory small_factory(std::size_t n = 3) {
+  PathFactory f;
+  f.options.kinds.assign(n, cells::GateKind::kInv);
+  return f;
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 2.0);
+  EXPECT_THROW(static_cast<void>(linspace(1.0, 3.0, 1)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(linspace(3.0, 1.0, 5)), PreconditionError);
+}
+
+TEST(Logspace, EndpointsAndGrowth) {
+  const auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_THROW(static_cast<void>(logspace(0.0, 1.0, 3)), PreconditionError);
+}
+
+TEST(SampleRng, DeterministicPerIndex) {
+  mc::Rng a = sample_rng(7, 3);
+  mc::Rng b = sample_rng(7, 3);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  mc::Rng c = sample_rng(7, 4);
+  EXPECT_NE(sample_rng(7, 3).next_u64(), c.next_u64());
+}
+
+TEST(MakeInstance, FaultFreeHasNoInjectedHandle) {
+  const PathFactory f = small_factory();
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  EXPECT_FALSE(inst.fault.has_value());
+  EXPECT_EQ(inst.path.length(), 3u);
+}
+
+TEST(MakeInstance, FaultSpecInjectsWhenResistancePositive) {
+  PathFactory f = small_factory();
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  f.fault = spec;
+  PathInstance faulty = make_instance(f, 5e3, nullptr);
+  ASSERT_TRUE(faulty.fault.has_value());
+  // Zero resistance still builds fault-free even with a spec present.
+  PathInstance clean = make_instance(f, 0.0, nullptr);
+  EXPECT_FALSE(clean.fault.has_value());
+}
+
+TEST(PathDelay, PositiveAndPolarityConsistent) {
+  const PathFactory f = small_factory();
+  SimSettings sim;
+  PathInstance a = make_instance(f, 0.0, nullptr);
+  const auto d_rise = path_delay(a.path, true, sim);
+  PathInstance b = make_instance(f, 0.0, nullptr);
+  const auto d_fall = path_delay(b.path, false, sim);
+  ASSERT_TRUE(d_rise.has_value());
+  ASSERT_TRUE(d_fall.has_value());
+  EXPECT_GT(*d_rise, 0.0);
+  EXPECT_GT(*d_fall, 0.0);
+  EXPECT_LT(*d_rise, 1e-9);
+  EXPECT_LT(*d_fall, 1e-9);
+}
+
+TEST(OutputPulseWidth, BothKindsPropagateWidePulses) {
+  const PathFactory f = small_factory();
+  SimSettings sim;
+  PathInstance a = make_instance(f, 0.0, nullptr);
+  const auto w_h = output_pulse_width(a.path, PulseKind::kH, 0.5e-9, sim);
+  PathInstance b = make_instance(f, 0.0, nullptr);
+  const auto w_l = output_pulse_width(b.path, PulseKind::kL, 0.5e-9, sim);
+  ASSERT_TRUE(w_h.has_value());
+  ASSERT_TRUE(w_l.has_value());
+  EXPECT_NEAR(*w_h, 0.5e-9, 0.2e-9);
+  EXPECT_NEAR(*w_l, 0.5e-9, 0.2e-9);
+}
+
+TEST(TransferFunction, HasThreeRegions) {
+  // Fig. 10 structure: zeros, then a sub-linear climb, then slope ~1.
+  const PathFactory f = small_factory(7);
+  SimSettings sim;
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  const auto grid = linspace(0.06e-9, 0.6e-9, 12);
+  const TransferCurve c = transfer_function(inst.path, PulseKind::kH, grid, sim);
+  ASSERT_EQ(c.w_out.size(), grid.size());
+  EXPECT_DOUBLE_EQ(c.w_out.front(), 0.0);   // region 1: dampened
+  EXPECT_GT(c.w_out.back(), 0.4e-9);        // region 3 reached
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < c.w_out.size(); ++i)
+    EXPECT_GE(c.w_out[i] + 1e-12, c.w_out[i - 1]);
+  // Final segment slope ~1.
+  const double slope = (c.w_out.back() - c.w_out[c.w_out.size() - 2]) /
+                       (grid.back() - grid[grid.size() - 2]);
+  EXPECT_NEAR(slope, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace ppd::core

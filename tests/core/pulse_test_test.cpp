@@ -1,0 +1,124 @@
+#include "ppd/core/pulse_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory small_factory() {
+  PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  return f;
+}
+
+PulseCalibrationOptions quick_options() {
+  PulseCalibrationOptions o;
+  o.samples = 5;
+  o.seed = 13;
+  o.w_in_grid = linspace(0.10e-9, 0.60e-9, 11);
+  return o;
+}
+
+TEST(PulseDetects, PredicateLogic) {
+  EXPECT_TRUE(pulse_detects(std::nullopt, 0.1e-9));       // dampened
+  EXPECT_TRUE(pulse_detects(0.05e-9, 0.1e-9));            // under threshold
+  EXPECT_FALSE(pulse_detects(0.2e-9, 0.1e-9));            // clean pulse
+}
+
+TEST(AsymptoticOnset, SyntheticCurve) {
+  TransferCurve c;
+  c.w_in = {1.0, 2.0, 3.0, 4.0, 5.0};
+  c.w_out = {0.0, 0.0, 0.5, 1.4, 2.4};  // slopes: 0, 0.5, 0.9, 1.0
+  const auto onset = asymptotic_onset(c, 0.15);  // band [0.85, 1.15]
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset, 2u);
+  // A tighter band moves the onset right.
+  const auto strict = asymptotic_onset(c, 0.05);
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_EQ(*strict, 3u);
+}
+
+TEST(AsymptoticOnset, SuperLinearAttenuationRegionExcluded) {
+  // The attenuation region approaches from above (slopes > 1): only the
+  // final slope-1 stretch qualifies.
+  TransferCurve c;
+  c.w_in = {1.0, 2.0, 3.0, 4.0};
+  c.w_out = {0.0, 1.8, 2.9, 3.9};  // slopes: 1.8, 1.1, 1.0
+  const auto onset = asymptotic_onset(c, 0.12);
+  ASSERT_TRUE(onset.has_value());
+  EXPECT_EQ(*onset, 1u);
+}
+
+TEST(AsymptoticOnset, NeverStraightensReturnsNullopt) {
+  TransferCurve c;
+  c.w_in = {1.0, 2.0, 3.0};
+  c.w_out = {0.0, 0.1, 0.3};  // slopes 0.1, 0.2: never near 1
+  EXPECT_FALSE(asymptotic_onset(c, 0.3).has_value());
+}
+
+TEST(AsymptoticOnset, FullyDampenedPointExcluded) {
+  // Perfect slope but w_out = 0 at the candidate point: not usable.
+  TransferCurve c;
+  c.w_in = {1.0, 2.0};
+  c.w_out = {0.0, 1.0};
+  const auto onset = asymptotic_onset(c, 0.1);
+  ASSERT_FALSE(onset.has_value());
+}
+
+TEST(AsymptoticOnset, RejectsBadTolerance) {
+  TransferCurve c;
+  c.w_in = {1.0, 2.0};
+  c.w_out = {0.5, 1.5};
+  EXPECT_THROW(static_cast<void>(asymptotic_onset(c, 0.0)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(asymptotic_onset(c, 1.0)), PreconditionError);
+}
+
+TEST(CalibratePulseTest, ProducesFeasibleConfiguration) {
+  const PathFactory f = small_factory();
+  const PulseCalibrationOptions opt = quick_options();
+  const PulseTestCalibration cal = calibrate_pulse_test(f, opt);
+  EXPECT_GE(cal.w_th, opt.w_th_floor);
+  EXPECT_GT(cal.w_in, 0.0);
+  // Threshold honours the sensing guard against the MC minimum.
+  EXPECT_NEAR(cal.w_th * (1.0 + opt.sensor_guard), cal.min_fault_free_w_out,
+              1e-15);
+  EXPECT_FALSE(cal.nominal_curve.w_in.empty());
+}
+
+TEST(CalibratePulseTest, NoFalsePositivesByConstruction) {
+  const PathFactory f = small_factory();
+  const PulseCalibrationOptions opt = quick_options();
+  const PulseTestCalibration cal = calibrate_pulse_test(f, opt);
+  // Even a sensor running 10% hot never rejects a fault-free instance.
+  const double hot_threshold = (1.0 + opt.sensor_guard) * cal.w_th;
+  for (int s = 0; s < opt.samples; ++s) {
+    mc::Rng rng = sample_rng(opt.seed, static_cast<std::size_t>(s));
+    mc::GaussianVariationSource var(opt.variation, rng);
+    PathInstance inst = make_instance(f, 0.0, &var);
+    const auto w = output_pulse_width(inst.path, cal.kind, cal.w_in, opt.sim);
+    EXPECT_FALSE(pulse_detects(w, hot_threshold))
+        << "fault-free sample " << s << " rejected";
+  }
+}
+
+TEST(CalibratePulseTest, InfeasibleGridThrows) {
+  const PathFactory f = small_factory();
+  PulseCalibrationOptions opt = quick_options();
+  // Grid entirely inside the dampened region: no asymptotic onset.
+  opt.w_in_grid = linspace(0.055e-9, 0.075e-9, 4);
+  EXPECT_THROW(static_cast<void>(calibrate_pulse_test(f, opt)), NumericalError);
+}
+
+TEST(CalibratePulseTest, LKindAlsoCalibrates) {
+  const PathFactory f = small_factory();
+  PulseCalibrationOptions opt = quick_options();
+  opt.kind = PulseKind::kL;
+  const PulseTestCalibration cal = calibrate_pulse_test(f, opt);
+  EXPECT_EQ(cal.kind, PulseKind::kL);
+  EXPECT_GT(cal.w_th, 0.0);
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,179 @@
+// Fault-injection behaviour at the electrical level: the paper's Sect. 2
+// claims, stated as tests.
+#include "ppd/faults/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::faults {
+namespace {
+
+using cells::GateKind;
+using cells::Path;
+using cells::PathOptions;
+using cells::Process;
+
+PathOptions chain(std::size_t n) {
+  PathOptions po;
+  po.kinds.assign(n, GateKind::kInv);
+  return po;
+}
+
+/// 50%-50% delay of a rising input transition through a fresh path with
+/// `spec` injected at resistance `ohms` (0 = fault-free).
+double path_delay(const PathFaultSpec* spec, double ohms, bool rising = true) {
+  Process proc;
+  Path path = cells::build_path(proc, chain(5));
+  if (spec != nullptr) (void)inject_on_path(path, *spec, ohms);
+  path.drive_transition(rising, 0.3e-9);
+  spice::TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 2e-12;
+  const auto res = run_transient(path.netlist().circuit(), opt);
+  const bool out_rises = path.same_polarity() == rising;
+  const auto d = wave::propagation_delay(
+      res.wave(path.input()), res.wave(path.output()), proc.vdd / 2,
+      rising ? wave::Edge::kRise : wave::Edge::kFall,
+      out_rises ? wave::Edge::kRise : wave::Edge::kFall);
+  EXPECT_TRUE(d.has_value());
+  return d.value_or(1e9);
+}
+
+TEST(InternalRop, SlowsOnlyOneTransition) {
+  // Pull-down break at stage 1 (an inverter): input rising at stage-1 input?
+  // Stage 1 sees the inverted input; a pull-down ROP slows the stage's
+  // falling output. Check: one input polarity slows much more than the other.
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kInternalRopPullDown;
+  spec.stage = 1;
+  const double d_free_r = path_delay(nullptr, 0.0, true);
+  const double d_free_f = path_delay(nullptr, 0.0, false);
+  const double d_rise = path_delay(&spec, 8e3, true);
+  const double d_fall = path_delay(&spec, 8e3, false);
+  const double slow_rise = d_rise - d_free_r;
+  const double slow_fall = d_fall - d_free_f;
+  // Stage 1's input falls when the path input rises (one inverter before
+  // it), so its output rises -> pull-up unaffected; the pull-down ROP hits
+  // the *falling* path-input polarity instead.
+  EXPECT_GT(slow_fall, 5.0 * std::max(slow_rise, 1e-12));
+}
+
+TEST(InternalRop, DelayGrowsMonotonicallyWithR) {
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kInternalRopPullDown;
+  spec.stage = 1;
+  double prev = path_delay(&spec, 1e3, false);
+  for (double r : {4e3, 8e3, 16e3}) {
+    const double d = path_delay(&spec, r, false);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ExternalRopOutput, SlowsBothTransitions) {
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  const double slow_rise = path_delay(&spec, 8e3, true) - path_delay(nullptr, 0, true);
+  const double slow_fall =
+      path_delay(&spec, 8e3, false) - path_delay(nullptr, 0, false);
+  EXPECT_GT(slow_rise, 20e-12);
+  EXPECT_GT(slow_fall, 20e-12);
+  // Roughly symmetric: neither edge more than ~4x the other.
+  EXPECT_LT(slow_rise / slow_fall, 4.0);
+  EXPECT_LT(slow_fall / slow_rise, 4.0);
+}
+
+TEST(ExternalRopBranch, OnlyAffectsTheFaultyBranch) {
+  // The dummy-fanout loads on the same net must still switch sharply while
+  // the on-path branch is slowed.
+  Process proc;
+  Path path = cells::build_path(proc, chain(4));
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kExternalRopBranch;
+  spec.stage = 1;
+  const InjectedFault f = inject_on_path(path, spec, 20e3);
+  path.drive_transition(true, 0.3e-9);
+  spice::TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 2e-12;
+  const auto res = run_transient(path.netlist().circuit(), opt);
+  // Driver output (stage 1) keeps a fast edge, the spliced branch node is
+  // much slower.
+  const auto& drv = res.wave(path.stage_outputs()[1]);
+  const auto& spliced = res.wave(f.spliced_node);
+  const auto s_drv = wave::slew_time(drv, wave::Edge::kRise, 0.0, proc.vdd);
+  const auto s_br = wave::slew_time(spliced, wave::Edge::kRise, 0.0, proc.vdd);
+  ASSERT_TRUE(s_drv.has_value());
+  ASSERT_TRUE(s_br.has_value());
+  EXPECT_GT(*s_br, 3.0 * *s_drv);
+}
+
+TEST(Bridge, HasCriticalResistanceBehaviour) {
+  // Far above the critical resistance the bridge only delays; far below it
+  // the victim cannot reach a clean logic level.
+  auto victim_low_level = [&](double r) {
+    Process proc;
+    Path path = cells::build_path(proc, chain(3));
+    PathFaultSpec spec;
+    spec.kind = FaultKind::kBridge;
+    spec.stage = 1;
+    spec.aggressor_high = true;  // aggressor fights the victim's low level
+    (void)inject_on_path(path, spec, r);
+    // Path input low -> stage-1 output (one inversion after input inv) low.
+    path.drive_transition(false, 0.3e-9);
+    spice::TransientOptions opt;
+    opt.t_stop = 3e-9;
+    opt.dt = 2e-12;
+    const auto res = run_transient(path.netlist().circuit(), opt);
+    return res.wave(path.stage_outputs()[1]).at(3e-9);
+  };
+  const double v_strong = victim_low_level(100.0);    // hard bridge
+  const double v_weak = victim_low_level(50e3);       // weak bridge
+  EXPECT_GT(v_strong, 0.5);  // level badly degraded
+  EXPECT_LT(v_weak, 0.2);    // barely disturbed
+}
+
+TEST(Injection, SetFaultResistanceUpdatesInPlace) {
+  Process proc;
+  Path path = cells::build_path(proc, chain(3));
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  const InjectedFault f = inject_on_path(path, spec, 1e3);
+  set_fault_resistance(path.netlist(), f, 5e3);
+  EXPECT_DOUBLE_EQ(path.netlist().circuit().resistor(f.resistor).resistance(),
+                   5e3);
+}
+
+TEST(Injection, BranchRopNeedsDownstreamGate) {
+  Process proc;
+  Path path = cells::build_path(proc, chain(2));
+  PathFaultSpec spec;
+  spec.kind = FaultKind::kExternalRopBranch;
+  spec.stage = 1;  // last stage: no downstream branch
+  EXPECT_THROW(static_cast<void>(inject_on_path(path, spec, 1e3)),
+               PreconditionError);
+}
+
+TEST(Injection, StageOutOfRangeThrows) {
+  Process proc;
+  Path path = cells::build_path(proc, chain(2));
+  PathFaultSpec spec;
+  spec.stage = 7;
+  EXPECT_THROW(static_cast<void>(inject_on_path(path, spec, 1e3)),
+               PreconditionError);
+}
+
+TEST(FaultKindNames, AreDistinct) {
+  EXPECT_STRNE(fault_kind_name(FaultKind::kInternalRopPullUp),
+               fault_kind_name(FaultKind::kInternalRopPullDown));
+  EXPECT_STRNE(fault_kind_name(FaultKind::kExternalRopOutput),
+               fault_kind_name(FaultKind::kBridge));
+}
+
+}  // namespace
+}  // namespace ppd::faults

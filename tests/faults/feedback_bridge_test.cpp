@@ -1,0 +1,68 @@
+// Section 2's low-resistance bridge taxonomy: a bridge closing an
+// *inverting* feedback loop oscillates at low R; above the critical
+// resistance the loop is broken resistively and the circuit settles. A
+// non-inverting loop must latch or settle, never ring.
+#include <gtest/gtest.h>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::faults {
+namespace {
+
+using cells::GateKind;
+
+/// Build a 6-inverter chain with a bridge from stage `from` back to stage
+/// `to` and report whether the bridged node keeps ringing.
+bool rings(std::size_t from, std::size_t to, double r) {
+  cells::Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(6, GateKind::kInv);
+  cells::Path path = cells::build_path(proc, po);
+  (void)inject_bridge(path.netlist(), path.stages()[from], path.stages()[to], r);
+  path.drive_transition(true, 0.3e-9);
+  spice::TransientOptions t;
+  t.t_stop = 8e-9;
+  t.dt = 2e-12;
+  t.adaptive = true;
+  const auto res = spice::run_transient(path.netlist().circuit(), t);
+  return wave::is_oscillating(res.wave(path.stage_outputs()[from]),
+                              proc.vdd / 2, /*t_from=*/2e-9);
+}
+
+TEST(FeedbackBridge, HardInvertingLoopOscillates) {
+  // Stage 4 output bridged to stage 1 output: three inversions in the loop.
+  EXPECT_TRUE(rings(4, 1, 100.0));
+}
+
+TEST(FeedbackBridge, ResistiveLoopSettles) {
+  for (double r : {1e3, 5e3, 20e3})
+    EXPECT_FALSE(rings(4, 1, r)) << "R=" << r;
+}
+
+TEST(FeedbackBridge, NonInvertingLoopDoesNotOscillate) {
+  // Stage 3 output bridged to stage 1 output: two inversions — a latch-like
+  // loop, not a ring.
+  EXPECT_FALSE(rings(3, 1, 100.0));
+}
+
+TEST(FeedbackBridge, OscillationDetectorThresholds) {
+  // Sanity of the waveform helper itself on synthetic data.
+  wave::Waveform w;
+  for (int i = 0; i <= 40; ++i)
+    w.append(static_cast<double>(i) * 0.1e-9, (i % 2 == 0) ? 0.0 : 1.8);
+  EXPECT_TRUE(wave::is_oscillating(w, 0.9, 0.0));
+  EXPECT_TRUE(wave::is_oscillating(w, 0.9, 2e-9));
+  // A single step never qualifies.
+  wave::Waveform s;
+  s.append(0.0, 0.0);
+  s.append(1e-9, 0.0);
+  s.append(1.1e-9, 1.8);
+  s.append(4e-9, 1.8);
+  EXPECT_FALSE(wave::is_oscillating(s, 0.9, 0.0));
+}
+
+}  // namespace
+}  // namespace ppd::faults

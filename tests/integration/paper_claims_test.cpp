@@ -1,0 +1,235 @@
+// Integration tests: the paper's evaluation claims, reproduced end-to-end
+// in miniature (small MC populations so the suite stays fast). Each test
+// exercises the full stack: cell library -> fault injection -> electrical
+// simulation -> calibration -> detection.
+#include <gtest/gtest.h>
+
+#include "ppd/core/coverage.hpp"
+#include "ppd/core/logic_bridge.hpp"
+#include "ppd/core/rmin.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/sensitize.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory paper_factory(faults::FaultKind kind) {
+  PathFactory f;
+  f.options = cells::seven_gate_path();
+  faults::PathFaultSpec spec;
+  spec.kind = kind;
+  spec.stage = 1;
+  f.fault = spec;
+  return f;
+}
+
+constexpr int kSamples = 6;
+constexpr std::uint64_t kSeed = 4242;
+
+CoverageOptions coverage_options(std::vector<double> resistances) {
+  CoverageOptions o;
+  o.samples = kSamples;
+  o.seed = kSeed;
+  o.resistances = std::move(resistances);
+  return o;
+}
+
+/// 50%-coverage crossover resistance of a curve (first R with c >= 0.5).
+double crossover(const CoverageResult& res, std::size_t multiplier_index) {
+  for (std::size_t r = 0; r < res.resistances.size(); ++r)
+    if (res.coverage[multiplier_index][r] >= 0.5) return res.resistances[r];
+  return res.resistances.back() * 10.0;  // never crossed
+}
+
+TEST(PaperClaims, Fig6And7_SimilarNominalPerformanceForRops) {
+  // Sect. 4: "Under nominal conditions, the two methods exhibit similar
+  // performance" for resistive opens.
+  const PathFactory f = paper_factory(faults::FaultKind::kExternalRopOutput);
+  DelayCalibrationOptions dopt;
+  dopt.samples = kSamples;
+  dopt.seed = kSeed;
+  const auto dcal = calibrate_delay_test(f, dopt);
+  PulseCalibrationOptions popt;
+  popt.samples = kSamples;
+  popt.seed = kSeed;
+  const auto pcal = calibrate_pulse_test(f, popt);
+
+  const auto sweep = logspace(1e3, 64e3, 7);
+  const auto cdel = run_delay_coverage(f, dcal, coverage_options(sweep));
+  const auto cpulse = run_pulse_coverage(f, pcal, coverage_options(sweep));
+
+  const double x_del = crossover(cdel, 1);     // nominal multiplier
+  const double x_pulse = crossover(cpulse, 1);
+  EXPECT_LT(x_del, 32e3);
+  EXPECT_LT(x_pulse, 32e3);
+  // Similar: within a factor of ~3 of each other.
+  EXPECT_LT(std::max(x_del, x_pulse) / std::min(x_del, x_pulse), 3.0);
+}
+
+TEST(PaperClaims, Fig6And7_ClockUncertaintyHurtsMoreThanSensorUncertainty) {
+  // The DF curves shift strongly with +/-10% clock; the pulse curves shift
+  // much less with +/-10% w_th — the paper's robustness argument.
+  const PathFactory f = paper_factory(faults::FaultKind::kExternalRopOutput);
+  DelayCalibrationOptions dopt;
+  dopt.samples = kSamples;
+  dopt.seed = kSeed;
+  const auto dcal = calibrate_delay_test(f, dopt);
+  PulseCalibrationOptions popt;
+  popt.samples = kSamples;
+  popt.seed = kSeed;
+  const auto pcal = calibrate_pulse_test(f, popt);
+
+  const auto sweep = logspace(1e3, 64e3, 9);
+  const auto cdel = run_delay_coverage(f, dcal, coverage_options(sweep));
+  const auto cpulse = run_pulse_coverage(f, pcal, coverage_options(sweep));
+
+  // Spread between the +/-10% parameter curves, at the crossover scale.
+  const double del_spread = crossover(cdel, 2) / crossover(cdel, 0);
+  const double pulse_spread = crossover(cpulse, 0) / crossover(cpulse, 2);
+  EXPECT_GT(del_spread, 1.5) << "clock uncertainty should matter";
+  EXPECT_LT(pulse_spread, del_spread)
+      << "pulse method should be more robust than DF testing";
+}
+
+TEST(PaperClaims, Fig8And9_PulseBeatsDelayTestOnBridges) {
+  // The headline: for bridges, C_del collapses just above the critical
+  // resistance while C_pulse keeps detecting far beyond it.
+  const PathFactory f = paper_factory(faults::FaultKind::kBridge);
+  DelayCalibrationOptions dopt;
+  dopt.samples = kSamples;
+  dopt.seed = kSeed;
+  const auto dcal = calibrate_delay_test(f, dopt);
+  PulseCalibrationOptions popt;
+  popt.samples = kSamples;
+  popt.seed = kSeed;
+  const auto pcal = calibrate_pulse_test(f, popt);
+
+  const std::vector<double> sweep{1.5e3, 3e3, 6e3};
+  const auto cdel = run_delay_coverage(f, dcal, coverage_options(sweep));
+  const auto cpulse = run_pulse_coverage(f, pcal, coverage_options(sweep));
+
+  // At nominal parameters: DF coverage is gone by 3 kOhm, pulse coverage
+  // still full there and substantial at 6 kOhm.
+  EXPECT_LE(cdel.coverage[1][1], 0.35) << "DF testing should miss 3k bridges";
+  EXPECT_EQ(cpulse.coverage[1][1], 1.0) << "pulse test should catch 3k bridges";
+  EXPECT_GE(cpulse.coverage[1][2], 0.5) << "pulse test should mostly catch 6k";
+}
+
+TEST(PaperClaims, Fig10_AttenuationRegionSpreadExceedsAsymptotic) {
+  const PathFactory f = paper_factory(faults::FaultKind::kExternalRopOutput);
+  const SimSettings sim;
+  const auto model = mc::VariationModel::uniform_sigma(0.05);
+  auto spread_at = [&](double w_in) {
+    double lo = 1e9, hi = 0.0;
+    for (int s = 0; s < kSamples; ++s) {
+      mc::Rng rng = sample_rng(kSeed, static_cast<std::size_t>(s));
+      mc::GaussianVariationSource var(model, rng);
+      PathInstance inst = make_instance(f, 0.0, &var);
+      const auto w = output_pulse_width(inst.path, PulseKind::kH, w_in, sim);
+      const double v = w.value_or(0.0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread_at(0.17e-9), 2.0 * spread_at(0.40e-9));
+}
+
+TEST(PaperClaims, Fig11_EndToEndLogicToElectricalFlow) {
+  // One site of the C432-class benchmark, through the full pipeline:
+  // enumerate -> sensitize -> extract -> calibrate -> R_min.
+  const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+  // Scan a few fault sites for a short sensitizable path, as the real flow
+  // does (most structural paths are statically false).
+  std::vector<logic::Path> paths;
+  for (int gi = 35; gi <= 150 && paths.empty(); gi += 7) {
+    for (const auto& p : logic::enumerate_paths_through(
+             nl, nl.find("G" + std::to_string(gi)), 48)) {
+      if (p.length() < 4 || p.length() > 7) continue;
+      if (logic::sensitize_path(nl, p).ok) {
+        paths.push_back(p);
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(paths.empty());
+
+  bool characterized = false;
+  for (const auto& path : paths) {
+    PathFactory f;
+    f.options.kinds = to_cell_kinds(nl, path);
+    faults::PathFaultSpec spec;
+    spec.kind = faults::FaultKind::kExternalRopOutput;
+    spec.stage = 0;
+    f.fault = spec;
+    PulseCalibrationOptions popt;
+    popt.samples = 3;
+    popt.seed = kSeed;
+    const auto cal = calibrate_pulse_test(f, popt);
+    RminOptions ropt;
+    ropt.samples = 3;
+    ropt.seed = kSeed;
+    const auto rmin = find_r_min(f, cal, ropt);
+    ASSERT_TRUE(rmin.detectable);
+    EXPECT_GT(rmin.r_min, 500.0);
+    EXPECT_LT(rmin.r_min, 100e3);
+    characterized = true;
+    break;
+  }
+  EXPECT_TRUE(characterized) << "no path made it through the pipeline";
+}
+
+TEST(PaperClaims, UndetectedDefectsBecomeAgingHazards) {
+  // The paper's reliability motivation (Sect. 1): a defect too small for
+  // production testing plus in-field degradation (NBTI-style VT drift)
+  // produces a timing failure at the operating clock. Model aging as a
+  // uniform VT magnitude increase.
+  const PathFactory f = paper_factory(faults::FaultKind::kExternalRopOutput);
+  DelayCalibrationOptions dopt;
+  dopt.samples = kSamples;
+  dopt.seed = kSeed;
+  const auto dcal = calibrate_delay_test(f, dopt);
+  // Operating clock: margin above the (already reduced) test clock.
+  const double t_operating = 1.15 * dcal.t_nominal;
+  const double r_small = 4e3;  // escapes DF testing at the test clock
+
+  const SimSettings sim;
+  PathInstance young = make_instance(f, r_small, nullptr);
+  const auto d_young = path_delay(young.path, true, sim);
+  ASSERT_TRUE(d_young.has_value());
+  EXPECT_FALSE(delay_detects(d_young, t_operating, dcal.flip_flops))
+      << "young device should meet the operating clock";
+
+  // Aged: |VT| up 20% and transconductance down 15% (end-of-life
+  // NBTI/mobility-degradation corner).
+  class Aged : public cells::VariationSource {
+   public:
+    cells::TransistorVariation transistor() override {
+      return {1.20, 0.85, 1.0};
+    }
+  };
+  Aged aged_corner;
+  PathInstance aged = make_instance(f, r_small, &aged_corner);
+  const auto d_aged = path_delay(aged.path, true, sim);
+  const bool fails_aged = delay_detects(d_aged, t_operating, dcal.flip_flops);
+  // The same defect-free margin check on an aged but defect-free device:
+  PathFactory clean = f;
+  clean.fault.reset();
+  Aged aged_corner2;
+  PathInstance aged_clean = make_instance(clean, 0.0, &aged_corner2);
+  const auto d_aged_clean = path_delay(aged_clean.path, true, sim);
+  const bool fails_clean =
+      delay_detects(d_aged_clean, t_operating, dcal.flip_flops);
+  // The defective aged device must be strictly worse than the clean aged
+  // one; with this margin the clean device survives while the defective
+  // one fails (the reliability escape the paper motivates).
+  ASSERT_TRUE(d_aged.has_value());
+  ASSERT_TRUE(d_aged_clean.has_value());
+  EXPECT_GT(*d_aged, *d_aged_clean);
+  EXPECT_FALSE(fails_clean) << "aged fault-free device should still work";
+  EXPECT_TRUE(fails_aged) << "aged defective device should fail in the field";
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,110 @@
+#include "ppd/linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "ppd/mc/rng.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::linalg {
+namespace {
+
+TEST(DenseMatrix, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(DenseMatrix, IndexOutOfRangeThrows) {
+  DenseMatrix m(2, 2);
+  EXPECT_THROW(static_cast<void>(std::as_const(m)(2, 0)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(std::as_const(m)(0, 2)), PreconditionError);
+}
+
+TEST(DenseMatrix, MultiplyIdentity) {
+  const DenseMatrix i = DenseMatrix::identity(3);
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  EXPECT_EQ(i.multiply(x), x);
+}
+
+TEST(DenseLu, SolvesSmallSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5]
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const DenseLu lu(a);
+  const auto x = lu.solve({3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+  // Zero on the initial diagonal but nonsingular.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const DenseLu lu(a);
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(DenseLu{a}, NumericalError);
+}
+
+TEST(DenseLu, NonSquareThrows) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(DenseLu{a}, PreconditionError);
+}
+
+TEST(DenseLu, Determinant) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_NEAR(DenseLu(a).determinant(), 10.0, 1e-12);
+}
+
+class DenseLuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseLuRandom, SolveMatchesMultiply) {
+  // Property: for random well-conditioned A and x, solve(A*x) == x.
+  const int n = GetParam();
+  mc::Rng rng(1234u + static_cast<unsigned>(n));
+  DenseMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> x_ref(static_cast<std::size_t>(n));
+  for (auto& v : x_ref) v = rng.uniform(-10.0, 10.0);
+  const auto b = a.multiply(x_ref);
+  const auto x = DenseLu(a).solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                                          x_ref[static_cast<std::size_t>(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLuRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Norms, InfAndTwo) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ppd::linalg

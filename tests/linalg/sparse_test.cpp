@@ -1,0 +1,108 @@
+#include "ppd/linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/linalg/dense.hpp"
+#include "ppd/mc/rng.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::linalg {
+namespace {
+
+TEST(SparseMatrix, SumsDuplicates) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 5.0);
+  const SparseMatrix m(b);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  SparseBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, -1.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 0, 4.0);
+  b.add(2, 2, 1.0);
+  const SparseMatrix m(b);
+  const auto y = m.multiply({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(SparseLu, SolvesDiagonal) {
+  SparseBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 4.0);
+  b.add(2, 2, 8.0);
+  const SparseLu lu{SparseMatrix(b)};
+  const auto x = lu.solve({2.0, 4.0, 8.0});
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(SparseLu, RequiresPivoting) {
+  SparseBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const SparseLu lu{SparseMatrix(b)};
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 1.0);  // column 1 empty -> structurally singular
+  EXPECT_THROW(SparseLu{SparseMatrix(b)}, NumericalError);
+}
+
+class SparseVsDense : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(SparseVsDense, AgreesWithDenseSolver) {
+  // Property: sparse and dense LU agree on random sparse systems.
+  const auto [n, density] = GetParam();
+  mc::Rng rng(99u + static_cast<unsigned>(n * 1000));
+  SparseBuilder b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  DenseMatrix d(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r == c || rng.uniform() < density) {
+        double v = rng.uniform(-1.0, 1.0);
+        if (r == c) v += static_cast<double>(n);  // keep well-conditioned
+        b.add(static_cast<std::size_t>(r), static_cast<std::size_t>(c), v);
+        d(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+      }
+    }
+  }
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (auto& v : rhs) v = rng.uniform(-5.0, 5.0);
+
+  const auto xs = SparseLu{SparseMatrix(b)}.solve(rhs);
+  const auto xd = DenseLu{d}.solve(rhs);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(xs[static_cast<std::size_t>(i)], xd[static_cast<std::size_t>(i)],
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SparseVsDense,
+    ::testing::Values(std::pair{5, 0.5}, std::pair{10, 0.3}, std::pair{20, 0.2},
+                      std::pair{40, 0.1}, std::pair{80, 0.05},
+                      std::pair{120, 0.03}));
+
+TEST(SparseLu, SolveRhsSizeMismatchThrows) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const SparseLu lu{SparseMatrix(b)};
+  EXPECT_THROW(lu.solve({1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::linalg

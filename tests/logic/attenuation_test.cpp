@@ -1,0 +1,114 @@
+#include "ppd/logic/attenuation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+GateTiming simple_timing() {
+  GateTiming t;
+  t.w_block = 50e-12;
+  t.w_pass = 150e-12;
+  t.shrink = 10e-12;
+  return t;
+}
+
+TEST(GatePulseOut, ThreeRegions) {
+  const GateTiming t = simple_timing();
+  EXPECT_DOUBLE_EQ(gate_pulse_out(t, 30e-12), 0.0);        // blocked
+  EXPECT_DOUBLE_EQ(gate_pulse_out(t, 50e-12), 0.0);        // boundary
+  EXPECT_DOUBLE_EQ(gate_pulse_out(t, 300e-12), 290e-12);   // asymptotic
+  // Attenuation region: between 0 and the asymptotic value, continuous at
+  // w_pass.
+  const double at_pass = gate_pulse_out(t, t.w_pass);
+  EXPECT_NEAR(at_pass, t.w_pass - t.shrink, 1e-18);
+  const double mid = gate_pulse_out(t, 100e-12);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 100e-12 - 0.0);
+  // Monotone within the attenuation region.
+  EXPECT_LT(gate_pulse_out(t, 80e-12), mid);
+}
+
+TEST(GatePulseOut, ContinuityAtPass) {
+  const GateTiming t = simple_timing();
+  const double just_below = gate_pulse_out(t, t.w_pass - 1e-15);
+  const double just_above = gate_pulse_out(t, t.w_pass + 1e-15);
+  EXPECT_NEAR(just_below, just_above, 1e-14);
+}
+
+TEST(ChainPulseOut, DiesOnceBlocked) {
+  GateTimingLibrary lib;
+  lib.set_default(simple_timing());
+  const std::vector<LogicKind> chain(5, LogicKind::kNot);
+  EXPECT_DOUBLE_EQ(chain_pulse_out(lib, chain, 40e-12), 0.0);
+  // Wide pulses lose 5 * shrink.
+  EXPECT_NEAR(chain_pulse_out(lib, chain, 500e-12), 450e-12, 1e-15);
+}
+
+TEST(ChainPulseOut, AttenuationCompounds) {
+  GateTimingLibrary lib;
+  lib.set_default(simple_timing());
+  // In the attenuation region each stage shaves width; a pulse that one
+  // gate passes can die after several.
+  const double w = 90e-12;
+  const double one = chain_pulse_out(lib, {LogicKind::kNot}, w);
+  EXPECT_GT(one, 0.0);
+  const double five = chain_pulse_out(lib, std::vector<LogicKind>(5, LogicKind::kNot), w);
+  EXPECT_EQ(five, 0.0);
+}
+
+TEST(RequiredInputWidth, InvertsTheChain) {
+  GateTimingLibrary lib;
+  lib.set_default(simple_timing());
+  const std::vector<LogicKind> chain(3, LogicKind::kNand);
+  const auto w_req = required_input_width(lib, chain, 100e-12);
+  ASSERT_TRUE(w_req.has_value());
+  EXPECT_GE(chain_pulse_out(lib, chain, *w_req), 100e-12 - 1e-15);
+  EXPECT_LT(chain_pulse_out(lib, chain, *w_req - 2e-12), 100e-12);
+}
+
+TEST(RequiredInputWidth, UnreachableTargetReturnsNullopt) {
+  GateTimingLibrary lib;
+  lib.set_default(simple_timing());
+  const auto w = required_input_width(lib, {LogicKind::kNot}, 10e-9, 1e-9);
+  EXPECT_FALSE(w.has_value());
+}
+
+TEST(GateTimingLibrary, FallsBackToDefault) {
+  GateTimingLibrary lib;
+  GateTiming d;
+  d.delay_rise = 123e-12;
+  lib.set_default(d);
+  EXPECT_DOUBLE_EQ(lib.timing(LogicKind::kXor).delay_rise, 123e-12);
+  GateTiming n;
+  n.delay_rise = 77e-12;
+  lib.set(LogicKind::kNand, n);
+  EXPECT_DOUBLE_EQ(lib.timing(LogicKind::kNand).delay_rise, 77e-12);
+}
+
+TEST(GenericLibrary, OrderedSanity) {
+  const GateTimingLibrary lib = GateTimingLibrary::generic();
+  const GateTiming& inv = lib.timing(LogicKind::kNot);
+  const GateTiming& nand2 = lib.timing(LogicKind::kNand);
+  const GateTiming& nor2 = lib.timing(LogicKind::kNor);
+  // Stacked gates are slower and filter harder than the inverter.
+  EXPECT_GT(nand2.delay_rise, inv.delay_rise);
+  EXPECT_GT(nor2.delay_rise, inv.delay_rise);
+  EXPECT_GT(nand2.w_block, inv.w_block);
+  EXPECT_GT(nor2.w_block, inv.w_block);
+}
+
+TEST(ChainDelay, Sums) {
+  GateTimingLibrary lib;
+  GateTiming t;
+  t.delay_rise = 100e-12;
+  t.delay_fall = 60e-12;
+  lib.set_default(t);
+  EXPECT_NEAR(chain_delay(lib, std::vector<LogicKind>(4, LogicKind::kNot)),
+              4 * 80e-12, 1e-15);
+}
+
+}  // namespace
+}  // namespace ppd::logic

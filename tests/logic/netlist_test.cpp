@@ -1,0 +1,100 @@
+#include "ppd/logic/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+Netlist tiny() {
+  // c = NAND(a, b); d = NOT(c)
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_gate(LogicKind::kNand, "c", {a, b});
+  const NetId d = nl.add_gate(LogicKind::kNot, "d", {c});
+  nl.mark_output(d);
+  return nl;
+}
+
+TEST(EvalGate, TruthTables) {
+  EXPECT_TRUE(eval_gate(LogicKind::kNand, {true, false}));
+  EXPECT_FALSE(eval_gate(LogicKind::kNand, {true, true}));
+  EXPECT_TRUE(eval_gate(LogicKind::kNor, {false, false}));
+  EXPECT_FALSE(eval_gate(LogicKind::kNor, {false, true}));
+  EXPECT_TRUE(eval_gate(LogicKind::kXor, {true, false, false}));
+  EXPECT_FALSE(eval_gate(LogicKind::kXor, {true, true}));
+  EXPECT_TRUE(eval_gate(LogicKind::kXnor, {true, true}));
+  EXPECT_TRUE(eval_gate(LogicKind::kAnd, {true, true, true}));
+  EXPECT_FALSE(eval_gate(LogicKind::kAnd, {true, false, true}));
+  EXPECT_TRUE(eval_gate(LogicKind::kOr, {false, true}));
+  EXPECT_FALSE(eval_gate(LogicKind::kBuf, {false}));
+  EXPECT_TRUE(eval_gate(LogicKind::kNot, {false}));
+}
+
+TEST(EvalGate, ArityChecks) {
+  EXPECT_THROW(static_cast<void>(eval_gate(LogicKind::kNot, {true, false})), PreconditionError);
+  EXPECT_THROW(static_cast<void>(eval_gate(LogicKind::kAnd, {})), PreconditionError);
+  EXPECT_THROW(static_cast<void>(eval_gate(LogicKind::kInput, {true})), PreconditionError);
+}
+
+TEST(ControllingValue, PerKind) {
+  EXPECT_EQ(controlling_value(LogicKind::kNand), false);
+  EXPECT_EQ(controlling_value(LogicKind::kAnd), false);
+  EXPECT_EQ(controlling_value(LogicKind::kNor), true);
+  EXPECT_EQ(controlling_value(LogicKind::kOr), true);
+  EXPECT_FALSE(controlling_value(LogicKind::kNot).has_value());
+  EXPECT_FALSE(controlling_value(LogicKind::kXor).has_value());
+}
+
+TEST(Netlist, StructureAccessors) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.size(), 4u);
+  EXPECT_EQ(nl.gate_count(), 2u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.depth(), 2u);
+  EXPECT_TRUE(nl.is_output(nl.find("d")));
+  EXPECT_FALSE(nl.is_output(nl.find("c")));
+  EXPECT_EQ(nl.fanout(nl.find("c")).size(), 1u);
+  EXPECT_THROW(static_cast<void>(nl.find("nope")), PreconditionError);
+}
+
+TEST(Netlist, EvaluateMatchesBoolean) {
+  const Netlist nl = tiny();
+  // d = NOT(NAND(a,b)) = AND(a,b)
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const auto v = nl.evaluate({a != 0, b != 0});
+      EXPECT_EQ(v[nl.find("d")], (a != 0) && (b != 0));
+    }
+  }
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = tiny();
+  const auto order = nl.topological_order();
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NetId id = 0; id < nl.size(); ++id)
+    for (NetId f : nl.gate(id).fanin) EXPECT_LT(pos[f], pos[id]);
+}
+
+TEST(Netlist, RejectsBadFanin) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(static_cast<void>(nl.add_gate(LogicKind::kNot, "g", {99})), PreconditionError);
+  EXPECT_THROW(static_cast<void>(nl.add_gate(LogicKind::kNot, "g", {})), PreconditionError);
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.mark_output(a);
+  nl.mark_output(a);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ppd::logic

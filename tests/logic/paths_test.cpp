@@ -1,0 +1,67 @@
+#include "ppd/logic/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+TEST(Paths, EnumeratesThroughC17Gate16) {
+  const Netlist nl = c17();
+  const NetId g16 = nl.find("16");
+  const auto paths = enumerate_paths_through(nl, g16, 64);
+  // Upstream of 16: via input 2 (direct) or via 11 (from 3 or 6): 3 prefixes.
+  // Downstream: 16 -> 22 and 16 -> 23: 2 suffixes. Total 6.
+  EXPECT_EQ(paths.size(), 6u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(nl.gate(p.input()).kind, LogicKind::kInput);
+    EXPECT_TRUE(nl.is_output(p.output()));
+    // Consecutive nets connected.
+    for (std::size_t i = 1; i < p.nets.size(); ++i) {
+      const auto& fanin = nl.gate(p.nets[i]).fanin;
+      EXPECT_NE(std::find(fanin.begin(), fanin.end(), p.nets[i - 1]),
+                fanin.end());
+    }
+    // The fault site is on every path.
+    EXPECT_NE(std::find(p.nets.begin(), p.nets.end(), g16), p.nets.end());
+  }
+}
+
+TEST(Paths, LimitCapsEnumeration) {
+  const Netlist nl = c17();
+  const auto paths = enumerate_paths_through(nl, nl.find("16"), 3);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(Paths, AllPathsOfC17) {
+  const Netlist nl = c17();
+  const auto paths = enumerate_all_paths(nl, 256);
+  // c17 has 11 PI->PO structural paths.
+  EXPECT_EQ(paths.size(), 11u);
+}
+
+TEST(Paths, KindsSkipInputPseudoGate) {
+  const Netlist nl = c17();
+  const auto paths = enumerate_paths_through(nl, nl.find("16"), 64);
+  for (const auto& p : paths) {
+    const auto kinds = path_kinds(nl, p);
+    EXPECT_EQ(kinds.size(), p.nets.size() - 1);
+    for (LogicKind k : kinds) EXPECT_EQ(k, LogicKind::kNand);
+  }
+}
+
+TEST(Paths, SyntheticBenchmarkHasDeepPaths) {
+  const Netlist nl = synthetic_benchmark(SyntheticOptions{});
+  // Pick a mid-circuit gate and require paths with several gates.
+  const NetId site = nl.find("G80");
+  const auto paths = enumerate_paths_through(nl, site, 32);
+  ASSERT_FALSE(paths.empty());
+  std::size_t longest = 0;
+  for (const auto& p : paths) longest = std::max(longest, p.length());
+  EXPECT_GE(longest, 4u);
+}
+
+}  // namespace
+}  // namespace ppd::logic

@@ -1,0 +1,143 @@
+#include "ppd/logic/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+/// inv chain: a -> n0 -> n1 -> ... of length k.
+Netlist inv_chain(std::size_t k) {
+  Netlist nl;
+  NetId prev = nl.add_input("a");
+  for (std::size_t i = 0; i < k; ++i)
+    prev = nl.add_gate(LogicKind::kNot, "n" + std::to_string(i), {prev});
+  nl.mark_output(prev);
+  return nl;
+}
+
+EventSimOptions flat_options() {
+  // Uniform 100 ps delays, 50 ps inertial block for easy arithmetic.
+  EventSimOptions opt;
+  GateTiming t;
+  t.delay_rise = 100e-12;
+  t.delay_fall = 100e-12;
+  t.w_block = 50e-12;
+  t.w_pass = 150e-12;
+  t.shrink = 0.0;
+  opt.library.set_default(t);
+  opt.library.set(LogicKind::kNot, t);
+  opt.library.set(LogicKind::kNand, t);
+  return opt;
+}
+
+TEST(Stimulus, Helpers) {
+  const Stimulus s = Stimulus::step(false, 1e-9);
+  EXPECT_FALSE(s.initial);
+  ASSERT_EQ(s.changes.size(), 1u);
+  EXPECT_TRUE(s.changes[0].value);
+  const Stimulus p = Stimulus::pulse(true, 1e-9, 0.5e-9);
+  ASSERT_EQ(p.changes.size(), 2u);
+  EXPECT_FALSE(p.changes[0].value);
+  EXPECT_TRUE(p.changes[1].value);
+  EXPECT_THROW(Stimulus::pulse(true, 1e-9, -1.0), PreconditionError);
+}
+
+TEST(EventSim, StepPropagatesWithAccumulatedDelay) {
+  const Netlist nl = inv_chain(4);
+  const auto res = simulate(nl, {Stimulus::step(false, 1e-9)}, flat_options());
+  const NetId out = nl.outputs()[0];
+  // 4 stages x 100 ps.
+  ASSERT_EQ(res.activity(out), 1u);
+  EXPECT_NEAR(res.changes(out)[0].t, 1e-9 + 4 * 100e-12, 1e-15);
+  // Even number of inversions of initial 0: output starts 0, ends 1.
+  EXPECT_FALSE(res.initial_value(out));
+  EXPECT_TRUE(res.value_at(out, 2e-9));
+}
+
+TEST(EventSim, WidePulseArrivesIntact) {
+  const Netlist nl = inv_chain(3);
+  const auto res =
+      simulate(nl, {Stimulus::pulse(false, 1e-9, 0.4e-9)}, flat_options());
+  const NetId out = nl.outputs()[0];
+  ASSERT_EQ(res.activity(out), 2u);
+  const auto w = res.first_pulse_width(out);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(*w, 0.4e-9, 1e-12);  // transport through equal rise/fall delays
+}
+
+TEST(EventSim, NarrowPulseFilteredByInertia) {
+  // A 60 ps pulse is narrower than the 100 ps gate delay: with inertial
+  // filtering on, the first gate's output never moves.
+  const Netlist nl = inv_chain(3);
+  const auto res =
+      simulate(nl, {Stimulus::pulse(false, 1e-9, 60e-12)}, flat_options());
+  EXPECT_EQ(res.activity(nl.outputs()[0]), 0u);
+  EXPECT_EQ(res.activity(nl.find("n0")), 0u);
+}
+
+TEST(EventSim, TransportModeKeepsNarrowPulse) {
+  EventSimOptions opt = flat_options();
+  opt.inertial = false;
+  const Netlist nl = inv_chain(3);
+  const auto res = simulate(nl, {Stimulus::pulse(false, 1e-9, 60e-12)}, opt);
+  EXPECT_EQ(res.activity(nl.outputs()[0]), 2u);
+}
+
+TEST(EventSim, SideInputGatingOnC17) {
+  const Netlist nl = c17();
+  // Drive input "1"; hold 3 = 1 so 10 = NAND(1, 3) follows input 1
+  // inverted; hold 2 = 0 so 16 = 1 regardless; 22 = NAND(10, 16) = NOT(10).
+  std::vector<Stimulus> stim(5);
+  stim[0] = Stimulus::step(false, 1e-9);  // input "1" rises
+  stim[1].initial = false;                // input "2" = 0
+  stim[2].initial = true;                 // input "3" = 1
+  stim[3].initial = false;                // input "6"
+  stim[4].initial = false;                // input "7"
+  const auto res = simulate(nl, stim, flat_options());
+  const NetId out22 = nl.find("22");
+  ASSERT_EQ(res.activity(out22), 1u);
+  // 0 -> 1 at input gives 10: 1 -> 0, then 22: 0 -> 1... initial: in=0 ->
+  // 10=1, 16=1, 22=0. After rise: 10=0 => 22=1.
+  EXPECT_FALSE(res.initial_value(out22));
+  EXPECT_TRUE(res.changes(out22)[0].value);
+  // Two levels of 100 ps.
+  EXPECT_NEAR(res.changes(out22)[0].t, 1e-9 + 200e-12, 1e-15);
+}
+
+TEST(EventSim, ReconvergentHazardProducesGlitch) {
+  // y = NAND(a, NOT(a)): static 1, but a rising edge on `a` can glitch low
+  // (the classic hazard) because the NOT path lags.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId na = nl.add_gate(LogicKind::kNot, "na", {a});
+  const NetId y = nl.add_gate(LogicKind::kNand, "y", {a, na});
+  nl.mark_output(y);
+  const auto res = simulate(nl, {Stimulus::step(false, 1e-9)}, flat_options());
+  // Glitch: y falls when `a` rises (na still high), recovers when na falls.
+  ASSERT_EQ(res.activity(y), 2u);
+  EXPECT_FALSE(res.changes(y)[0].value);
+  EXPECT_TRUE(res.changes(y)[1].value);
+  const auto w = res.first_pulse_width(y);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(*w, 100e-12, 1e-12);  // one NOT delay
+}
+
+TEST(EventSim, StimulusArityValidated) {
+  const Netlist nl = inv_chain(1);
+  EXPECT_THROW(static_cast<void>(simulate(nl, {}, flat_options())), PreconditionError);
+}
+
+TEST(EventSim, ValueAtInterpolatesHistory) {
+  const Netlist nl = inv_chain(1);
+  const auto res = simulate(nl, {Stimulus::step(false, 1e-9)}, flat_options());
+  const NetId out = nl.outputs()[0];
+  EXPECT_TRUE(res.value_at(out, 0.0));       // NOT(0) = 1 initially
+  EXPECT_TRUE(res.value_at(out, 1.05e-9));   // before gate delay elapses
+  EXPECT_FALSE(res.value_at(out, 1.2e-9));   // after
+}
+
+}  // namespace
+}  // namespace ppd::logic

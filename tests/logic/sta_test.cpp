@@ -1,0 +1,117 @@
+#include "ppd/logic/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+GateTimingLibrary flat_library(double delay = 100e-12) {
+  GateTimingLibrary lib;
+  GateTiming t;
+  t.delay_rise = delay;
+  t.delay_fall = delay;
+  lib.set_default(t);
+  for (LogicKind k : {LogicKind::kNot, LogicKind::kNand, LogicKind::kNor,
+                      LogicKind::kBuf, LogicKind::kAnd, LogicKind::kOr})
+    lib.set(k, t);
+  return lib;
+}
+
+/// Chain with a short side branch:
+///  a -> g0 -> g1 -> g2 -> out (critical, 4 levels incl. out gate)
+///  b ----------------^ side input of g2's NAND partner "fast".
+Netlist chain_with_branch() {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g0 = nl.add_gate(LogicKind::kNot, "g0", {a});
+  const NetId g1 = nl.add_gate(LogicKind::kNot, "g1", {g0});
+  const NetId g2 = nl.add_gate(LogicKind::kNot, "g2", {g1});
+  const NetId fast = nl.add_gate(LogicKind::kNot, "fast", {b});
+  const NetId out = nl.add_gate(LogicKind::kNand, "out", {g2, fast});
+  nl.mark_output(out);
+  return nl;
+}
+
+TEST(Sta, ArrivalTimesAccumulate) {
+  const Netlist nl = chain_with_branch();
+  const StaResult sta = run_sta(nl, flat_library());
+  EXPECT_DOUBLE_EQ(sta.arrival[nl.find("a")], 0.0);
+  EXPECT_DOUBLE_EQ(sta.arrival[nl.find("g0")], 100e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival[nl.find("g2")], 300e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival[nl.find("fast")], 100e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival[nl.find("out")], 400e-12);
+  EXPECT_DOUBLE_EQ(sta.critical_delay, 400e-12);
+}
+
+TEST(Sta, SlackZeroOnCriticalPathAtCriticalClock) {
+  const Netlist nl = chain_with_branch();
+  const StaResult sta = run_sta(nl, flat_library());
+  for (const char* n : {"g0", "g1", "g2", "out"})
+    EXPECT_NEAR(sta.slack_at(nl.find(n)), 0.0, 1e-18) << n;
+  // The fast branch has two levels of spare time.
+  EXPECT_NEAR(sta.slack_at(nl.find("fast")), 200e-12, 1e-18);
+}
+
+TEST(Sta, LargerClockAddsUniformSlack) {
+  const Netlist nl = chain_with_branch();
+  const StaResult sta = run_sta(nl, flat_library(), 600e-12);
+  EXPECT_NEAR(sta.slack_at(nl.find("out")), 200e-12, 1e-18);
+  EXPECT_NEAR(sta.slack_at(nl.find("fast")), 400e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(sta.clock_period, 600e-12);
+}
+
+TEST(Sta, CriticalPathWalksTheSlowChain) {
+  const Netlist nl = chain_with_branch();
+  const StaResult sta = run_sta(nl, flat_library());
+  const Path p = critical_path(nl, sta, flat_library());
+  ASSERT_EQ(p.length(), 5u);  // a g0 g1 g2 out
+  EXPECT_EQ(p.input(), nl.find("a"));
+  EXPECT_EQ(p.output(), nl.find("out"));
+  EXPECT_EQ(p.nets[2], nl.find("g1"));
+}
+
+TEST(Sta, SlackSitesSelectsNonCriticalGates) {
+  const Netlist nl = chain_with_branch();
+  const StaResult sta = run_sta(nl, flat_library());
+  const auto sites = slack_sites(nl, sta, 150e-12);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0], nl.find("fast"));
+  // With an (epsilon-negative) threshold every gate qualifies — critical
+  // gates sit at slack 0 modulo rounding.
+  EXPECT_EQ(slack_sites(nl, sta, -1e-15).size(), nl.gate_count());
+}
+
+TEST(Sta, SyntheticBenchmarkHasSlackSpread) {
+  // The premise of the paper: realistic circuits contain many gates with
+  // substantial slack where small defects hide from delay testing.
+  const Netlist nl = synthetic_benchmark(SyntheticOptions{});
+  const StaResult sta = run_sta(nl, GateTimingLibrary::generic());
+  EXPECT_GT(sta.critical_delay, 1e-9);  // ~20 levels
+  const auto relaxed = slack_sites(nl, sta, 0.25 * sta.critical_delay);
+  EXPECT_GT(relaxed.size(), nl.gate_count() / 10)
+      << "expected a large non-critical population";
+  // And the critical path itself has (near) zero slack.
+  const Path crit = critical_path(nl, sta, GateTimingLibrary::generic());
+  EXPECT_LT(sta.slack_at(crit.nets[crit.length() / 2]), 1e-12);
+}
+
+TEST(Sta, UsesWorstEdgeDelay) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate(LogicKind::kNor, "g", {a, a});
+  nl.mark_output(g);
+  GateTimingLibrary lib;
+  GateTiming t;
+  t.delay_rise = 120e-12;
+  t.delay_fall = 60e-12;
+  lib.set(LogicKind::kNor, t);
+  const StaResult sta = run_sta(nl, lib);
+  EXPECT_DOUBLE_EQ(sta.critical_delay, 120e-12);
+}
+
+}  // namespace
+}  // namespace ppd::logic

@@ -1,0 +1,105 @@
+// Three-valued evaluation and don't-care certification of sensitization
+// vectors.
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/sensitize.hpp"
+#include "ppd/mc/rng.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+TEST(Ternary, GateCalculus) {
+  using enum Tri;
+  // Controlling values decide despite Xs.
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kAnd, {k0, kX}), k0);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNand, {k0, kX}), k1);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kOr, {k1, kX}), k1);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNor, {k1, kX}), k0);
+  // Non-controlling + X stays X.
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kAnd, {k1, kX}), kX);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNor, {k0, kX}), kX);
+  // Fully known reduces to boolean.
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNand, {k1, k1}), k0);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kXor, {k1, k0}), k1);
+  // Any X poisons parity.
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kXor, {k1, kX}), kX);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNot, {kX}), kX);
+  EXPECT_EQ(eval_gate_ternary(LogicKind::kNot, {k0}), k1);
+}
+
+TEST(Ternary, PessimismIsSound) {
+  // Property: whenever the ternary evaluation says k0/k1, every boolean
+  // completion of the X inputs agrees.
+  const Netlist nl = c17();
+  mc::Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Tri> tri(nl.inputs().size());
+    for (auto& t : tri) {
+      const double u = rng.uniform();
+      t = u < 0.33 ? Tri::k0 : (u < 0.66 ? Tri::k1 : Tri::kX);
+    }
+    const auto tv = nl.evaluate_ternary(tri);
+    for (int completion = 0; completion < 8; ++completion) {
+      std::vector<bool> pis(nl.inputs().size());
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        if (tri[i] == Tri::kX)
+          pis[i] = rng.uniform() < 0.5;
+        else
+          pis[i] = tri[i] == Tri::k1;
+      }
+      const auto bv = nl.evaluate(pis);
+      for (NetId id = 0; id < nl.size(); ++id) {
+        if (tv[id] == Tri::kX) continue;
+        EXPECT_EQ(bv[id], tv[id] == Tri::k1)
+            << "net " << nl.gate(id).name << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Ternary, SensitizationCertifiesDontCares) {
+  // c17 path 2 -> 16 -> 22: requires 11 = 1 (via 3 = 0 or 6 = 0) and
+  // 10 = 1; several of the five inputs should be certified don't-care.
+  const Netlist nl = c17();
+  Path p;
+  p.nets = {nl.find("2"), nl.find("16"), nl.find("22")};
+  const auto res = sensitize_path(nl, p);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.pi_care.size(), nl.inputs().size());
+  EXPECT_GT(res.dont_care_count(), 0u) << "expected at least one don't-care";
+  // The path input itself is always a care bit.
+  std::size_t input_index = 99;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    if (nl.inputs()[i] == p.input()) input_index = i;
+  ASSERT_LT(input_index, nl.inputs().size());
+  EXPECT_TRUE(res.pi_care[input_index] != 0);
+}
+
+TEST(Ternary, DontCareCompletionsAllWork) {
+  // Property: flipping certified don't-care inputs never breaks the
+  // sensitization or the output toggle.
+  const Netlist nl = c17();
+  for (const auto& p : enumerate_paths_through(nl, nl.find("16"), 8)) {
+    const auto res = sensitize_path(nl, p);
+    if (!res.ok || res.pi_care.empty()) continue;
+    std::size_t input_index = 0;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+      if (nl.inputs()[i] == p.input()) input_index = i;
+    mc::Rng rng(7);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<bool> v = res.pi_values;
+      for (std::size_t i = 0; i < v.size(); ++i)
+        if (res.pi_care[i] == 0) v[i] = rng.uniform() < 0.5;
+      std::vector<bool> flipped = v;
+      flipped[input_index] = !flipped[input_index];
+      EXPECT_TRUE(is_sensitized(nl, p, v));
+      EXPECT_TRUE(is_sensitized(nl, p, flipped));
+      EXPECT_NE(nl.evaluate(v)[p.output()], nl.evaluate(flipped)[p.output()]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppd::logic

@@ -1,0 +1,129 @@
+// VCD export and fault-dictionary diagnosis.
+#include <gtest/gtest.h>
+
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/diagnosis.hpp"
+#include "ppd/logic/sta.hpp"
+#include "ppd/logic/vcd.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::logic {
+namespace {
+
+TEST(Vcd, HeaderAndChangesWellFormed) {
+  const Netlist nl = c17();
+  std::vector<Stimulus> stim(nl.inputs().size());
+  stim[2].initial = true;  // input "3"
+  stim[0] = Stimulus::pulse(false, 1e-9, 0.4e-9);  // input "1"
+  const auto res = simulate(nl, stim);
+  const std::string vcd = vcd_to_string(nl, res);
+
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  // One $var per net.
+  std::size_t vars = 0, pos = 0;
+  while ((pos = vcd.find("$var wire 1 ", pos)) != std::string::npos) {
+    ++vars;
+    pos += 1;
+  }
+  EXPECT_EQ(vars, nl.size());
+  // The input pulse shows up as a #1000 timestamp (1 ns / 1 ps).
+  EXPECT_NE(vcd.find("#1000"), std::string::npos);
+}
+
+TEST(Vcd, NetSubsetAndValidation) {
+  const Netlist nl = c17();
+  std::vector<Stimulus> stim(nl.inputs().size());
+  const auto res = simulate(nl, stim);
+  VcdOptions o;
+  o.nets = {nl.find("22")};
+  const std::string vcd = vcd_to_string(nl, res, o);
+  EXPECT_NE(vcd.find(" 22 $end"), std::string::npos);
+  EXPECT_EQ(vcd.find(" 23 $end"), std::string::npos);
+  o.nets = {999};
+  EXPECT_THROW(vcd_to_string(nl, res, o), PreconditionError);
+}
+
+/// Dictionary fixture: c17 ROP faults with an ATPG-generated test set.
+struct DictFixture {
+  Netlist nl = c17();
+  FaultSimulator sim{nl, GateTimingLibrary::generic()};
+  std::vector<LogicFault> faults;
+  AtpgResult atpg;
+
+  DictFixture() {
+    std::vector<NetId> sites;
+    for (NetId id = 0; id < nl.size(); ++id)
+      if (nl.gate(id).kind != LogicKind::kInput) sites.push_back(id);
+    faults = enumerate_rop_faults(sites, 25e3);
+    atpg = generate_pulse_tests(sim, faults);
+  }
+};
+
+TEST(Diagnosis, ExactMatchRecoversTheInjectedFault) {
+  DictFixture fx;
+  ASSERT_FALSE(fx.atpg.tests.empty());
+  const FaultDictionary dict(fx.sim, fx.faults, fx.atpg.tests);
+
+  // "Test" a machine carrying fault 4 (simulate its syndrome) and diagnose.
+  int diagnosed = 0, checked = 0;
+  for (std::size_t injected = 0; injected < fx.faults.size(); ++injected) {
+    const auto& observed = dict.syndrome(injected);
+    if (std::none_of(observed.begin(), observed.end(),
+                     [](char c) { return c != 0; }))
+      continue;  // undetected fault: no syndrome to match
+    ++checked;
+    const auto cands = dict.exact_matches(observed);
+    EXPECT_FALSE(cands.empty());
+    if (std::find(cands.begin(), cands.end(), injected) != cands.end())
+      ++diagnosed;
+  }
+  EXPECT_GT(checked, 5);
+  EXPECT_EQ(diagnosed, checked) << "every syndrome must contain its cause";
+}
+
+TEST(Diagnosis, NearMatchAbsorbsOneFlippedBit) {
+  DictFixture fx;
+  const FaultDictionary dict(fx.sim, fx.faults, fx.atpg.tests);
+  // Find a detected fault and corrupt one bit of its syndrome.
+  for (std::size_t i = 0; i < dict.fault_count(); ++i) {
+    auto observed = dict.syndrome(i);
+    const auto it = std::find(observed.begin(), observed.end(), char{1});
+    if (it == observed.end()) continue;
+    *it = 0;  // tester noise
+    const auto near = dict.near_matches(observed, 1);
+    ASSERT_FALSE(near.empty());
+    bool found = false;
+    for (const auto& m : near) found = found || m.fault_index == i;
+    EXPECT_TRUE(found) << "true fault must survive a 1-bit corruption";
+    // Ordered by distance.
+    for (std::size_t k = 1; k < near.size(); ++k)
+      EXPECT_LE(near[k - 1].distance, near[k].distance);
+    break;
+  }
+}
+
+TEST(Diagnosis, ResolutionBounds) {
+  DictFixture fx;
+  const FaultDictionary dict(fx.sim, fx.faults, fx.atpg.tests);
+  const double r = dict.resolution();
+  EXPECT_GT(r, 0.0);
+  EXPECT_LE(r, 1.0);
+  // c17's 6 sites cannot be fully distinguished by a handful of paths, but
+  // the dictionary must carry real information (several distinct columns).
+  EXPECT_GT(r, 0.2);
+}
+
+TEST(Diagnosis, ValidatesAritiesAndIndices) {
+  DictFixture fx;
+  const FaultDictionary dict(fx.sim, fx.faults, fx.atpg.tests);
+  EXPECT_THROW(static_cast<void>(dict.exact_matches(std::vector<char>(1, 0))),
+               PreconditionError);
+  EXPECT_THROW(static_cast<void>(dict.syndrome(dict.fault_count())),
+               PreconditionError);
+  EXPECT_THROW(FaultDictionary(fx.sim, fx.faults, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::logic

@@ -1,0 +1,93 @@
+#include "ppd/mc/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ppd/mc/variation.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::mc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMomentsReasonable) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.uniform();
+  const Stats s = compute_stats(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.01);
+  EXPECT_NEAR(s.stddev, 0.2887, 0.01);
+}
+
+TEST(Rng, NormalMomentsReasonable) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(2.0, 0.5);
+  const Stats s = compute_stats(xs);
+  EXPECT_NEAR(s.mean, 2.0, 0.02);
+  EXPECT_NEAR(s.stddev, 0.5, 0.02);
+}
+
+TEST(Rng, NormalClippedRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.normal_clipped(1.0, 0.1, 3.0);
+    EXPECT_GE(v, 1.0 - 0.3 - 1e-12);
+    EXPECT_LE(v, 1.0 + 0.3 + 1e-12);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(19);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 50);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent_copy(23);
+  static_cast<void>(parent_copy.split());
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child.next_u64() == parent.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace ppd::mc

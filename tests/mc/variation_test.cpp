@@ -1,0 +1,73 @@
+#include "ppd/mc/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::mc {
+namespace {
+
+TEST(VariationModel, UniformSigmaSetsAll) {
+  const VariationModel m = VariationModel::uniform_sigma(0.08);
+  EXPECT_DOUBLE_EQ(m.sigma_vt, 0.08);
+  EXPECT_DOUBLE_EQ(m.sigma_kp, 0.08);
+  EXPECT_DOUBLE_EQ(m.sigma_w, 0.08);
+  EXPECT_DOUBLE_EQ(m.sigma_cap, 0.08);
+}
+
+TEST(GaussianVariationSource, MultipliersCenteredOnOne) {
+  GaussianVariationSource src(VariationModel::uniform_sigma(0.05), Rng(5));
+  std::vector<double> vt, kp, w, cap;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = src.transistor();
+    vt.push_back(t.vt_mult);
+    kp.push_back(t.kp_mult);
+    w.push_back(t.w_mult);
+    cap.push_back(src.cap_mult());
+  }
+  for (const auto* v : {&vt, &kp, &w, &cap}) {
+    const Stats s = compute_stats(*v);
+    EXPECT_NEAR(s.mean, 1.0, 0.01);
+    EXPECT_NEAR(s.stddev, 0.05, 0.01);
+    EXPECT_GT(s.min, 0.0) << "multiplier went non-positive";
+  }
+}
+
+TEST(GaussianVariationSource, ZeroSigmaIsNominal) {
+  GaussianVariationSource src(VariationModel::uniform_sigma(0.0), Rng(5));
+  const auto t = src.transistor();
+  EXPECT_DOUBLE_EQ(t.vt_mult, 1.0);
+  EXPECT_DOUBLE_EQ(t.kp_mult, 1.0);
+  EXPECT_DOUBLE_EQ(t.w_mult, 1.0);
+  EXPECT_DOUBLE_EQ(src.cap_mult(), 1.0);
+}
+
+TEST(ComputeStats, HandlesEmptyAndSingle) {
+  const Stats empty = compute_stats({});
+  EXPECT_EQ(empty.count, 0u);
+  const Stats one = compute_stats({3.0});
+  EXPECT_DOUBLE_EQ(one.mean, 3.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.min, 3.0);
+  EXPECT_DOUBLE_EQ(one.max, 3.0);
+}
+
+TEST(ComputeStats, KnownValues) {
+  const Stats s = compute_stats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Quantile, InterpolatesAndBounds) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW(static_cast<void>(quantile({}, 0.5)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(quantile(xs, 1.5)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::mc

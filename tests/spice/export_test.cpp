@@ -1,0 +1,110 @@
+// SPICE-deck export: structure, model deduplication, source specs, and a
+// full transistor-level circuit round through the formatter.
+#include "ppd/spice/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/faults/fault.hpp"
+
+namespace ppd::spice {
+namespace {
+
+std::size_t count_lines_starting(const std::string& s, char prefix) {
+  std::size_t n = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty() && line[0] == prefix) ++n;
+  return n;
+}
+
+TEST(SpiceExport, BasicDeckStructure) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_vsource("V1", a, kGround, Dc{1.8});
+  c.add_resistor("R1", a, b, 1e3);
+  c.add_capacitor("C1", b, kGround, 1e-12);
+  Pulse p;
+  p.v2 = 1.0;
+  p.width = 1e-9;
+  c.add_isource("I1", b, kGround, p);
+
+  SpiceExportOptions o;
+  o.tran_step = 1e-12;
+  o.tran_stop = 4e-9;
+  const std::string deck = spice_to_string(c, o);
+
+  EXPECT_EQ(deck.substr(0, 1), "*");
+  EXPECT_NE(deck.find("VV1 a 0 DC 1.8"), std::string::npos);
+  EXPECT_NE(deck.find("RR1 a b 1000"), std::string::npos);
+  EXPECT_NE(deck.find("CC1 b 0 1e-12"), std::string::npos);
+  EXPECT_NE(deck.find("II1 0 b PULSE("), std::string::npos);
+  EXPECT_NE(deck.find(".tran 1e-12 4e-09"), std::string::npos);
+  EXPECT_NE(deck.rfind(".end\n"), std::string::npos);
+}
+
+TEST(SpiceExport, ModelsDeduplicated) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("Vdd", vdd, kGround, Dc{1.8});
+  MosParams pn;
+  MosParams pp;
+  pp.type = MosType::kPmos;
+  pp.vt0 = -0.45;
+  c.add_mosfet("m1", out, in, kGround, pn);
+  c.add_mosfet("m2", out, in, kGround, pn);   // same params: same model
+  c.add_mosfet("m3", out, in, vdd, pp);
+  const std::string deck = spice_to_string(c);
+  EXPECT_EQ(count_lines_starting(deck, '.') - 1 /* .end */, 2u)
+      << "expected exactly 2 .model cards";
+  EXPECT_NE(deck.find("level=1"), std::string::npos);
+  EXPECT_NE(deck.find("NMOS"), std::string::npos);
+  EXPECT_NE(deck.find("PMOS"), std::string::npos);
+}
+
+TEST(SpiceExport, FaultyPathExportsCleanly) {
+  cells::Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(3, cells::GateKind::kInv);
+  cells::Path path = cells::build_path(proc, po);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  (void)faults::inject_on_path(path, spec, 8e3);
+  path.drive_pulse(true, 0.35e-9, 0.3e-9);
+
+  const std::string deck = spice_to_string(path.netlist().circuit());
+  // Every MOSFET in the circuit appears as an M card.
+  std::size_t mosfets = 0;
+  for (const auto& dev : path.netlist().circuit().devices())
+    if (dynamic_cast<const Mosfet*>(dev.get()) != nullptr) ++mosfets;
+  EXPECT_EQ(count_lines_starting(deck, 'M'), mosfets);
+  // Sanitized names: no dots left on element cards.
+  std::istringstream is(deck);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '*' || line[0] == '.') continue;
+    EXPECT_EQ(line.substr(0, line.find(' ')).find('.'), std::string::npos)
+        << line;
+  }
+  // The injected defect resistor survives with its value.
+  EXPECT_NE(deck.find("8000"), std::string::npos);
+}
+
+TEST(SpiceExport, PwlSource) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  Pwl pw;
+  pw.points = {{0.0, 0.0}, {1e-9, 1.8}};
+  c.add_vsource("Vp", a, kGround, pw);
+  c.add_resistor("R", a, kGround, 1.0);
+  const std::string deck = spice_to_string(c);
+  EXPECT_NE(deck.find("PWL(0 0 1e-09 1.8)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppd::spice

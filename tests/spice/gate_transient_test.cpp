@@ -1,0 +1,165 @@
+// Transient validation on transistor-level gates built via the cell
+// library: inverter switching, delay positivity, pulse propagation through a
+// chain, and a ring oscillator.
+#include <gtest/gtest.h>
+
+#include "ppd/cells/netlist.hpp"
+#include "ppd/cells/path.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::spice {
+namespace {
+
+using cells::GateKind;
+using cells::Netlist;
+using cells::Process;
+
+TEST(GateTransient, InverterSwitches) {
+  Process proc;
+  Netlist nl(proc);
+  Circuit& c = nl.circuit();
+  const NodeId in = c.node("in");
+  Pulse p;
+  p.v1 = 0.0;
+  p.v2 = proc.vdd;
+  p.delay = 0.2e-9;
+  p.rise = 50e-12;
+  p.fall = 50e-12;
+  p.width = 1.0;
+  c.add_vsource("Vin", in, kGround, p);
+  nl.add_gate(GateKind::kInv, "g0", {in}, "out");
+  nl.add_load("Cl", c.find_node("out"), 10e-15);
+
+  TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = run_transient(c, opt);
+  const auto& w = res.wave("out");
+  EXPECT_NEAR(w.at(0.0), proc.vdd, 0.02);  // input low -> output high
+  EXPECT_NEAR(w.at(2e-9), 0.0, 0.02);      // input high -> output low
+  const auto d = wave::propagation_delay(res.wave("in"), w, proc.vdd / 2,
+                                         wave::Edge::kRise, wave::Edge::kFall);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 0.0);
+  EXPECT_LT(*d, 0.5e-9);
+}
+
+TEST(GateTransient, Nand2TruthTableDynamics) {
+  // Side input low forces the output high regardless of the path input.
+  Process proc;
+  Netlist nl(proc);
+  Circuit& c = nl.circuit();
+  const NodeId in = c.node("in");
+  Pulse p;
+  p.v1 = 0.0;
+  p.v2 = proc.vdd;
+  p.delay = 0.2e-9;
+  p.rise = 50e-12;
+  p.width = 1.0;
+  c.add_vsource("Vin", in, kGround, p);
+  nl.add_gate(GateKind::kNand2, "g0", {in, nl.tie_low()}, "out");
+  nl.add_load("Cl", c.find_node("out"), 10e-15);
+  TransientOptions opt;
+  opt.t_stop = 1.5e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = run_transient(c, opt);
+  EXPECT_GT(res.wave("out").min_value(), proc.vdd - 0.1);
+}
+
+TEST(GateTransient, PulsePropagatesThroughFaultFreeChain) {
+  // A comfortably wide pulse traverses a 5-inverter chain with full swing.
+  Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(5, GateKind::kInv);
+  cells::Path path = cells::build_path(proc, po);
+  path.drive_pulse(/*positive=*/true, /*width=*/0.6e-9, /*t_launch=*/0.3e-9);
+
+  TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = run_transient(path.netlist().circuit(), opt);
+  const auto& out = res.wave(path.output());
+  // 5 inversions: a positive input pulse emerges as a negative pulse.
+  const auto width =
+      wave::pulse_width(out, proc.vdd / 2, /*positive_pulse=*/false);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_GT(*width, 0.3e-9);
+  EXPECT_GT(wave::peak_excursion(out), 0.9 * proc.vdd);
+}
+
+TEST(GateTransient, NarrowPulseIsDampenedEvenFaultFree) {
+  // A pulse much narrower than the chain's inertia dies out: region 1 of
+  // the paper's Fig. 10 exists even without a fault.
+  Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(7, GateKind::kInv);
+  cells::Path path = cells::build_path(proc, po);
+  path.drive_pulse(true, 0.08e-9, 0.3e-9);
+
+  TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = run_transient(path.netlist().circuit(), opt);
+  const auto& out = res.wave(path.output());
+  EXPECT_FALSE(wave::pulse_width(out, proc.vdd / 2, false).has_value());
+  EXPECT_LT(wave::peak_excursion(out), 0.5 * proc.vdd);
+}
+
+TEST(GateTransient, RingOscillatorOscillates) {
+  Process proc;
+  Netlist nl(proc);
+  Circuit& c = nl.circuit();
+  const int kStages = 5;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kStages; ++i) nodes.push_back(c.node("r" + std::to_string(i)));
+  for (int i = 0; i < kStages; ++i) {
+    nl.add_gate(GateKind::kInv, "g" + std::to_string(i), {nodes[static_cast<std::size_t>(i)]},
+                "r" + std::to_string((i + 1) % kStages));
+    nl.add_load("Cl" + std::to_string(i), nodes[static_cast<std::size_t>(i)], 5e-15);
+  }
+  // Kick the loop out of its metastable OP with a brief current pulse.
+  Pulse kick;
+  kick.v1 = 0.0;
+  kick.v2 = 2e-4;
+  kick.delay = 10e-12;
+  kick.rise = 5e-12;
+  kick.fall = 5e-12;
+  kick.width = 50e-12;
+  c.add_isource("Ikick", nodes[0], kGround, kick);
+
+  TransientOptions opt;
+  opt.t_stop = 6e-9;
+  opt.dt = 2e-12;
+  const TransientResult res = run_transient(c, opt);
+  const auto& w = res.wave("r0");
+  const auto xs = wave::crossings(w, proc.vdd / 2);
+  EXPECT_GE(xs.size(), 4u) << "ring oscillator failed to oscillate";
+}
+
+TEST(GateTransient, AdaptiveSteppingAgreesWithFixed) {
+  Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(3, GateKind::kInv);
+
+  auto run_with = [&](bool adaptive) {
+    cells::Path path = cells::build_path(proc, po);
+    path.drive_pulse(true, 0.5e-9, 0.3e-9);
+    TransientOptions opt;
+    opt.t_stop = 2.5e-9;
+    opt.dt = 2e-12;
+    opt.adaptive = adaptive;
+    opt.dt_max = 10e-12;
+    const TransientResult res = run_transient(path.netlist().circuit(), opt);
+    const auto w = res.wave(path.output());
+    return wave::pulse_width(w, proc.vdd / 2, false);
+  };
+  const auto fixed = run_with(false);
+  const auto adaptive = run_with(true);
+  ASSERT_TRUE(fixed.has_value());
+  ASSERT_TRUE(adaptive.has_value());
+  EXPECT_NEAR(*fixed, *adaptive, 0.05 * *fixed);
+}
+
+}  // namespace
+}  // namespace ppd::spice

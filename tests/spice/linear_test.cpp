@@ -1,0 +1,193 @@
+// Linear-circuit validation against closed-form solutions: voltage divider,
+// RC step response, RC discharge, and dense/sparse solver agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/spice/circuit.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+namespace {
+
+TEST(Op, VoltageDivider) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", vin, kGround, Dc{10.0});
+  c.add_resistor("R1", vin, mid, 1e3);
+  c.add_resistor("R2", mid, kGround, 3e3);
+  const OpResult op = run_op(c);
+  EXPECT_NEAR(op.voltage(vin), 10.0, 1e-9);
+  // The universal gmin leak (1 nS) shifts resistive dividers by a few uV.
+  EXPECT_NEAR(op.voltage(mid), 7.5, 1e-4);
+}
+
+TEST(Op, CurrentSourceIntoResistor) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add_isource("I1", n, kGround, Dc{1e-3});
+  c.add_resistor("R1", n, kGround, 2e3);
+  const OpResult op = run_op(c);
+  EXPECT_NEAR(op.voltage(n), 2.0, 1e-4);
+}
+
+TEST(Op, SeriesVoltageSources) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add_vsource("V1", a, kGround, Dc{1.0});
+  c.add_vsource("V2", b, a, Dc{2.0});
+  c.add_resistor("Rl", b, kGround, 1e3);
+  const OpResult op = run_op(c);
+  EXPECT_NEAR(op.voltage(b), 3.0, 1e-9);
+}
+
+TEST(Op, CapacitorIsOpenInDc) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", vin, kGround, Dc{5.0});
+  c.add_resistor("R1", vin, mid, 1e3);
+  c.add_capacitor("C1", mid, kGround, 1e-12);
+  const OpResult op = run_op(c);
+  // No DC current: the node floats to the source value through R1.
+  EXPECT_NEAR(op.voltage(mid), 5.0, 1e-3);
+}
+
+class RcStepResponse
+    : public ::testing::TestWithParam<std::pair<Integrator, double>> {};
+
+TEST_P(RcStepResponse, MatchesAnalyticExponential) {
+  const auto [integrator, dt] = GetParam();
+  // 1k / 1pF low-pass driven by a fast step: v(t) = V (1 - exp(-t/RC)).
+  constexpr double kR = 1e3;
+  constexpr double kC = 1e-12;
+  constexpr double kV = 1.0;
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId out = c.node("out");
+  Pulse p;
+  p.v1 = 0.0;
+  p.v2 = kV;
+  p.delay = 0.0;
+  p.rise = 1e-15;  // effectively instantaneous
+  p.width = 1.0;
+  c.add_vsource("V1", vin, kGround, p);
+  c.add_resistor("R1", vin, out, kR);
+  c.add_capacitor("C1", out, kGround, kC);
+
+  TransientOptions opt;
+  opt.t_stop = 5e-9;  // 5 tau
+  opt.dt = dt;
+  opt.integrator = integrator;
+  const TransientResult res = run_transient(c, opt);
+  const auto& w = res.wave(out);
+
+  const double tol = integrator == Integrator::kTrapezoidal ? 2e-3 : 2e-2;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expected = kV * (1.0 - std::exp(-t / (kR * kC)));
+    EXPECT_NEAR(w.at(t), expected, tol * kV) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, RcStepResponse,
+    ::testing::Values(std::pair{Integrator::kTrapezoidal, 1e-12},
+                      std::pair{Integrator::kTrapezoidal, 5e-12},
+                      std::pair{Integrator::kBackwardEuler, 1e-12},
+                      std::pair{Integrator::kBackwardEuler, 5e-12}));
+
+TEST(Transient, RcDischargeFromOp) {
+  // Node pre-charged via the OP (source high at t<=0), then source falls.
+  constexpr double kR = 2e3;
+  constexpr double kC = 2e-12;
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId out = c.node("out");
+  Pulse p;
+  p.v1 = 1.0;
+  p.v2 = 0.0;
+  p.delay = 0.0;
+  p.rise = 1e-15;
+  p.width = 1.0;
+  c.add_vsource("V1", vin, kGround, p);
+  c.add_resistor("R1", vin, out, kR);
+  c.add_capacitor("C1", out, kGround, kC);
+
+  TransientOptions opt;
+  opt.t_stop = 12e-9;
+  opt.dt = 4e-12;
+  const TransientResult res = run_transient(c, opt);
+  const auto& w = res.wave("out");
+  EXPECT_NEAR(w.at(0.0), 1.0, 1e-3);  // initial condition from OP
+  for (double t : {2e-9, 4e-9, 8e-9}) {
+    const double expected = std::exp(-t / (kR * kC));
+    EXPECT_NEAR(w.at(t), expected, 5e-3) << "t=" << t;
+  }
+}
+
+TEST(Transient, SparseSolverMatchesDense) {
+  // Same RC ladder solved with both backends.
+  auto build = [](Circuit& c) {
+    const NodeId vin = c.node("vin");
+    Pulse p;
+    p.v1 = 0.0;
+    p.v2 = 1.0;
+    p.delay = 1e-10;
+    p.rise = 1e-11;
+    p.width = 1.0;
+    c.add_vsource("V1", vin, kGround, p);
+    NodeId prev = vin;
+    for (int i = 0; i < 12; ++i) {
+      const NodeId n = c.node("n" + std::to_string(i));
+      c.add_resistor("R" + std::to_string(i), prev, n, 500.0);
+      c.add_capacitor("C" + std::to_string(i), n, kGround, 0.5e-12);
+      prev = n;
+    }
+  };
+  Circuit c1, c2;
+  build(c1);
+  build(c2);
+  TransientOptions dense_opt;
+  dense_opt.t_stop = 3e-9;
+  dense_opt.dt = 2e-12;
+  TransientOptions sparse_opt = dense_opt;
+  sparse_opt.sparse_threshold = 0;  // force sparse
+  const TransientResult rd = run_transient(c1, dense_opt);
+  const TransientResult rs = run_transient(c2, sparse_opt);
+  const auto& wd = rd.wave("n11");
+  const auto& ws = rs.wave("n11");
+  for (double t = 0.0; t < 3e-9; t += 0.1e-9)
+    EXPECT_NEAR(wd.at(t), ws.at(t), 1e-9) << "t=" << t;
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add_vsource("V1", n, kGround, Dc{1.0});
+  c.add_resistor("R1", n, kGround, 1e3);
+  TransientOptions opt;
+  opt.t_stop = -1.0;
+  EXPECT_THROW(run_transient(c, opt), PreconditionError);
+  opt.t_stop = 1e-9;
+  opt.dt = 0.0;
+  EXPECT_THROW(run_transient(c, opt), PreconditionError);
+}
+
+TEST(TransientResult, UnknownNodeThrows) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add_vsource("V1", n, kGround, Dc{1.0});
+  c.add_resistor("R1", n, kGround, 1e3);
+  TransientOptions opt;
+  opt.t_stop = 1e-10;
+  opt.dt = 1e-11;
+  const TransientResult res = run_transient(c, opt);
+  EXPECT_THROW(static_cast<void>(res.wave("nope")), PreconditionError);
+  EXPECT_NO_THROW(static_cast<void>(res.wave("n")));
+}
+
+}  // namespace
+}  // namespace ppd::spice

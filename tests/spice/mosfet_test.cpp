@@ -1,0 +1,153 @@
+// MOSFET model validation: square-law regions, drain/source symmetry, PMOS
+// mirroring, derivative consistency (finite differences), and a DC inverter
+// voltage transfer characteristic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::spice {
+namespace {
+
+MosParams nmos_params() {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = 1e-6;
+  p.l = 180e-9;
+  p.vt0 = 0.45;
+  p.kp = 170e-6;
+  p.lambda = 0.0;  // exact square law for the region checks
+  return p;
+}
+
+MosParams pmos_params() {
+  MosParams p = nmos_params();
+  p.type = MosType::kPmos;
+  p.vt0 = -0.45;
+  p.kp = 60e-6;
+  return p;
+}
+
+Mosfet make_nmos() { return Mosfet("mn", 1, 2, 3, nmos_params()); }
+Mosfet make_pmos() { return Mosfet("mp", 1, 2, 3, pmos_params()); }
+
+TEST(Mosfet, CutoffHasNoCurrent) {
+  const Mosfet m = make_nmos();
+  const auto e = m.evaluate(/*vd=*/1.0, /*vg=*/0.2, /*vs=*/0.0);
+  EXPECT_DOUBLE_EQ(e.ids, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesSquareLaw) {
+  const Mosfet m = make_nmos();
+  const MosParams p = nmos_params();
+  const double vgs = 1.2, vds = 1.5;  // vds > vov = 0.75
+  const auto e = m.evaluate(vds, vgs, 0.0);
+  const double beta = p.kp * p.w / p.l;
+  EXPECT_NEAR(e.ids, 0.5 * beta * (vgs - p.vt0) * (vgs - p.vt0), 1e-12);
+  EXPECT_NEAR(e.gm, beta * (vgs - p.vt0), 1e-12);
+  EXPECT_NEAR(e.gds, 0.0, 1e-15);  // lambda = 0
+}
+
+TEST(Mosfet, TriodeCurrentMatchesSquareLaw) {
+  const Mosfet m = make_nmos();
+  const MosParams p = nmos_params();
+  const double vgs = 1.8, vds = 0.3;  // vds < vov = 1.35
+  const auto e = m.evaluate(vds, vgs, 0.0);
+  const double beta = p.kp * p.w / p.l;
+  EXPECT_NEAR(e.ids, beta * ((vgs - p.vt0) * vds - 0.5 * vds * vds), 1e-12);
+}
+
+TEST(Mosfet, DrainSourceSymmetry) {
+  // Swapping drain and source negates the current.
+  const Mosfet m = make_nmos();
+  const auto fwd = m.evaluate(0.3, 1.8, 0.0);
+  const auto rev = m.evaluate(0.0, 1.8, 0.3);
+  EXPECT_NEAR(fwd.ids, -rev.ids, 1e-15);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  // A conducting PMOS (vgs, vds negative) carries negative drain current.
+  const Mosfet mp = make_pmos();
+  const auto e = mp.evaluate(/*vd=*/0.0, /*vg=*/0.0, /*vs=*/1.8);
+  EXPECT_LT(e.ids, 0.0);
+  // Cutoff when |vgs| < |vt|.
+  const auto off = mp.evaluate(0.0, 1.6, 1.8);
+  EXPECT_DOUBLE_EQ(off.ids, 0.0);
+}
+
+class MosfetDerivatives
+    : public ::testing::TestWithParam<std::tuple<double, double, double, int>> {};
+
+TEST_P(MosfetDerivatives, MatchFiniteDifferences) {
+  // Property: analytic gm/gds match numerical differentiation everywhere,
+  // including across region boundaries and for both polarities.
+  const auto [vd, vg, vs, type] = GetParam();
+  MosParams p = type == 0 ? nmos_params() : pmos_params();
+  p.lambda = 0.07;  // exercise the CLM terms too
+  const Mosfet m("m", 1, 2, 3, p);
+  const double eps = 1e-7;
+  const auto e = m.evaluate(vd, vg, vs);
+  const double gm_fd =
+      (m.evaluate(vd, vg + eps, vs).ids - m.evaluate(vd, vg - eps, vs).ids) /
+      (2 * eps);
+  const double gds_fd =
+      (m.evaluate(vd + eps, vg, vs).ids - m.evaluate(vd - eps, vg, vs).ids) /
+      (2 * eps);
+  EXPECT_NEAR(e.gm, gm_fd, 1e-6 + 1e-4 * std::abs(gm_fd));
+  EXPECT_NEAR(e.gds, gds_fd, 1e-6 + 1e-4 * std::abs(gds_fd));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MosfetDerivatives,
+    ::testing::Values(
+        // NMOS: cutoff, saturation, triode, reverse conduction.
+        std::tuple{1.5, 0.2, 0.0, 0},
+        std::tuple{1.5, 1.2, 0.0, 0},
+        std::tuple{0.2, 1.8, 0.0, 0},
+        std::tuple{0.0, 1.8, 0.9, 0},
+        std::tuple{0.4, 1.0, 1.3, 0},
+        // PMOS: conducting, cutoff, reverse.
+        std::tuple{0.0, 0.0, 1.8, 1},
+        std::tuple{1.2, 0.2, 1.8, 1},
+        std::tuple{1.8, 0.0, 0.6, 1}));
+
+TEST(Inverter, VtcEndpointsAndMidpoint) {
+  // Static CMOS inverter driven by a DC sweep: out ~ VDD for low in,
+  // out ~ 0 for high in, and the switching threshold lies mid-rail.
+  constexpr double kVdd = 1.8;
+  auto vtc = [&](double vin) {
+    Circuit c;
+    const NodeId nvdd = c.node("vdd");
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add_vsource("Vdd", nvdd, kGround, Dc{kVdd});
+    c.add_vsource("Vin", in, kGround, Dc{vin});
+    MosParams pn = nmos_params();
+    pn.lambda = 0.06;
+    MosParams pp = pmos_params();
+    pp.lambda = 0.08;
+    pp.w = 2e-6;
+    c.add_mosfet("mp", out, in, nvdd, pp);
+    c.add_mosfet("mn", out, in, kGround, pn);
+    return run_op(c).voltage(out);
+  };
+  EXPECT_NEAR(vtc(0.0), kVdd, 1e-3);
+  EXPECT_NEAR(vtc(kVdd), 0.0, 1e-3);
+  const double v_mid = vtc(0.9);
+  EXPECT_GT(v_mid, 0.2);
+  EXPECT_LT(v_mid, 1.6);
+  // Monotone decreasing.
+  double prev = vtc(0.0);
+  for (double v = 0.15; v <= kVdd + 1e-9; v += 0.15) {
+    const double cur = vtc(v);
+    EXPECT_LE(cur, prev + 1e-6) << "VTC not monotone at vin=" << v;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ppd::spice

@@ -1,0 +1,88 @@
+#include "ppd/spice/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+namespace {
+
+TEST(Source, DcIsConstant) {
+  const SourceSpec s = Dc{1.8};
+  EXPECT_DOUBLE_EQ(source_value(s, 0.0), 1.8);
+  EXPECT_DOUBLE_EQ(source_value(s, 1e-9), 1.8);
+}
+
+TEST(Source, PulseShape) {
+  Pulse p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 1.0;
+  p.rise = 1.0;
+  p.fall = 2.0;
+  p.width = 3.0;
+  const SourceSpec s = p;
+  EXPECT_DOUBLE_EQ(source_value(s, 0.0), 0.0);    // before delay
+  EXPECT_DOUBLE_EQ(source_value(s, 1.0), 0.0);    // at delay
+  EXPECT_DOUBLE_EQ(source_value(s, 1.5), 0.5);    // mid-rise
+  EXPECT_DOUBLE_EQ(source_value(s, 2.0), 1.0);    // top begins
+  EXPECT_DOUBLE_EQ(source_value(s, 4.0), 1.0);    // still flat
+  EXPECT_DOUBLE_EQ(source_value(s, 6.0), 0.5);    // mid-fall
+  EXPECT_DOUBLE_EQ(source_value(s, 10.0), 0.0);   // back at v1
+}
+
+TEST(Source, PulseSingleShotStaysAtV1) {
+  Pulse p;
+  p.v1 = 0.2;
+  p.v2 = 1.0;
+  p.delay = 0.0;
+  p.rise = 0.1;
+  p.fall = 0.1;
+  p.width = 0.5;
+  EXPECT_DOUBLE_EQ(source_value(p, 100.0), 0.2);
+}
+
+TEST(Source, PulsePeriodicRepeats) {
+  Pulse p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 0.0;
+  p.rise = 0.1;
+  p.fall = 0.1;
+  p.width = 0.4;
+  p.period = 1.0;
+  EXPECT_DOUBLE_EQ(source_value(p, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(source_value(p, 1.3), 1.0);  // next period
+  EXPECT_DOUBLE_EQ(source_value(p, 2.8), 0.0);
+}
+
+TEST(Source, NegativePulseForLKind) {
+  // An l-pulse (high-low-high) is a pulse with v1 > v2.
+  Pulse p;
+  p.v1 = 1.8;
+  p.v2 = 0.0;
+  p.delay = 1.0;
+  p.rise = 0.2;
+  p.fall = 0.2;
+  p.width = 1.0;
+  EXPECT_DOUBLE_EQ(source_value(p, 0.0), 1.8);
+  EXPECT_DOUBLE_EQ(source_value(p, 1.5), 0.0);
+  EXPECT_DOUBLE_EQ(source_value(p, 5.0), 1.8);
+}
+
+TEST(Source, PwlInterpolatesAndClamps) {
+  Pwl p;
+  p.points = {{1.0, 0.0}, {2.0, 1.0}, {3.0, -1.0}};
+  EXPECT_DOUBLE_EQ(source_value(p, 0.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(source_value(p, 1.5), 0.5);
+  EXPECT_DOUBLE_EQ(source_value(p, 2.5), 0.0);
+  EXPECT_DOUBLE_EQ(source_value(p, 9.0), -1.0);  // clamp right
+}
+
+TEST(Source, EmptyPwlThrows) {
+  const Pwl p;
+  EXPECT_THROW(static_cast<void>(source_value(p, 0.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::spice

@@ -1,0 +1,64 @@
+#include "ppd/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppd::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, TrimKeepsInteriorWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, IequalsIgnoresCase) {
+  EXPECT_TRUE(iequals("NAND", "nand"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("nand", "nor"));
+  EXPECT_FALSE(iequals("nand", "nand2"));
+}
+
+TEST(Strings, ToUpper) {
+  EXPECT_EQ(to_upper("abC1"), "ABC1");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+}  // namespace
+}  // namespace ppd::util

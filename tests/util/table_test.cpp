@@ -1,0 +1,52 @@
+#include "ppd/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, StoresRows) {
+  Table t({"R", "coverage"});
+  t.add_row({"100", "0.5"});
+  t.add_numeric_row({200.0, 0.75});
+  ASSERT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(0)[0], "100");
+  EXPECT_EQ(t.row(1)[1], "0.75");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"long-name", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1e-9, 3), "1e-09");
+}
+
+}  // namespace
+}  // namespace ppd::util

@@ -1,0 +1,159 @@
+#include "ppd/wave/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::wave {
+namespace {
+
+Waveform ramp() {
+  // 0V at t=0 rising linearly to 1V at t=1.
+  return Waveform({0.0, 1.0}, {0.0, 1.0});
+}
+
+Waveform square_pulse(double t_rise, double t_fall, double v_hi = 1.0) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(t_rise - 1e-3, 0.0);
+  w.append(t_rise + 1e-3, v_hi);
+  w.append(t_fall - 1e-3, v_hi);
+  w.append(t_fall + 1e-3, 0.0);
+  w.append(t_fall + 1.0, 0.0);
+  return w;
+}
+
+TEST(Waveform, AppendRequiresIncreasingTime) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  EXPECT_THROW(w.append(0.0, 2.0), PreconditionError);
+  EXPECT_THROW(w.append(-1.0, 2.0), PreconditionError);
+}
+
+TEST(Waveform, InterpolatesLinearly) {
+  const Waveform w = ramp();
+  EXPECT_DOUBLE_EQ(w.at(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.at(0.25), 0.25);
+}
+
+TEST(Waveform, ClampsOutsideRange) {
+  const Waveform w = ramp();
+  EXPECT_DOUBLE_EQ(w.at(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(5.0), 1.0);
+}
+
+TEST(Waveform, MinMax) {
+  const Waveform w({0.0, 1.0, 2.0}, {0.5, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(w.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 2.0);
+}
+
+TEST(FirstCrossing, FindsRise) {
+  const Waveform w = ramp();
+  const auto t = first_crossing(w, 0.5, Edge::kRise);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(FirstCrossing, MissingEdgeReturnsNullopt) {
+  const Waveform w = ramp();
+  EXPECT_FALSE(first_crossing(w, 0.5, Edge::kFall).has_value());
+  EXPECT_FALSE(first_crossing(w, 2.0, Edge::kRise).has_value());
+}
+
+TEST(FirstCrossing, HonoursTFrom) {
+  const Waveform w = square_pulse(1.0, 2.0);
+  const auto t = first_crossing(w, 0.5, Edge::kRise, 1.5);
+  EXPECT_FALSE(t.has_value());  // only one rise, before t_from
+}
+
+TEST(Crossings, TagsBothEdges) {
+  const Waveform w = square_pulse(1.0, 2.0);
+  const auto xs = crossings(w, 0.5);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0].edge, Edge::kRise);
+  EXPECT_EQ(xs[1].edge, Edge::kFall);
+  EXPECT_LT(xs[0].t, xs[1].t);
+}
+
+TEST(PropagationDelay, MeasuresBetweenWaveforms) {
+  const Waveform in = square_pulse(1.0, 5.0);
+  const Waveform out = square_pulse(1.4, 5.6);
+  const auto d = propagation_delay(in, out, 0.5, Edge::kRise, Edge::kRise);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.4, 1e-3);
+}
+
+TEST(PulseWidth, PositivePulse) {
+  const Waveform w = square_pulse(1.0, 2.5);
+  const auto width = pulse_width(w, 0.5, /*positive_pulse=*/true);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_NEAR(*width, 1.5, 1e-3);
+}
+
+TEST(PulseWidth, DampenedPulseReturnsNullopt) {
+  // Signal that rises but never falls back: not a complete pulse.
+  const Waveform w = ramp();
+  EXPECT_FALSE(pulse_width(w, 0.5, true).has_value());
+  // Flat signal: no pulse at all.
+  const Waveform flat({0.0, 1.0}, {0.0, 0.0});
+  EXPECT_FALSE(pulse_width(flat, 0.5, true).has_value());
+}
+
+TEST(PulseWidth, NegativePulse) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(0.9, 1.0);
+  w.append(1.1, 0.0);
+  w.append(2.9, 0.0);
+  w.append(3.1, 1.0);
+  w.append(4.0, 1.0);
+  const auto width = pulse_width(w, 0.5, /*positive_pulse=*/false);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_NEAR(*width, 2.0, 1e-2);
+}
+
+TEST(PeakExcursion, MeasuresFromInitialValue) {
+  const Waveform w = square_pulse(1.0, 2.0, 0.7);
+  EXPECT_NEAR(peak_excursion(w), 0.7, 1e-12);
+}
+
+TEST(SlewTime, RisingEdge) {
+  const Waveform w = ramp();  // 0->1 over 1s; 10%-90% takes 0.8s
+  const auto s = slew_time(w, Edge::kRise, 0.0, 1.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.8, 1e-9);
+}
+
+TEST(SlewTime, FallingEdge) {
+  const Waveform w({0.0, 1.0}, {1.0, 0.0});
+  const auto s = slew_time(w, Edge::kFall, 0.0, 1.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.8, 1e-9);
+}
+
+TEST(WriteCsv, MergesTimeAxes) {
+  const Waveform a({0.0, 2.0}, {0.0, 2.0});
+  const Waveform b({0.0, 1.0, 2.0}, {1.0, 1.0, 1.0});
+  std::ostringstream os;
+  write_csv(os, {"a", "b"}, {&a, &b});
+  EXPECT_EQ(os.str(), "t,a,b\n0,0,1\n1,1,1\n2,2,1\n");
+}
+
+TEST(AsciiPlot, ProducesGrid) {
+  const std::string plot = ascii_plot(ramp(), 0.0, 1.0, 10, 4);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+TEST(Waveform, EmptyAccessorsThrow) {
+  const Waveform w;
+  EXPECT_THROW(static_cast<void>(w.t_begin()), PreconditionError);
+  EXPECT_THROW(static_cast<void>(w.at(0.0)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(peak_excursion(w)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::wave

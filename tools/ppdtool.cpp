@@ -1,0 +1,312 @@
+// ppdtool — command-line front end to the pulse-propagation test library.
+//
+//   ppdtool transfer  [--gates=inv,nand2,...] [--w-lo=s] [--w-hi=s] [--points=N]
+//       Print the pulse transfer function w_out(w_in) of a path.
+//
+//   ppdtool calibrate [--fault=KIND] [--stage=N] [--samples=N] [--sigma=F]
+//       Calibrate both test methods on the paper's 7-gate path (or
+//       --gates=...) and print (T0, w_in, w_th).
+//
+//   ppdtool coverage  [--method=pulse|delay] [--fault=KIND] [--stage=N]
+//                     [--r-lo=ohm] [--r-hi=ohm] [--points=N] [--samples=N]
+//       Monte-Carlo fault-coverage sweep (Figs. 6-9 style).
+//
+//   ppdtool sta       [--bench=FILE] [--clock=s]
+//       Static timing report of a .bench netlist (bundled C432-class
+//       benchmark when no file is given).
+//
+//   ppdtool atpg      [--bench=FILE] [--r=ohm] [--slack=FRACTION]
+//       Logic-level ROP fault list at slack sites + greedy pulse-test ATPG.
+//
+//   ppdtool export    [--gates=...] [--fault=KIND] [--stage=N] [--r=ohm]
+//       Emit a runnable SPICE deck of the (optionally faulty) path for
+//       cross-validation with an external simulator.
+//
+//   ppdtool vcd       [--bench=FILE] [--pulse-input=N] [--width=s]
+//       Event-simulate a pulse through a .bench netlist and dump VCD.
+//
+// All subcommands accept --csv for machine-readable output.
+#include <iostream>
+#include <string>
+
+#include "ppd/core/coverage.hpp"
+#include "ppd/core/logic_bridge.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/logic/faultsim.hpp"
+#include "ppd/logic/sta.hpp"
+#include "ppd/logic/vcd.hpp"
+#include "ppd/spice/export.hpp"
+#include "ppd/util/cli.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+#include "ppd/util/table.hpp"
+
+namespace {
+
+using namespace ppd;
+
+cells::GateKind kind_from_string(const std::string& s) {
+  using util::iequals;
+  if (iequals(s, "inv")) return cells::GateKind::kInv;
+  if (iequals(s, "nand2")) return cells::GateKind::kNand2;
+  if (iequals(s, "nand3")) return cells::GateKind::kNand3;
+  if (iequals(s, "nor2")) return cells::GateKind::kNor2;
+  if (iequals(s, "nor3")) return cells::GateKind::kNor3;
+  if (iequals(s, "aoi21")) return cells::GateKind::kAoi21;
+  if (iequals(s, "oai21")) return cells::GateKind::kOai21;
+  throw ppd::ParseError("unknown gate kind: " + s +
+                   " (use inv|nand2|nand3|nor2|nor3|aoi21|oai21)");
+}
+
+faults::FaultKind fault_from_string(const std::string& s) {
+  using util::iequals;
+  if (iequals(s, "external")) return faults::FaultKind::kExternalRopOutput;
+  if (iequals(s, "branch")) return faults::FaultKind::kExternalRopBranch;
+  if (iequals(s, "internal-up")) return faults::FaultKind::kInternalRopPullUp;
+  if (iequals(s, "internal-down"))
+    return faults::FaultKind::kInternalRopPullDown;
+  if (iequals(s, "bridge")) return faults::FaultKind::kBridge;
+  throw ppd::ParseError("unknown fault kind: " + s +
+                   " (use external|branch|internal-up|internal-down|bridge)");
+}
+
+std::vector<cells::GateKind> gates_from_cli(const util::Cli& cli) {
+  const std::string spec = cli.get("gates", std::string());
+  if (spec.empty()) return cells::seven_gate_path().kinds;
+  std::vector<cells::GateKind> kinds;
+  for (const auto& tok : util::split(spec, ','))
+    kinds.push_back(kind_from_string(std::string(util::trim(tok))));
+  return kinds;
+}
+
+logic::Netlist netlist_from_cli(const util::Cli& cli) {
+  const std::string file = cli.get("bench", std::string());
+  if (file.empty()) return logic::synthetic_benchmark(logic::SyntheticOptions{});
+  return logic::load_bench_file(file);
+}
+
+void emit(const util::Table& t, bool csv) {
+  if (csv)
+    std::cout << t.to_csv();
+  else
+    t.print(std::cout);
+}
+
+int cmd_transfer(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"gates", "w-lo", "w-hi", "points", "csv"});
+  core::PathFactory f;
+  f.options.kinds = gates_from_cli(cli);
+  const auto grid = core::linspace(cli.get("w-lo", 0.08e-9),
+                                   cli.get("w-hi", 0.8e-9),
+                                   static_cast<std::size_t>(cli.get("points", 15)));
+  core::PathInstance inst = core::make_instance(f, 0.0, nullptr);
+  const auto curve =
+      core::transfer_function(inst.path, core::PulseKind::kH, grid, {});
+  util::Table t({"w_in_s", "w_out_s"});
+  for (std::size_t i = 0; i < curve.w_in.size(); ++i)
+    t.add_numeric_row({curve.w_in[i], curve.w_out[i]}, 5);
+  emit(t, cli.has("csv"));
+  return 0;
+}
+
+int cmd_calibrate(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"gates", "fault", "stage", "samples", "sigma", "seed", "csv"});
+  core::PathFactory f;
+  f.options.kinds = gates_from_cli(cli);
+  faults::PathFaultSpec spec;
+  spec.kind = fault_from_string(cli.get("fault", std::string("external")));
+  spec.stage = static_cast<std::size_t>(cli.get("stage", 1));
+  f.fault = spec;
+
+  const int samples = cli.get("samples", 30);
+  const auto model = mc::VariationModel::uniform_sigma(cli.get("sigma", 0.05));
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
+
+  core::DelayCalibrationOptions dopt;
+  dopt.samples = samples;
+  dopt.seed = seed;
+  dopt.variation = model;
+  const auto dcal = core::calibrate_delay_test(f, dopt);
+  core::PulseCalibrationOptions popt;
+  popt.samples = samples;
+  popt.seed = seed;
+  popt.variation = model;
+  const auto pcal = core::calibrate_pulse_test(f, popt);
+
+  util::Table t({"parameter", "value_s"});
+  t.add_row({"delay_T0", util::format_double(dcal.t_nominal, 6)});
+  t.add_row({"worst_fault_free_delay",
+             util::format_double(dcal.worst_fault_free_delay, 6)});
+  t.add_row({"pulse_w_in", util::format_double(pcal.w_in, 6)});
+  t.add_row({"pulse_w_th", util::format_double(pcal.w_th, 6)});
+  t.add_row({"min_fault_free_w_out",
+             util::format_double(pcal.min_fault_free_w_out, 6)});
+  emit(t, cli.has("csv"));
+  return 0;
+}
+
+int cmd_coverage(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"gates", "fault", "stage", "method", "samples", "sigma",
+                       "seed", "r-lo", "r-hi", "points", "csv"});
+  core::PathFactory f;
+  f.options.kinds = gates_from_cli(cli);
+  faults::PathFaultSpec spec;
+  spec.kind = fault_from_string(cli.get("fault", std::string("external")));
+  spec.stage = static_cast<std::size_t>(cli.get("stage", 1));
+  f.fault = spec;
+
+  core::CoverageOptions copt;
+  copt.samples = cli.get("samples", 25);
+  copt.seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
+  copt.variation = mc::VariationModel::uniform_sigma(cli.get("sigma", 0.05));
+  copt.resistances = core::logspace(cli.get("r-lo", 1e3), cli.get("r-hi", 64e3),
+                                    static_cast<std::size_t>(cli.get("points", 9)));
+
+  const std::string method = cli.get("method", std::string("pulse"));
+  core::CoverageResult res;
+  if (util::iequals(method, "delay")) {
+    core::DelayCalibrationOptions dopt;
+    dopt.samples = copt.samples;
+    dopt.seed = copt.seed;
+    dopt.variation = copt.variation;
+    res = core::run_delay_coverage(f, core::calibrate_delay_test(f, dopt), copt);
+  } else if (util::iequals(method, "pulse")) {
+    core::PulseCalibrationOptions popt;
+    popt.samples = copt.samples;
+    popt.seed = copt.seed;
+    popt.variation = copt.variation;
+    res = core::run_pulse_coverage(f, core::calibrate_pulse_test(f, popt), copt);
+  } else {
+    throw ppd::ParseError("unknown method: " + method + " (use pulse|delay)");
+  }
+
+  util::Table t({"R_ohm", "x0.9", "x1.0", "x1.1"});
+  for (std::size_t r = 0; r < res.resistances.size(); ++r)
+    t.add_numeric_row({res.resistances[r], res.coverage[0][r],
+                       res.coverage[1][r], res.coverage[2][r]},
+                      4);
+  emit(t, cli.has("csv"));
+  std::cout << "# " << res.simulations << " electrical transients\n";
+  return 0;
+}
+
+int cmd_sta(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"bench", "clock", "csv"});
+  const logic::Netlist nl = netlist_from_cli(cli);
+  const auto lib = logic::GateTimingLibrary::generic();
+  const auto sta = logic::run_sta(nl, lib, cli.get("clock", 0.0));
+  std::cout << "# " << nl.gate_count() << " gates, depth " << nl.depth()
+            << ", critical delay "
+            << util::format_double(sta.critical_delay, 5) << " s, clock "
+            << util::format_double(sta.clock_period, 5) << " s\n";
+  const auto crit = logic::critical_path(nl, sta, lib);
+  std::cout << "# critical path:";
+  for (logic::NetId n : crit.nets) std::cout << ' ' << nl.gate(n).name;
+  std::cout << "\n";
+  util::Table t({"slack_at_least_frac", "gates"});
+  for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5})
+    t.add_row({util::format_double(frac, 3),
+               std::to_string(
+                   logic::slack_sites(nl, sta, frac * sta.clock_period).size())});
+  emit(t, cli.has("csv"));
+  return 0;
+}
+
+int cmd_atpg(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"bench", "r", "slack", "paths", "csv"});
+  const logic::Netlist nl = netlist_from_cli(cli);
+  const auto lib = logic::GateTimingLibrary::generic();
+  const auto sta = logic::run_sta(nl, lib);
+  const double frac = cli.get("slack", 0.2);
+  const auto sites = logic::slack_sites(nl, sta, frac * sta.critical_delay);
+  const auto faults = logic::enumerate_rop_faults(sites, cli.get("r", 10e3));
+  const logic::FaultSimulator sim(nl, lib);
+  logic::AtpgOptions aopt;
+  aopt.paths_per_site = static_cast<std::size_t>(cli.get("paths", 32));
+  const auto res = logic::generate_pulse_tests(sim, faults, aopt);
+  std::cout << "# " << sites.size() << " slack sites (slack >= "
+            << util::format_double(frac, 3) << " x Tcrit), "
+            << res.faults_total << " ROP faults\n"
+            << "# coverage "
+            << util::format_double(res.coverage.coverage(res.faults_total), 4)
+            << " with " << res.tests.size() << " tests; " << res.aborted
+            << " faults without a sensitizable path\n";
+  util::Table t({"test", "path", "pulse", "w_in_s", "w_th_s"});
+  for (std::size_t i = 0; i < res.tests.size(); ++i) {
+    const auto& test = res.tests[i];
+    std::string pstr;
+    for (logic::NetId n : test.path.nets) {
+      if (!pstr.empty()) pstr += '>';
+      pstr += nl.gate(n).name;
+    }
+    t.add_row({std::to_string(i), pstr, test.positive_pulse ? "h" : "l",
+               util::format_double(test.w_in, 4),
+               util::format_double(test.w_th, 4)});
+  }
+  emit(t, cli.has("csv"));
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"gates", "fault", "stage", "r", "width"});
+  core::PathFactory f;
+  f.options.kinds = gates_from_cli(cli);
+  const double r = cli.get("r", 0.0);
+  if (r > 0.0) {
+    faults::PathFaultSpec spec;
+    spec.kind = fault_from_string(cli.get("fault", std::string("external")));
+    spec.stage = static_cast<std::size_t>(cli.get("stage", 1));
+    f.fault = spec;
+  }
+  core::PathInstance inst = core::make_instance(f, r, nullptr);
+  inst.path.drive_pulse(true, cli.get("width", 0.35e-9), 0.3e-9);
+  spice::SpiceExportOptions o;
+  o.title = "ppd path export (fault R = " + util::format_double(r, 4) + " ohm)";
+  o.tran_step = 1e-12;
+  o.tran_stop = 4e-9;
+  spice::write_spice(std::cout, inst.path.netlist().circuit(), o);
+  return 0;
+}
+
+int cmd_vcd(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"bench", "pulse-input", "width"});
+  const logic::Netlist nl = netlist_from_cli(cli);
+  const auto idx = static_cast<std::size_t>(cli.get("pulse-input", 0));
+  if (idx >= nl.inputs().size())
+    throw ppd::ParseError("--pulse-input out of range");
+  std::vector<logic::Stimulus> stim(nl.inputs().size());
+  stim[idx] = logic::Stimulus::pulse(false, 1e-9, cli.get("width", 0.4e-9));
+  const auto res = logic::simulate(nl, stim);
+  logic::write_vcd(std::cout, nl, res);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: ppdtool <transfer|calibrate|coverage|sta|atpg|export|vcd> "
+               "[--options]\n(see the header of tools/ppdtool.cpp)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "transfer") return cmd_transfer(argc - 1, argv + 1);
+    if (cmd == "calibrate") return cmd_calibrate(argc - 1, argv + 1);
+    if (cmd == "coverage") return cmd_coverage(argc - 1, argv + 1);
+    if (cmd == "sta") return cmd_sta(argc - 1, argv + 1);
+    if (cmd == "atpg") return cmd_atpg(argc - 1, argv + 1);
+    if (cmd == "export") return cmd_export(argc - 1, argv + 1);
+    if (cmd == "vcd") return cmd_vcd(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << "ppdtool: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
