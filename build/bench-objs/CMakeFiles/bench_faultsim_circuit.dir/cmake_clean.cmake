@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_faultsim_circuit"
+  "../bench/bench_faultsim_circuit.pdb"
+  "CMakeFiles/bench_faultsim_circuit.dir/faultsim_circuit.cpp.o"
+  "CMakeFiles/bench_faultsim_circuit.dir/faultsim_circuit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faultsim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_transfer_function"
+  "../bench/bench_fig10_transfer_function.pdb"
+  "CMakeFiles/bench_fig10_transfer_function.dir/fig10_transfer_function.cpp.o"
+  "CMakeFiles/bench_fig10_transfer_function.dir/fig10_transfer_function.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_transfer_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

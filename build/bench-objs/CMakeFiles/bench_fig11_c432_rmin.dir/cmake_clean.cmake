@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_c432_rmin"
+  "../bench/bench_fig11_c432_rmin.pdb"
+  "CMakeFiles/bench_fig11_c432_rmin.dir/fig11_c432_rmin.cpp.o"
+  "CMakeFiles/bench_fig11_c432_rmin.dir/fig11_c432_rmin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_c432_rmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_internal_rop_waves"
+  "../bench/bench_fig2_internal_rop_waves.pdb"
+  "CMakeFiles/bench_fig2_internal_rop_waves.dir/fig2_internal_rop_waves.cpp.o"
+  "CMakeFiles/bench_fig2_internal_rop_waves.dir/fig2_internal_rop_waves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_internal_rop_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_bridge_waves"
+  "../bench/bench_fig5_bridge_waves.pdb"
+  "CMakeFiles/bench_fig5_bridge_waves.dir/fig5_bridge_waves.cpp.o"
+  "CMakeFiles/bench_fig5_bridge_waves.dir/fig5_bridge_waves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bridge_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_cdel_rop"
+  "../bench/bench_fig6_cdel_rop.pdb"
+  "CMakeFiles/bench_fig6_cdel_rop.dir/fig6_cdel_rop.cpp.o"
+  "CMakeFiles/bench_fig6_cdel_rop.dir/fig6_cdel_rop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cdel_rop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

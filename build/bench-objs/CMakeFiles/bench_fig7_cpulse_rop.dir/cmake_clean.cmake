@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cpulse_rop"
+  "../bench/bench_fig7_cpulse_rop.pdb"
+  "CMakeFiles/bench_fig7_cpulse_rop.dir/fig7_cpulse_rop.cpp.o"
+  "CMakeFiles/bench_fig7_cpulse_rop.dir/fig7_cpulse_rop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cpulse_rop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cdel_bridge"
+  "../bench/bench_fig8_cdel_bridge.pdb"
+  "CMakeFiles/bench_fig8_cdel_bridge.dir/fig8_cdel_bridge.cpp.o"
+  "CMakeFiles/bench_fig8_cdel_bridge.dir/fig8_cdel_bridge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cdel_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

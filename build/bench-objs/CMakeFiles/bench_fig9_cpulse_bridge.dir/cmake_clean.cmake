@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_cpulse_bridge"
+  "../bench/bench_fig9_cpulse_bridge.pdb"
+  "CMakeFiles/bench_fig9_cpulse_bridge.dir/fig9_cpulse_bridge.cpp.o"
+  "CMakeFiles/bench_fig9_cpulse_bridge.dir/fig9_cpulse_bridge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cpulse_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bus_handshake.dir/bus_handshake.cpp.o"
+  "CMakeFiles/example_bus_handshake.dir/bus_handshake.cpp.o.d"
+  "example_bus_handshake"
+  "example_bus_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bus_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_c17_pulse_atpg.dir/c17_pulse_atpg.cpp.o"
+  "CMakeFiles/example_c17_pulse_atpg.dir/c17_pulse_atpg.cpp.o.d"
+  "example_c17_pulse_atpg"
+  "example_c17_pulse_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_c17_pulse_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_c17_pulse_atpg.
+# This may be replaced when dependencies are built.

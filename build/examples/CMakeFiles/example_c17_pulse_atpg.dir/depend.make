@@ -1,0 +1,2 @@
+# Empty dependencies file for example_c17_pulse_atpg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_delay_vs_pulse.dir/delay_vs_pulse_test.cpp.o"
+  "CMakeFiles/example_delay_vs_pulse.dir/delay_vs_pulse_test.cpp.o.d"
+  "example_delay_vs_pulse"
+  "example_delay_vs_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_delay_vs_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_delay_vs_pulse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_delay_vs_pulse_runs "/root/repo/build/examples/example_delay_vs_pulse" "--samples=5")
+set_tests_properties(example_delay_vs_pulse_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_c17_pulse_atpg_runs "/root/repo/build/examples/example_c17_pulse_atpg")
+set_tests_properties(example_c17_pulse_atpg_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ring_oscillator_runs "/root/repo/build/examples/example_ring_oscillator")
+set_tests_properties(example_ring_oscillator_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bus_handshake_runs "/root/repo/build/examples/example_bus_handshake")
+set_tests_properties(example_bus_handshake_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

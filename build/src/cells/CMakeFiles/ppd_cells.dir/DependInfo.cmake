@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/src/bus.cpp" "src/cells/CMakeFiles/ppd_cells.dir/src/bus.cpp.o" "gcc" "src/cells/CMakeFiles/ppd_cells.dir/src/bus.cpp.o.d"
+  "/root/repo/src/cells/src/dff.cpp" "src/cells/CMakeFiles/ppd_cells.dir/src/dff.cpp.o" "gcc" "src/cells/CMakeFiles/ppd_cells.dir/src/dff.cpp.o.d"
+  "/root/repo/src/cells/src/netlist.cpp" "src/cells/CMakeFiles/ppd_cells.dir/src/netlist.cpp.o" "gcc" "src/cells/CMakeFiles/ppd_cells.dir/src/netlist.cpp.o.d"
+  "/root/repo/src/cells/src/path.cpp" "src/cells/CMakeFiles/ppd_cells.dir/src/path.cpp.o" "gcc" "src/cells/CMakeFiles/ppd_cells.dir/src/path.cpp.o.d"
+  "/root/repo/src/cells/src/sensor.cpp" "src/cells/CMakeFiles/ppd_cells.dir/src/sensor.cpp.o" "gcc" "src/cells/CMakeFiles/ppd_cells.dir/src/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ppd_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ppd_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

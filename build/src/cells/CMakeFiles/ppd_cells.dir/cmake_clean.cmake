@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_cells.dir/src/bus.cpp.o"
+  "CMakeFiles/ppd_cells.dir/src/bus.cpp.o.d"
+  "CMakeFiles/ppd_cells.dir/src/dff.cpp.o"
+  "CMakeFiles/ppd_cells.dir/src/dff.cpp.o.d"
+  "CMakeFiles/ppd_cells.dir/src/netlist.cpp.o"
+  "CMakeFiles/ppd_cells.dir/src/netlist.cpp.o.d"
+  "CMakeFiles/ppd_cells.dir/src/path.cpp.o"
+  "CMakeFiles/ppd_cells.dir/src/path.cpp.o.d"
+  "CMakeFiles/ppd_cells.dir/src/sensor.cpp.o"
+  "CMakeFiles/ppd_cells.dir/src/sensor.cpp.o.d"
+  "libppd_cells.a"
+  "libppd_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

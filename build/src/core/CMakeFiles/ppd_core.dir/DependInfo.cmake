@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/coverage.cpp" "src/core/CMakeFiles/ppd_core.dir/src/coverage.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/coverage.cpp.o.d"
+  "/root/repo/src/core/src/delay_test.cpp" "src/core/CMakeFiles/ppd_core.dir/src/delay_test.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/delay_test.cpp.o.d"
+  "/root/repo/src/core/src/logic_bridge.cpp" "src/core/CMakeFiles/ppd_core.dir/src/logic_bridge.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/logic_bridge.cpp.o.d"
+  "/root/repo/src/core/src/measure.cpp" "src/core/CMakeFiles/ppd_core.dir/src/measure.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/measure.cpp.o.d"
+  "/root/repo/src/core/src/pulse_test.cpp" "src/core/CMakeFiles/ppd_core.dir/src/pulse_test.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/pulse_test.cpp.o.d"
+  "/root/repo/src/core/src/rmin.cpp" "src/core/CMakeFiles/ppd_core.dir/src/rmin.cpp.o" "gcc" "src/core/CMakeFiles/ppd_core.dir/src/rmin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/ppd_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ppd_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ppd_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ppd_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ppd_wave.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/ppd_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_core.dir/src/coverage.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/coverage.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/src/delay_test.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/delay_test.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/src/logic_bridge.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/logic_bridge.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/src/measure.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/measure.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/src/pulse_test.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/pulse_test.cpp.o.d"
+  "CMakeFiles/ppd_core.dir/src/rmin.cpp.o"
+  "CMakeFiles/ppd_core.dir/src/rmin.cpp.o.d"
+  "libppd_core.a"
+  "libppd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_faults.dir/src/fault.cpp.o"
+  "CMakeFiles/ppd_faults.dir/src/fault.cpp.o.d"
+  "libppd_faults.a"
+  "libppd_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

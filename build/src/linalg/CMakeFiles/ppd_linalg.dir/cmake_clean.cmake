@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_linalg.dir/src/dense.cpp.o"
+  "CMakeFiles/ppd_linalg.dir/src/dense.cpp.o.d"
+  "CMakeFiles/ppd_linalg.dir/src/sparse.cpp.o"
+  "CMakeFiles/ppd_linalg.dir/src/sparse.cpp.o.d"
+  "libppd_linalg.a"
+  "libppd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

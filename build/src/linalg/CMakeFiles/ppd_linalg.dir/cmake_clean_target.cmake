@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppd_linalg.a"
+)

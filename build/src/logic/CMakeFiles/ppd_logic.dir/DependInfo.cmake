@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/src/attenuation.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/attenuation.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/attenuation.cpp.o.d"
+  "/root/repo/src/logic/src/bench.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/bench.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/bench.cpp.o.d"
+  "/root/repo/src/logic/src/diagnosis.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/diagnosis.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/diagnosis.cpp.o.d"
+  "/root/repo/src/logic/src/faultsim.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/faultsim.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/faultsim.cpp.o.d"
+  "/root/repo/src/logic/src/netlist.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/netlist.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/netlist.cpp.o.d"
+  "/root/repo/src/logic/src/paths.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/paths.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/paths.cpp.o.d"
+  "/root/repo/src/logic/src/sensitize.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/sensitize.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/sensitize.cpp.o.d"
+  "/root/repo/src/logic/src/sim.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/sim.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/sim.cpp.o.d"
+  "/root/repo/src/logic/src/sta.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/sta.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/sta.cpp.o.d"
+  "/root/repo/src/logic/src/vcd.cpp" "src/logic/CMakeFiles/ppd_logic.dir/src/vcd.cpp.o" "gcc" "src/logic/CMakeFiles/ppd_logic.dir/src/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ppd_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/ppd_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ppd_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ppd_wave.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_logic.dir/src/attenuation.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/attenuation.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/bench.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/bench.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/diagnosis.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/diagnosis.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/faultsim.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/faultsim.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/netlist.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/netlist.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/paths.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/paths.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/sensitize.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/sensitize.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/sim.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/sim.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/sta.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/sta.cpp.o.d"
+  "CMakeFiles/ppd_logic.dir/src/vcd.cpp.o"
+  "CMakeFiles/ppd_logic.dir/src/vcd.cpp.o.d"
+  "libppd_logic.a"
+  "libppd_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

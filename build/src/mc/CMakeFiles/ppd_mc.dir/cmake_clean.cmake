@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_mc.dir/src/rng.cpp.o"
+  "CMakeFiles/ppd_mc.dir/src/rng.cpp.o.d"
+  "CMakeFiles/ppd_mc.dir/src/variation.cpp.o"
+  "CMakeFiles/ppd_mc.dir/src/variation.cpp.o.d"
+  "libppd_mc.a"
+  "libppd_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/src/analysis.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/analysis.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/spice/src/circuit.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/circuit.cpp.o.d"
+  "/root/repo/src/spice/src/device.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/device.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/device.cpp.o.d"
+  "/root/repo/src/spice/src/export.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/export.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/export.cpp.o.d"
+  "/root/repo/src/spice/src/mna.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/mna.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/mna.cpp.o.d"
+  "/root/repo/src/spice/src/source.cpp" "src/spice/CMakeFiles/ppd_spice.dir/src/source.cpp.o" "gcc" "src/spice/CMakeFiles/ppd_spice.dir/src/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/wave/CMakeFiles/ppd_wave.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

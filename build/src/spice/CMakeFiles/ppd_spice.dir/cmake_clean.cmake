@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_spice.dir/src/analysis.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/ppd_spice.dir/src/circuit.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/circuit.cpp.o.d"
+  "CMakeFiles/ppd_spice.dir/src/device.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/device.cpp.o.d"
+  "CMakeFiles/ppd_spice.dir/src/export.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/export.cpp.o.d"
+  "CMakeFiles/ppd_spice.dir/src/mna.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/mna.cpp.o.d"
+  "CMakeFiles/ppd_spice.dir/src/source.cpp.o"
+  "CMakeFiles/ppd_spice.dir/src/source.cpp.o.d"
+  "libppd_spice.a"
+  "libppd_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_util.dir/src/cli.cpp.o"
+  "CMakeFiles/ppd_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/ppd_util.dir/src/error.cpp.o"
+  "CMakeFiles/ppd_util.dir/src/error.cpp.o.d"
+  "CMakeFiles/ppd_util.dir/src/strings.cpp.o"
+  "CMakeFiles/ppd_util.dir/src/strings.cpp.o.d"
+  "CMakeFiles/ppd_util.dir/src/table.cpp.o"
+  "CMakeFiles/ppd_util.dir/src/table.cpp.o.d"
+  "libppd_util.a"
+  "libppd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppd_wave.dir/src/waveform.cpp.o"
+  "CMakeFiles/ppd_wave.dir/src/waveform.cpp.o.d"
+  "libppd_wave.a"
+  "libppd_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppd_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/coverage_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/coverage_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/delay_test_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/delay_test_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/generator_jitter_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/generator_jitter_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/measure_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/measure_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pulse_test_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pulse_test_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rmin_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rmin_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

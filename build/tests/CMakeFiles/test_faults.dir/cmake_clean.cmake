@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/faults/fault_test.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/fault_test.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/feedback_bridge_test.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/feedback_bridge_test.cpp.o.d"
+  "test_faults"
+  "test_faults.pdb"
+  "test_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

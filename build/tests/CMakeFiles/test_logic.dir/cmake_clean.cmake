@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/logic/attenuation_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/attenuation_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/bench_file_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/bench_file_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/bench_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/bench_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/faultsim_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/faultsim_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/netlist_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/netlist_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/paths_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/paths_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/properties_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/properties_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/sensitize_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/sensitize_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/sim_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/sim_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/sta_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/sta_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/ternary_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/ternary_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/vcd_diagnosis_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/vcd_diagnosis_test.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic_bridge.dir/core/logic_bridge_test.cpp.o"
+  "CMakeFiles/test_logic_bridge.dir/core/logic_bridge_test.cpp.o.d"
+  "test_logic_bridge"
+  "test_logic_bridge.pdb"
+  "test_logic_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

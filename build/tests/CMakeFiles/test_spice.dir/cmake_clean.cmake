@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/export_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/export_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/gate_transient_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/gate_transient_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/linear_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/linear_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/mosfet_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/mosfet_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/robustness_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/robustness_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/source_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/source_test.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

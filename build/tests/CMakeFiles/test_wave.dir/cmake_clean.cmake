@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave.dir/wave/waveform_test.cpp.o"
+  "CMakeFiles/test_wave.dir/wave/waveform_test.cpp.o.d"
+  "test_wave"
+  "test_wave.pdb"
+  "test_wave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdtool.dir/ppdtool.cpp.o"
+  "CMakeFiles/ppdtool.dir/ppdtool.cpp.o.d"
+  "ppdtool"
+  "ppdtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppdtool.
+# This may be replaced when dependencies are built.
