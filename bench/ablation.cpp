@@ -47,6 +47,7 @@ void ablation_sigma(const bench::ExperimentCli& cli) {
     ropt.samples = std::max(3, samples / 2);
     ropt.seed = cli.seed;
     ropt.variation = model;
+    ropt.threads = cli.threads;
     const auto rmin = core::find_r_min(f, pcal, ropt);
     t.add_row({util::format_double(sigma, 3),
                util::format_double(dcal.t_nominal * 1e9, 4),

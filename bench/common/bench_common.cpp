@@ -16,13 +16,16 @@ core::PathFactory paper_path_factory() {
 }
 
 ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
-  const util::Cli cli(argc, argv, {"samples", "seed", "sigma", "csv", "scale"});
+  const util::Cli cli(argc, argv,
+                      {"samples", "seed", "sigma", "csv", "scale", "threads"});
   ExperimentCli e;
   e.samples = cli.get("samples", e.samples);
   e.seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
   e.sigma = cli.get("sigma", e.sigma);
   e.csv_only = cli.has("csv");
   e.scale = cli.get("scale", e.scale);
+  e.threads = cli.get("threads", e.threads);
+  PPD_REQUIRE(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
   return e;
 }
 

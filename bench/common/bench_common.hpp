@@ -27,6 +27,10 @@ struct ExperimentCli {
   double sigma = 0.05;        ///< --sigma
   bool csv_only = false;      ///< --csv
   double scale = 1.0;         ///< --scale: multiply default workload sizes
+  /// --threads: parallel lanes for the MC populations and fault lists
+  /// (0 = all hardware cores, 1 = serial). Outputs are bit-identical at any
+  /// setting — the knob only changes wall-clock.
+  int threads = 0;
 
   static ExperimentCli parse(int argc, const char* const* argv);
 };

@@ -25,6 +25,7 @@ inline int run_coverage_figure(int argc, const char* const* argv,
   copt.seed = cli.seed;
   copt.variation = mc::VariationModel::uniform_sigma(cli.sigma);
   copt.resistances = std::move(resistances);
+  copt.threads = cli.threads;
 
   if (method == Method::kDelay) {
     core::DelayCalibrationOptions dopt;

@@ -46,8 +46,10 @@ int run(int argc, char** argv) {
     const auto faults = logic::enumerate_rop_faults(sites, r);
     logic::AtpgOptions aopt;
     aopt.paths_per_site = static_cast<std::size_t>(32 * cli.scale);
+    aopt.exec.threads = cli.threads;
     const auto res = logic::generate_pulse_tests(sim, faults, aopt);
-    const auto compacted = logic::compact_tests(sim, faults, res.tests);
+    const auto compacted =
+        logic::compact_tests(sim, faults, res.tests, aopt.exec);
     // DF-testing comparison: at speed, and at a 40%-reduced clock (the
     // aggressive end of slack-interval testing).
     const auto df_at_speed =

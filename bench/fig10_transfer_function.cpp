@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "ppd/exec/parallel.hpp"
 #include "ppd/util/table.hpp"
 
 namespace {
@@ -43,17 +44,27 @@ int run(int argc, char** argv) {
   const auto model = mc::VariationModel::uniform_sigma(cli.sigma);
   util::Table s({"w_in_s", "sample", "w_out_s"});
   std::vector<double> widths{0.16e-9, 0.20e-9, 0.25e-9, 0.35e-9, 0.50e-9};
-  for (double w : widths) {
-    for (int k = 0; k < samples; ++k) {
-      mc::Rng rng = core::sample_rng(cli.seed, static_cast<std::size_t>(k));
-      mc::GaussianVariationSource var(model, rng);
-      core::PathInstance inst = core::make_instance(factory, 0.0, &var);
-      const auto w_out =
-          core::output_pulse_width(inst.path, core::PulseKind::kH, w, sim);
-      s.add_row({util::format_double(w, 5), std::to_string(k),
-                 util::format_double(w_out.value_or(0.0), 5)});
-    }
-  }
+  // Flat (width, sample) population, one transient per item; each sample
+  // reuses its (seed, k) stream so --threads never changes the numbers.
+  exec::ParallelOptions par;
+  par.threads = cli.threads;
+  const auto n_samples = static_cast<std::size_t>(samples);
+  const auto scatter = exec::parallel_map(
+      widths.size() * n_samples,
+      [&](std::size_t item) {
+        const std::size_t k = item % n_samples;
+        mc::Rng rng = core::sample_rng(cli.seed, k);
+        mc::GaussianVariationSource var(model, rng);
+        core::PathInstance inst = core::make_instance(factory, 0.0, &var);
+        const auto w_out = core::output_pulse_width(
+            inst.path, core::PulseKind::kH, widths[item / n_samples], sim);
+        return w_out.value_or(0.0);
+      },
+      par);
+  for (std::size_t item = 0; item < scatter.size(); ++item)
+    s.add_row({util::format_double(widths[item / n_samples], 5),
+               std::to_string(item % n_samples),
+               util::format_double(scatter[item], 5)});
   if (cli.csv_only)
     std::cout << s.to_csv();
   else

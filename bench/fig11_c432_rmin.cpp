@@ -103,6 +103,7 @@ int run(int argc, char** argv) {
       ropt.samples = std::max(3, cal_samples / 2);
       ropt.seed = cli.seed;
       ropt.variation = model;
+      ropt.threads = cli.threads;
       const auto rmin = core::find_r_min(factory, cal, ropt);
       w_in_s = util::format_double(cal.w_in * 1e9, 4);
       w_th_s = util::format_double(cal.w_th * 1e9, 4);

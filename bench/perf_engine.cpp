@@ -1,9 +1,16 @@
 // Engine micro/meso benchmarks (google-benchmark): solver throughput,
 // transistor-level transient cost vs path length, logic-level event
 // simulation, and path sensitization — the costs that size every
-// Monte-Carlo experiment in this repository.
+// Monte-Carlo experiment in this repository. A thread-scaling section runs
+// first and prints machine-readable JSON rows for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "ppd/core/coverage.hpp"
 #include "ppd/core/measure.hpp"
 #include "ppd/linalg/dense.hpp"
 #include "ppd/linalg/sparse.hpp"
@@ -15,6 +22,59 @@
 namespace {
 
 using namespace ppd;
+
+// ---------------------------------------------------------------------------
+// Thread-scaling section: a fixed 50-sample delay-coverage sweep (the shape
+// of every Fig. 6-9 experiment) at 1/2/4/hw threads. Rows are JSON so the
+// perf trajectory is machine-readable; `identical_to_serial` asserts the
+// ppd::exec determinism contract on the full CoverageResult.
+// ---------------------------------------------------------------------------
+
+void run_thread_scaling() {
+  core::PathFactory factory;
+  factory.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec fault;
+  fault.kind = faults::FaultKind::kExternalRopOutput;
+  fault.stage = 1;
+  factory.fault = fault;
+
+  // Fixed calibration: the section measures the sweep, not the calibration.
+  core::DelayTestCalibration cal;
+  cal.t_nominal = 0.6e-9;
+
+  core::CoverageOptions copt;
+  copt.samples = 50;
+  copt.seed = 2007;
+  copt.variation = mc::VariationModel::uniform_sigma(0.05);
+  copt.resistances = {2e3, 8e3, 32e3, 128e3};
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::set<int> counts{1, 2, 4, static_cast<int>(hw)};
+
+  core::CoverageResult serial;
+  double serial_wall = 0.0;
+  for (int threads : counts) {
+    copt.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const core::CoverageResult res = run_delay_coverage(factory, cal, copt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (threads == 1) {
+      serial = res;
+      serial_wall = wall;
+    }
+    const bool identical = res.coverage == serial.coverage &&
+                           res.simulations == serial.simulations;
+    std::printf(
+        "{\"section\":\"thread_scaling\",\"workload\":\"delay_coverage\","
+        "\"samples\":%d,\"resistances\":%zu,\"hardware_threads\":%u,"
+        "\"threads\":%d,\"wall_s\":%.4f,\"speedup_vs_1\":%.3f,"
+        "\"identical_to_serial\":%s}\n",
+        copt.samples, copt.resistances.size(), hw, threads, wall,
+        serial_wall / wall, identical ? "true" : "false");
+  }
+}
 
 void BM_DenseLuSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -102,4 +162,11 @@ BENCHMARK(BM_CircuitBuild)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_thread_scaling();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 
 #include "ppd/core/delay_test.hpp"
 #include "ppd/core/pulse_test.hpp"
+#include "ppd/exec/cancel.hpp"
 
 namespace ppd::core {
 
@@ -30,6 +31,12 @@ struct CoverageOptions {
   /// sigma; pulse coverage only). The calibration already guards against
   /// the same uncertainty (PulseCalibrationOptions::generator_sigma).
   double generator_sigma = 0.03;
+  /// Parallel lanes for the MC population (0 = hardware concurrency,
+  /// 1 = serial). Every sample derives its RNG from (seed, sample), so the
+  /// result is bit-identical at any setting.
+  int threads = 1;
+  /// Fire to abandon the sweep mid-flight (raises exec::CancelledError).
+  exec::CancelToken cancel;
 };
 
 /// One coverage curve per multiplier over the resistance sweep.

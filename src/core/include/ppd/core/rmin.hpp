@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "ppd/core/pulse_test.hpp"
+#include "ppd/exec/cancel.hpp"
 
 namespace ppd::core {
 
@@ -19,6 +20,12 @@ struct RminOptions {
   int bisection_steps = 10;  ///< ~3 decades / 2^10 => <1% resolution
   /// Required detected fraction of the MC population (1.0 = every instance).
   double target_coverage = 1.0;
+  /// Parallel lanes for each bisection step's MC population (0 = hardware
+  /// concurrency, 1 = serial); bit-identical at any setting. The bisection
+  /// itself stays sequential — each step depends on the previous verdict.
+  int threads = 1;
+  /// Fire to abandon the search mid-flight (raises exec::CancelledError).
+  exec::CancelToken cancel;
 };
 
 struct RminResult {

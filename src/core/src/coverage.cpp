@@ -1,5 +1,6 @@
 #include "ppd/core/coverage.hpp"
 
+#include "ppd/exec/parallel.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -21,6 +22,32 @@ CoverageResult make_result(const CoverageOptions& options) {
   return res;
 }
 
+exec::ParallelOptions parallel_options(const CoverageOptions& options) {
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.cancel = options.cancel;
+  return par;
+}
+
+/// Fold per-item detection verdicts into the coverage matrix and normalize.
+/// Detections are 0/1 counts, so the sum is exact in double arithmetic and
+/// the parallel result matches the historical serial accumulation bit for
+/// bit; the reduction still runs in item order for good measure.
+CoverageResult reduce_verdicts(const CoverageOptions& options,
+                               const std::vector<std::vector<char>>& verdicts) {
+  CoverageResult res = make_result(options);
+  const auto samples = static_cast<std::size_t>(options.samples);
+  for (std::size_t item = 0; item < verdicts.size(); ++item) {
+    const std::size_t r = item / samples;
+    for (std::size_t m = 0; m < options.multipliers.size(); ++m)
+      if (verdicts[item][m]) res.coverage[m][r] += 1.0;
+  }
+  res.simulations = verdicts.size();
+  for (auto& row : res.coverage)
+    for (double& c : row) c /= static_cast<double>(options.samples);
+  return res;
+}
+
 }  // namespace
 
 CoverageResult run_delay_coverage(const PathFactory& factory,
@@ -28,26 +55,30 @@ CoverageResult run_delay_coverage(const PathFactory& factory,
                                   const CoverageOptions& options) {
   validate(options);
   PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
-  CoverageResult res = make_result(options);
+  const auto samples = static_cast<std::size_t>(options.samples);
+  const std::size_t items = options.resistances.size() * samples;
 
-  for (std::size_t r = 0; r < options.resistances.size(); ++r) {
-    for (int s = 0; s < options.samples; ++s) {
-      mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
-      mc::GaussianVariationSource var(options.variation, rng);
-      PathInstance inst =
-          make_instance(factory, options.resistances[r], &var);
-      const auto d = path_delay(inst.path, cal.input_rising, options.sim);
-      ++res.simulations;
-      for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
-        const double t_applied = options.multipliers[m] * cal.t_nominal;
-        if (delay_detects(d, t_applied, cal.flip_flops))
-          res.coverage[m][r] += 1.0;
-      }
-    }
-    for (auto& row : res.coverage)
-      row[r] /= static_cast<double>(options.samples);
-  }
-  return res;
+  // One item = one electrical transient = (resistance r, MC sample s); its
+  // verdict row holds the detection flag per clock multiplier.
+  const auto verdicts = exec::parallel_map(
+      items,
+      [&](std::size_t item) {
+        const std::size_t r = item / samples;
+        const std::size_t s = item % samples;
+        mc::Rng rng = sample_rng(options.seed, s);
+        mc::GaussianVariationSource var(options.variation, rng);
+        PathInstance inst =
+            make_instance(factory, options.resistances[r], &var);
+        const auto d = path_delay(inst.path, cal.input_rising, options.sim);
+        std::vector<char> hit(options.multipliers.size(), 0);
+        for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+          const double t_applied = options.multipliers[m] * cal.t_nominal;
+          hit[m] = delay_detects(d, t_applied, cal.flip_flops) ? 1 : 0;
+        }
+        return hit;
+      },
+      parallel_options(options));
+  return reduce_verdicts(options, verdicts);
 }
 
 CoverageResult run_pulse_coverage(const PathFactory& factory,
@@ -55,31 +86,34 @@ CoverageResult run_pulse_coverage(const PathFactory& factory,
                                   const CoverageOptions& options) {
   validate(options);
   PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
-  CoverageResult res = make_result(options);
+  const auto samples = static_cast<std::size_t>(options.samples);
+  const std::size_t items = options.resistances.size() * samples;
 
-  for (std::size_t r = 0; r < options.resistances.size(); ++r) {
-    for (int s = 0; s < options.samples; ++s) {
-      mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
-      mc::GaussianVariationSource var(options.variation, rng);
-      PathInstance inst =
-          make_instance(factory, options.resistances[r], &var);
-      // This die's generator produces its own width (uncertainty (a)).
-      mc::Rng gen_rng = sample_rng(options.seed ^ 0xABCDull,
-                                   static_cast<std::size_t>(s));
-      const double w_applied =
-          cal.w_in * gen_rng.normal_clipped(1.0, options.generator_sigma, 4.0);
-      const auto w_out =
-          output_pulse_width(inst.path, cal.kind, w_applied, options.sim);
-      ++res.simulations;
-      for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
-        const double w_th_applied = options.multipliers[m] * cal.w_th;
-        if (pulse_detects(w_out, w_th_applied)) res.coverage[m][r] += 1.0;
-      }
-    }
-    for (auto& row : res.coverage)
-      row[r] /= static_cast<double>(options.samples);
-  }
-  return res;
+  const auto verdicts = exec::parallel_map(
+      items,
+      [&](std::size_t item) {
+        const std::size_t r = item / samples;
+        const std::size_t s = item % samples;
+        mc::Rng rng = sample_rng(options.seed, s);
+        mc::GaussianVariationSource var(options.variation, rng);
+        PathInstance inst =
+            make_instance(factory, options.resistances[r], &var);
+        // This die's generator produces its own width (uncertainty (a)).
+        mc::Rng gen_rng = sample_rng(options.seed ^ 0xABCDull, s);
+        const double w_applied =
+            cal.w_in *
+            gen_rng.normal_clipped(1.0, options.generator_sigma, 4.0);
+        const auto w_out =
+            output_pulse_width(inst.path, cal.kind, w_applied, options.sim);
+        std::vector<char> hit(options.multipliers.size(), 0);
+        for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+          const double w_th_applied = options.multipliers[m] * cal.w_th;
+          hit[m] = pulse_detects(w_out, w_th_applied) ? 1 : 0;
+        }
+        return hit;
+      },
+      parallel_options(options));
+  return reduce_verdicts(options, verdicts);
 }
 
 }  // namespace ppd::core

@@ -18,8 +18,10 @@ PathInstance make_instance(const PathFactory& factory, double fault_ohms,
 }
 
 mc::Rng sample_rng(std::uint64_t seed, std::size_t sample) {
-  // Distinct, well-mixed stream per (seed, sample).
-  return mc::Rng(seed ^ (0x9e3779b97f4a7c15ULL * (sample + 1)));
+  // Distinct, well-mixed stream per (seed, sample) — the exec-parallel
+  // seeding contract (mc::derive_rng), so sweeps parallelized over samples
+  // reproduce the serial population bit-for-bit.
+  return mc::derive_rng(seed, sample);
 }
 
 namespace {

@@ -1,25 +1,36 @@
 #include "ppd/core/rmin.hpp"
 
+#include "ppd/exec/parallel.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
 
 namespace {
 
-/// Fraction of the MC population detected at resistance r.
+/// Fraction of the MC population detected at resistance r. Samples run in
+/// parallel (options.threads); each derives its RNG from (seed, sample), so
+/// the fraction is bit-identical to the serial loop.
 double detected_fraction(const PathFactory& factory,
                          const PulseTestCalibration& cal,
                          const RminOptions& options, double r,
                          std::size_t& simulations) {
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.cancel = options.cancel;
+  const auto hits = exec::parallel_map(
+      static_cast<std::size_t>(options.samples),
+      [&](std::size_t s) {
+        mc::Rng rng = sample_rng(options.seed, s);
+        mc::GaussianVariationSource var(options.variation, rng);
+        PathInstance inst = make_instance(factory, r, &var);
+        const auto w_out =
+            output_pulse_width(inst.path, cal.kind, cal.w_in, options.sim);
+        return static_cast<char>(pulse_detects(w_out, cal.w_th) ? 1 : 0);
+      },
+      par);
+  simulations += hits.size();
   int detected = 0;
-  for (int s = 0; s < options.samples; ++s) {
-    mc::Rng rng = sample_rng(options.seed, static_cast<std::size_t>(s));
-    mc::GaussianVariationSource var(options.variation, rng);
-    PathInstance inst = make_instance(factory, r, &var);
-    const auto w_out = output_pulse_width(inst.path, cal.kind, cal.w_in, options.sim);
-    ++simulations;
-    if (pulse_detects(w_out, cal.w_th)) ++detected;
-  }
+  for (char h : hits) detected += h;
   return static_cast<double>(detected) / static_cast<double>(options.samples);
 }
 

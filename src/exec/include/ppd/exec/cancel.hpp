@@ -1,0 +1,40 @@
+// Cooperative cancellation for long-running sweeps. A CancelToken is a
+// copyable handle to a shared flag: hand copies to the producer (e.g. a
+// CoverageOptions) and the controller (a UI thread, a timeout watchdog);
+// firing it makes every parallel_for holding a copy stop claiming work and
+// raise CancelledError on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace ppd::exec {
+
+/// Thrown by parallel_for / parallel_map when their CancelToken fires
+/// before the sweep completes. Distinct from the error hierarchy in
+/// ppd/util/error.hpp because cancellation is a *requested* outcome, not a
+/// failure — callers typically catch it and discard the partial sweep.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Request cancellation. Safe from any thread, including a sweep's own
+  /// worker bodies. Idempotent.
+  void cancel() noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace ppd::exec

@@ -1,0 +1,68 @@
+// Deterministic data-parallel primitives over an index space [0, n).
+//
+// Contract: parallel_for(n, body) calls body(i) exactly once for every i,
+// with no ordering guarantee between distinct i. Callers that (a) make each
+// item depend only on its index — e.g. derive the item's RNG via
+// mc::derive_rng(seed, i) — and (b) write only to the item's own output
+// slot, get results bit-identical to the serial loop at ANY thread count,
+// including 1 and 0 (= hardware concurrency). Every Monte-Carlo sweep in
+// ppd::core and fault-list evaluation in ppd::logic is written this way.
+//
+// Scheduling is dynamic (an atomic cursor claims `grain` indices at a time)
+// on the shared work-stealing pool; the calling thread always runs one of
+// the lanes itself, so a sweep makes progress even when the pool is
+// saturated by other sweeps. The first exception thrown by a body is
+// captured, remaining items are abandoned, and the exception is rethrown on
+// the calling thread. A fired CancelToken stops lanes claiming work and
+// surfaces as CancelledError.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ppd/exec/cancel.hpp"
+#include "ppd/exec/thread_pool.hpp"
+
+namespace ppd::exec {
+
+struct ParallelOptions {
+  /// Parallel lanes: 0 = hardware concurrency, 1 = serial on the calling
+  /// thread (no pool involvement), N = at most N lanes.
+  int threads = 1;
+  /// Indices claimed per cursor fetch. Raise above 1 only when items are so
+  /// cheap that the atomic claim dominates (the electrical sweeps are
+  /// milliseconds per item — leave it at 1 for those).
+  std::size_t grain = 1;
+  CancelToken cancel;
+};
+
+/// Per-sweep timing/counters, filled when a non-null pointer is passed.
+struct SweepStats {
+  std::uint64_t items = 0;
+  int lanes = 0;             ///< parallel lanes actually used
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;  ///< summed per-lane body time (>= wall when scaling)
+};
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options = {},
+                  SweepStats* stats = nullptr);
+
+/// Map [0, n) through `fn` into a pre-sized vector, one slot per index.
+/// The result type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, const ParallelOptions& options = {},
+                  SweepStats* stats = nullptr) {
+  using T = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(std::is_default_constructible_v<T>,
+                "parallel_map results are written into a pre-sized vector");
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, options, stats);
+  return out;
+}
+
+}  // namespace ppd::exec

@@ -1,0 +1,91 @@
+// Work-stealing thread pool behind every parallel Monte-Carlo sweep in this
+// repository. Each worker owns a deque: it pushes/pops its own back (LIFO,
+// cache-warm) and steals from other workers' fronts (FIFO, oldest first)
+// when its deque runs dry. Tasks submitted from outside the pool are
+// distributed round-robin.
+//
+// The pool is a *scheduler only* — determinism of the experiments never
+// depends on it. parallel_for (parallel.hpp) assigns work by item index and
+// each item derives its own RNG stream from (seed, index), so any
+// interleaving produces bit-identical results.
+//
+// Submitted tasks must not block on other pool tasks (parallel_for's
+// runners never do; nested parallel_for calls detect that they are already
+// on a worker and degrade to serial), which keeps the pool deadlock-free by
+// construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppd::exec {
+
+/// Resolve a `threads` knob: 0 = std::thread::hardware_concurrency (min 1),
+/// otherwise the requested count (min 1).
+[[nodiscard]] int resolve_threads(int threads);
+
+/// True on a pool worker thread (used to serialize nested parallelism).
+[[nodiscard]] bool on_pool_worker();
+
+/// Scheduler counters for observability; monotonically increasing over the
+/// pool's lifetime.
+struct PoolStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;  ///< tasks taken from another worker's deque
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_threads(threads)` workers.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not block on other pool tasks.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] PoolStats stats() const;
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// parallel_for throttles below the hardware width by bounding how many
+  /// runner tasks it submits, so one shared pool serves every `threads`
+  /// setting without re-spawning OS threads.
+  static ThreadPool& global();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_claim(std::size_t self, std::function<void()>& task, bool& stolen);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unclaimed tasks; a
+  // worker only sleeps when the predicate (stop_ || pending_ > 0) is false,
+  // re-checked under sleep_mutex_, so a submit between "queues look empty"
+  // and the wait cannot be lost.
+  std::mutex sleep_mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> next_queue_{0};
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace ppd::exec

@@ -1,0 +1,113 @@
+#include "ppd/exec/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <latch>
+#include <mutex>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                const ParallelOptions& options, SweepStats* stats) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options.cancel.cancelled())
+      throw CancelledError("sweep cancelled at item " + std::to_string(i) +
+                           " of " + std::to_string(n));
+    body(i);
+  }
+  if (stats != nullptr) {
+    stats->items = n;
+    stats->lanes = 1;
+    stats->wall_seconds = seconds_since(start);
+    stats->busy_seconds = stats->wall_seconds;
+  }
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& options, SweepStats* stats) {
+  PPD_REQUIRE(body != nullptr, "parallel_for needs a body");
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  const std::size_t max_lanes = (n + grain - 1) / grain;
+  // Nested sweeps run serially: pool tasks must never block on other pool
+  // tasks, and the outer sweep already owns the hardware.
+  const int lanes =
+      on_pool_worker()
+          ? 1
+          : static_cast<int>(std::min<std::size_t>(
+                static_cast<std::size_t>(resolve_threads(options.threads)),
+                max_lanes));
+  if (lanes <= 1 || n <= 1) {
+    serial_for(n, body, options, stats);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  const auto start = Clock::now();
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<double> busy(static_cast<std::size_t>(lanes), 0.0);
+
+  auto runner = [&, grain, n](std::size_t lane) {
+    const auto lane_start = Clock::now();
+    while (!failed.load(std::memory_order_relaxed) &&
+           !options.cancel.cancelled()) {
+      const std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + grain);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    busy[lane] = seconds_since(lane_start);
+  };
+
+  std::latch helpers_done(lanes - 1);
+  for (int k = 1; k < lanes; ++k) {
+    pool.submit([&runner, &helpers_done, k] {
+      runner(static_cast<std::size_t>(k));
+      helpers_done.count_down();
+    });
+  }
+  runner(0);  // the caller is always a lane: progress even on a busy pool
+  helpers_done.wait();
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (options.cancel.cancelled())
+    throw CancelledError("sweep cancelled after " +
+                         std::to_string(std::min(n, cursor.load())) + " of " +
+                         std::to_string(n) + " items claimed");
+
+  if (stats != nullptr) {
+    stats->items = n;
+    stats->lanes = lanes;
+    stats->wall_seconds = seconds_since(start);
+    stats->busy_seconds = 0.0;
+    for (double b : busy) stats->busy_seconds += b;
+  }
+}
+
+}  // namespace ppd::exec

@@ -1,0 +1,123 @@
+#include "ppd/exec/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::exec {
+
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+int resolve_threads(int threads) {
+  PPD_REQUIRE(threads >= 0, "threads knob must be >= 0 (0 = hardware)");
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+  }
+  return threads;
+}
+
+bool on_pool_worker() { return t_on_pool_worker; }
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PPD_REQUIRE(task != nullptr, "cannot submit an empty task");
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    const std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
+    workers_[slot]->queue.push_back(std::move(task));
+  }
+  {
+    // pending_ is bumped under sleep_mutex_ so a sleeping worker's predicate
+    // re-check cannot miss it.
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_claim(std::size_t self, std::function<void()>& task,
+                           bool& stolen) {
+  // Own deque first, newest task (LIFO keeps the working set warm) ...
+  {
+    Worker& w = *workers_[self];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.queue.empty()) {
+      task = std::move(w.queue.back());
+      w.queue.pop_back();
+      stolen = false;
+      return true;
+    }
+  }
+  // ... then steal the oldest task from a neighbour (FIFO minimizes contention
+  // with the victim's own LIFO end).
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& w = *workers_[(self + k) % workers_.size()];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.queue.empty()) {
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
+      stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_on_pool_worker = true;
+  std::function<void()> task;
+  for (;;) {
+    bool stolen = false;
+    if (try_claim(self, task, stolen)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      task = nullptr;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_relaxed) == 0)
+      return;
+  }
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace ppd::exec

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "ppd/exec/cancel.hpp"
 #include "ppd/logic/attenuation.hpp"
 #include "ppd/logic/sensitize.hpp"
 
@@ -59,6 +60,17 @@ struct FaultTimingCoefficients {
   /// only a small residual shrink remains.
   double c_internal_shrink = 30e-15;
   double c_external_shrink = 5e-15;
+};
+
+/// Execution knobs for fault-list evaluation. Every per-fault (and
+/// per-test) verdict is independent and written to its own slot, so the
+/// parallel result is identical to the serial one at any thread count.
+struct FaultSimOptions {
+  /// Parallel lanes over the fault list (0 = hardware concurrency,
+  /// 1 = serial).
+  int threads = 1;
+  /// Fire to abandon the evaluation (raises exec::CancelledError).
+  exec::CancelToken cancel;
 };
 
 /// One applied pulse test: a sensitized path, the PI vector holding the
@@ -104,9 +116,11 @@ class FaultSimulator {
   /// the test's path — opens elsewhere don't affect it in this model).
   [[nodiscard]] bool detects(const PulseTest& test, const LogicFault& fault) const;
 
-  /// Simulate a test set against a fault list.
+  /// Simulate a test set against a fault list (faults evaluated in
+  /// parallel per `exec_opt.threads`; deterministic at any setting).
   [[nodiscard]] FaultCoverage run(const std::vector<LogicFault>& faults,
-                                  const std::vector<PulseTest>& tests) const;
+                                  const std::vector<PulseTest>& tests,
+                                  const FaultSimOptions& exec_opt = {}) const;
 
   [[nodiscard]] const Netlist& netlist() const { return netlist_; }
   [[nodiscard]] const GateTimingLibrary& library() const { return library_; }
@@ -134,6 +148,10 @@ struct AtpgOptions {
   /// Grid used to locate the fault-free asymptotic onset.
   std::size_t w_grid_points = 13;
   SensitizeOptions sensitize;
+  /// Fault-list evaluation lanes (cross-detection folds, DF-testing
+  /// verdicts; 0 = hardware concurrency, 1 = serial). The greedy test
+  /// selection order itself is sequential and unchanged.
+  FaultSimOptions exec;
 };
 
 struct AtpgResult {
@@ -150,10 +168,12 @@ struct AtpgResult {
 
 /// Reverse-pass test-set compaction: drop every test whose detected faults
 /// are covered by the remaining tests (classic ATPG static compaction).
-/// Returns the compacted set; coverage is preserved by construction.
+/// Returns the compacted set; coverage is preserved by construction. The
+/// detection matrix builds in parallel per `exec_opt.threads`; the reverse
+/// dropping pass is inherently sequential and stays so.
 [[nodiscard]] std::vector<PulseTest> compact_tests(
     const FaultSimulator& sim, const std::vector<LogicFault>& faults,
-    std::vector<PulseTest> tests);
+    std::vector<PulseTest> tests, const FaultSimOptions& exec_opt = {});
 
 /// Logic-level model of reduced-clock delay-fault testing, for the
 /// circuit-scale comparison against the pulse method: a fault on a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ppd/exec/parallel.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::logic {
@@ -101,19 +102,38 @@ bool FaultSimulator::detects(const PulseTest& test, const LogicFault& fault) con
   return response(test, &fault) < test.w_th;
 }
 
+namespace {
+
+exec::ParallelOptions parallel_options(const FaultSimOptions& options) {
+  exec::ParallelOptions par;
+  par.threads = options.threads;
+  par.cancel = options.cancel;
+  // Logic-level verdicts are microseconds each — batch them so the cursor
+  // claim does not dominate.
+  par.grain = 8;
+  return par;
+}
+
+}  // namespace
+
 FaultCoverage FaultSimulator::run(const std::vector<LogicFault>& faults,
-                                  const std::vector<PulseTest>& tests) const {
+                                  const std::vector<PulseTest>& tests,
+                                  const FaultSimOptions& exec_opt) const {
   FaultCoverage cov;
   cov.detected.assign(faults.size(), 0);
-  for (std::size_t f = 0; f < faults.size(); ++f) {
-    for (const PulseTest& t : tests) {
-      if (detects(t, faults[f])) {
-        cov.detected[f] = 1;
-        ++cov.detected_count;
-        break;
-      }
-    }
-  }
+  exec::parallel_for(
+      faults.size(),
+      [&](std::size_t f) {
+        for (const PulseTest& t : tests) {
+          if (detects(t, faults[f])) {
+            cov.detected[f] = 1;
+            break;
+          }
+        }
+      },
+      parallel_options(exec_opt));
+  for (char d : cov.detected)
+    if (d) ++cov.detected_count;
   return cov;
 }
 
@@ -173,13 +193,20 @@ std::optional<std::pair<double, double>> plan_widths(const FaultSimulator& sim,
 
 std::vector<PulseTest> compact_tests(const FaultSimulator& sim,
                                      const std::vector<LogicFault>& faults,
-                                     std::vector<PulseTest> tests) {
-  // Detection matrix.
-  std::vector<std::vector<char>> hits(tests.size(),
-                                      std::vector<char>(faults.size(), 0));
-  for (std::size_t t = 0; t < tests.size(); ++t)
-    for (std::size_t f = 0; f < faults.size(); ++f)
-      hits[t][f] = sim.detects(tests[t], faults[f]) ? 1 : 0;
+                                     std::vector<PulseTest> tests,
+                                     const FaultSimOptions& exec_opt) {
+  // Detection matrix, one row per test, rows computed in parallel.
+  std::vector<std::vector<char>> hits(tests.size());
+  exec::ParallelOptions par = parallel_options(exec_opt);
+  par.grain = 1;  // a row already covers the whole fault list
+  exec::parallel_for(
+      tests.size(),
+      [&](std::size_t t) {
+        hits[t].assign(faults.size(), 0);
+        for (std::size_t f = 0; f < faults.size(); ++f)
+          hits[t][f] = sim.detects(tests[t], faults[f]) ? 1 : 0;
+      },
+      par);
 
   std::vector<char> keep(tests.size(), 1);
   // Reverse pass: drop a test when every fault it detects is also detected
@@ -255,16 +282,22 @@ FaultCoverage run_delay_testing(const FaultSimulator& sim,
 
   FaultCoverage cov;
   cov.detected.assign(faults.size(), 0);
-  for (std::size_t f = 0; f < faults.size(); ++f) {
-    for (const Path& path :
-         enumerate_paths_through(nl, faults[f].gate, options.paths_per_site)) {
-      if (!delay_test_detects(sim, path, faults[f], model)) continue;
-      if (!sensitize_path(nl, path, options.sensitize).ok) continue;
-      cov.detected[f] = 1;
-      ++cov.detected_count;
-      break;
-    }
-  }
+  // Per-fault verdicts are independent (path enumeration and sensitization
+  // are pure functions of the netlist), so the fault list fans out.
+  exec::parallel_for(
+      faults.size(),
+      [&](std::size_t f) {
+        for (const Path& path : enumerate_paths_through(
+                 nl, faults[f].gate, options.paths_per_site)) {
+          if (!delay_test_detects(sim, path, faults[f], model)) continue;
+          if (!sensitize_path(nl, path, options.sensitize).ok) continue;
+          cov.detected[f] = 1;
+          break;
+        }
+      },
+      parallel_options(options.exec));
+  for (char d : cov.detected)
+    if (d) ++cov.detected_count;
   return cov;
 }
 
@@ -300,13 +333,20 @@ AtpgResult generate_pulse_tests(const FaultSimulator& sim,
       test.positive_pulse = resp_h <= resp_l;
 
       if (!sim.detects(test, fault)) continue;
-      // Accept the test and fold in its cross-detections.
-      for (std::size_t g = 0; g < faults.size(); ++g) {
-        if (!res.coverage.detected[g] && sim.detects(test, faults[g])) {
-          res.coverage.detected[g] = 1;
-          ++res.coverage.detected_count;
-        }
-      }
+      // Accept the test and fold in its cross-detections. The fold fans out
+      // over the fault list (each slot written independently); the greedy
+      // selection order — and therefore the generated test set — is
+      // untouched by the thread count.
+      exec::parallel_for(
+          faults.size(),
+          [&](std::size_t g) {
+            if (!res.coverage.detected[g] && sim.detects(test, faults[g]))
+              res.coverage.detected[g] = 1;
+          },
+          parallel_options(options.exec));
+      res.coverage.detected_count = 0;
+      for (char d : res.coverage.detected)
+        if (d) ++res.coverage.detected_count;
       res.tests.push_back(std::move(test));
       found = true;
       break;

@@ -42,4 +42,14 @@ class Rng {
   double cached_ = 0.0;
 };
 
+/// Deterministic per-item stream derivation for parallel Monte-Carlo: item
+/// `index` of a sweep seeded with `seed` always gets the same generator, no
+/// matter which thread (or how many) executes it. The (seed, index) pair is
+/// mixed into a distinct splitmix64 seeding of the xoshiro state, so
+/// neighbouring indices share no correlation.
+///
+/// This is THE seeding contract of ppd::exec-parallelized sweeps: results
+/// are bit-identical to the serial loop at any thread count.
+[[nodiscard]] Rng derive_rng(std::uint64_t seed, std::uint64_t index);
+
 }  // namespace ppd::mc

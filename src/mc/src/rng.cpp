@@ -89,4 +89,12 @@ std::uint64_t Rng::below(std::uint64_t n) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng derive_rng(std::uint64_t seed, std::uint64_t index) {
+  // Golden-ratio spacing keeps distinct (seed, index) pairs on distinct
+  // splitmix64 trajectories; the Rng constructor then runs the full
+  // splitmix64 mix over the combined value. Matches the historical
+  // core::sample_rng formula so pinned experiment outputs are unchanged.
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
 }  // namespace ppd::mc

@@ -1,0 +1,160 @@
+// ppd::exec contract tests: every index visited exactly once, bit-identical
+// results at any thread count, worker exceptions rethrown on the caller,
+// cooperative cancellation, nested-sweep serialization, and scheduler
+// observability.
+#include "ppd/exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ppd/exec/cancel.hpp"
+#include "ppd/exec/thread_pool.hpp"
+#include "ppd/mc/rng.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::exec {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+  EXPECT_THROW(resolve_threads(-1), PreconditionError);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 5, 0}) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{257}}) {
+      std::vector<std::atomic<int>> visits(n);
+      ParallelOptions opt;
+      opt.threads = threads;
+      parallel_for(
+          n, [&](std::size_t i) { visits[i].fetch_add(1); }, opt);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, GrainBatchingStillCoversEverything) {
+  std::vector<std::atomic<int>> visits(100);
+  ParallelOptions opt;
+  opt.threads = 4;
+  opt.grain = 7;  // does not divide 100
+  parallel_for(
+      100, [&](std::size_t i) { visits[i].fetch_add(1); }, opt);
+  for (std::size_t i = 0; i < visits.size(); ++i)
+    ASSERT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelMap, BitIdenticalAcrossThreadCounts) {
+  // Items follow the seeding contract: RNG from (seed, index) only.
+  const auto item = [](std::size_t i) {
+    mc::Rng rng = mc::derive_rng(42, i);
+    double acc = 0.0;
+    for (int k = 0; k < 16; ++k) acc += rng.normal();
+    return acc;
+  };
+  ParallelOptions serial;  // threads = 1
+  const auto reference = parallel_map(64, item, serial);
+  for (int threads : {2, 3, 8, 0}) {
+    ParallelOptions opt;
+    opt.threads = threads;
+    const auto got = parallel_map(64, item, opt);
+    EXPECT_EQ(got, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ParallelOptions opt;
+    opt.threads = threads;
+    EXPECT_THROW(
+        parallel_for(
+            200,
+            [](std::size_t i) {
+              if (i == 37) throw NumericalError("exploded at 37");
+            },
+            opt),
+        NumericalError)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, CancellationMidSweepStopsClaimingWork) {
+  for (int threads : {1, 4}) {
+    ParallelOptions opt;
+    opt.threads = threads;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(parallel_for(
+                     100000,
+                     [&](std::size_t) {
+                       if (executed.fetch_add(1) == 10) opt.cancel.cancel();
+                     },
+                     opt),
+                 CancelledError)
+        << "threads=" << threads;
+    // Lanes stop at the next claim; only in-flight items may still finish.
+    EXPECT_LT(executed.load(), std::size_t{100000});
+  }
+}
+
+TEST(ParallelFor, PreFiredTokenCancelsImmediately) {
+  ParallelOptions opt;
+  opt.threads = 4;
+  opt.cancel.cancel();
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          50, [&](std::size_t) { executed.fetch_add(1); }, opt),
+      CancelledError);
+  EXPECT_EQ(executed.load(), 0u);
+}
+
+TEST(ParallelFor, NestedSweepSerializesInsteadOfDeadlocking) {
+  ParallelOptions outer;
+  outer.threads = 4;
+  std::atomic<std::size_t> inner_items{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        ParallelOptions inner;
+        inner.threads = 4;  // degrades to serial on a pool worker
+        parallel_for(
+            16, [&](std::size_t) { inner_items.fetch_add(1); }, inner);
+      },
+      outer);
+  EXPECT_EQ(inner_items.load(), 8u * 16u);
+}
+
+TEST(ParallelFor, SweepStatsReportTheSweep) {
+  SweepStats stats;
+  ParallelOptions opt;
+  opt.threads = 2;
+  parallel_for(
+      32, [](std::size_t) {}, opt, &stats);
+  EXPECT_EQ(stats.items, 32u);
+  EXPECT_GE(stats.lanes, 1);
+  EXPECT_LE(stats.lanes, 2);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+}
+
+TEST(ThreadPoolStats, CountersAdvanceWithSubmittedWork) {
+  const PoolStats before = ThreadPool::global().stats();
+  ParallelOptions opt;
+  opt.threads = 0;  // hardware width: submits lanes-1 runner tasks
+  std::atomic<std::size_t> executed{0};
+  parallel_for(
+      64, [&](std::size_t) { executed.fetch_add(1); }, opt);
+  EXPECT_EQ(executed.load(), 64u);
+  const PoolStats after = ThreadPool::global().stats();
+  EXPECT_GE(after.tasks_executed, before.tasks_executed);
+  EXPECT_GE(after.steals, before.steals);
+}
+
+}  // namespace
+}  // namespace ppd::exec
