@@ -22,10 +22,14 @@ CoverageResult make_result(const CoverageOptions& options) {
   return res;
 }
 
-exec::ParallelOptions parallel_options(const CoverageOptions& options) {
+exec::ParallelOptions parallel_options(const CoverageOptions& options,
+                                       const char* what) {
   exec::ParallelOptions par;
   par.threads = options.threads;
   par.cancel = options.cancel;
+  // Item i = (resistance r, MC sample s); name the sweep so an electrical
+  // failure deep inside one sample still says which experiment it broke.
+  par.context = what;
   return par;
 }
 
@@ -77,7 +81,7 @@ CoverageResult run_delay_coverage(const PathFactory& factory,
         }
         return hit;
       },
-      parallel_options(options));
+      parallel_options(options, "delay-test coverage MC sweep"));
   return reduce_verdicts(options, verdicts);
 }
 
@@ -112,7 +116,7 @@ CoverageResult run_pulse_coverage(const PathFactory& factory,
         }
         return hit;
       },
-      parallel_options(options));
+      parallel_options(options, "pulse-test coverage MC sweep"));
   return reduce_verdicts(options, verdicts);
 }
 

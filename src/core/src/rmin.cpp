@@ -17,6 +17,7 @@ double detected_fraction(const PathFactory& factory,
   exec::ParallelOptions par;
   par.threads = options.threads;
   par.cancel = options.cancel;
+  par.context = "r_min MC sweep at R = " + std::to_string(r) + " ohm";
   const auto hits = exec::parallel_map(
       static_cast<std::size_t>(options.samples),
       [&](std::size_t s) {

@@ -13,12 +13,17 @@
 // the lanes itself, so a sweep makes progress even when the pool is
 // saturated by other sweeps. The first exception thrown by a body is
 // captured, remaining items are abandoned, and the exception is rethrown on
-// the calling thread. A fired CancelToken stops lanes claiming work and
-// surfaces as CancelledError.
+// the calling thread — with the failing item index (and the sweep's
+// `context` string, when set) appended to the message of the ppd exception
+// types, so a lint-style diagnostic thrown deep inside item 37 of a
+// Monte-Carlo sweep still names the item and netlist/file it came from.
+// Unknown exception types are rethrown unchanged. A fired CancelToken stops
+// lanes claiming work and surfaces as CancelledError.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -37,6 +42,10 @@ struct ParallelOptions {
   /// milliseconds per item — leave it at 1 for those).
   std::size_t grain = 1;
   CancelToken cancel;
+  /// What this sweep is doing, for error messages — e.g. the netlist/file
+  /// being swept ("faultsim over data/c432_class.bench"). Appended, with
+  /// the failing item index, to exceptions escaping a body.
+  std::string context;
 };
 
 /// Per-sweep timing/counters, filled when a non-null pointer is passed.

@@ -19,6 +19,37 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Rethrow `error` (thrown by item `index` of `n`) with the sweep location
+/// appended. The ppd exception types are rebuilt with the augmented message
+/// so catch sites keyed on the type keep working; anything else — including
+/// CancelledError, which already carries its position — passes through
+/// unchanged.
+[[noreturn]] void rethrow_with_context(std::exception_ptr error,
+                                       std::size_t index, std::size_t n,
+                                       const ParallelOptions& options) {
+  const auto annotate = [&](const char* what) {
+    std::string msg(what);
+    msg += " [sweep item " + std::to_string(index) + " of " +
+           std::to_string(n);
+    if (!options.context.empty()) msg += ", " + options.context;
+    msg += ']';
+    return msg;
+  };
+  try {
+    std::rethrow_exception(error);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const PreconditionError& e) {
+    throw PreconditionError(annotate(e.what()));
+  } catch (const NumericalError& e) {
+    throw NumericalError(annotate(e.what()));
+  } catch (const ParseError& e) {
+    throw ParseError(annotate(e.what()));
+  } catch (...) {
+    std::rethrow_exception(error);
+  }
+}
+
 void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
                 const ParallelOptions& options, SweepStats* stats) {
   const auto start = Clock::now();
@@ -26,7 +57,11 @@ void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
     if (options.cancel.cancelled())
       throw CancelledError("sweep cancelled at item " + std::to_string(i) +
                            " of " + std::to_string(n));
-    body(i);
+    try {
+      body(i);
+    } catch (...) {
+      rethrow_with_context(std::current_exception(), i, n, options);
+    }
   }
   if (stats != nullptr) {
     stats->items = n;
@@ -61,6 +96,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
   std::mutex error_mutex;
   std::vector<double> busy(static_cast<std::size_t>(lanes), 0.0);
 
@@ -76,7 +112,10 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
           body(i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
-          if (first_error == nullptr) first_error = std::current_exception();
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+            first_error_index = i;
+          }
           failed.store(true, std::memory_order_relaxed);
           break;
         }
@@ -95,7 +134,8 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   runner(0);  // the caller is always a lane: progress even on a busy pool
   helpers_done.wait();
 
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (first_error != nullptr)
+    rethrow_with_context(first_error, first_error_index, n, options);
   if (options.cancel.cancelled())
     throw CancelledError("sweep cancelled after " +
                          std::to_string(std::min(n, cursor.load())) + " of " +

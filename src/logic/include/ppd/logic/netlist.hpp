@@ -84,7 +84,13 @@ class Netlist {
   /// Longest input-to-output depth in gate levels.
   [[nodiscard]] std::size_t depth() const;
 
+  /// Where this netlist came from (file path, "<c17>", ...). Used by lint
+  /// diagnostics and sweep error context; empty when unknown.
+  void set_source(std::string source) { source_ = std::move(source); }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
  private:
+  std::string source_;
   std::vector<Gate> gates_;
   std::vector<std::vector<NetId>> fanout_;
   std::vector<NetId> inputs_;

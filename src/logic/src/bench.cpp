@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "ppd/lint/bench_lint.hpp"
 #include "ppd/mc/rng.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
@@ -86,7 +87,7 @@ Netlist parse_bench(const std::string& text) {
   Netlist nl;
   std::unordered_map<std::string, NetId> by_name;
   for (const auto& name : input_names) {
-    if (by_name.count(name) != 0)
+    if (by_name.contains(name))
       throw ParseError("duplicate INPUT declaration: " + name);
     by_name.emplace(name, nl.add_input(name));
   }
@@ -111,7 +112,7 @@ Netlist parse_bench(const std::string& text) {
         next.push_back(std::move(g));
         continue;
       }
-      if (by_name.count(g.output) != 0)
+      if (by_name.contains(g.output))
         throw ParseError("signal defined twice: " + g.output);
       by_name.emplace(g.output, nl.add_gate(g.kind, g.output, std::move(fanin)));
       progress = true;
@@ -134,7 +135,18 @@ Netlist load_bench_file(const std::string& path) {
   if (!in) throw ParseError("cannot open .bench file: " + path);
   std::ostringstream os;
   os << in.rdbuf();
-  return parse_bench(os.str());
+  // Static analysis gates the load: a structurally broken netlist is
+  // rejected here with the complete diagnostic set (cycles, undriven and
+  // multi-driven nets, ... — every defect, with file:line locations)
+  // instead of the strict parser's first-error-only message.
+  lint::LintOptions errors_only;
+  errors_only.min_severity = lint::Severity::kError;
+  lint::lint_bench_text(os.str(), path)
+      .filtered(errors_only)
+      .throw_on_error(path);
+  Netlist nl = parse_bench(os.str());
+  nl.set_source(path);
+  return nl;
 }
 
 std::string write_bench(const Netlist& netlist) {
@@ -161,7 +173,7 @@ std::string write_bench(const Netlist& netlist) {
 
 Netlist c17() {
   // ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND2 gates.
-  return parse_bench(R"(# c17
+  Netlist nl = parse_bench(R"(# c17
 INPUT(1)
 INPUT(2)
 INPUT(3)
@@ -176,6 +188,8 @@ OUTPUT(23)
 22 = NAND(10, 16)
 23 = NAND(16, 19)
 )");
+  nl.set_source("<c17>");
+  return nl;
 }
 
 Netlist synthetic_benchmark(const SyntheticOptions& options) {
@@ -279,6 +293,7 @@ Netlist synthetic_benchmark(const SyntheticOptions& options) {
   }
   for (std::size_t id = n_in; id < n_total; ++id)
     if (is_out[id]) nl.mark_output(emitted[id]);
+  nl.set_source("<synthetic seed " + std::to_string(options.seed) + ">");
   return nl;
 }
 

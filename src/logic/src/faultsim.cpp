@@ -104,13 +104,18 @@ bool FaultSimulator::detects(const PulseTest& test, const LogicFault& fault) con
 
 namespace {
 
-exec::ParallelOptions parallel_options(const FaultSimOptions& options) {
+exec::ParallelOptions parallel_options(const FaultSimOptions& options,
+                                       const Netlist& netlist,
+                                       const char* what) {
   exec::ParallelOptions par;
   par.threads = options.threads;
   par.cancel = options.cancel;
   // Logic-level verdicts are microseconds each — batch them so the cursor
   // claim does not dominate.
   par.grain = 8;
+  par.context = netlist.source().empty()
+                    ? std::string(what)
+                    : std::string(what) + " over " + netlist.source();
   return par;
 }
 
@@ -131,7 +136,7 @@ FaultCoverage FaultSimulator::run(const std::vector<LogicFault>& faults,
           }
         }
       },
-      parallel_options(exec_opt));
+      parallel_options(exec_opt, netlist_, "pulse faultsim"));
   for (char d : cov.detected)
     if (d) ++cov.detected_count;
   return cov;
@@ -197,7 +202,8 @@ std::vector<PulseTest> compact_tests(const FaultSimulator& sim,
                                      const FaultSimOptions& exec_opt) {
   // Detection matrix, one row per test, rows computed in parallel.
   std::vector<std::vector<char>> hits(tests.size());
-  exec::ParallelOptions par = parallel_options(exec_opt);
+  exec::ParallelOptions par =
+      parallel_options(exec_opt, sim.netlist(), "test compaction");
   par.grain = 1;  // a row already covers the whole fault list
   exec::parallel_for(
       tests.size(),
@@ -295,7 +301,7 @@ FaultCoverage run_delay_testing(const FaultSimulator& sim,
           break;
         }
       },
-      parallel_options(options.exec));
+      parallel_options(options.exec, nl, "delay-test faultsim"));
   for (char d : cov.detected)
     if (d) ++cov.detected_count;
   return cov;
@@ -343,7 +349,7 @@ AtpgResult generate_pulse_tests(const FaultSimulator& sim,
             if (!res.coverage.detected[g] && sim.detects(test, faults[g]))
               res.coverage.detected[g] = 1;
           },
-          parallel_options(options.exec));
+          parallel_options(options.exec, nl, "ATPG cross-detection"));
       res.coverage.detected_count = 0;
       for (char d : res.coverage.detected)
         if (d) ++res.coverage.detected_count;

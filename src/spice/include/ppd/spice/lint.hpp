@@ -1,0 +1,29 @@
+// Static analysis over a built Circuit: adapt the device list into the
+// neutral ppd::lint electrical IR and run the PPD1xx checks (ground
+// islands, gmin-dependent nodes, voltage-source loops, parameter ranges).
+//
+// The analyses call validate_circuit() on entry, so a structurally broken
+// circuit is rejected with an actionable LintError *before* the MNA solver
+// can fail deep inside a Monte-Carlo sweep with "singular matrix".
+#pragma once
+
+#include "ppd/lint/spice_lint.hpp"
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::spice {
+
+/// Build the lint IR for `circuit`. `subject` names it in diagnostics.
+[[nodiscard]] lint::ElecGraph to_lint_graph(const Circuit& circuit,
+                                            const std::string& subject = "circuit");
+
+/// Run every electrical check.
+[[nodiscard]] lint::Report lint_circuit(const Circuit& circuit,
+                                        const lint::ElecLintOptions& options = {});
+
+/// Throw lint::LintError when `circuit` has error-severity defects
+/// (islands, voltage-source loops, device-free nodes). Called by
+/// run_op/run_transient on entry; cheap (union-find over the device list).
+void validate_circuit(const Circuit& circuit,
+                      const std::string& subject = "circuit");
+
+}  // namespace ppd::spice

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ppd/spice/lint.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::spice {
@@ -81,6 +82,10 @@ double OpResult::voltage(NodeId n) const {
 }
 
 OpResult run_op(Circuit& circuit, const OpOptions& options) {
+  // Reject structurally broken circuits (ground islands, vsource loops,
+  // device-free nodes) with actionable diagnostics instead of letting the
+  // factorization die on a singular matrix mid-sweep.
+  validate_circuit(circuit);
   circuit.finalize();
   const std::size_t n = circuit.unknown_count();
   PPD_REQUIRE(n > 0, "circuit has no unknowns");

@@ -27,7 +27,7 @@ Cli::Cli(int argc, const char* const* argv, const std::vector<std::string>& allo
   }
 }
 
-bool Cli::has(const std::string& key) const { return values_.count(key) != 0; }
+bool Cli::has(const std::string& key) const { return values_.contains(key); }
 
 std::string Cli::get(const std::string& key, const std::string& def) const {
   const auto it = values_.find(key);

@@ -22,7 +22,7 @@ TEST(ResolveThreads, ZeroMeansHardware) {
   EXPECT_GE(resolve_threads(0), 1);
   EXPECT_EQ(resolve_threads(1), 1);
   EXPECT_EQ(resolve_threads(7), 7);
-  EXPECT_THROW(resolve_threads(-1), PreconditionError);
+  EXPECT_THROW((void)resolve_threads(-1), PreconditionError);
 }
 
 TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
@@ -81,6 +81,31 @@ TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
             opt),
         NumericalError)
         << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, ExceptionCarriesItemIndexAndContext) {
+  // The rethrown exception keeps its type but gains the failing item index
+  // and the sweep's context string, so diagnostics thrown deep inside a
+  // parallel sweep still say where they came from.
+  for (int threads : {1, 4}) {
+    ParallelOptions opt;
+    opt.threads = threads;
+    opt.context = "faultsim over <unit>";
+    try {
+      parallel_for(
+          200,
+          [](std::size_t i) {
+            if (i == 37) throw NumericalError("exploded");
+          },
+          opt);
+      FAIL() << "expected NumericalError, threads=" << threads;
+    } catch (const NumericalError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("exploded"), std::string::npos) << what;
+      EXPECT_NE(what.find("sweep item 37 of 200"), std::string::npos) << what;
+      EXPECT_NE(what.find("faultsim over <unit>"), std::string::npos) << what;
+    }
   }
 }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repository gate: warnings-as-errors build, full test suite, static
+# analysis of the bundled netlists with `ppdtool lint`, and (when the tool
+# is installed) clang-tidy over the files changed on this branch.
+#
+#   tools/check.sh [build-dir]
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-check}"
+
+echo "== configure + build (PPD_WERROR=ON) =="
+cmake -B "$build" -S "$repo" -DPPD_WERROR=ON >/dev/null
+cmake --build "$build" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$build" --output-on-failure
+
+echo "== ppdtool lint over data/ =="
+for f in "$repo"/data/*.bench; do
+  echo "-- $f"
+  "$build/tools/ppdtool" lint "$f"
+done
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (changed files) =="
+  # Tidy the C++ sources touched relative to the merge base with main (or
+  # everything staged/modified when already on main).
+  base="$(git -C "$repo" merge-base HEAD origin/main 2>/dev/null ||
+          git -C "$repo" rev-parse 'HEAD~1' 2>/dev/null || echo '')"
+  changed="$(git -C "$repo" diff --name-only --diff-filter=d ${base:+$base} -- \
+             '*.cpp' '*.hpp' | sort -u)"
+  if [ -n "$changed" ]; then
+    cmake -B "$build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    (cd "$repo" && echo "$changed" | xargs clang-tidy -p "$build" --quiet)
+  else
+    echo "(no changed C++ files)"
+  fi
+else
+  echo "== clang-tidy not installed; skipping static analysis stage =="
+fi
+
+echo "== all checks passed =="

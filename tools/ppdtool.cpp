@@ -25,13 +25,21 @@
 //   ppdtool vcd       [--bench=FILE] [--pulse-input=N] [--width=s]
 //       Event-simulate a pulse through a .bench netlist and dump VCD.
 //
-// All subcommands accept --csv for machine-readable output.
+//   ppdtool lint      <file>... [--json] [--min-severity=note|warning|error]
+//                     [--suppress=PPD004,PPD007,...]
+//       Static analysis of .bench netlists and SPICE decks (.sp/.cir/.spice).
+//       Prints structured diagnostics (stable PPD0xx codes) as text or JSON
+//       and exits non-zero when error-severity findings remain.
+//
+// All table-producing subcommands accept --csv for machine-readable output.
 #include <iostream>
 #include <string>
 
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/logic_bridge.hpp"
 #include "ppd/faults/fault.hpp"
+#include "ppd/lint/bench_lint.hpp"
+#include "ppd/lint/spice_lint.hpp"
 #include "ppd/logic/bench.hpp"
 #include "ppd/logic/faultsim.hpp"
 #include "ppd/logic/sta.hpp"
@@ -285,8 +293,61 @@ int cmd_vcd(int argc, char** argv) {
   return 0;
 }
 
+bool has_ext(const std::string& path, const char* ext) {
+  const auto dot = path.rfind('.');
+  return dot != std::string::npos &&
+         util::iequals(std::string_view(path).substr(dot), ext);
+}
+
+// `lint <file>...` takes positional arguments, which util::Cli (strictly
+// --key=value) does not model — parse argv by hand.
+int cmd_lint(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool json = false;
+  lint::LintOptions filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (util::starts_with(arg, "--min-severity=")) {
+      filter.min_severity = lint::severity_from_string(
+          arg.substr(std::string("--min-severity=").size()));
+    } else if (util::starts_with(arg, "--suppress=")) {
+      for (const auto& code :
+           util::split(arg.substr(std::string("--suppress=").size()), ','))
+        filter.suppress.emplace_back(util::trim(code));
+    } else if (util::starts_with(arg, "--")) {
+      throw ppd::ParseError("unknown lint flag: " + arg);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty())
+    throw ppd::ParseError("lint needs at least one file "
+                          "(.bench netlist or .sp/.cir/.spice deck)");
+
+  lint::Report report;
+  for (const std::string& file : files) {
+    if (has_ext(file, ".bench"))
+      report.merge(lint::lint_bench_file(file));
+    else if (has_ext(file, ".sp") || has_ext(file, ".cir") ||
+             has_ext(file, ".spice"))
+      report.merge(lint::lint_spice_deck_file(file));
+    else
+      throw ppd::ParseError("cannot infer input language of '" + file +
+                            "' (expected .bench or .sp/.cir/.spice)");
+  }
+  const lint::Report shown = report.filtered(filter);
+  if (json)
+    lint::write_json(std::cout, shown);
+  else
+    lint::write_text(std::cout, shown);
+  return shown.has_errors() ? 1 : 0;
+}
+
 int usage() {
-  std::cerr << "usage: ppdtool <transfer|calibrate|coverage|sta|atpg|export|vcd> "
+  std::cerr << "usage: ppdtool "
+               "<transfer|calibrate|coverage|sta|atpg|export|vcd|lint> "
                "[--options]\n(see the header of tools/ppdtool.cpp)\n";
   return 2;
 }
@@ -304,6 +365,7 @@ int main(int argc, char** argv) {
     if (cmd == "atpg") return cmd_atpg(argc - 1, argv + 1);
     if (cmd == "export") return cmd_export(argc - 1, argv + 1);
     if (cmd == "vcd") return cmd_vcd(argc - 1, argv + 1);
+    if (cmd == "lint") return cmd_lint(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "ppdtool: " << e.what() << "\n";
     return 1;
