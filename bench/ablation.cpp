@@ -250,7 +250,7 @@ void ablation_hardware(const bench::ExperimentCli&) {
 int main(int argc, char** argv) {
   const auto cli = bench::ExperimentCli::parse(argc, argv);
   bench::print_banner(std::cout, "Ablations",
-                      "design-decision ablations (A1-A6), see DESIGN.md");
+                      "design-decision ablations (A1-A6), see DESIGN.md", cli);
   ablation_sigma(cli);
   ablation_integrator(cli);
   ablation_fault_kind(cli);

@@ -16,7 +16,17 @@ core::PathFactory paper_path_factory() {
 }
 
 ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
-  const util::Cli cli(argc, argv,
+  // Peel the obs flags off first: argv is immutable here, so filter into a
+  // local vector instead of compacting in place like ppdtool does.
+  obs::RunOptions ropt;
+  std::vector<const char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (!ropt.command.empty()) ropt.command += ' ';
+    ropt.command += argv[i];
+    if (!obs::consume_run_flag(argv[i], ropt)) rest.push_back(argv[i]);
+  }
+  const util::Cli cli(static_cast<int>(rest.size()), rest.data(),
                       {"samples", "seed", "sigma", "csv", "scale", "threads"});
   ExperimentCli e;
   e.samples = cli.get("samples", e.samples);
@@ -26,15 +36,18 @@ ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
   e.scale = cli.get("scale", e.scale);
   e.threads = cli.get("threads", e.threads);
   PPD_REQUIRE(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
+  e.run = std::make_shared<obs::ScopedRun>(std::move(ropt));
+  e.run->set_meta(e.seed, e.threads);
   return e;
 }
 
 void print_banner(std::ostream& os, const std::string& figure,
-                  const std::string& description) {
+                  const std::string& description, const ExperimentCli& cli) {
   os << "# === " << figure << " ===\n"
      << "# " << description << "\n"
      << "# Favalli & Metra, \"Pulse propagation for the detection of small "
-        "delay defects\", DATE 2007\n";
+        "delay defects\", DATE 2007\n"
+     << "# meta = " << obs::run_meta_json(cli.seed, cli.threads) << "\n";
 }
 
 void print_coverage(std::ostream& os, const std::string& parameter_name,

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/measure.hpp"
+#include "ppd/obs/run.hpp"
 #include "ppd/spice/analysis.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/table.hpp"
@@ -32,12 +34,19 @@ struct ExperimentCli {
   /// setting — the knob only changes wall-clock.
   int threads = 0;
 
+  /// Observability sinks for this bench run (--metrics=, --trace=,
+  /// --log-level=, --log-json=); writes the requested files when the last
+  /// copy of the parsed CLI goes out of scope at process exit.
+  std::shared_ptr<obs::ScopedRun> run;
+
   static ExperimentCli parse(int argc, const char* const* argv);
 };
 
-/// Print a figure header (paper reference + what the series mean).
+/// Print a figure header (paper reference + what the series mean) plus the
+/// standard run meta line (seed, threads, build flags, ISO-8601 timestamp)
+/// as a single machine-readable JSON comment.
 void print_banner(std::ostream& os, const std::string& figure,
-                  const std::string& description);
+                  const std::string& description, const ExperimentCli& cli);
 
 /// Print a coverage result as the rows the figure plots, one line per
 /// resistance with one column per multiplier, plus an ASCII rendition.

@@ -36,7 +36,8 @@ inline int run_coverage_figure(int argc, const char* const* argv,
     print_banner(std::cout, figure,
                  std::string("C_del(R) for a ") +
                      faults::fault_kind_name(fault.kind) +
-                     " at gate 2's output; clock T' in {0.9, 1.0, 1.1} x T0");
+                     " at gate 2's output; clock T' in {0.9, 1.0, 1.1} x T0",
+                 cli);
     std::cout << "# calibrated T0 = " << util::format_double(cal.t_nominal, 5)
               << " s (worst fault-free delay "
               << util::format_double(cal.worst_fault_free_delay, 5)
@@ -54,7 +55,8 @@ inline int run_coverage_figure(int argc, const char* const* argv,
     print_banner(std::cout, figure,
                  std::string("C_pulse(R) for a ") +
                      faults::fault_kind_name(fault.kind) +
-                     " at gate 2's output; threshold in {0.9, 1.0, 1.1} x w_th");
+                     " at gate 2's output; threshold in {0.9, 1.0, 1.1} x w_th",
+                 cli);
     std::cout << "# calibrated w_in = " << util::format_double(cal.w_in, 5)
               << " s, w_th = " << util::format_double(cal.w_th, 5)
               << " s (min fault-free w_out "

@@ -23,7 +23,8 @@ int run(int argc, char** argv) {
   const auto cli = bench::ExperimentCli::parse(argc, argv);
   bench::print_banner(std::cout, "Circuit-scale fault simulation (extension)",
                       "STA + pulse-test ATPG + fault coverage on the "
-                      "C432-class benchmark");
+                      "C432-class benchmark",
+                      cli);
 
   const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
   const auto lib = logic::GateTimingLibrary::generic();

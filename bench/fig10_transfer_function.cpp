@@ -18,7 +18,8 @@ int run(int argc, char** argv) {
   const auto cli = bench::ExperimentCli::parse(argc, argv);
   bench::print_banner(std::cout, "Figure 10",
                       "w_out vs w_in: nominal curve + MC scatter at w_in in "
-                      "{0.16, 0.20, 0.25, 0.35, 0.50} ns");
+                      "{0.16, 0.20, 0.25, 0.35, 0.50} ns",
+                      cli);
 
   const core::PathFactory factory = bench::paper_path_factory();
   const core::SimSettings sim;

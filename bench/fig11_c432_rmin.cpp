@@ -28,7 +28,8 @@ int run(int argc, char** argv) {
   bench::print_banner(std::cout, "Figure 11",
                       "(w_in, w_th, R_min) for paths with an external ROP in "
                       "the C432-class benchmark (synthetic substitute, see "
-                      "DESIGN.md)");
+                      "DESIGN.md)",
+                      cli);
 
   const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
   std::cout << "# benchmark: " << nl.inputs().size() << " PIs, "

@@ -17,7 +17,8 @@ int run(int argc, char** argv) {
   const auto cli = bench::ExperimentCli::parse(argc, argv);
   bench::print_banner(std::cout, "Figure 2",
                       "pulse through internal-ROP path (R = 8 kOhm), signals "
-                      "A -> B -> C -> D");
+                      "A -> B -> C -> D",
+                      cli);
 
   cells::PathOptions po;
   po.kinds.assign(4, cells::GateKind::kInv);

@@ -17,7 +17,8 @@ int run(int argc, char** argv) {
   const auto cli = bench::ExperimentCli::parse(argc, argv);
   bench::print_banner(std::cout, "Figure 3",
                       "pulse through external branch-ROP path (R = 64 kOhm), "
-                      "signals A -> B -> B.C -> C -> D");
+                      "signals A -> B -> B.C -> C -> D",
+                      cli);
 
   cells::PathOptions po;
   po.kinds.assign(4, cells::GateKind::kInv);

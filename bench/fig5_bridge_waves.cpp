@@ -18,7 +18,8 @@ int run(int argc, char** argv) {
   const double r_fault = 1.2e3;  // just above the ~1 kOhm critical value
   bench::print_banner(std::cout, "Figure 5",
                       "pulse through externally-bridged path (R = 1.2 kOhm, "
-                      "aggressor steady low), signals A -> B -> C -> D");
+                      "aggressor steady low), signals A -> B -> C -> D",
+                      cli);
 
   cells::PathOptions po;
   po.kinds.assign(6, cells::GateKind::kInv);

@@ -18,6 +18,7 @@
 #include "ppd/logic/sensitize.hpp"
 #include "ppd/logic/sim.hpp"
 #include "ppd/mc/rng.hpp"
+#include "ppd/obs/run.hpp"
 
 namespace {
 
@@ -50,6 +51,11 @@ void run_thread_scaling() {
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::set<int> counts{1, 2, 4, static_cast<int>(hw)};
+
+  // Standard meta row first, so a JSON consumer can key the perf trajectory
+  // on seed / build flags / timestamp without scraping benchmark output.
+  std::printf("{\"section\":\"meta\",\"meta\":%s}\n",
+              obs::run_meta_json(copt.seed, 0).c_str());
 
   core::CoverageResult serial;
   double serial_wall = 0.0;
@@ -163,6 +169,10 @@ BENCHMARK(BM_CircuitBuild)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Obs flags come off first; google-benchmark rejects flags it does not
+  // know, so they must never reach Initialize.
+  ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
+  run.set_meta(2007, 0);
   run_thread_scaling();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

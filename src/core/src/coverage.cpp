@@ -1,6 +1,8 @@
 #include "ppd/core/coverage.hpp"
 
 #include "ppd/exec/parallel.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -57,10 +59,12 @@ CoverageResult reduce_verdicts(const CoverageOptions& options,
 CoverageResult run_delay_coverage(const PathFactory& factory,
                                   const DelayTestCalibration& cal,
                                   const CoverageOptions& options) {
+  const obs::Span span("core.delay_coverage");
   validate(options);
   PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
   const auto samples = static_cast<std::size_t>(options.samples);
   const std::size_t items = options.resistances.size() * samples;
+  exec::SweepStats stats;
 
   // One item = one electrical transient = (resistance r, MC sample s); its
   // verdict row holds the detection flag per clock multiplier.
@@ -81,17 +85,20 @@ CoverageResult run_delay_coverage(const PathFactory& factory,
         }
         return hit;
       },
-      parallel_options(options, "delay-test coverage MC sweep"));
+      parallel_options(options, "delay-test coverage MC sweep"), &stats);
+  exec::record_sweep("core.coverage", stats);
   return reduce_verdicts(options, verdicts);
 }
 
 CoverageResult run_pulse_coverage(const PathFactory& factory,
                                   const PulseTestCalibration& cal,
                                   const CoverageOptions& options) {
+  const obs::Span span("core.pulse_coverage");
   validate(options);
   PPD_REQUIRE(factory.fault.has_value(), "coverage needs a fault site");
   const auto samples = static_cast<std::size_t>(options.samples);
   const std::size_t items = options.resistances.size() * samples;
+  exec::SweepStats stats;
 
   const auto verdicts = exec::parallel_map(
       items,
@@ -116,7 +123,8 @@ CoverageResult run_pulse_coverage(const PathFactory& factory,
         }
         return hit;
       },
-      parallel_options(options, "pulse-test coverage MC sweep"));
+      parallel_options(options, "pulse-test coverage MC sweep"), &stats);
+  exec::record_sweep("core.coverage", stats);
   return reduce_verdicts(options, verdicts);
 }
 

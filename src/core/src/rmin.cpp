@@ -1,6 +1,8 @@
 #include "ppd/core/rmin.hpp"
 
 #include "ppd/exec/parallel.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -18,6 +20,7 @@ double detected_fraction(const PathFactory& factory,
   par.threads = options.threads;
   par.cancel = options.cancel;
   par.context = "r_min MC sweep at R = " + std::to_string(r) + " ohm";
+  exec::SweepStats stats;
   const auto hits = exec::parallel_map(
       static_cast<std::size_t>(options.samples),
       [&](std::size_t s) {
@@ -28,7 +31,8 @@ double detected_fraction(const PathFactory& factory,
             output_pulse_width(inst.path, cal.kind, cal.w_in, options.sim);
         return static_cast<char>(pulse_detects(w_out, cal.w_th) ? 1 : 0);
       },
-      par);
+      par, &stats);
+  exec::record_sweep("core.rmin", stats);
   simulations += hits.size();
   int detected = 0;
   for (char h : hits) detected += h;
@@ -39,6 +43,7 @@ double detected_fraction(const PathFactory& factory,
 
 RminResult find_r_min(const PathFactory& factory, const PulseTestCalibration& cal,
                       const RminOptions& options) {
+  const obs::Span span("core.find_r_min");
   PPD_REQUIRE(factory.fault.has_value(), "r_min needs a fault site");
   PPD_REQUIRE(options.r_hi > options.r_lo && options.r_lo > 0.0,
               "invalid resistance bracket");

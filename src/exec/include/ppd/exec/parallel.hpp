@@ -60,6 +60,14 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   const ParallelOptions& options = {},
                   SweepStats* stats = nullptr);
 
+/// Fold a finished sweep's stats into the ppd::obs metrics registry under
+/// `domain` (counters `<domain>.sweeps`/`<domain>.items`, histograms
+/// `<domain>.items_per_second`, `<domain>.occupancy` and
+/// `<domain>.wall_seconds`). parallel_for records the same series under
+/// "exec.sweep" for every sweep; call sites use this to file their stats
+/// under a workload-specific prefix instead of discarding them.
+void record_sweep(const std::string& domain, const SweepStats& stats);
+
 /// Map [0, n) through `fn` into a pre-sized vector, one slot per index.
 /// The result type must be default-constructible.
 template <typename Fn>

@@ -7,6 +7,9 @@
 #include <latch>
 #include <mutex>
 
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::exec {
@@ -17,6 +20,21 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Debug-log a finished sweep, rate-limited so nested per-item sweeps (a
+/// faultsim inside an MC sample) cannot flood the sink.
+void log_sweep(const SweepStats& stats, const ParallelOptions& options) {
+  obs::Logger& logger = obs::Logger::global();
+  if (!logger.enabled(obs::LogLevel::kDebug)) return;
+  static obs::RateLimit rate(10);
+  if (!rate.allow()) return;
+  logger.log(obs::LogLevel::kDebug, "exec", "sweep finished",
+             {{"items", std::to_string(stats.items)},
+              {"lanes", std::to_string(stats.lanes)},
+              {"wall_s", std::to_string(stats.wall_seconds)},
+              {"busy_s", std::to_string(stats.busy_seconds)},
+              {"context", options.context.empty() ? "-" : options.context}});
 }
 
 /// Rethrow `error` (thrown by item `index` of `n`) with the sweep location
@@ -63,15 +81,35 @@ void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
       rethrow_with_context(std::current_exception(), i, n, options);
     }
   }
-  if (stats != nullptr) {
-    stats->items = n;
-    stats->lanes = 1;
-    stats->wall_seconds = seconds_since(start);
-    stats->busy_seconds = stats->wall_seconds;
-  }
+  SweepStats local;
+  local.items = n;
+  local.lanes = 1;
+  local.wall_seconds = seconds_since(start);
+  local.busy_seconds = local.wall_seconds;
+  record_sweep("exec.sweep", local);
+  log_sweep(local, options);
+  if (stats != nullptr) *stats = local;
 }
 
 }  // namespace
+
+void record_sweep(const std::string& domain, const SweepStats& stats) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter(domain + ".sweeps").add();
+  obs::counter(domain + ".items").add(stats.items);
+  obs::histogram(domain + ".wall_seconds", {1e-6, 1e4, 50})
+      .record(stats.wall_seconds);
+  if (stats.wall_seconds > 0.0) {
+    obs::histogram(domain + ".items_per_second", {1e-2, 1e8, 50})
+        .record(static_cast<double>(stats.items) / stats.wall_seconds);
+    if (stats.lanes > 0)
+      // Fraction of the lanes' wall budget spent inside item bodies; log
+      // bins down to 1% resolve badly-scaling sweeps.
+      obs::histogram(domain + ".occupancy", {0.01, 1.3, 26})
+          .record(stats.busy_seconds /
+                  (stats.wall_seconds * static_cast<double>(stats.lanes)));
+  }
+}
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   const ParallelOptions& options, SweepStats* stats) {
@@ -101,6 +139,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   std::vector<double> busy(static_cast<std::size_t>(lanes), 0.0);
 
   auto runner = [&, grain, n](std::size_t lane) {
+    // One span per lane: a traced MC sweep renders as one busy strip per
+    // worker, with the per-item solver spans nested inside.
+    const obs::Span lane_span("exec.lane");
     const auto lane_start = Clock::now();
     while (!failed.load(std::memory_order_relaxed) &&
            !options.cancel.cancelled()) {
@@ -134,20 +175,32 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   runner(0);  // the caller is always a lane: progress even on a busy pool
   helpers_done.wait();
 
-  if (first_error != nullptr)
+  if (first_error != nullptr) {
+    obs::log_error("exec", "sweep item failed",
+                   {{"item", std::to_string(first_error_index)},
+                    {"items", std::to_string(n)},
+                    {"context", options.context.empty() ? "-" : options.context}});
     rethrow_with_context(first_error, first_error_index, n, options);
+  }
   if (options.cancel.cancelled())
     throw CancelledError("sweep cancelled after " +
                          std::to_string(std::min(n, cursor.load())) + " of " +
                          std::to_string(n) + " items claimed");
 
-  if (stats != nullptr) {
-    stats->items = n;
-    stats->lanes = lanes;
-    stats->wall_seconds = seconds_since(start);
-    stats->busy_seconds = 0.0;
-    for (double b : busy) stats->busy_seconds += b;
-  }
+  SweepStats local;
+  local.items = n;
+  local.lanes = lanes;
+  local.wall_seconds = seconds_since(start);
+  local.busy_seconds = 0.0;
+  for (double b : busy) local.busy_seconds += b;
+  record_sweep("exec.sweep", local);
+  log_sweep(local, options);
+  const PoolStats pool_stats = pool.stats();
+  obs::gauge("exec.pool.tasks_executed")
+      .set(static_cast<double>(pool_stats.tasks_executed));
+  obs::gauge("exec.pool.steals").set(static_cast<double>(pool_stats.steals));
+  obs::gauge("exec.pool.workers").set(pool.size());
+  if (stats != nullptr) *stats = local;
 }
 
 }  // namespace ppd::exec

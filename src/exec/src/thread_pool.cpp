@@ -1,7 +1,9 @@
 #include "ppd/exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::exec {
@@ -86,6 +88,9 @@ bool ThreadPool::try_claim(std::size_t self, std::function<void()>& task,
 
 void ThreadPool::worker_loop(std::size_t self) {
   t_on_pool_worker = true;
+  // Names the worker's lane in Chrome trace exports ("ppd-worker-3").
+  obs::TraceSession::global().set_thread_name("ppd-worker-" +
+                                              std::to_string(self));
   std::function<void()> task;
   for (;;) {
     bool stolen = false;

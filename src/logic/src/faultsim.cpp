@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ppd/exec/parallel.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::logic {
@@ -87,7 +89,17 @@ double FaultSimulator::response_multi(const PulseTest& test,
         t.delay_fall += ft.delay_fall - base.delay_fall;
       }
     w = gate_pulse_out(t, w);
-    if (w <= 0.0) return 0.0;
+    if (w <= 0.0) {
+      // Depth (in gates from the pulse source) at which the pulse died —
+      // the paper's "pulse propagation dies out" signature. Linear-ish bins
+      // up to 128 gates resolve the typical benchmark path lengths.
+      if (obs::metrics_enabled()) {
+        obs::counter("logic.pulse_deaths").add();
+        obs::histogram("logic.pulse_death_depth", {1.0, 128.0, 14})
+            .record(static_cast<double>(i));
+      }
+      return 0.0;
+    }
   }
   return w;
 }
@@ -99,7 +111,12 @@ bool FaultSimulator::detects(const PulseTest& test, const LogicFault& fault) con
       std::find(test.path.nets.begin() + 1, test.path.nets.end(), fault.gate) !=
       test.path.nets.end();
   if (!on_path) return false;
-  return response(test, &fault) < test.w_th;
+  const bool hit = response(test, &fault) < test.w_th;
+  if (obs::metrics_enabled()) {
+    obs::counter("logic.verdicts").add();
+    if (hit) obs::counter("logic.detections").add();
+  }
+  return hit;
 }
 
 namespace {
@@ -124,8 +141,10 @@ exec::ParallelOptions parallel_options(const FaultSimOptions& options,
 FaultCoverage FaultSimulator::run(const std::vector<LogicFault>& faults,
                                   const std::vector<PulseTest>& tests,
                                   const FaultSimOptions& exec_opt) const {
+  const obs::Span span("logic.faultsim");
   FaultCoverage cov;
   cov.detected.assign(faults.size(), 0);
+  exec::SweepStats stats;
   exec::parallel_for(
       faults.size(),
       [&](std::size_t f) {
@@ -136,7 +155,8 @@ FaultCoverage FaultSimulator::run(const std::vector<LogicFault>& faults,
           }
         }
       },
-      parallel_options(exec_opt, netlist_, "pulse faultsim"));
+      parallel_options(exec_opt, netlist_, "pulse faultsim"), &stats);
+  exec::record_sweep("logic.faultsim", stats);
   for (char d : cov.detected)
     if (d) ++cov.detected_count;
   return cov;
@@ -200,11 +220,14 @@ std::vector<PulseTest> compact_tests(const FaultSimulator& sim,
                                      const std::vector<LogicFault>& faults,
                                      std::vector<PulseTest> tests,
                                      const FaultSimOptions& exec_opt) {
+  const obs::Span span("logic.compact_tests");
+  const std::size_t tests_in = tests.size();
   // Detection matrix, one row per test, rows computed in parallel.
   std::vector<std::vector<char>> hits(tests.size());
   exec::ParallelOptions par =
       parallel_options(exec_opt, sim.netlist(), "test compaction");
   par.grain = 1;  // a row already covers the whole fault list
+  exec::SweepStats stats;
   exec::parallel_for(
       tests.size(),
       [&](std::size_t t) {
@@ -212,7 +235,8 @@ std::vector<PulseTest> compact_tests(const FaultSimulator& sim,
         for (std::size_t f = 0; f < faults.size(); ++f)
           hits[t][f] = sim.detects(tests[t], faults[f]) ? 1 : 0;
       },
-      par);
+      par, &stats);
+  exec::record_sweep("logic.compaction", stats);
 
   std::vector<char> keep(tests.size(), 1);
   // Reverse pass: drop a test when every fault it detects is also detected
@@ -231,6 +255,10 @@ std::vector<PulseTest> compact_tests(const FaultSimulator& sim,
   std::vector<PulseTest> out;
   for (std::size_t t = 0; t < tests.size(); ++t)
     if (keep[t]) out.push_back(std::move(tests[t]));
+  if (obs::metrics_enabled()) {
+    obs::counter("logic.compaction.tests_in").add(tests_in);
+    obs::counter("logic.compaction.tests_kept").add(out.size());
+  }
   return out;
 }
 
@@ -269,6 +297,7 @@ bool delay_test_detects(const FaultSimulator& sim, const Path& path,
 FaultCoverage run_delay_testing(const FaultSimulator& sim,
                                 const std::vector<LogicFault>& faults,
                                 DelayTestModel model, const AtpgOptions& options) {
+  const obs::Span span("logic.delay_testing");
   const Netlist& nl = sim.netlist();
   if (model.clock_period <= 0.0) {
     // At-speed default: the circuit's critical delay plus the FF budget.
@@ -290,6 +319,7 @@ FaultCoverage run_delay_testing(const FaultSimulator& sim,
   cov.detected.assign(faults.size(), 0);
   // Per-fault verdicts are independent (path enumeration and sensitization
   // are pure functions of the netlist), so the fault list fans out.
+  exec::SweepStats stats;
   exec::parallel_for(
       faults.size(),
       [&](std::size_t f) {
@@ -301,7 +331,8 @@ FaultCoverage run_delay_testing(const FaultSimulator& sim,
           break;
         }
       },
-      parallel_options(options.exec, nl, "delay-test faultsim"));
+      parallel_options(options.exec, nl, "delay-test faultsim"), &stats);
+  exec::record_sweep("logic.delay_testing", stats);
   for (char d : cov.detected)
     if (d) ++cov.detected_count;
   return cov;
@@ -310,6 +341,7 @@ FaultCoverage run_delay_testing(const FaultSimulator& sim,
 AtpgResult generate_pulse_tests(const FaultSimulator& sim,
                                 const std::vector<LogicFault>& faults,
                                 const AtpgOptions& options) {
+  const obs::Span span("logic.atpg");
   const Netlist& nl = sim.netlist();
   AtpgResult res;
   res.faults_total = faults.size();
@@ -358,6 +390,10 @@ AtpgResult generate_pulse_tests(const FaultSimulator& sim,
       break;
     }
     if (!found) ++res.aborted;
+  }
+  if (obs::metrics_enabled()) {
+    obs::counter("logic.atpg.tests_generated").add(res.tests.size());
+    obs::counter("logic.atpg.aborted").add(res.aborted);
   }
   return res;
 }

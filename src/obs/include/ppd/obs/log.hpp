@@ -1,0 +1,112 @@
+// Leveled structured logging with text and JSONL sinks.
+//
+// Every event carries a severity, a component ("exec", "spice", ...), a
+// message and optional key=value fields. The text sink (stderr by default)
+// is for humans; the JSONL sink (one JSON object per line, enabled with
+// set_json_path / --log-json) is for machines. The level check is a single
+// relaxed atomic load, so disabled levels cost nothing on hot paths; sink
+// writes are serialized under one mutex so concurrent lines never
+// interleave.
+//
+// Per-sample events (one per Monte-Carlo solve) must go through a RateLimit
+// so a pathological sweep cannot flood the sink:
+//
+//   static obs::RateLimit rl(5);  // 5 lines per second
+//   if (rl.allow()) obs::log_warn("spice", "gmin fallback", {{"t", "1e-9"}});
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppd::obs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive); throws
+/// ParseError on anything else.
+[[nodiscard]] LogLevel log_level_from_string(std::string_view s);
+
+struct LogField {
+  std::string key;
+  std::string value;  ///< pre-formatted by the caller
+};
+
+class Logger {
+ public:
+  static Logger& global();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Text sink (nullptr disables; default &std::cerr).
+  void set_text_stream(std::ostream* os);
+  /// JSONL sink file; empty path closes it.
+  void set_json_path(const std::string& path);
+
+  void log(LogLevel level, std::string_view component, std::string_view message,
+           const std::vector<LogField>& fields = {});
+
+ private:
+  Logger();
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mutex_;
+  std::ostream* text_;
+  std::unique_ptr<std::ostream> json_;
+};
+
+inline void log_debug(std::string_view component, std::string_view message,
+                      const std::vector<LogField>& fields = {}) {
+  Logger& l = Logger::global();
+  if (l.enabled(LogLevel::kDebug)) l.log(LogLevel::kDebug, component, message, fields);
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     const std::vector<LogField>& fields = {}) {
+  Logger& l = Logger::global();
+  if (l.enabled(LogLevel::kInfo)) l.log(LogLevel::kInfo, component, message, fields);
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     const std::vector<LogField>& fields = {}) {
+  Logger& l = Logger::global();
+  if (l.enabled(LogLevel::kWarn)) l.log(LogLevel::kWarn, component, message, fields);
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      const std::vector<LogField>& fields = {}) {
+  Logger& l = Logger::global();
+  if (l.enabled(LogLevel::kError)) l.log(LogLevel::kError, component, message, fields);
+}
+
+/// Token bucket over fixed windows: at most `max_per_window` allows per
+/// `window_seconds`, counting (and exposing) what was suppressed. All
+/// operations are lock-free; a race at a window boundary can at worst let a
+/// couple of extra events through, never lose the suppressed count.
+class RateLimit {
+ public:
+  explicit RateLimit(std::uint32_t max_per_window, double window_seconds = 1.0);
+  [[nodiscard]] bool allow();
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint32_t max_per_window_;
+  std::int64_t window_us_;
+  std::atomic<std::int64_t> window_start_us_{0};
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+}  // namespace ppd::obs

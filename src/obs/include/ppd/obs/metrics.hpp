@@ -1,0 +1,202 @@
+// Lock-cheap metrics registry: named counters, gauges and histograms with
+// fixed log-spaced bins, recorded from any thread and merged on snapshot.
+//
+// Recording is wait-free on the hot path: every metric spreads its state
+// over a fixed set of cache-line-padded shards, each thread is pinned to
+// one shard (round-robin at first touch), and a record is a single relaxed
+// atomic add into the thread's own shard. Snapshots merge the shards in a
+// fixed order under the registry mutex, so two quiescent snapshots of the
+// same state are identical — the ppd::exec determinism contract (outputs
+// bit-identical at any thread count) is untouched because experiment
+// results never read metrics, and metric totals are exact integer sums.
+//
+// Handles returned by the registry live as long as the process; hot loops
+// cache them in function-local statics:
+//
+//   static obs::Counter& solves = obs::counter("spice.op.solves");
+//   solves.add();
+//
+// Export: JSON (write_metrics_json) for machines, text tables rendered via
+// ppd::util::table (write_metrics_text) for humans.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppd::obs {
+
+/// Runtime kill switch (default on; also settable via the environment
+/// variable PPD_OBS_METRICS=0). Disabled metrics skip the shard write, so
+/// the per-record cost drops to one relaxed load + branch.
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+namespace detail {
+constexpr std::size_t kShards = 16;
+/// Stable per-thread shard slot (round-robin over kShards).
+[[nodiscard]] std::size_t shard_index();
+/// Relaxed add for atomic<double> (portable pre-fetch_add-for-floats).
+void atomic_add(std::atomic<double>& a, double v);
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Merged total (shards summed in fixed order).
+  [[nodiscard]] std::uint64_t value() const;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::array<detail::CounterShard, detail::kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed log-spaced binning over [lo, hi): bin i spans
+/// [lo * (hi/lo)^(i/bins), lo * (hi/lo)^((i+1)/bins)). Values below lo (or
+/// non-positive / non-finite) land in the underflow bucket, values >= hi in
+/// the overflow bucket, so no observation is ever dropped.
+struct HistogramSpec {
+  double lo = 1.0;
+  double hi = 1e6;
+  std::size_t bins = 24;
+};
+
+class Histogram {
+ public:
+  void record(double v);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  /// Lower/upper edge of bin i (log-spaced).
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+  [[nodiscard]] double bin_upper(std::size_t i) const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(const HistogramSpec& spec);
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bins;  // bins + under + over
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  HistogramSpec spec_;
+  double log_lo_ = 0.0;
+  double scale_ = 0.0;  ///< bins / (log hi - log lo)
+  std::array<Shard, detail::kShards> shards_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+struct HistogramBinSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  HistogramSpec spec;
+  std::uint64_t count = 0;      ///< total observations (incl. under/overflow)
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  double sum = 0.0;
+  double min = 0.0;             ///< 0 when count == 0
+  double max = 0.0;
+  std::vector<HistogramBinSnapshot> bins;  ///< only non-empty bins
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Name-sorted, merged view of every metric at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide metric store. Metrics are created on first use and never
+/// removed; lookup takes the registry mutex, so hot paths should cache the
+/// returned reference (it stays valid for the life of the process).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the spec; later calls with the same name
+  /// return the existing histogram regardless of the spec argument.
+  Histogram& histogram(const std::string& name, const HistogramSpec& spec = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every registered metric (tests and bench A/B runs).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands on the global registry.
+[[nodiscard]] Counter& counter(const std::string& name);
+[[nodiscard]] Gauge& gauge(const std::string& name);
+[[nodiscard]] Histogram& histogram(const std::string& name,
+                                   const HistogramSpec& spec = {});
+
+/// JSON export. When `meta_json` is non-empty it must be a complete JSON
+/// object; it is embedded verbatim as the "meta" member.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot,
+                        const std::string& meta_json = std::string());
+
+/// Human-readable export: one counters/gauges table plus one summary row
+/// and bin table per histogram, rendered with ppd::util::Table.
+void write_metrics_text(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace ppd::obs

@@ -1,0 +1,83 @@
+// Per-run observability wiring shared by ppdtool, the figure benches and
+// perf_engine: the --metrics= / --trace= / --log-level= / --log-json= flags,
+// the standard run `meta` block (seed, thread count, build flags, ISO-8601
+// timestamp, command line), and a ScopedRun RAII that enables the requested
+// sinks at startup and writes the files when the run ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ppd::obs {
+
+/// Compile-time facts of this binary, for the meta block.
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "GNU 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string flags;       ///< CMAKE_CXX_FLAGS
+  std::string sanitize;    ///< PPD_SANITIZE ("" = none)
+};
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Current wall time as ISO-8601 UTC ("2007-04-16T12:34:56Z").
+[[nodiscard]] std::string iso8601_utc_now();
+
+/// The standard meta block as one JSON object: seed, threads, build info,
+/// timestamp and (when known) the command line. Embedded in metrics
+/// snapshots and emitted as its own row in bench JSON streams.
+[[nodiscard]] std::string run_meta_json(std::uint64_t seed, int threads,
+                                        const std::string& command = {});
+
+struct RunOptions {
+  std::string metrics_path;    ///< --metrics=FILE; "-" = stdout, "" = off
+  std::string metrics_format;  ///< --metrics-format=json|text (default json)
+  std::string trace_path;      ///< --trace=FILE; "" = off
+  std::string log_level;       ///< --log-level=trace..error; "" = keep default
+  std::string log_json_path;   ///< --log-json=FILE (JSONL sink); "" = off
+  std::string command;         ///< original command line, for the meta block
+
+  [[nodiscard]] bool any_sink() const {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
+};
+
+/// If `arg` is one of the obs flags, record it into `opts` and return true;
+/// otherwise leave `opts` alone and return false. Lets callers with
+/// const/immutable argv (e.g. the bench ExperimentCli) filter the flags
+/// without the in-place compaction extract_run_options does.
+bool consume_run_flag(std::string_view arg, RunOptions& opts);
+
+/// Remove the obs flags from argv (compacting it in place) and return them.
+/// Everything else — including unknown flags — is left for the caller's own
+/// parser. Also captures the full original command line into `command`.
+[[nodiscard]] RunOptions extract_run_options(int& argc, char** argv);
+
+/// RAII for one observed run: the constructor applies the log level, opens
+/// the JSONL sink and starts tracing; the destructor (or an explicit
+/// finish()) stops tracing and writes the metrics snapshot and Chrome trace
+/// to the requested files. Seed/threads can be set after construction, once
+/// the caller has parsed its own flags.
+class ScopedRun {
+ public:
+  explicit ScopedRun(RunOptions options);
+  ~ScopedRun();
+  ScopedRun(const ScopedRun&) = delete;
+  ScopedRun& operator=(const ScopedRun&) = delete;
+
+  void set_meta(std::uint64_t seed, int threads) {
+    seed_ = seed;
+    threads_ = threads;
+  }
+
+  /// Write the sinks now (idempotent; the destructor then does nothing).
+  void finish();
+
+ private:
+  RunOptions options_;
+  std::uint64_t seed_ = 0;
+  int threads_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ppd::obs

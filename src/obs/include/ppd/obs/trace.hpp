@@ -1,0 +1,100 @@
+// Scoped spans exported as Chrome trace-event JSON.
+//
+// A Span is an RAII brace around a region of work: its constructor records
+// a "B" (begin) event and its destructor the matching "E" (end) event, with
+// wall time from a process-wide steady epoch and the span's thread-CPU time
+// attached to the end event. Events go into per-thread buffers (one lane
+// per thread in the viewer), so recording never contends across threads and
+// timestamps within a lane are monotonic by construction. exec::ThreadPool
+// names its workers' lanes ("ppd-worker-N"), so a Monte-Carlo sweep renders
+// as one lane per worker with the individual solves visible.
+//
+// The session is off by default; an inactive Span costs one relaxed atomic
+// load. Load the exported file in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppd::obs {
+
+class TraceSession {
+ public:
+  struct Event {
+    std::string name;
+    char phase = 'B';      ///< 'B' or 'E'
+    double ts_us = 0.0;    ///< steady time since session epoch
+    double cpu_us = 0.0;   ///< thread-CPU duration ('E' events only)
+    std::uint32_t tid = 0; ///< lane (one per recording thread)
+  };
+
+  static TraceSession& global();
+
+  /// Clear old events and start recording.
+  void start();
+  void stop();
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Label the calling thread's lane in the viewer (sticky across
+  /// start/stop, safe to call whether or not the session is active).
+  void set_thread_name(std::string name);
+
+  void record(std::string name, char phase, double cpu_us);
+
+  /// All recorded events, lane by lane (test/inspection API).
+  [[nodiscard]] std::vector<Event> events() const;
+  void clear();
+
+  /// Chrome trace-event JSON: thread_name metadata plus the B/E events.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Microseconds on the steady clock since the session epoch.
+  [[nodiscard]] double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;  ///< uncontended in steady state; guards export races
+    std::vector<Event> events;
+    std::string name;
+    std::uint32_t tid = 0;
+  };
+
+  TraceSession();
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> active_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span on the global session. Records nothing when the session is
+/// inactive at construction; the end event is always written when the begin
+/// event was (the exported stream keeps B/E balanced).
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  double cpu_start_us_ = 0.0;
+  bool recording_ = false;
+};
+
+}  // namespace ppd::obs

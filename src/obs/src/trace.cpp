@@ -1,0 +1,164 @@
+#include "ppd/obs/trace.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+namespace ppd::obs {
+
+namespace {
+
+/// CPU time of the calling thread, in microseconds.
+double thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+#endif
+  return 0.0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSession& TraceSession::global() {
+  // Leaked singleton: worker threads hold thread_local pointers into the
+  // session's buffers until process exit.
+  static TraceSession* s = new TraceSession();
+  return *s;
+}
+
+TraceSession::ThreadBuffer& TraceSession::local_buffer() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+    t_buffer = buffer.get();
+  }
+  return *t_buffer;
+}
+
+void TraceSession::start() {
+  clear();
+  epoch_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void TraceSession::set_thread_name(std::string name) {
+  ThreadBuffer& b = local_buffer();
+  const std::lock_guard<std::mutex> lock(b.mutex);
+  b.name = std::move(name);
+}
+
+void TraceSession::record(std::string name, char phase, double cpu_us) {
+  const double ts = now_us();
+  ThreadBuffer& b = local_buffer();
+  const std::lock_guard<std::mutex> lock(b.mutex);
+  Event e;
+  e.name = std::move(name);
+  e.phase = phase;
+  e.ts_us = ts;
+  e.cpu_us = cpu_us;
+  e.tid = b.tid;
+  b.events.push_back(std::move(e));
+}
+
+std::vector<TraceSession::Event> TraceSession::events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<Event> out;
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  return out;
+}
+
+void TraceSession::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    b->events.clear();
+  }
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  char buf[64];
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    if (!b->name.empty()) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+         << b->tid << ",\"args\":{\"name\":\"" << json_escape(b->name)
+         << "\"}}";
+    }
+    for (const Event& e : b->events) {
+      if (!first) os << ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
+      os << "\n{\"ph\":\"" << e.phase << "\",\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"ppd\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
+         << buf;
+      if (e.phase == 'E' && e.cpu_us > 0.0) {
+        std::snprintf(buf, sizeof(buf), "%.3f", e.cpu_us);
+        os << ",\"args\":{\"cpu_us\":" << buf << '}';
+      }
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+Span::Span(std::string_view name) {
+  TraceSession& session = TraceSession::global();
+  if (!session.active()) return;
+  recording_ = true;
+  name_.assign(name);
+  cpu_start_us_ = thread_cpu_us();
+  session.record(name_, 'B', 0.0);
+}
+
+Span::~Span() {
+  if (!recording_) return;
+  // Record the end unconditionally (even if the session stopped meanwhile)
+  // so every exported 'B' has its matching 'E'.
+  TraceSession::global().record(std::move(name_), 'E',
+                                thread_cpu_us() - cpu_start_us_);
+}
+
+}  // namespace ppd::obs

@@ -1,8 +1,12 @@
 #include "ppd/spice/analysis.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/spice/lint.hpp"
 #include "ppd/util/error.hpp"
 
@@ -27,8 +31,20 @@ struct NewtonOutcome {
 /// Newton-Raphson: iterate full solves of the linearized system until the
 /// voltage update is below tolerance. `x` carries the initial guess in and
 /// the solution out.
-NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
-                           const NewtonOptions& opt, std::vector<double>& x) {
+/// Histogram of iterations-to-convergence per Newton solve; 1..256 covers
+/// everything max_iterations allows, log bins keep the fast common case
+/// (2-5 iterations) resolved.
+void record_newton(const NewtonOutcome& out) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter("spice.newton.solves").add();
+  if (!out.converged) obs::counter("spice.newton.nonconverged").add();
+  obs::histogram("spice.newton.iterations", {1.0, 256.0, 24})
+      .record(static_cast<double>(out.iterations));
+}
+
+NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
+                                StampContext ctx, const NewtonOptions& opt,
+                                std::vector<double>& x) {
   const std::size_t node_unknowns = circuit.node_count() - 1;
   NewtonOutcome out;
 
@@ -72,6 +88,13 @@ NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
   return out;
 }
 
+NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
+                           const NewtonOptions& opt, std::vector<double>& x) {
+  const NewtonOutcome out = newton_solve_impl(circuit, mna, ctx, opt, x);
+  record_newton(out);
+  return out;
+}
+
 }  // namespace
 
 double OpResult::voltage(NodeId n) const {
@@ -82,6 +105,9 @@ double OpResult::voltage(NodeId n) const {
 }
 
 OpResult run_op(Circuit& circuit, const OpOptions& options) {
+  const obs::Span span("spice.run_op");
+  const auto op_start = std::chrono::steady_clock::now();
+  obs::counter("spice.op.solves").add();
   // Reject structurally broken circuits (ground islands, vsource loops,
   // device-free nodes) with actionable diagnostics instead of letting the
   // factorization die on a singular matrix mid-sweep.
@@ -106,15 +132,25 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
   ctx.mode = AnalysisMode::kOperatingPoint;
   ctx.gmin = options.newton.gmin;
 
+  const auto record_solve_time = [&] {
+    if (!obs::metrics_enabled()) return;
+    obs::histogram("spice.op.seconds", {1e-7, 1e3, 50})
+        .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              op_start)
+                    .count());
+  };
+
   // Plain Newton from the (possibly biased) start.
   auto attempt = newton_solve(circuit, mna, ctx, options.newton, result.x);
   if (attempt.converged) {
     result.iterations = attempt.iterations;
+    record_solve_time();
     return result;
   }
 
   // Gmin stepping: start with a heavy leak and relax it.
   if (options.allow_gmin_stepping) {
+    obs::counter("spice.op.gmin_fallbacks").add();
     std::vector<double> x = x0;
     bool ok = true;
     for (double gmin = 1e-3; gmin >= options.newton.gmin; gmin *= 0.1) {
@@ -131,6 +167,7 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
         result.x = std::move(x);
         result.iterations = final_run.iterations;
         result.used_gmin_stepping = true;
+        record_solve_time();
         return result;
       }
     }
@@ -138,6 +175,7 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
 
   // Source stepping: ramp sources from 0 to full value.
   if (options.allow_source_stepping) {
+    obs::counter("spice.op.source_fallbacks").add();
     std::vector<double> x = x0;
     bool ok = true;
     for (int k = 1; k <= 20; ++k) {
@@ -151,10 +189,19 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
     if (ok) {
       result.x = std::move(x);
       result.used_source_stepping = true;
+      record_solve_time();
       return result;
     }
   }
 
+  obs::counter("spice.op.failures").add();
+  {
+    // Rate-limited: a badly conditioned MC sweep can fail thousands of times.
+    static obs::RateLimit rate(5);
+    if (rate.allow())
+      obs::log_warn("spice", "operating point did not converge",
+                    {{"unknowns", std::to_string(n)}});
+  }
   throw NumericalError("operating point did not converge");
 }
 
@@ -176,6 +223,8 @@ const wave::Waveform& TransientResult::wave(const std::string& node_name) const 
 TransientResult run_transient(Circuit& circuit, const TransientOptions& options) {
   PPD_REQUIRE(options.t_stop > 0.0, "t_stop must be positive");
   PPD_REQUIRE(options.dt > 0.0, "dt must be positive");
+  const obs::Span span("spice.run_transient");
+  const auto tran_start = std::chrono::steady_clock::now();
 
   const OpResult op = run_op(circuit, options.op);
   circuit.finalize();
@@ -253,6 +302,15 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options)
       else if (outcome.iterations >= kSlowIterations)
         h = std::max(h * 0.5, options.dt_min);
     }
+  }
+  if (obs::metrics_enabled()) {
+    obs::counter("spice.transient.runs").add();
+    obs::counter("spice.transient.steps").add(result.steps);
+    obs::counter("spice.transient.rejected_steps").add(result.rejected_steps);
+    obs::histogram("spice.transient.seconds", {1e-6, 1e4, 50})
+        .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              tran_start)
+                    .count());
   }
   return result;
 }

@@ -1,0 +1,265 @@
+// ppd::obs unit tests: histogram binning, registry merge determinism under
+// concurrent recording (TSan-clean by construction), trace-event validity
+// (balanced B/E, monotonic timestamps per lane), logger plumbing and the
+// shared --metrics/--trace flag extraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/run.hpp"
+#include "ppd/obs/trace.hpp"
+#include "ppd/util/error.hpp"
+
+namespace {
+
+using namespace ppd;
+
+TEST(Histogram, LogSpacedBinEdges) {
+  // 3 bins over [1, 1000): edges must be the geometric ladder 1/10/100/1000.
+  obs::Histogram& h =
+      obs::histogram("test.obs.edges", obs::HistogramSpec{1.0, 1000.0, 3});
+  EXPECT_NEAR(h.bin_lower(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.bin_upper(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_lower(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(1), 100.0, 1e-7);
+  EXPECT_NEAR(h.bin_lower(2), 100.0, 1e-7);
+  EXPECT_NEAR(h.bin_upper(2), 1000.0, 1e-6);
+}
+
+TEST(Histogram, RoutesValuesToBinsAndOverflow) {
+  obs::Histogram& h =
+      obs::histogram("test.obs.routing", obs::HistogramSpec{1.0, 1000.0, 3});
+  h.record(0.5);     // underflow
+  h.record(-3.0);    // underflow (non-positive)
+  h.record(1.0);     // bin 0 (inclusive lower edge)
+  h.record(9.9);     // bin 0
+  h.record(10.1);    // bin 1
+  h.record(999.0);   // bin 2
+  h.record(1000.0);  // overflow (exclusive upper edge)
+  h.record(5e6);     // overflow
+
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto it =
+      std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                   [](const auto& s) { return s.name == "test.obs.routing"; });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->count, 8u);
+  EXPECT_EQ(it->underflow, 2u);
+  EXPECT_EQ(it->overflow, 2u);
+  EXPECT_DOUBLE_EQ(it->min, -3.0);
+  EXPECT_DOUBLE_EQ(it->max, 5e6);
+  // Snapshot keeps only non-empty bins; reconstruct counts keyed by lower
+  // edge.
+  std::map<int, std::uint64_t> by_edge;
+  for (const auto& b : it->bins)
+    by_edge[static_cast<int>(std::lround(b.lo))] = b.count;
+  EXPECT_EQ(by_edge[1], 2u);
+  EXPECT_EQ(by_edge[10], 1u);
+  EXPECT_EQ(by_edge[100], 1u);
+}
+
+TEST(Registry, ConcurrentRecordingMergesExactly) {
+  // Hammer one counter + one histogram from many threads; totals must be
+  // exact (relaxed adds into per-thread shards, merged on snapshot), and the
+  // test doubles as the TSan gate for the sharded hot path.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  obs::Counter& c = obs::counter("test.obs.concurrent.count");
+  obs::Histogram& h = obs::histogram("test.obs.concurrent.hist",
+                                     obs::HistogramSpec{1.0, 1e4, 16});
+  obs::Gauge& g = obs::gauge("test.obs.concurrent.gauge");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<double>(i % 100 + 1));
+        g.set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const obs::MetricsSnapshot a = obs::Registry::global().snapshot();
+  const obs::MetricsSnapshot b = obs::Registry::global().snapshot();
+  const auto find_hist = [](const obs::MetricsSnapshot& s, const char* name) {
+    return *std::find_if(s.histograms.begin(), s.histograms.end(),
+                         [&](const auto& x) { return x.name == name; });
+  };
+  const auto ha = find_hist(a, "test.obs.concurrent.hist");
+  const auto hb = find_hist(b, "test.obs.concurrent.hist");
+  EXPECT_EQ(ha.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Quiescent snapshots are deterministic: same totals, same bins.
+  EXPECT_EQ(ha.count, hb.count);
+  EXPECT_EQ(ha.bins.size(), hb.bins.size());
+  for (std::size_t i = 0; i < ha.bins.size(); ++i)
+    EXPECT_EQ(ha.bins[i].count, hb.bins[i].count);
+}
+
+TEST(Registry, DisabledMetricsRecordNothing) {
+  obs::Counter& c = obs::counter("test.obs.disabled");
+  obs::set_metrics_enabled(false);
+  c.add(7);
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Trace, BalancedPairsAndMonotonicPerLane) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        const obs::Span outer("outer");
+        const obs::Span inner("inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  session.stop();
+
+  const auto events = session.events();
+  ASSERT_FALSE(events.empty());
+  std::map<std::uint32_t, int> depth;
+  std::map<std::uint32_t, double> last_ts;
+  for (const auto& e : events) {
+    if (last_ts.count(e.tid)) {
+      EXPECT_GE(e.ts_us, last_ts[e.tid]) << "lane " << e.tid;
+    }
+    last_ts[e.tid] = e.ts_us;
+    if (e.phase == 'B') {
+      ++depth[e.tid];
+    } else {
+      ASSERT_EQ(e.phase, 'E');
+      --depth[e.tid];
+      EXPECT_GE(depth[e.tid], 0) << "E without matching B on lane " << e.tid;
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "lane " << tid;
+  session.clear();
+}
+
+TEST(Trace, SpanStraddlingStopStaysBalanced) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.start();
+  {
+    const obs::Span span("straddler");
+    session.stop();  // B already recorded: dtor must still write the E
+  }
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  session.clear();
+}
+
+TEST(Trace, InactiveSessionRecordsNothing) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.clear();
+  { const obs::Span span("ignored"); }
+  EXPECT_TRUE(session.events().empty());
+}
+
+TEST(Trace, ChromeExportShape) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.start();
+  { const obs::Span span("exported"); }
+  session.stop();
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"exported\""), std::string::npos);
+  session.clear();
+}
+
+TEST(MetricsJson, EmbedsMetaAndSeries) {
+  obs::counter("test.obs.json").add(3);
+  std::ostringstream os;
+  obs::write_metrics_json(os, obs::Registry::global().snapshot(),
+                          obs::run_meta_json(42, 4));
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json\": 3"), std::string::npos);
+  // Crude structural check: braces and brackets balance.
+  long braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Log, LevelParsingAndFiltering) {
+  EXPECT_EQ(obs::log_level_from_string("WARN"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::log_level_from_string("debug"), obs::LogLevel::kDebug);
+  EXPECT_THROW((void)obs::log_level_from_string("loud"), ppd::ParseError);
+
+  obs::Logger& logger = obs::Logger::global();
+  std::ostringstream sink;
+  logger.set_text_stream(&sink);
+  logger.set_level(obs::LogLevel::kWarn);
+  obs::log_info("test", "below threshold");
+  obs::log_warn("test", "visible", {{"k", "v"}});
+  logger.set_text_stream(nullptr);
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("below threshold"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+  EXPECT_NE(out.find("k=v"), std::string::npos);
+}
+
+TEST(Log, RateLimitWindow) {
+  obs::RateLimit limit(3, /*window_seconds=*/3600.0);
+  EXPECT_TRUE(limit.allow());
+  EXPECT_TRUE(limit.allow());
+  EXPECT_TRUE(limit.allow());
+  EXPECT_FALSE(limit.allow());
+  EXPECT_FALSE(limit.allow());
+  EXPECT_EQ(limit.suppressed(), 2u);
+}
+
+TEST(RunOptions, ExtractStripsObsFlagsOnly) {
+  const char* raw[] = {"ppdtool",          "--metrics=m.json",
+                       "coverage",         "--trace=t.json",
+                       "--samples=8",      "--log-level=debug",
+                       "--metrics-format=text"};
+  std::vector<std::string> storage(std::begin(raw), std::end(raw));
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  int argc = static_cast<int>(argv.size());
+  const obs::RunOptions opts = obs::extract_run_options(argc, argv.data());
+  EXPECT_EQ(opts.metrics_path, "m.json");
+  EXPECT_EQ(opts.metrics_format, "text");
+  EXPECT_EQ(opts.trace_path, "t.json");
+  EXPECT_EQ(opts.log_level, "debug");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "ppdtool");
+  EXPECT_STREQ(argv[1], "coverage");
+  EXPECT_STREQ(argv[2], "--samples=8");
+  EXPECT_NE(opts.command.find("--metrics=m.json"), std::string::npos);
+
+  obs::RunOptions partial;
+  EXPECT_FALSE(obs::consume_run_flag("--samples=8", partial));
+  EXPECT_TRUE(obs::consume_run_flag("--log-json=l.jsonl", partial));
+  EXPECT_EQ(partial.log_json_path, "l.jsonl");
+}
+
+}  // namespace

@@ -24,6 +24,43 @@ for f in "$repo"/data/*.bench; do
   "$build/tools/ppdtool" lint "$f"
 done
 
+echo "== observability smoke (metrics + trace JSON) =="
+# A tiny coverage run must produce a valid metrics snapshot (with a
+# non-empty Newton-iteration histogram and the standard meta block) and a
+# well-formed Chrome trace (balanced B/E per lane).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+"$build/tools/ppdtool" --metrics="$obs_dir/metrics.json" \
+  --trace="$obs_dir/trace.json" --log-level=warn \
+  coverage --method=pulse --samples=4 --points=3 >/dev/null
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.meta.seed != null and .meta.timestamp != null' \
+    "$obs_dir/metrics.json" >/dev/null
+  jq -e '.histograms["spice.newton.iterations"].count > 0' \
+    "$obs_dir/metrics.json" >/dev/null
+  jq -e '.counters["core.coverage.items"] > 0' "$obs_dir/metrics.json" >/dev/null
+  jq -e '.traceEvents | length > 0' "$obs_dir/trace.json" >/dev/null
+else
+  echo "(jq not installed; JSON schema checks skipped)"
+fi
+python3 - "$obs_dir/trace.json" <<'PYEOF'
+import json, sys
+from collections import defaultdict
+events = json.load(open(sys.argv[1]))["traceEvents"]
+depth = defaultdict(int)
+last = {}
+for e in events:
+    if e["ph"] == "M":
+        continue
+    tid = e["tid"]
+    assert e["ts"] >= last.get(tid, 0.0), f"non-monotonic ts on lane {tid}"
+    last[tid] = e["ts"]
+    depth[tid] += 1 if e["ph"] == "B" else -1
+    assert depth[tid] >= 0, f"E without B on lane {tid}"
+assert all(d == 0 for d in depth.values()), "unbalanced B/E pairs"
+print(f"trace OK: {len(events)} events, {len(depth)} lanes")
+PYEOF
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (changed files) =="
   # Tidy the C++ sources touched relative to the merge base with main (or

@@ -44,6 +44,7 @@
 #include "ppd/logic/faultsim.hpp"
 #include "ppd/logic/sta.hpp"
 #include "ppd/logic/vcd.hpp"
+#include "ppd/obs/run.hpp"
 #include "ppd/spice/export.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
@@ -355,6 +356,10 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The obs flags (--metrics=, --trace=, --log-level=, --log-json=) are
+  // global: strip them here so the strict per-subcommand parsers never see
+  // them, and let ScopedRun write the sinks on every exit path below.
+  ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
