@@ -27,7 +27,9 @@ ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
     if (!obs::consume_run_flag(argv[i], ropt)) rest.push_back(argv[i]);
   }
   const util::Cli cli(static_cast<int>(rest.size()), rest.data(),
-                      {"samples", "seed", "sigma", "csv", "scale", "threads"});
+                      {"samples", "seed", "sigma", "csv", "scale", "threads",
+                       "strict", "solve-budget", "sweep-budget", "checkpoint",
+                       "resume", "fault-plan"});
   ExperimentCli e;
   e.samples = cli.get("samples", e.samples);
   e.seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
@@ -36,6 +38,18 @@ ExperimentCli ExperimentCli::parse(int argc, const char* const* argv) {
   e.scale = cli.get("scale", e.scale);
   e.threads = cli.get("threads", e.threads);
   PPD_REQUIRE(e.threads >= 0, "--threads must be >= 0 (0 = all cores)");
+  e.resil.quarantine = !cli.has("strict");
+  e.resil.solve_budget_seconds = cli.get("solve-budget", 0.0);
+  e.resil.sweep_budget_seconds = cli.get("sweep-budget", 0.0);
+  e.resil.checkpoint_path = cli.get("checkpoint", std::string());
+  const std::string resume = cli.get("resume", std::string());
+  if (!resume.empty()) {
+    e.resil.checkpoint_path = resume;
+    e.resil.resume = true;
+  }
+  const std::string plan = cli.get("fault-plan", std::string());
+  e.resil.faults = plan.empty() ? resil::FaultPlan::from_env()
+                                : resil::FaultPlan::parse(plan);
   e.run = std::make_shared<obs::ScopedRun>(std::move(ropt));
   e.run->set_meta(e.seed, e.threads);
   return e;
@@ -68,6 +82,9 @@ void print_coverage(std::ostream& os, const std::string& parameter_name,
   }
   table.print(os);
   os << "# " << result.simulations << " electrical transients\n";
+  if (result.n_quarantined() > 0)
+    os << "# n_quarantined = " << result.n_quarantined() << " of "
+       << result.quarantine.items << " samples\n";
   // ASCII rendition: one row per resistance, '#' bar for the nominal curve.
   const std::size_t nominal =
       std::min<std::size_t>(result.multipliers.size() - 1, 1);

@@ -11,6 +11,7 @@
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/measure.hpp"
 #include "ppd/obs/run.hpp"
+#include "ppd/resil/sweep_guard.hpp"
 #include "ppd/spice/analysis.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/table.hpp"
@@ -33,6 +34,13 @@ struct ExperimentCli {
   /// (0 = all hardware cores, 1 = serial). Outputs are bit-identical at any
   /// setting — the knob only changes wall-clock.
   int threads = 0;
+
+  /// Resilience policy for the bench's Monte-Carlo sweeps. Benches run in
+  /// quarantine mode by default (an overnight figure should report broken
+  /// samples, not die on one); --strict restores fail-fast. Also wired:
+  /// --solve-budget=s, --sweep-budget=s, --checkpoint=FILE, --resume=FILE
+  /// and --fault-plan=SPEC (PPD_FAULT_PLAN env fallback).
+  resil::SweepPolicy resil;
 
   /// Observability sinks for this bench run (--metrics=, --trace=,
   /// --log-level=, --log-json=); writes the requested files when the last

@@ -26,6 +26,7 @@ inline int run_coverage_figure(int argc, const char* const* argv,
   copt.variation = mc::VariationModel::uniform_sigma(cli.sigma);
   copt.resistances = std::move(resistances);
   copt.threads = cli.threads;
+  copt.resil = cli.resil;
 
   if (method == Method::kDelay) {
     core::DelayCalibrationOptions dopt;

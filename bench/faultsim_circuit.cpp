@@ -48,6 +48,11 @@ int run(int argc, char** argv) {
     logic::AtpgOptions aopt;
     aopt.paths_per_site = static_cast<std::size_t>(32 * cli.scale);
     aopt.exec.threads = cli.threads;
+    // Quarantine/injection carry into the fault-list sweeps; checkpointing
+    // would clash across the many short sweeps per row, so drop it.
+    aopt.exec.resil = cli.resil;
+    aopt.exec.resil.checkpoint_path.clear();
+    aopt.exec.resil.resume = false;
     const auto res = logic::generate_pulse_tests(sim, faults, aopt);
     const auto compacted =
         logic::compact_tests(sim, faults, res.tests, aopt.exec);

@@ -105,6 +105,7 @@ int run(int argc, char** argv) {
       ropt.seed = cli.seed;
       ropt.variation = model;
       ropt.threads = cli.threads;
+      ropt.resil = cli.resil;
       const auto rmin = core::find_r_min(factory, cal, ropt);
       w_in_s = util::format_double(cal.w_in * 1e9, 4);
       w_th_s = util::format_double(cal.w_th * 1e9, 4);

@@ -19,6 +19,17 @@ bool primitive_kind(GateKind k) {
   }
 }
 
+/// Provenance label for the circuit ("path inv-nand2-..."), reported by the
+/// solver when a sample fails to converge.
+std::string path_recipe(const std::vector<GateKind>& kinds) {
+  std::string recipe = "path ";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    if (i > 0) recipe += '-';
+    recipe += gate_kind_name(kinds[i]);
+  }
+  return recipe;
+}
+
 }  // namespace
 
 Path::Path(std::unique_ptr<Netlist> netlist, spice::DeviceId source,
@@ -88,6 +99,7 @@ Path build_path(const Process& process, const PathOptions& options,
   auto netlist = std::make_unique<Netlist>(process);
   netlist->set_variation(variation);
   spice::Circuit& ckt = netlist->circuit();
+  ckt.set_source(path_recipe(options.kinds));
 
   const spice::NodeId input = ckt.node("in");
   // Rest level low: a later drive_* call reconfigures the source.

@@ -16,6 +16,8 @@
 #include "ppd/core/delay_test.hpp"
 #include "ppd/core/pulse_test.hpp"
 #include "ppd/exec/cancel.hpp"
+#include "ppd/resil/quarantine.hpp"
+#include "ppd/resil/sweep_guard.hpp"
 
 namespace ppd::core {
 
@@ -37,6 +39,9 @@ struct CoverageOptions {
   int threads = 1;
   /// Fire to abandon the sweep mid-flight (raises exec::CancelledError).
   exec::CancelToken cancel;
+  /// Resilience policy: quarantine, budgets, checkpoint/resume, fault
+  /// injection. The default is a no-op (fail-fast, pre-resil behaviour).
+  resil::SweepPolicy resil;
 };
 
 /// One coverage curve per multiplier over the resistance sweep.
@@ -44,8 +49,14 @@ struct CoverageResult {
   std::vector<double> resistances;
   std::vector<double> multipliers;
   /// coverage[m][r]: fraction detected for multiplier m at resistance r.
+  /// With quarantine on, each column's denominator is the number of VALID
+  /// samples at that resistance (samples minus quarantined).
   std::vector<std::vector<double>> coverage;
-  std::size_t simulations = 0;  ///< electrical transients executed
+  std::size_t simulations = 0;  ///< valid electrical measurements
+  /// Samples dropped by quarantine (empty in strict mode). Deterministic:
+  /// the same seed and fault plan yield the same report at any thread count.
+  resil::QuarantineReport quarantine;
+  [[nodiscard]] std::size_t n_quarantined() const { return quarantine.size(); }
 };
 
 /// DF-testing coverage: the applied clock is multiplier * T0.

@@ -27,6 +27,10 @@ struct SimSettings {
   /// test suite; the default favours Monte-Carlo throughput.
   bool adaptive = true;
   double dt_max = 8e-12;
+  /// Wall-clock budget per electrical solve [s]; <= 0 = unlimited. Forwarded
+  /// into the SPICE OP and transient loops, where expiry raises
+  /// ppd::TimeoutError (see ppd::resil) instead of spinning unbounded.
+  double budget_seconds = 0.0;
 };
 
 /// Recipe for building path instances: the experiment framework rebuilds a

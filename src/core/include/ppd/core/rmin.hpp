@@ -7,6 +7,7 @@
 
 #include "ppd/core/pulse_test.hpp"
 #include "ppd/exec/cancel.hpp"
+#include "ppd/resil/sweep_guard.hpp"
 
 namespace ppd::core {
 
@@ -26,12 +27,18 @@ struct RminOptions {
   int threads = 1;
   /// Fire to abandon the search mid-flight (raises exec::CancelledError).
   exec::CancelToken cancel;
+  /// Resilience policy for each bisection step's MC sweep. Checkpointing is
+  /// ignored here (every step is its own short sweep); quarantine, the
+  /// per-solve budget and fault injection apply.
+  resil::SweepPolicy resil;
 };
 
 struct RminResult {
   bool detectable = false;  ///< false when even r_hi is not detected
   double r_min = 0.0;       ///< valid when detectable
   std::size_t simulations = 0;
+  /// Samples quarantined across every bisection step (0 in strict mode).
+  std::size_t n_quarantined = 0;
 };
 
 /// Bisection over R assuming detection is monotone in R (true for ROPs: a

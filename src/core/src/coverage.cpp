@@ -3,6 +3,7 @@
 #include "ppd/exec/parallel.hpp"
 #include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
+#include "ppd/resil/faultplan.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -39,19 +40,46 @@ exec::ParallelOptions parallel_options(const CoverageOptions& options,
 /// Detections are 0/1 counts, so the sum is exact in double arithmetic and
 /// the parallel result matches the historical serial accumulation bit for
 /// bit; the reduction still runs in item order for good measure.
+/// Quarantined items are excluded from both numerator and denominator: each
+/// resistance column divides by its own count of valid samples (0 valid ->
+/// coverage 0). With an empty report this is exactly the historical
+/// divide-by-samples.
 CoverageResult reduce_verdicts(const CoverageOptions& options,
-                               const std::vector<std::vector<char>>& verdicts) {
+                               const std::vector<std::vector<char>>& verdicts,
+                               resil::QuarantineReport quarantine) {
   CoverageResult res = make_result(options);
   const auto samples = static_cast<std::size_t>(options.samples);
+  std::vector<std::size_t> valid(options.resistances.size(), 0);
   for (std::size_t item = 0; item < verdicts.size(); ++item) {
     const std::size_t r = item / samples;
+    if (quarantine.contains(item)) continue;
+    ++valid[r];
     for (std::size_t m = 0; m < options.multipliers.size(); ++m)
       if (verdicts[item][m]) res.coverage[m][r] += 1.0;
   }
-  res.simulations = verdicts.size();
+  res.simulations = verdicts.size() - quarantine.size();
   for (auto& row : res.coverage)
-    for (double& c : row) c /= static_cast<double>(options.samples);
+    for (std::size_t r = 0; r < row.size(); ++r)
+      row[r] = valid[r] == 0 ? 0.0 : row[r] / static_cast<double>(valid[r]);
+  res.quarantine = std::move(quarantine);
   return res;
+}
+
+/// Verdict row <-> checkpoint payload ('0'/'1' per multiplier). The payload
+/// IS the item's full result, which is what makes a resumed sweep
+/// bit-identical to an uninterrupted one.
+std::string encode_verdicts(const std::vector<char>& hit) {
+  std::string s(hit.size(), '0');
+  for (std::size_t i = 0; i < hit.size(); ++i)
+    if (hit[i]) s[i] = '1';
+  return s;
+}
+
+std::vector<char> decode_verdicts(const std::string& payload) {
+  std::vector<char> hit(payload.size(), 0);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    hit[i] = payload[i] == '1' ? 1 : 0;
+  return hit;
 }
 
 }  // namespace
@@ -66,28 +94,48 @@ CoverageResult run_delay_coverage(const PathFactory& factory,
   const std::size_t items = options.resistances.size() * samples;
   exec::SweepStats stats;
 
+  resil::SweepGuard guard(
+      options.resil, items, options.seed, "delay-test coverage MC sweep",
+      [samples](std::size_t item) { return static_cast<std::uint64_t>(item % samples); });
+  exec::ParallelOptions par =
+      parallel_options(options, "delay-test coverage MC sweep");
+  guard.arm(par);
+  SimSettings sim = options.sim;
+  if (guard.solve_budget_seconds() > 0.0)
+    sim.budget_seconds = guard.solve_budget_seconds();
+
   // One item = one electrical transient = (resistance r, MC sample s); its
   // verdict row holds the detection flag per clock multiplier.
-  const auto verdicts = exec::parallel_map(
-      items,
-      [&](std::size_t item) {
-        const std::size_t r = item / samples;
-        const std::size_t s = item % samples;
-        mc::Rng rng = sample_rng(options.seed, s);
-        mc::GaussianVariationSource var(options.variation, rng);
-        PathInstance inst =
-            make_instance(factory, options.resistances[r], &var);
-        const auto d = path_delay(inst.path, cal.input_rising, options.sim);
-        std::vector<char> hit(options.multipliers.size(), 0);
-        for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
-          const double t_applied = options.multipliers[m] * cal.t_nominal;
-          hit[m] = delay_detects(d, t_applied, cal.flip_flops) ? 1 : 0;
-        }
-        return hit;
-      },
-      parallel_options(options, "delay-test coverage MC sweep"), &stats);
+  std::vector<std::vector<char>> verdicts;
+  try {
+    verdicts = exec::parallel_map(
+        items,
+        [&](std::size_t item) -> std::vector<char> {
+          if (const auto saved = guard.cached(item)) return decode_verdicts(*saved);
+          const resil::FaultScope inject(guard.plan(), item);
+          resil::inject_item_delay();
+          resil::inject_item_failure();
+          const std::size_t r = item / samples;
+          const std::size_t s = item % samples;
+          mc::Rng rng = sample_rng(options.seed, s);
+          mc::GaussianVariationSource var(options.variation, rng);
+          PathInstance inst =
+              make_instance(factory, options.resistances[r], &var);
+          const auto d = path_delay(inst.path, cal.input_rising, sim);
+          std::vector<char> hit(options.multipliers.size(), 0);
+          for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+            const double t_applied = options.multipliers[m] * cal.t_nominal;
+            hit[m] = delay_detects(d, t_applied, cal.flip_flops) ? 1 : 0;
+          }
+          guard.complete(item, encode_verdicts(hit));
+          return hit;
+        },
+        par, &stats);
+  } catch (const exec::CancelledError& e) {
+    guard.cancelled(e);
+  }
   exec::record_sweep("core.coverage", stats);
-  return reduce_verdicts(options, verdicts);
+  return reduce_verdicts(options, verdicts, guard.finish());
 }
 
 CoverageResult run_pulse_coverage(const PathFactory& factory,
@@ -100,32 +148,52 @@ CoverageResult run_pulse_coverage(const PathFactory& factory,
   const std::size_t items = options.resistances.size() * samples;
   exec::SweepStats stats;
 
-  const auto verdicts = exec::parallel_map(
-      items,
-      [&](std::size_t item) {
-        const std::size_t r = item / samples;
-        const std::size_t s = item % samples;
-        mc::Rng rng = sample_rng(options.seed, s);
-        mc::GaussianVariationSource var(options.variation, rng);
-        PathInstance inst =
-            make_instance(factory, options.resistances[r], &var);
-        // This die's generator produces its own width (uncertainty (a)).
-        mc::Rng gen_rng = sample_rng(options.seed ^ 0xABCDull, s);
-        const double w_applied =
-            cal.w_in *
-            gen_rng.normal_clipped(1.0, options.generator_sigma, 4.0);
-        const auto w_out =
-            output_pulse_width(inst.path, cal.kind, w_applied, options.sim);
-        std::vector<char> hit(options.multipliers.size(), 0);
-        for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
-          const double w_th_applied = options.multipliers[m] * cal.w_th;
-          hit[m] = pulse_detects(w_out, w_th_applied) ? 1 : 0;
-        }
-        return hit;
-      },
-      parallel_options(options, "pulse-test coverage MC sweep"), &stats);
+  resil::SweepGuard guard(
+      options.resil, items, options.seed, "pulse-test coverage MC sweep",
+      [samples](std::size_t item) { return static_cast<std::uint64_t>(item % samples); });
+  exec::ParallelOptions par =
+      parallel_options(options, "pulse-test coverage MC sweep");
+  guard.arm(par);
+  SimSettings sim = options.sim;
+  if (guard.solve_budget_seconds() > 0.0)
+    sim.budget_seconds = guard.solve_budget_seconds();
+
+  std::vector<std::vector<char>> verdicts;
+  try {
+    verdicts = exec::parallel_map(
+        items,
+        [&](std::size_t item) -> std::vector<char> {
+          if (const auto saved = guard.cached(item)) return decode_verdicts(*saved);
+          const resil::FaultScope inject(guard.plan(), item);
+          resil::inject_item_delay();
+          resil::inject_item_failure();
+          const std::size_t r = item / samples;
+          const std::size_t s = item % samples;
+          mc::Rng rng = sample_rng(options.seed, s);
+          mc::GaussianVariationSource var(options.variation, rng);
+          PathInstance inst =
+              make_instance(factory, options.resistances[r], &var);
+          // This die's generator produces its own width (uncertainty (a)).
+          mc::Rng gen_rng = sample_rng(options.seed ^ 0xABCDull, s);
+          const double w_applied =
+              cal.w_in *
+              gen_rng.normal_clipped(1.0, options.generator_sigma, 4.0);
+          const auto w_out =
+              output_pulse_width(inst.path, cal.kind, w_applied, sim);
+          std::vector<char> hit(options.multipliers.size(), 0);
+          for (std::size_t m = 0; m < options.multipliers.size(); ++m) {
+            const double w_th_applied = options.multipliers[m] * cal.w_th;
+            hit[m] = pulse_detects(w_out, w_th_applied) ? 1 : 0;
+          }
+          guard.complete(item, encode_verdicts(hit));
+          return hit;
+        },
+        par, &stats);
+  } catch (const exec::CancelledError& e) {
+    guard.cancelled(e);
+  }
   exec::record_sweep("core.coverage", stats);
-  return reduce_verdicts(options, verdicts);
+  return reduce_verdicts(options, verdicts, guard.finish());
 }
 
 }  // namespace ppd::core

@@ -34,6 +34,10 @@ spice::TransientOptions transient_options(const SimSettings& sim, double t_stop,
   opt.integrator = sim.integrator;
   opt.adaptive = sim.adaptive;
   opt.dt_max = sim.dt_max;
+  // One budget covers both phases: a hung OP and a hung integration loop
+  // surface as the same per-solve TimeoutError.
+  opt.budget_seconds = sim.budget_seconds;
+  opt.op.budget_seconds = sim.budget_seconds;
   // The measurements only look at the path terminals.
   opt.probe = {path.input(), path.output()};
   return opt;

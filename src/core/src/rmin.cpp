@@ -3,6 +3,7 @@
 #include "ppd/exec/parallel.hpp"
 #include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
+#include "ppd/resil/faultplan.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -11,32 +12,61 @@ namespace {
 
 /// Fraction of the MC population detected at resistance r. Samples run in
 /// parallel (options.threads); each derives its RNG from (seed, sample), so
-/// the fraction is bit-identical to the serial loop.
+/// the fraction is bit-identical to the serial loop. Quarantined samples
+/// drop from both numerator and denominator (fraction 0 when every sample
+/// is quarantined).
 double detected_fraction(const PathFactory& factory,
                          const PulseTestCalibration& cal,
                          const RminOptions& options, double r,
-                         std::size_t& simulations) {
+                         std::size_t& simulations, std::size_t& quarantined) {
+  // Each bisection step is its own short sweep; checkpointing would clash
+  // across steps, so only quarantine/budget/injection carry over.
+  resil::SweepPolicy policy = options.resil;
+  policy.checkpoint_path.clear();
+  policy.resume = false;
+  resil::SweepGuard guard(policy, static_cast<std::size_t>(options.samples),
+                          options.seed,
+                          "r_min MC sweep at R = " + std::to_string(r) + " ohm");
   exec::ParallelOptions par;
   par.threads = options.threads;
   par.cancel = options.cancel;
   par.context = "r_min MC sweep at R = " + std::to_string(r) + " ohm";
+  guard.arm(par);
+  SimSettings sim = options.sim;
+  if (guard.solve_budget_seconds() > 0.0)
+    sim.budget_seconds = guard.solve_budget_seconds();
   exec::SweepStats stats;
-  const auto hits = exec::parallel_map(
-      static_cast<std::size_t>(options.samples),
-      [&](std::size_t s) {
-        mc::Rng rng = sample_rng(options.seed, s);
-        mc::GaussianVariationSource var(options.variation, rng);
-        PathInstance inst = make_instance(factory, r, &var);
-        const auto w_out =
-            output_pulse_width(inst.path, cal.kind, cal.w_in, options.sim);
-        return static_cast<char>(pulse_detects(w_out, cal.w_th) ? 1 : 0);
-      },
-      par, &stats);
+  std::vector<char> hits;
+  try {
+    hits = exec::parallel_map(
+        static_cast<std::size_t>(options.samples),
+        [&](std::size_t s) {
+          const resil::FaultScope inject(guard.plan(), s);
+          resil::inject_item_delay();
+          resil::inject_item_failure();
+          mc::Rng rng = sample_rng(options.seed, s);
+          mc::GaussianVariationSource var(options.variation, rng);
+          PathInstance inst = make_instance(factory, r, &var);
+          const auto w_out =
+              output_pulse_width(inst.path, cal.kind, cal.w_in, sim);
+          const auto hit = static_cast<char>(pulse_detects(w_out, cal.w_th) ? 1 : 0);
+          guard.complete(s, std::string(1, hit ? '1' : '0'));
+          return hit;
+        },
+        par, &stats);
+  } catch (const exec::CancelledError& e) {
+    guard.cancelled(e);
+  }
   exec::record_sweep("core.rmin", stats);
-  simulations += hits.size();
+  const resil::QuarantineReport report = guard.finish();
+  quarantined += report.size();
+  const std::size_t valid = hits.size() - report.size();
+  simulations += valid;
   int detected = 0;
-  for (char h : hits) detected += h;
-  return static_cast<double>(detected) / static_cast<double>(options.samples);
+  for (std::size_t s = 0; s < hits.size(); ++s)
+    if (!report.contains(s)) detected += hits[s];
+  return valid == 0 ? 0.0
+                    : static_cast<double>(detected) / static_cast<double>(valid);
 }
 
 }  // namespace
@@ -52,7 +82,7 @@ RminResult find_r_min(const PathFactory& factory, const PulseTestCalibration& ca
 
   RminResult res;
   // Bracket check: detected at r_hi, undetected at r_lo.
-  if (detected_fraction(factory, cal, options, options.r_hi, res.simulations) <
+  if (detected_fraction(factory, cal, options, options.r_hi, res.simulations, res.n_quarantined) <
       options.target_coverage) {
     res.detectable = false;
     return res;
@@ -60,14 +90,14 @@ RminResult find_r_min(const PathFactory& factory, const PulseTestCalibration& ca
   res.detectable = true;
   double lo = options.r_lo;
   double hi = options.r_hi;
-  if (detected_fraction(factory, cal, options, lo, res.simulations) >=
+  if (detected_fraction(factory, cal, options, lo, res.simulations, res.n_quarantined) >=
       options.target_coverage) {
     res.r_min = lo;  // detected across the whole bracket
     return res;
   }
   for (int i = 0; i < options.bisection_steps; ++i) {
     const double mid = 0.5 * (lo + hi);
-    if (detected_fraction(factory, cal, options, mid, res.simulations) >=
+    if (detected_fraction(factory, cal, options, mid, res.simulations, res.n_quarantined) >=
         options.target_coverage)
       hi = mid;
     else

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 #include <type_traits>
@@ -46,6 +47,12 @@ struct ParallelOptions {
   /// being swept ("faultsim over data/c432_class.bench"). Appended, with
   /// the failing item index, to exceptions escaping a body.
   std::string context;
+  /// Item-failure hook, called with (item index, the exception) when a body
+  /// throws anything but CancelledError. Return true to quarantine the item
+  /// — the sweep continues as if it had succeeded — or false to fail fast
+  /// (the default when unset). Called from worker threads, so it must be
+  /// thread-safe; ppd::resil::SweepGuard is the standard installer.
+  std::function<bool(std::size_t, const std::exception_ptr&)> on_item_error;
 };
 
 /// Per-sweep timing/counters, filled when a non-null pointer is passed.

@@ -59,6 +59,8 @@ void log_sweep(const SweepStats& stats, const ParallelOptions& options) {
     throw;
   } catch (const PreconditionError& e) {
     throw PreconditionError(annotate(e.what()));
+  } catch (const TimeoutError& e) {  // before its base, NumericalError
+    throw TimeoutError(annotate(e.what()));
   } catch (const NumericalError& e) {
     throw NumericalError(annotate(e.what()));
   } catch (const ParseError& e) {
@@ -66,6 +68,22 @@ void log_sweep(const SweepStats& stats, const ParallelOptions& options) {
   } catch (...) {
     std::rethrow_exception(error);
   }
+}
+
+/// True when the sweep's on_item_error hook claims this failure: the item
+/// is quarantined and the sweep keeps going. CancelledError is never
+/// offered to the hook — cancellation is a sweep-level outcome, not an item
+/// failure.
+bool quarantined(const ParallelOptions& options, std::size_t index,
+                 const std::exception_ptr& error) {
+  if (options.on_item_error == nullptr) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const CancelledError&) {
+    return false;
+  } catch (...) {
+  }
+  return options.on_item_error(index, error);
 }
 
 void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
@@ -78,7 +96,9 @@ void serial_for(std::size_t n, const std::function<void(std::size_t)>& body,
     try {
       body(i);
     } catch (...) {
-      rethrow_with_context(std::current_exception(), i, n, options);
+      const std::exception_ptr error = std::current_exception();
+      if (quarantined(options, i, error)) continue;
+      rethrow_with_context(error, i, n, options);
     }
   }
   SweepStats local;
@@ -152,9 +172,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
         try {
           body(i);
         } catch (...) {
+          const std::exception_ptr error = std::current_exception();
+          if (quarantined(options, i, error)) continue;
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (first_error == nullptr) {
-            first_error = std::current_exception();
+            first_error = error;
             first_error_index = i;
           }
           failed.store(true, std::memory_order_relaxed);

@@ -28,6 +28,8 @@
 #include "ppd/exec/cancel.hpp"
 #include "ppd/logic/attenuation.hpp"
 #include "ppd/logic/sensitize.hpp"
+#include "ppd/resil/quarantine.hpp"
+#include "ppd/resil/sweep_guard.hpp"
 
 namespace ppd::logic {
 
@@ -71,6 +73,9 @@ struct FaultSimOptions {
   int threads = 1;
   /// Fire to abandon the evaluation (raises exec::CancelledError).
   exec::CancelToken cancel;
+  /// Resilience policy for FaultSimulator::run (quarantine, budgets,
+  /// checkpoint/resume, fault injection); all-defaults = fail fast.
+  resil::SweepPolicy resil;
 };
 
 /// One applied pulse test: a sensitized path, the PI vector holding the
@@ -87,10 +92,18 @@ struct PulseTest {
 struct FaultCoverage {
   std::vector<char> detected;  ///< parallel to the fault list
   std::size_t detected_count = 0;
+  /// Faults whose evaluation was quarantined (FaultSimulator::run with a
+  /// quarantine policy only; empty elsewhere / in strict mode).
+  resil::QuarantineReport quarantine;
+  [[nodiscard]] std::size_t n_quarantined() const { return quarantine.size(); }
+  /// Detected fraction over the VALID faults (quarantined ones drop from
+  /// the denominator; with an empty report this is detected/faults).
   [[nodiscard]] double coverage(std::size_t faults) const {
-    return faults == 0 ? 0.0
-                       : static_cast<double>(detected_count) /
-                             static_cast<double>(faults);
+    const std::size_t valid =
+        faults > quarantine.size() ? faults - quarantine.size() : 0;
+    return valid == 0 ? 0.0
+                      : static_cast<double>(detected_count) /
+                            static_cast<double>(valid);
   }
 };
 

@@ -5,6 +5,7 @@
 #include "ppd/exec/parallel.hpp"
 #include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
+#include "ppd/resil/faultplan.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::logic {
@@ -145,18 +146,37 @@ FaultCoverage FaultSimulator::run(const std::vector<LogicFault>& faults,
   FaultCoverage cov;
   cov.detected.assign(faults.size(), 0);
   exec::SweepStats stats;
-  exec::parallel_for(
-      faults.size(),
-      [&](std::size_t f) {
-        for (const PulseTest& t : tests) {
-          if (detects(t, faults[f])) {
-            cov.detected[f] = 1;
-            break;
+  exec::ParallelOptions par =
+      parallel_options(exec_opt, netlist_, "pulse faultsim");
+  // No RNG here, so the checkpoint identity key is just (items, context).
+  resil::SweepGuard guard(exec_opt.resil, faults.size(), /*seed=*/0,
+                          par.context);
+  guard.arm(par);
+  try {
+    exec::parallel_for(
+        faults.size(),
+        [&](std::size_t f) {
+          if (const auto saved = guard.cached(f)) {
+            cov.detected[f] = (*saved) == "1" ? 1 : 0;
+            return;
           }
-        }
-      },
-      parallel_options(exec_opt, netlist_, "pulse faultsim"), &stats);
+          const resil::FaultScope inject(guard.plan(), f);
+          resil::inject_item_delay();
+          resil::inject_item_failure();
+          for (const PulseTest& t : tests) {
+            if (detects(t, faults[f])) {
+              cov.detected[f] = 1;
+              break;
+            }
+          }
+          guard.complete(f, cov.detected[f] ? "1" : "0");
+        },
+        par, &stats);
+  } catch (const exec::CancelledError& e) {
+    guard.cancelled(e);
+  }
   exec::record_sweep("logic.faultsim", stats);
+  cov.quarantine = guard.finish();
   for (char d : cov.detected)
     if (d) ++cov.detected_count;
   return cov;

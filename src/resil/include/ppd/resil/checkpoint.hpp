@@ -1,0 +1,64 @@
+// Sweep checkpointing: a periodic JSON snapshot of every completed item's
+// encoded result plus the quarantine list, written atomically (tmp +
+// rename) so an interrupted Monte-Carlo run resumes where it stopped
+// instead of recomputing hours of transients. Because each item's payload
+// is the item's full result, a resumed sweep merges cached and fresh items
+// into a result bit-identical to an uninterrupted run.
+//
+// The checkpoint is keyed on (seed, items, context): load() + a mismatched
+// sweep identity throws, so a checkpoint cannot silently resume a
+// different experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ppd/resil/quarantine.hpp"
+
+namespace ppd::resil {
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  Checkpoint(Checkpoint&&) noexcept;
+  Checkpoint& operator=(Checkpoint&&) noexcept;
+
+  /// Parse a file written by save(). Throws ParseError on malformed input.
+  [[nodiscard]] static Checkpoint load(const std::string& path);
+
+  /// Fix the sweep identity. On a loaded checkpoint, throws ParseError when
+  /// it does not match what was stored.
+  void bind(std::uint64_t seed, std::size_t items, const std::string& context);
+
+  [[nodiscard]] bool has(std::size_t item) const;
+  /// Payload of a completed item; throws PreconditionError when absent.
+  [[nodiscard]] std::string payload(std::size_t item) const;
+
+  /// Record a completed item (thread-safe).
+  void record(std::size_t item, std::string payload);
+  void record_quarantine(QuarantineEntry entry);
+  /// Drop the stored quarantine list (a resumed sweep re-runs quarantined
+  /// items — deterministically failing the same way — so keeping the stale
+  /// entries would duplicate them).
+  void clear_quarantine();
+
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::vector<QuarantineEntry> quarantine() const;
+
+  /// Serialize to `path` atomically. Throws PreconditionError on I/O errors.
+  void save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::size_t items_ = 0;
+  std::string context_;
+  bool bound_ = false;
+  std::map<std::size_t, std::string> payloads_;
+  std::vector<QuarantineEntry> quarantine_;
+};
+
+}  // namespace ppd::resil

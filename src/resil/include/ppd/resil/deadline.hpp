@@ -1,0 +1,60 @@
+// Wall-clock budgets for solves and sweeps. A Deadline is a value type
+// carrying an absolute steady_clock expiry (or "never"); hot loops poll
+// expired() and throw ppd::TimeoutError with context instead of spinning
+// unbounded. A Watchdog is the asynchronous counterpart for code that
+// cannot poll: it fires an exec::CancelToken when the budget elapses, so a
+// saturated parallel sweep drains cleanly through the cancellation path.
+//
+// Wall-clock budgets are inherently non-deterministic: whether a given item
+// finishes before the deadline depends on machine load. The determinism
+// contract of quarantine/checkpointing therefore only covers runs where no
+// budget expires (or budgets are unset) — see sweep_guard.hpp.
+#pragma once
+
+#include <chrono>
+
+#include "ppd/exec/cancel.hpp"
+
+namespace ppd::resil {
+
+class Deadline {
+ public:
+  /// Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  [[nodiscard]] static Deadline never() { return Deadline(); }
+
+  /// Expires `seconds` from now; `seconds <= 0` means never (so option
+  /// structs can use 0.0 as the "unlimited" default).
+  [[nodiscard]] static Deadline after(double seconds);
+
+  [[nodiscard]] bool unlimited() const { return !limited_; }
+  [[nodiscard]] bool expired() const;
+  /// Seconds left; a large positive constant when unlimited.
+  [[nodiscard]] double remaining_seconds() const;
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// RAII watchdog: fires `token` once `budget_seconds` elapse, unless
+/// destroyed first. A budget <= 0 starts no thread at all. fired() tells a
+/// CancelledError catch site whether the cancellation was a timeout (convert
+/// to TimeoutError) or a caller request (propagate as-is).
+class Watchdog {
+ public:
+  Watchdog(exec::CancelToken token, double budget_seconds);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  [[nodiscard]] bool armed() const { return state_ != nullptr; }
+  [[nodiscard]] bool fired() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ppd::resil

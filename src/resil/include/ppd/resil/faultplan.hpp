@@ -1,0 +1,94 @@
+// Deterministic fault injection for testing the recovery machinery itself.
+//
+// A FaultPlan is a seeded recipe of failure probabilities; it is OFF by
+// default and only consulted between a FaultScope's construction and
+// destruction, so production runs pay one thread-local null check per seam.
+// Every injection decision is a pure hash of (plan seed, sweep item, seam,
+// per-item draw counter) — no global state, no wall clock — so the set of
+// injected failures is bit-identical at any thread count and across
+// re-runs, which is what lets the quarantine/checkpoint tests assert exact
+// results under chaos.
+//
+// Seams currently instrumented:
+//   * newton  — spice::run_op/run_transient Newton solves report
+//               non-convergence (exercises the homotopy ladder);
+//   * nan     — a Newton iterate is poisoned to NaN, tripping the solver's
+//               real non-finite guard (exercises the hard-failure path);
+//   * item    — a sweep item throws NumericalError outright (exercises
+//               quarantine without the electrical layer, e.g. in logic);
+//   * delay   — a sweep item sleeps, exercising deadlines and watchdogs;
+//   * cancel-after — the sweep's CancelToken fires after N completed items,
+//               exercising checkpoint/resume (handled by SweepGuard).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppd::resil {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double p_newton_nonconverge = 0.0;  ///< "newton="
+  double p_newton_nan = 0.0;          ///< "nan="
+  double p_item_fail = 0.0;           ///< "item="
+  double p_item_delay = 0.0;          ///< "delay=p:seconds"
+  double delay_seconds = 0.0;
+  /// Fire the sweep's CancelToken after this many completed items
+  /// (0 = never). Used to test checkpoint/resume.
+  std::size_t cancel_after_items = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return p_newton_nonconverge > 0.0 || p_newton_nan > 0.0 ||
+           p_item_fail > 0.0 || p_item_delay > 0.0 || cancel_after_items > 0;
+  }
+
+  /// Parse "seed=7,newton=0.3,nan=0.05,item=0.2,delay=0.1:0.01,
+  /// cancel-after=30" (any subset, any order). Throws ParseError.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Plan from the PPD_FAULT_PLAN environment variable (empty/unset =
+  /// disabled plan).
+  [[nodiscard]] static FaultPlan from_env();
+
+  /// Round-trippable single-line description ("off" when disabled).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Injection seams, hashed into every decision so the same probability
+/// draws independently per seam.
+enum class FaultSite : std::uint64_t {
+  kNewtonNonConverge = 1,
+  kNewtonNan = 2,
+  kItemFail = 3,
+  kItemDelay = 4,
+};
+
+namespace detail {
+struct FaultContext;
+}  // namespace detail
+
+/// Installs `plan` as the active injection context of the current thread
+/// for the duration of one sweep item. Scopes nest (the inner scope wins);
+/// a disabled plan installs nothing.
+class FaultScope {
+ public:
+  FaultScope(const FaultPlan& plan, std::uint64_t item);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  detail::FaultContext* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Seam helpers, called at the instrumented sites. All return false / no-op
+/// when no FaultScope is active on this thread.
+[[nodiscard]] bool inject_newton_nonconvergence();
+[[nodiscard]] bool inject_newton_nan();
+/// Throws NumericalError("injected item failure ...") when drawn.
+void inject_item_failure();
+/// Sleeps plan.delay_seconds when drawn.
+void inject_item_delay();
+
+}  // namespace ppd::resil

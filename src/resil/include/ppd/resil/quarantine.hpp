@@ -1,0 +1,40 @@
+// Sample quarantine: the record of every sweep item that failed and was
+// skipped instead of aborting the sweep. Entries carry enough to reproduce
+// the failure in isolation (item index, the per-item RNG derivation index,
+// the recovery rungs attempted, the error text). The report is sorted by
+// item index regardless of which lane recorded what first, so two runs of
+// the same sweep at different thread counts produce identical reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppd::resil {
+
+struct QuarantineEntry {
+  std::size_t item = 0;      ///< failing sweep item index
+  std::uint64_t seed = 0;    ///< per-item RNG derivation index (or item)
+  std::string rung;          ///< recovery rungs attempted ("" when none ran)
+  std::string error;         ///< exception message
+
+  friend bool operator==(const QuarantineEntry& a, const QuarantineEntry& b) {
+    return a.item == b.item && a.seed == b.seed && a.rung == b.rung &&
+           a.error == b.error;
+  }
+};
+
+struct QuarantineReport {
+  std::size_t items = 0;                  ///< sweep size
+  std::vector<QuarantineEntry> entries;   ///< sorted by item index
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+  [[nodiscard]] bool contains(std::size_t item) const;
+
+  /// JSON object: {"items": N, "quarantined": K, "entries": [...]}.
+  void write_json(std::ostream& os) const;
+};
+
+}  // namespace ppd::resil

@@ -1,0 +1,58 @@
+// Declarative retry ladders: the generic engine behind the SPICE homotopy
+// recovery (plain Newton -> gmin stepping -> source stepping) and any other
+// try-progressively-stronger-strategies loop. A RetryPolicy names its rungs
+// and gives each an attempt budget; run_ladder walks the rungs in order,
+// counts every attempt/success per rung in the ppd::obs registry
+// (`<prefix>.rung.<name>.attempts` / `.successes`) and stops at the first
+// success or at deadline expiry (ppd::TimeoutError).
+//
+// On exhaustion the comma-joined rung trail is parked in a thread-local
+// slot (take_last_ladder), so a quarantine handler several frames up can
+// record how far the recovery got for the failing item without threading a
+// context object through every layer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ppd/resil/deadline.hpp"
+
+namespace ppd::resil {
+
+struct RetryRung {
+  std::string name;  ///< obs counter suffix and error-message tag
+  int attempts = 1;  ///< per-rung attempt budget (>= 1)
+};
+
+struct RetryPolicy {
+  /// Metric prefix, e.g. "spice.op" -> "spice.op.rung.gmin-step.attempts".
+  /// Empty disables the counters.
+  std::string counter_prefix;
+  std::vector<RetryRung> rungs;
+};
+
+struct LadderOutcome {
+  bool success = false;
+  int rung = -1;           ///< index of the succeeding rung (-1 = exhausted)
+  std::string attempted;   ///< comma-joined names of every rung tried
+  int total_attempts = 0;
+};
+
+/// Walk the rungs in order, calling `try_rung(rung, attempt)` until one call
+/// returns true or every budget is spent. `attempt` counts from 0 within the
+/// rung. Checks `deadline` before each attempt and throws TimeoutError
+/// (message prefixed with `what`) on expiry. On exhaustion the attempted
+/// trail is also stored for take_last_ladder().
+LadderOutcome run_ladder(
+    const RetryPolicy& policy,
+    const std::function<bool(const RetryRung& rung, int attempt)>& try_rung,
+    const Deadline& deadline = Deadline::never(),
+    const std::string& what = "retry ladder");
+
+/// Thread-local trail of the most recently exhausted ladder on this thread
+/// ("" when the last ladder succeeded or none ran). take_ clears the slot.
+[[nodiscard]] std::string take_last_ladder();
+void set_last_ladder(const std::string& attempted);
+
+}  // namespace ppd::resil

@@ -1,0 +1,130 @@
+// SweepGuard ties the resilience pillars together for one parallel sweep:
+// policy-driven quarantine (exec's on_item_error hook), wall-clock budgets
+// (a Watchdog on the sweep's CancelToken plus a per-item solve budget the
+// domain forwards into the solver), periodic checkpointing and resume, and
+// the deterministic fault-injection counters (cancel-after-items).
+//
+// Call pattern (see core/src/coverage.cpp for the canonical use):
+//
+//   resil::SweepGuard guard(options.resil, items, seed, context, item_seed);
+//   exec::ParallelOptions par = ...;
+//   guard.arm(par);
+//   try {
+//     out = exec::parallel_map(items, [&](std::size_t i) -> T {
+//       if (const auto saved = guard.cached(i)) return decode(*saved);
+//       const resil::FaultScope inject(guard.plan(), i);
+//       resil::inject_item_delay();
+//       T result = <expensive work>;
+//       guard.complete(i, encode(result));
+//       return result;
+//     }, par, &stats);
+//   } catch (const exec::CancelledError& e) { guard.cancelled(e); }
+//   res.quarantine = guard.finish();
+//
+// Determinism: with quarantine on and no wall-clock budget expiring, the
+// quarantine report and the merged results are bit-identical at any thread
+// count, because item failure is a pure function of the item index (the
+// per-item RNG contract plus FaultPlan's hashed draws).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ppd/exec/cancel.hpp"
+#include "ppd/exec/parallel.hpp"
+#include "ppd/resil/checkpoint.hpp"
+#include "ppd/resil/deadline.hpp"
+#include "ppd/resil/faultplan.hpp"
+#include "ppd/resil/quarantine.hpp"
+
+namespace ppd::resil {
+
+/// Per-sweep resilience policy, embedded in CoverageOptions / RminOptions /
+/// FaultSimOptions. The all-defaults policy is a no-op: fail-fast, no
+/// budgets, no checkpointing, no injection — exactly the pre-resil
+/// behaviour ("strict mode").
+struct SweepPolicy {
+  /// Record failing items into a QuarantineReport and keep sweeping
+  /// (false = fail fast, today's behaviour).
+  bool quarantine = false;
+  /// Wall budget for each item's electrical solves, forwarded into the
+  /// simulator (0 = unlimited). Expiry throws TimeoutError in the item,
+  /// which quarantines like any other failure.
+  double solve_budget_seconds = 0.0;
+  /// Wall budget for the whole sweep (0 = unlimited). Expiry cancels the
+  /// sweep; the guard converts the cancellation into TimeoutError after
+  /// saving a checkpoint.
+  double sweep_budget_seconds = 0.0;
+  /// Checkpoint file ("" = no checkpointing); written every
+  /// checkpoint_interval_seconds and on cancellation/finish.
+  std::string checkpoint_path;
+  /// Load checkpoint_path before sweeping and skip its completed items.
+  bool resume = false;
+  double checkpoint_interval_seconds = 5.0;
+  /// Deterministic fault injection (off by default).
+  FaultPlan faults;
+
+  [[nodiscard]] bool active() const {
+    return quarantine || solve_budget_seconds > 0.0 ||
+           sweep_budget_seconds > 0.0 || !checkpoint_path.empty() ||
+           faults.enabled();
+  }
+};
+
+class SweepGuard {
+ public:
+  /// `item_seed(i)` maps an item index to the RNG derivation index recorded
+  /// in quarantine entries (identity when null).
+  SweepGuard(const SweepPolicy& policy, std::size_t items, std::uint64_t seed,
+             std::string context,
+             std::function<std::uint64_t(std::size_t)> item_seed = {});
+  ~SweepGuard();
+  SweepGuard(const SweepGuard&) = delete;
+  SweepGuard& operator=(const SweepGuard&) = delete;
+
+  /// Wire the policy into the sweep's options: quarantine handler, sweep
+  /// watchdog (fires par.cancel) and the cancel-after-items injection.
+  void arm(exec::ParallelOptions& par);
+
+  /// Payload of an item completed by a resumed checkpoint (nullopt = run
+  /// the item). Thread-safe; immediately nullopt when not resuming.
+  [[nodiscard]] std::optional<std::string> cached(std::size_t item) const;
+
+  /// Record a freshly computed item (checkpointing + cancel-after
+  /// accounting; cheap no-op when neither is configured).
+  void complete(std::size_t item, std::string payload);
+
+  /// Handle a CancelledError escaping the sweep: persist the checkpoint,
+  /// then rethrow — as TimeoutError when the sweep watchdog fired, verbatim
+  /// otherwise.
+  [[noreturn]] void cancelled(const exec::CancelledError& error);
+
+  /// Final checkpoint save + the sorted quarantine report.
+  [[nodiscard]] QuarantineReport finish();
+
+  [[nodiscard]] const FaultPlan& plan() const { return policy_.faults; }
+  /// The per-item solve deadline budget (forward into SimSettings).
+  [[nodiscard]] double solve_budget_seconds() const {
+    return policy_.solve_budget_seconds;
+  }
+
+ private:
+  void maybe_save(bool force);
+
+  SweepPolicy policy_;
+  std::size_t items_;
+  std::uint64_t seed_;
+  std::string context_;
+  std::function<std::uint64_t(std::size_t)> item_seed_;
+
+  struct State;               // quarantine entries + checkpoint + counters
+  std::shared_ptr<State> state_;
+  std::unique_ptr<Watchdog> watchdog_;
+  exec::CancelToken cancel_;  // copy of the armed sweep's token
+  bool armed_ = false;
+};
+
+}  // namespace ppd::resil

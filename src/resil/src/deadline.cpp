@@ -1,0 +1,67 @@
+#include "ppd/resil/deadline.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace ppd::resil {
+
+using Clock = std::chrono::steady_clock;
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  if (seconds <= 0.0) return d;
+  d.limited_ = true;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  return d;
+}
+
+bool Deadline::expired() const { return limited_ && Clock::now() >= at_; }
+
+double Deadline::remaining_seconds() const {
+  if (!limited_) return std::numeric_limits<double>::max();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+struct Watchdog::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::atomic<bool> fired{false};
+  std::thread thread;
+};
+
+Watchdog::Watchdog(exec::CancelToken token, double budget_seconds) {
+  if (budget_seconds <= 0.0) return;
+  state_ = std::make_shared<State>();
+  auto state = state_;
+  state_->thread = std::thread([state, token, budget_seconds]() mutable {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    const bool stopped = state->cv.wait_for(
+        lock, std::chrono::duration<double>(budget_seconds),
+        [&state] { return state->stop; });
+    if (!stopped) {
+      state->fired.store(true, std::memory_order_release);
+      token.cancel();
+    }
+  });
+}
+
+Watchdog::~Watchdog() {
+  if (state_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->cv.notify_all();
+  state_->thread.join();
+}
+
+bool Watchdog::fired() const {
+  return state_ != nullptr && state_->fired.load(std::memory_order_acquire);
+}
+
+}  // namespace ppd::resil

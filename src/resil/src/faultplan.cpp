@@ -1,0 +1,162 @@
+#include "ppd/resil/faultplan.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace ppd::resil {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer mc::Rng seeds from, inlined here
+/// so the injection layer stays independent of the MC library.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0)
+    throw ParseError("fault plan: " + key + " needs a probability in [0, 1], got '" +
+                     value + "'");
+  return p;
+}
+
+}  // namespace
+
+struct detail::FaultContext {
+  const FaultPlan* plan = nullptr;
+  std::uint64_t item = 0;
+  std::uint64_t draws = 0;
+};
+
+namespace {
+
+thread_local detail::FaultContext* t_context = nullptr;
+
+/// Deterministic draw: hash (seed, item, site, per-item draw counter) into
+/// [0, 1) and compare. The draw counter advances only while a scope is
+/// active, and item bodies are deterministic, so the k-th consultation of a
+/// given seam within a given item always sees the same value.
+bool draw(FaultSite site, double probability) {
+  if (probability <= 0.0 || t_context == nullptr) return false;
+  detail::FaultContext& ctx = *t_context;
+  const std::uint64_t h =
+      mix64(mix64(mix64(ctx.plan->seed ^ 0x5eedfau) ^ ctx.item) ^
+            (static_cast<std::uint64_t>(site) << 32 | ctx.draws++));
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  return u < probability;
+}
+
+}  // namespace
+
+FaultScope::FaultScope(const FaultPlan& plan, std::uint64_t item) {
+  if (!plan.enabled()) return;
+  previous_ = t_context;
+  auto* ctx = new detail::FaultContext;
+  ctx->plan = &plan;
+  ctx->item = item;
+  t_context = ctx;
+  installed_ = true;
+}
+
+FaultScope::~FaultScope() {
+  if (!installed_) return;
+  delete t_context;
+  t_context = previous_;
+}
+
+bool inject_newton_nonconvergence() {
+  return t_context != nullptr &&
+         draw(FaultSite::kNewtonNonConverge,
+              t_context->plan->p_newton_nonconverge);
+}
+
+bool inject_newton_nan() {
+  return t_context != nullptr &&
+         draw(FaultSite::kNewtonNan, t_context->plan->p_newton_nan);
+}
+
+void inject_item_failure() {
+  if (t_context == nullptr) return;
+  if (draw(FaultSite::kItemFail, t_context->plan->p_item_fail))
+    throw NumericalError("injected item failure (fault plan seed " +
+                         std::to_string(t_context->plan->seed) + ")");
+}
+
+void inject_item_delay() {
+  if (t_context == nullptr) return;
+  if (draw(FaultSite::kItemDelay, t_context->plan->p_item_delay))
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(t_context->plan->delay_seconds));
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (util::trim(spec).empty() || util::iequals(util::trim(spec), "off"))
+    return plan;
+  for (const auto& raw : util::split(spec, ',')) {
+    const std::string tok(util::trim(raw));
+    if (tok.empty()) continue;
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw ParseError("fault plan: expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "newton") {
+      plan.p_newton_nonconverge = parse_prob(key, value);
+    } else if (key == "nan") {
+      plan.p_newton_nan = parse_prob(key, value);
+    } else if (key == "item") {
+      plan.p_item_fail = parse_prob(key, value);
+    } else if (key == "delay") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos)
+        throw ParseError("fault plan: delay needs p:seconds, got '" + value + "'");
+      plan.p_item_delay = parse_prob(key, value.substr(0, colon));
+      plan.delay_seconds = std::strtod(value.c_str() + colon + 1, nullptr);
+      if (plan.delay_seconds < 0.0)
+        throw ParseError("fault plan: delay seconds must be >= 0");
+    } else if (key == "cancel-after") {
+      plan.cancel_after_items =
+          static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else {
+      throw ParseError("fault plan: unknown key '" + key +
+                       "' (use seed|newton|nan|item|delay|cancel-after)");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("PPD_FAULT_PLAN");
+  return spec == nullptr ? FaultPlan{} : parse(spec);
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled()) return "off";
+  std::string s = "seed=" + std::to_string(seed);
+  const auto add = [&s](const std::string& part) { s += "," + part; };
+  if (p_newton_nonconverge > 0.0)
+    add("newton=" + std::to_string(p_newton_nonconverge));
+  if (p_newton_nan > 0.0) add("nan=" + std::to_string(p_newton_nan));
+  if (p_item_fail > 0.0) add("item=" + std::to_string(p_item_fail));
+  if (p_item_delay > 0.0)
+    add("delay=" + std::to_string(p_item_delay) + ":" +
+        std::to_string(delay_seconds));
+  if (cancel_after_items > 0)
+    add("cancel-after=" + std::to_string(cancel_after_items));
+  return s;
+}
+
+}  // namespace ppd::resil

@@ -1,0 +1,37 @@
+// Internal JSON helpers for the resil file formats (checkpoint and
+// quarantine reports): string escaping for the writers and a minimal
+// recursive-descent parser for the subset the checkpoint schema uses
+// (objects, arrays, strings, unsigned integers). Not a general JSON
+// library — unknown keys are tolerated, other value types are not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppd::resil::detail {
+
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kObject, kArray };
+  Kind kind = Kind::kString;
+  std::string string;
+  std::uint64_t number = 0;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+
+  /// Typed member accessors; throw ParseError on missing key / wrong kind.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] std::uint64_t as_number() const;
+};
+
+/// Parse one JSON document (the checkpoint subset). Throws ParseError with
+/// the byte offset on malformed input.
+[[nodiscard]] JsonValue json_parse(const std::string& text);
+
+}  // namespace ppd::resil::detail

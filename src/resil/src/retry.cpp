@@ -1,0 +1,58 @@
+#include "ppd/resil/retry.hpp"
+
+#include "ppd/obs/metrics.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::resil {
+
+namespace {
+
+thread_local std::string t_last_ladder;  // NOLINT(cert-err58-cpp)
+
+void count(const RetryPolicy& policy, const RetryRung& rung, const char* what) {
+  if (policy.counter_prefix.empty() || !obs::metrics_enabled()) return;
+  obs::counter(policy.counter_prefix + ".rung." + rung.name + "." + what).add();
+}
+
+}  // namespace
+
+LadderOutcome run_ladder(
+    const RetryPolicy& policy,
+    const std::function<bool(const RetryRung& rung, int attempt)>& try_rung,
+    const Deadline& deadline, const std::string& what) {
+  PPD_REQUIRE(try_rung != nullptr, "run_ladder needs a rung callback");
+  LadderOutcome out;
+  for (std::size_t r = 0; r < policy.rungs.size(); ++r) {
+    const RetryRung& rung = policy.rungs[r];
+    if (!out.attempted.empty()) out.attempted += ',';
+    out.attempted += rung.name;
+    for (int attempt = 0; attempt < std::max(1, rung.attempts); ++attempt) {
+      if (deadline.expired()) {
+        set_last_ladder(out.attempted);
+        throw TimeoutError(what + " exceeded its wall-clock budget [rungs attempted: " +
+                           out.attempted + "]");
+      }
+      count(policy, rung, "attempts");
+      ++out.total_attempts;
+      if (try_rung(rung, attempt)) {
+        count(policy, rung, "successes");
+        out.success = true;
+        out.rung = static_cast<int>(r);
+        t_last_ladder.clear();
+        return out;
+      }
+    }
+  }
+  set_last_ladder(out.attempted);
+  return out;
+}
+
+std::string take_last_ladder() {
+  std::string s = std::move(t_last_ladder);
+  t_last_ladder.clear();
+  return s;
+}
+
+void set_last_ladder(const std::string& attempted) { t_last_ladder = attempted; }
+
+}  // namespace ppd::resil

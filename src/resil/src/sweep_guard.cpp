@@ -1,0 +1,146 @@
+#include "ppd/resil/sweep_guard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "ppd/obs/metrics.hpp"
+#include "ppd/resil/retry.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::resil {
+
+struct SweepGuard::State {
+  std::mutex mutex;                       // guards entries
+  std::vector<QuarantineEntry> entries;   // unsorted until finish()
+  Checkpoint checkpoint;
+  bool checkpoint_enabled = false;
+  bool resumed = false;
+  std::atomic<std::size_t> fresh_completed{0};
+  std::mutex save_mutex;                  // serializes checkpoint writes
+  std::chrono::steady_clock::time_point last_save;
+};
+
+SweepGuard::SweepGuard(const SweepPolicy& policy, std::size_t items,
+                       std::uint64_t seed, std::string context,
+                       std::function<std::uint64_t(std::size_t)> item_seed)
+    : policy_(policy),
+      items_(items),
+      seed_(seed),
+      context_(std::move(context)),
+      item_seed_(std::move(item_seed)),
+      state_(std::make_shared<State>()) {
+  if (!item_seed_)
+    item_seed_ = [](std::size_t i) { return static_cast<std::uint64_t>(i); };
+  state_->checkpoint_enabled = !policy_.checkpoint_path.empty();
+  if (policy_.resume) {
+    PPD_REQUIRE(state_->checkpoint_enabled,
+                "resume requested without a checkpoint path");
+    state_->checkpoint = Checkpoint::load(policy_.checkpoint_path);
+    state_->checkpoint.bind(seed_, items_, context_);
+    // Quarantined items are re-run on resume (and, being a pure function of
+    // the item index, fail identically); keeping the stored entries would
+    // double-count them.
+    state_->checkpoint.clear_quarantine();
+    state_->resumed = true;
+  } else if (state_->checkpoint_enabled) {
+    state_->checkpoint.bind(seed_, items_, context_);
+  }
+  state_->last_save = std::chrono::steady_clock::now();
+}
+
+SweepGuard::~SweepGuard() = default;
+
+void SweepGuard::arm(exec::ParallelOptions& par) {
+  cancel_ = par.cancel;
+  armed_ = true;
+  if (policy_.quarantine) {
+    const std::shared_ptr<State> state = state_;
+    const std::function<std::uint64_t(std::size_t)> item_seed = item_seed_;
+    par.on_item_error = [state, item_seed](std::size_t item,
+                                           const std::exception_ptr& error) {
+      QuarantineEntry entry;
+      entry.item = item;
+      entry.seed = item_seed(item);
+      entry.rung = take_last_ladder();
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        entry.error = e.what();
+      } catch (...) {
+        entry.error = "unknown error";
+      }
+      obs::counter("resil.quarantined").add();
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      state->entries.push_back(entry);
+      if (state->checkpoint_enabled)
+        state->checkpoint.record_quarantine(std::move(entry));
+      return true;  // swallow: the sweep keeps going
+    };
+  }
+  if (policy_.sweep_budget_seconds > 0.0)
+    watchdog_ =
+        std::make_unique<Watchdog>(cancel_, policy_.sweep_budget_seconds);
+}
+
+std::optional<std::string> SweepGuard::cached(std::size_t item) const {
+  const State& s = *state_;
+  if (!s.resumed || !s.checkpoint.has(item)) return std::nullopt;
+  return s.checkpoint.payload(item);
+}
+
+void SweepGuard::complete(std::size_t item, std::string payload) {
+  State& s = *state_;
+  if (s.checkpoint_enabled) {
+    s.checkpoint.record(item, std::move(payload));
+    maybe_save(false);
+  }
+  const std::size_t done =
+      s.fresh_completed.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (policy_.faults.cancel_after_items > 0 &&
+      done == policy_.faults.cancel_after_items)
+    cancel_.cancel();
+}
+
+void SweepGuard::cancelled(const exec::CancelledError& error) {
+  maybe_save(true);
+  if (watchdog_ && watchdog_->fired())
+    throw TimeoutError("sweep exceeded its wall budget of " +
+                       std::to_string(policy_.sweep_budget_seconds) +
+                       " s: " + context_);
+  throw error;
+}
+
+QuarantineReport SweepGuard::finish() {
+  maybe_save(true);
+  QuarantineReport report;
+  report.items = items_;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    report.entries = state_->entries;
+  }
+  // Insertion order depends on thread scheduling; the report does not.
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const QuarantineEntry& a, const QuarantineEntry& b) {
+              return a.item < b.item;
+            });
+  return report;
+}
+
+void SweepGuard::maybe_save(bool force) {
+  State& s = *state_;
+  if (!s.checkpoint_enabled) return;
+  const std::lock_guard<std::mutex> lock(s.save_mutex);
+  const auto now = std::chrono::steady_clock::now();
+  if (!force) {
+    const double since =
+        std::chrono::duration<double>(now - s.last_save).count();
+    if (since < policy_.checkpoint_interval_seconds) return;
+  }
+  s.checkpoint.save(policy_.checkpoint_path);
+  s.last_save = now;
+}
+
+}  // namespace ppd::resil

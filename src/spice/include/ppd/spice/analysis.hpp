@@ -25,10 +25,23 @@ struct NewtonOptions {
   double gmin = 1e-9;
 };
 
+/// Homotopy-ladder shape for operating-point recovery. Both fallbacks are
+/// schedules of progressively easier solves that hand their solution to the
+/// next stage; these knobs size those schedules.
+struct OpRecovery {
+  double gmin_start = 1e-3;   ///< first (heaviest) leak of the gmin rung [S]
+  double gmin_factor = 0.1;   ///< geometric relaxation per stage (< 1)
+  int source_steps = 20;      ///< source-ramp stages (scale k/source_steps)
+};
+
 struct OpOptions {
   NewtonOptions newton;
   bool allow_gmin_stepping = true;
   bool allow_source_stepping = true;
+  OpRecovery recovery;
+  /// Wall-clock budget for the whole homotopy ladder [s]; <= 0 = unlimited.
+  /// Expiry throws ppd::TimeoutError (see ppd::resil::Deadline).
+  double budget_seconds = 0.0;
   /// SPICE .NODESET equivalent: initial node-voltage guesses that bias
   /// Newton toward a chosen solution of a multi-stable circuit (latches,
   /// ring oscillators). Applied to every homotopy rung's starting point.
@@ -64,6 +77,10 @@ struct TransientOptions {
   /// Options for the initial operating point (e.g. .NODESET biases to pick
   /// a latch state before integrating).
   OpOptions op;
+  /// Wall-clock budget for the integration loop [s]; <= 0 = unlimited.
+  /// Expiry throws ppd::TimeoutError. (The initial OP has its own budget in
+  /// `op.budget_seconds`.)
+  double budget_seconds = 0.0;
 };
 
 /// Transient record: one waveform per probed node (all nodes by default).

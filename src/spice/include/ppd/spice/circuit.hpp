@@ -63,12 +63,20 @@ class Circuit {
     return devices_;
   }
 
+  /// Provenance label — what this circuit was built from (a path recipe, a
+  /// bench file, ...). Solver failure diagnostics include it so a
+  /// non-converging sample deep in a sweep still names its circuit. Empty
+  /// when the builder never set one.
+  void set_source(std::string source) { source_ = std::move(source); }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
   /// Human-readable netlist dump (debugging aid).
   [[nodiscard]] std::string to_netlist() const;
 
  private:
   DeviceId insert(std::unique_ptr<Device> dev);
 
+  std::string source_;
   std::vector<std::string> names_;  // names_[0] == "0" (ground)
   std::unordered_map<std::string, NodeId> by_name_;
   std::vector<std::unique_ptr<Device>> devices_;

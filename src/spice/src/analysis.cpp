@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "ppd/obs/log.hpp"
 #include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
+#include "ppd/resil/deadline.hpp"
+#include "ppd/resil/faultplan.hpp"
+#include "ppd/resil/retry.hpp"
 #include "ppd/spice/lint.hpp"
 #include "ppd/util/error.hpp"
+#include "ppd/util/table.hpp"
 
 namespace ppd::spice {
 
@@ -26,6 +31,9 @@ void assemble(Circuit& circuit, MnaSystem& mna, const StampContext& ctx) {
 struct NewtonOutcome {
   bool converged = false;
   int iterations = 0;
+  /// Inf-norm of the final iteration's (clamped) node-voltage update [V] —
+  /// the convergence metric, reported in failure diagnostics.
+  double residual = 0.0;
 };
 
 /// Newton-Raphson: iterate full solves of the linearized system until the
@@ -44,11 +52,18 @@ void record_newton(const NewtonOutcome& out) {
 
 NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
                                 StampContext ctx, const NewtonOptions& opt,
-                                std::vector<double>& x) {
+                                std::vector<double>& x,
+                                const resil::Deadline& deadline) {
   const std::size_t node_unknowns = circuit.node_count() - 1;
   NewtonOutcome out;
+  // Chaos seam: poison the first iterate so the non-finite guard below —
+  // the real hard-failure path — trips. No-op without an active FaultScope.
+  const bool poison_first = resil::inject_newton_nan();
 
   for (int it = 0; it < opt.max_iterations; ++it) {
+    if (deadline.expired())
+      throw TimeoutError("Newton solve exceeded its wall-clock budget (" +
+                         std::to_string(out.iterations) + " iterations in)");
     ctx.x = &x;
     assemble(circuit, mna, ctx);
     std::vector<double> x_new;
@@ -64,17 +79,22 @@ NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
 
     // Clamp node-voltage updates (not branch currents) to aid convergence.
     bool converged = true;
+    double max_dv = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       double dv = x_new[i] - x[i];
       if (i < node_unknowns) {
         dv = std::clamp(dv, -opt.dv_max, opt.dv_max);
         if (std::abs(dv) > opt.abstol + opt.reltol * std::abs(x[i]))
           converged = false;
+        max_dv = std::max(max_dv, std::abs(dv));
         x[i] += dv;
       } else {
         x[i] = x_new[i];
       }
     }
+    out.residual = max_dv;
+    if (poison_first && it == 0 && !x.empty())
+      x[0] = std::numeric_limits<double>::quiet_NaN();
     if (!std::isfinite(linalg::norm_inf(x)))
       throw NumericalError("Newton iterate diverged to non-finite values");
     // A below-tolerance update means x is a fixed point of the Newton map:
@@ -89,10 +109,35 @@ NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
 }
 
 NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
-                           const NewtonOptions& opt, std::vector<double>& x) {
-  const NewtonOutcome out = newton_solve_impl(circuit, mna, ctx, opt, x);
+                           const NewtonOptions& opt, std::vector<double>& x,
+                           const resil::Deadline& deadline = {}) {
+  // Chaos seam: report non-convergence without solving, exercising the
+  // callers' recovery ladders. No-op without an active FaultScope.
+  if (resil::inject_newton_nonconvergence()) {
+    const NewtonOutcome out;
+    record_newton(out);
+    return out;
+  }
+  const NewtonOutcome out = newton_solve_impl(circuit, mna, ctx, opt, x, deadline);
   record_newton(out);
   return out;
+}
+
+/// Run a homotopy schedule: solve each context in order, each stage starting
+/// from the previous stage's solution; every stage must converge. The gmin
+/// and source rungs of run_op are both instances of this (they used to be
+/// two near-identical loops). `last` receives the final stage's outcome.
+bool schedule_solve(Circuit& circuit, MnaSystem& mna,
+                    const std::vector<StampContext>& schedule,
+                    const NewtonOptions& opt, std::vector<double>& x,
+                    const resil::Deadline& deadline, NewtonOutcome* last) {
+  NewtonOutcome out;
+  for (const StampContext& ctx : schedule) {
+    out = newton_solve(circuit, mna, ctx, opt, x, deadline);
+    if (last != nullptr) *last = out;
+    if (!out.converged) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -140,58 +185,60 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
                     .count());
   };
 
-  // Plain Newton from the (possibly biased) start.
-  auto attempt = newton_solve(circuit, mna, ctx, options.newton, result.x);
-  if (attempt.converged) {
-    result.iterations = attempt.iterations;
+  // The homotopy ladder: plain Newton, then gmin stepping (a heavy leak
+  // relaxed geometrically), then source stepping (sources ramped from zero).
+  // Each rung is a schedule of contexts handed to schedule_solve; the
+  // generic ladder walker owns ordering, per-rung obs counters and the
+  // wall-clock budget.
+  resil::RetryPolicy policy;
+  policy.counter_prefix = "spice.op";
+  policy.rungs.push_back({"newton", 1});
+  if (options.allow_gmin_stepping) policy.rungs.push_back({"gmin-step", 1});
+  if (options.allow_source_stepping) policy.rungs.push_back({"source-step", 1});
+  const resil::Deadline deadline = resil::Deadline::after(options.budget_seconds);
+
+  std::vector<double> x;
+  NewtonOutcome last;
+  const auto try_rung = [&](const resil::RetryRung& rung, int) {
+    x = x0;  // every rung restarts from the (possibly biased) flat start
+    std::vector<StampContext> schedule;
+    if (rung.name == "newton") {
+      schedule.push_back(ctx);
+    } else if (rung.name == "gmin-step") {
+      obs::counter("spice.op.gmin_fallbacks").add();
+      for (double gmin = options.recovery.gmin_start;
+           gmin >= options.newton.gmin; gmin *= options.recovery.gmin_factor) {
+        StampContext step_ctx = ctx;
+        step_ctx.gmin = gmin;
+        schedule.push_back(step_ctx);
+      }
+      schedule.push_back(ctx);  // confirm at the true gmin
+    } else {  // source-step
+      obs::counter("spice.op.source_fallbacks").add();
+      const int steps = std::max(1, options.recovery.source_steps);
+      for (int k = 1; k <= steps; ++k) {
+        StampContext step_ctx = ctx;
+        step_ctx.source_scale = static_cast<double>(k) / steps;
+        schedule.push_back(step_ctx);
+      }
+    }
+    return schedule_solve(circuit, mna, schedule, options.newton, x, deadline,
+                          &last);
+  };
+
+  const resil::LadderOutcome outcome =
+      resil::run_ladder(policy, try_rung, deadline,
+                        "operating point" + (circuit.source().empty()
+                                                 ? std::string()
+                                                 : " of " + circuit.source()));
+  if (outcome.success) {
+    const std::string& rung = policy.rungs[static_cast<std::size_t>(outcome.rung)].name;
+    result.x = std::move(x);
+    result.iterations = last.iterations;
+    result.used_gmin_stepping = rung == "gmin-step";
+    result.used_source_stepping = rung == "source-step";
     record_solve_time();
     return result;
-  }
-
-  // Gmin stepping: start with a heavy leak and relax it.
-  if (options.allow_gmin_stepping) {
-    obs::counter("spice.op.gmin_fallbacks").add();
-    std::vector<double> x = x0;
-    bool ok = true;
-    for (double gmin = 1e-3; gmin >= options.newton.gmin; gmin *= 0.1) {
-      StampContext step_ctx = ctx;
-      step_ctx.gmin = gmin;
-      if (!newton_solve(circuit, mna, step_ctx, options.newton, x).converged) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      auto final_run = newton_solve(circuit, mna, ctx, options.newton, x);
-      if (final_run.converged) {
-        result.x = std::move(x);
-        result.iterations = final_run.iterations;
-        result.used_gmin_stepping = true;
-        record_solve_time();
-        return result;
-      }
-    }
-  }
-
-  // Source stepping: ramp sources from 0 to full value.
-  if (options.allow_source_stepping) {
-    obs::counter("spice.op.source_fallbacks").add();
-    std::vector<double> x = x0;
-    bool ok = true;
-    for (int k = 1; k <= 20; ++k) {
-      StampContext step_ctx = ctx;
-      step_ctx.source_scale = static_cast<double>(k) / 20.0;
-      if (!newton_solve(circuit, mna, step_ctx, options.newton, x).converged) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      result.x = std::move(x);
-      result.used_source_stepping = true;
-      record_solve_time();
-      return result;
-    }
   }
 
   obs::counter("spice.op.failures").add();
@@ -200,9 +247,17 @@ OpResult run_op(Circuit& circuit, const OpOptions& options) {
     static obs::RateLimit rate(5);
     if (rate.allow())
       obs::log_warn("spice", "operating point did not converge",
-                    {{"unknowns", std::to_string(n)}});
+                    {{"unknowns", std::to_string(n)},
+                     {"source", circuit.source().empty() ? "-" : circuit.source()},
+                     {"rungs", outcome.attempted}});
   }
-  throw NumericalError("operating point did not converge");
+  std::string msg = "operating point did not converge";
+  if (!circuit.source().empty()) msg += " for " + circuit.source();
+  msg += " [rungs attempted: " + outcome.attempted + " (" +
+         std::to_string(outcome.total_attempts) + " solves); final update " +
+         util::format_double(last.residual, 3) + " V over " +
+         std::to_string(n) + " unknowns]";
+  throw NumericalError(msg);
 }
 
 const wave::Waveform& TransientResult::wave(NodeId n) const {
@@ -265,8 +320,15 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options)
   // or failed convergence.
   constexpr int kFastIterations = 3;
   constexpr int kSlowIterations = 8;
+  const resil::Deadline deadline = resil::Deadline::after(options.budget_seconds);
 
   while (t < options.t_stop - 1e-21) {
+    if (deadline.expired())
+      throw TimeoutError("transient exceeded its wall-clock budget at t = " +
+                         std::to_string(t) + " of " +
+                         std::to_string(options.t_stop) + " s" +
+                         (circuit.source().empty() ? ""
+                                                   : " [" + circuit.source() + "]"));
     h = std::min(h, options.t_stop - t);
     StampContext ctx;
     ctx.mode = AnalysisMode::kTransient;
@@ -277,7 +339,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options)
 
     std::vector<double> x_try = x;  // previous point as predictor
     const NewtonOutcome outcome =
-        newton_solve(circuit, mna, ctx, options.newton, x_try);
+        newton_solve(circuit, mna, ctx, options.newton, x_try, deadline);
     result.newton_iterations += static_cast<std::size_t>(outcome.iterations);
 
     if (!outcome.converged) {

@@ -24,6 +24,16 @@ class NumericalError : public std::runtime_error {
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a numerical procedure is abandoned because its wall-clock
+/// budget expired (a ppd::resil Deadline or Watchdog). A subclass of
+/// NumericalError so budget-unaware catch sites keep working; budget-aware
+/// ones (quarantine, sweep drivers) can distinguish a hang from a genuine
+/// non-convergence.
+class TimeoutError : public NumericalError {
+ public:
+  explicit TimeoutError(const std::string& what) : NumericalError(what) {}
+};
+
 /// Thrown when parsing external input (.bench netlists, CLI args) fails.
 class ParseError : public std::runtime_error {
  public:

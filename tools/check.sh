@@ -43,6 +43,32 @@ if command -v jq >/dev/null 2>&1; then
 else
   echo "(jq not installed; JSON schema checks skipped)"
 fi
+echo "== chaos stage (coverage under deterministic fault injection) =="
+# The resilience layer's contract: a sweep riddled with injected Newton
+# failures still exits 0, quarantines the broken samples into valid JSON,
+# and leaves a loadable checkpoint (grammar: ppd/resil/faultplan.hpp).
+"$build/tools/ppdtool" coverage --method=pulse --samples=4 --points=3 \
+  --fault-plan="seed=13,newton=0.35,nan=0.08" \
+  --checkpoint="$obs_dir/chaos-ck.json" \
+  --quarantine-json="$obs_dir/chaos-q.json" > "$obs_dir/chaos.out"
+grep -q "n_quarantined" "$obs_dir/chaos.out"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.quarantined > 0' "$obs_dir/chaos-q.json" >/dev/null
+  jq -e '.items == 12 and (.entries | length) == .quarantined' \
+    "$obs_dir/chaos-q.json" >/dev/null
+  jq -e '.resil_checkpoint == 1 and (.quarantine | length) > 0' \
+    "$obs_dir/chaos-ck.json" >/dev/null
+else
+  echo "(jq not installed; chaos JSON checks skipped)"
+fi
+# Strict mode must restore fail-fast under the same plan.
+if "$build/tools/ppdtool" coverage --method=pulse --samples=4 --points=3 \
+  --strict --fault-plan="seed=13,newton=0.35,nan=0.08" \
+  >/dev/null 2>&1; then
+  echo "chaos stage: --strict unexpectedly succeeded under injection" >&2
+  exit 1
+fi
+
 python3 - "$obs_dir/trace.json" <<'PYEOF'
 import json, sys
 from collections import defaultdict
@@ -60,6 +86,19 @@ for e in events:
 assert all(d == 0 for d in depth.values()), "unbalanced B/E pairs"
 print(f"trace OK: {len(events)} events, {len(depth)} lanes")
 PYEOF
+
+echo "== resil + exec under TSan and UBSan =="
+# The recovery/quarantine/checkpoint paths are themselves exercised under
+# injected chaos; run those suites with the race and UB detectors on.
+for san in thread undefined; do
+  sbuild="$build-$san"
+  cmake -B "$sbuild" -S "$repo" -DPPD_SANITIZE="$san" >/dev/null
+  cmake --build "$sbuild" -j "$(nproc)" --target test_resil test_exec >/dev/null
+  echo "-- $san: test_resil"
+  "$sbuild/tests/test_resil" --gtest_brief=1
+  echo "-- $san: test_exec"
+  "$sbuild/tests/test_exec" --gtest_brief=1
+done
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (changed files) =="

@@ -9,7 +9,15 @@
 //
 //   ppdtool coverage  [--method=pulse|delay] [--fault=KIND] [--stage=N]
 //                     [--r-lo=ohm] [--r-hi=ohm] [--points=N] [--samples=N]
-//       Monte-Carlo fault-coverage sweep (Figs. 6-9 style).
+//                     [--strict] [--solve-budget=s] [--sweep-budget=s]
+//                     [--checkpoint=FILE] [--resume=FILE]
+//                     [--fault-plan=SPEC] [--quarantine-json=FILE]
+//       Monte-Carlo fault-coverage sweep (Figs. 6-9 style). Runs in
+//       quarantine mode by default (failing samples are recorded and
+//       skipped); --strict restores fail-fast. --resume continues an
+//       interrupted sweep from its checkpoint file. --fault-plan (or the
+//       PPD_FAULT_PLAN env var) injects deterministic faults, e.g.
+//       "seed=13,newton=0.35,nan=0.08" — see ppd/resil/faultplan.hpp.
 //
 //   ppdtool sta       [--bench=FILE] [--clock=s]
 //       Static timing report of a .bench netlist (bundled C432-class
@@ -32,6 +40,7 @@
 //       and exits non-zero when error-severity findings remain.
 //
 // All table-producing subcommands accept --csv for machine-readable output.
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -45,6 +54,7 @@
 #include "ppd/logic/sta.hpp"
 #include "ppd/logic/vcd.hpp"
 #include "ppd/obs/run.hpp"
+#include "ppd/resil/faultplan.hpp"
 #include "ppd/spice/export.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
@@ -160,7 +170,9 @@ int cmd_calibrate(int argc, char** argv) {
 int cmd_coverage(int argc, char** argv) {
   const util::Cli cli(argc, argv,
                       {"gates", "fault", "stage", "method", "samples", "sigma",
-                       "seed", "r-lo", "r-hi", "points", "csv"});
+                       "seed", "r-lo", "r-hi", "points", "csv", "strict",
+                       "solve-budget", "sweep-budget", "checkpoint", "resume",
+                       "fault-plan", "quarantine-json"});
   core::PathFactory f;
   f.options.kinds = gates_from_cli(cli);
   faults::PathFaultSpec spec;
@@ -174,6 +186,22 @@ int cmd_coverage(int argc, char** argv) {
   copt.variation = mc::VariationModel::uniform_sigma(cli.get("sigma", 0.05));
   copt.resistances = core::logspace(cli.get("r-lo", 1e3), cli.get("r-hi", 64e3),
                                     static_cast<std::size_t>(cli.get("points", 9)));
+
+  // The CLI defaults to quarantine mode — a long sweep should report its
+  // broken samples, not die on one of them; --strict restores the library's
+  // fail-fast default.
+  copt.resil.quarantine = !cli.has("strict");
+  copt.resil.solve_budget_seconds = cli.get("solve-budget", 0.0);
+  copt.resil.sweep_budget_seconds = cli.get("sweep-budget", 0.0);
+  copt.resil.checkpoint_path = cli.get("checkpoint", std::string());
+  const std::string resume = cli.get("resume", std::string());
+  if (!resume.empty()) {
+    copt.resil.checkpoint_path = resume;
+    copt.resil.resume = true;
+  }
+  const std::string plan = cli.get("fault-plan", std::string());
+  copt.resil.faults = plan.empty() ? resil::FaultPlan::from_env()
+                                   : resil::FaultPlan::parse(plan);
 
   const std::string method = cli.get("method", std::string("pulse"));
   core::CoverageResult res;
@@ -200,6 +228,15 @@ int cmd_coverage(int argc, char** argv) {
                       4);
   emit(t, cli.has("csv"));
   std::cout << "# " << res.simulations << " electrical transients\n";
+  if (copt.resil.quarantine)
+    std::cout << "# n_quarantined = " << res.n_quarantined() << " of "
+              << res.quarantine.items << " samples\n";
+  const std::string qjson = cli.get("quarantine-json", std::string());
+  if (!qjson.empty()) {
+    std::ofstream os(qjson);
+    if (!os) throw ppd::ParseError("cannot open " + qjson + " for writing");
+    res.quarantine.write_json(os);
+  }
   return 0;
 }
 
