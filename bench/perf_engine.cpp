@@ -10,8 +10,11 @@
 #include <set>
 #include <thread>
 
+#include "ppd/cache/solve_cache.hpp"
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/measure.hpp"
+#include "ppd/core/pulse_test.hpp"
+#include "ppd/core/rmin.hpp"
 #include "ppd/linalg/dense.hpp"
 #include "ppd/linalg/sparse.hpp"
 #include "ppd/logic/bench.hpp"
@@ -61,6 +64,10 @@ void run_thread_scaling() {
   double serial_wall = 0.0;
   for (int threads : counts) {
     copt.threads = threads;
+    // Fresh cache per run: this section measures thread scaling, and a
+    // warm solve cache would otherwise let every run after the first
+    // replay the previous run's measurements.
+    cache::SolveCache::global().clear();
     const auto start = std::chrono::steady_clock::now();
     const core::CoverageResult res = run_delay_coverage(factory, cal, copt);
     const double wall =
@@ -80,6 +87,83 @@ void run_thread_scaling() {
         copt.samples, copt.resistances.size(), hw, threads, wall,
         serial_wall / wall, identical ? "true" : "false");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Solve-cache section: the Fig. 7/11 inner loop (pulse coverage + r_min
+// bisection over the same MC population) cold vs warm. The cold pass runs
+// against an empty cache; the warm pass replays the identical workload and
+// hits the memoized measurements and warm-started operating points. The JSON
+// row carries the speedup (target >= 1.5x) and asserts bit-identity.
+// ---------------------------------------------------------------------------
+
+void run_solve_cache_section() {
+  core::PathFactory factory;
+  factory.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec fault;
+  fault.kind = faults::FaultKind::kExternalRopOutput;
+  fault.stage = 1;
+  factory.fault = fault;
+
+  core::PulseCalibrationOptions popt;
+  popt.samples = 4;
+  popt.seed = 2007;
+  popt.variation = mc::VariationModel::uniform_sigma(0.05);
+  popt.w_in_grid = core::linspace(0.10e-9, 0.60e-9, 11);
+
+  core::CoverageOptions copt;
+  copt.samples = 12;
+  copt.seed = 2007;
+  copt.variation = mc::VariationModel::uniform_sigma(0.05);
+  copt.resistances = {2e3, 8e3, 32e3, 128e3};
+  copt.threads = 1;  // measure cache reuse, not thread scaling
+
+  core::RminOptions ropt;
+  ropt.samples = 6;
+  ropt.seed = 2007;
+  ropt.variation = mc::VariationModel::uniform_sigma(0.05);
+  ropt.r_lo = 500.0;
+  ropt.r_hi = 500e3;
+  ropt.bisection_steps = 6;
+  ropt.threads = 1;
+
+  const auto workload = [&] {
+    const core::PulseTestCalibration cal = core::calibrate_pulse_test(factory, popt);
+    const core::CoverageResult cov = core::run_pulse_coverage(factory, cal, copt);
+    const core::RminResult rmin = core::find_r_min(factory, cal, ropt);
+    return std::pair<core::CoverageResult, core::RminResult>(cov, rmin);
+  };
+  const auto timed = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = workload();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::pair<double, decltype(result)>(wall, std::move(result));
+  };
+
+  cache::SolveCache& cache = cache::SolveCache::global();
+  cache.clear();
+  const auto [cold_wall, cold] = timed();
+  const auto cold_totals = cache.totals();
+  const auto [warm_wall, warm] = timed();
+  const auto warm_totals = cache.totals();
+
+  const bool identical =
+      cold.first.coverage == warm.first.coverage &&
+      cold.first.simulations == warm.first.simulations &&
+      cold.second.r_min == warm.second.r_min &&
+      cold.second.detectable == warm.second.detectable;
+  std::printf(
+      "{\"section\":\"solve_cache\",\"workload\":\"calibrate+coverage+rmin\","
+      "\"cold_wall_s\":%.4f,\"warm_wall_s\":%.4f,\"speedup\":%.3f,"
+      "\"cold_hits\":%llu,\"warm_hits\":%llu,\"misses\":%llu,"
+      "\"entries\":%zu,\"identical\":%s}\n",
+      cold_wall, warm_wall, cold_wall / warm_wall,
+      static_cast<unsigned long long>(cold_totals.hits),
+      static_cast<unsigned long long>(warm_totals.hits - cold_totals.hits),
+      static_cast<unsigned long long>(warm_totals.misses),
+      warm_totals.entries, identical ? "true" : "false");
 }
 
 void BM_DenseLuSolve(benchmark::State& state) {
@@ -174,6 +258,7 @@ int main(int argc, char** argv) {
   ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
   run.set_meta(2007, 0);
   run_thread_scaling();
+  run_solve_cache_section();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

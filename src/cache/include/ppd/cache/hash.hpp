@@ -1,0 +1,87 @@
+// Content hashing for the solve-reuse layer: a streaming 64-bit FNV-1a
+// hasher over exact byte representations. Keys built with it are content
+// addresses: two circuits (or measurement requests) hash equal exactly when
+// every ingested field is bit-identical, so a cache hit replays a solve of
+// the *same* system and the reused result matches a cold run bit for bit.
+//
+// Doubles are hashed by bit pattern (never by formatted text), so values
+// that differ below printing precision still key distinct entries. Every
+// ingest method mixes a type tag byte first, so adjacent fields of
+// different types cannot alias (str("ab") + str("c") != str("a") +
+// str("bc"), and u64(0) != f64(0.0)).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace ppd::cache {
+
+class Hasher {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  /// Raw bytes, no tag — building block for the typed ingests.
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= static_cast<std::uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+  }
+
+  void u8(std::uint8_t v) {
+    tag(1);
+    bytes(&v, sizeof(v));
+  }
+  void u64(std::uint64_t v) {
+    tag(2);
+    bytes(&v, sizeof(v));
+  }
+  void i64(std::int64_t v) {
+    tag(3);
+    bytes(&v, sizeof(v));
+  }
+  /// Exact bit pattern: NaNs with different payloads hash differently,
+  /// -0.0 != 0.0 — conservative (may split entries, never aliases them).
+  void f64(double v) {
+    tag(4);
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    bytes(&bits, sizeof(bits));
+  }
+  void boolean(bool v) {
+    tag(5);
+    const std::uint8_t b = v ? 1 : 0;
+    bytes(&b, sizeof(b));
+  }
+  /// Length-prefixed, so concatenation cannot alias across field borders.
+  void str(std::string_view s) {
+    tag(6);
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void f64s(const std::vector<double>& vs) {
+    tag(7);
+    u64(vs.size());
+    for (double v : vs) f64(v);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  void tag(std::uint8_t t) { bytes(&t, sizeof(t)); }
+
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience for small keys.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view s) {
+  Hasher h;
+  h.str(s);
+  return h.value();
+}
+
+}  // namespace ppd::cache

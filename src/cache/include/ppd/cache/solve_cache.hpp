@@ -1,0 +1,112 @@
+// Thread-safe, sharded, content-addressed solve cache (the solve-reuse
+// layer under ppd::core and ppd::spice).
+//
+// Keys are 64-bit content hashes (ppd::cache::Hasher) of everything that
+// determines a solve's result: circuit topology and exact device
+// parameters (which already embed the process corner, the per-sample
+// Monte-Carlo variation draw and the injected fault resistance), the
+// stimulus, and the simulator settings. Values are small vectors of
+// doubles — a probed measurement encoding or a converged Newton solution.
+//
+// Determinism contract: a stored value must be a pure function of its key
+// content, computed by a deterministic solver. Under that contract the
+// cache is invisible to results: cached and uncached runs are bit-identical
+// at any thread count, because whichever thread computes an entry first
+// stores exactly the value every other thread would have computed. The
+// hit/miss *pattern* varies with scheduling; the returned values do not.
+//
+// Eviction is LRU under a byte budget, sharded 16 ways (shard = low key
+// bits) so concurrent sweeps contend on different mutexes. Reuse is
+// opportunistic by design: an evicted entry is recomputed, never wrong.
+//
+// Kill switch: PPD_CACHE=0 in the environment (or set_cache_enabled(false))
+// turns every get into a pass-through miss and every put into a no-op —
+// the pre-cache execution, bit for bit. PPD_CACHE_BYTES overrides the
+// default 64 MiB budget. Hits/misses/evictions are counted in the ppd::obs
+// registry ("cache.solve.hit" / ".miss" / ".evictions").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ppd/cache/hash.hpp"
+
+namespace ppd::cache {
+
+/// Runtime kill switch (default on; PPD_CACHE=0 disables).
+[[nodiscard]] bool cache_enabled();
+void set_cache_enabled(bool enabled);
+
+class SolveCache {
+ public:
+  static constexpr std::size_t kDefaultCapacityBytes = 64u << 20;
+
+  explicit SolveCache(std::size_t capacity_bytes = kDefaultCapacityBytes);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Copy of the entry, refreshing its LRU position; nullopt on miss or
+  /// when the cache is disabled.
+  [[nodiscard]] std::optional<std::vector<double>> get(std::uint64_t key);
+
+  /// Insert (no-op when disabled or when the key is already present — by
+  /// the determinism contract a racing second computation produced the
+  /// same bits). Evicts least-recently-used entries past the byte budget.
+  void put(std::uint64_t key, std::vector<double> values);
+
+  /// Drop every entry (bench A/B sections and tests).
+  void clear();
+
+  /// Resize the byte budget; evicts immediately when shrinking.
+  void set_capacity_bytes(std::size_t bytes);
+  [[nodiscard]] std::size_t capacity_bytes() const;
+
+  /// Merged occupancy/traffic totals (exact, but racing writers may land
+  /// between shard reads; quiescent reads are exact).
+  struct Totals {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// The process-wide instance every wired-in layer shares.
+  static SolveCache& global();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  /// Accounted footprint of one entry: payload plus map/list overhead.
+  static std::size_t entry_bytes(const std::vector<double>& values);
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, std::vector<double>>> lru;
+    std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) { return shards_[key % kShards]; }
+  /// Must hold `shard.mutex`.
+  void evict_over_budget(Shard& shard);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> capacity_bytes_;
+};
+
+/// Shorthand for SolveCache::global().
+[[nodiscard]] SolveCache& solve_cache();
+
+}  // namespace ppd::cache

@@ -1,0 +1,131 @@
+#include "ppd/cache/solve_cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "ppd/obs/metrics.hpp"
+
+namespace ppd::cache {
+
+namespace {
+
+std::atomic<bool> g_cache_enabled{[] {
+  const char* env = std::getenv("PPD_CACHE");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}()};
+
+std::size_t capacity_from_env() {
+  const char* env = std::getenv("PPD_CACHE_BYTES");
+  if (env == nullptr || env[0] == '\0') return SolveCache::kDefaultCapacityBytes;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0') || v == 0)
+    return SolveCache::kDefaultCapacityBytes;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+bool cache_enabled() { return g_cache_enabled.load(std::memory_order_relaxed); }
+
+void set_cache_enabled(bool enabled) {
+  g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+SolveCache::SolveCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::size_t SolveCache::entry_bytes(const std::vector<double>& values) {
+  // Payload + LRU node + hash-map slot; close enough for a budget whose
+  // only job is bounding resident memory.
+  return values.size() * sizeof(double) + 96;
+}
+
+std::optional<std::vector<double>> SolveCache::get(std::uint64_t key) {
+  if (!cache_enabled()) return std::nullopt;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    obs::counter("cache.solve.miss").add();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  obs::counter("cache.solve.hit").add();
+  return it->second->second;
+}
+
+void SolveCache::put(std::uint64_t key, std::vector<double> values) {
+  if (!cache_enabled()) return;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Racing second computation of the same key: by the determinism
+    // contract the bits match; just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.bytes += entry_bytes(values);
+  shard.lru.emplace_front(key, std::move(values));
+  shard.index.emplace(key, shard.lru.begin());
+  evict_over_budget(shard);
+}
+
+void SolveCache::evict_over_budget(Shard& shard) {
+  const std::size_t budget =
+      capacity_bytes_.load(std::memory_order_relaxed) / kShards;
+  while (shard.bytes > budget && shard.lru.size() > 1) {
+    const auto& victim = shard.lru.back();
+    shard.bytes -= entry_bytes(victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    obs::counter("cache.solve.evictions").add();
+  }
+}
+
+void SolveCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void SolveCache::set_capacity_bytes(std::size_t bytes) {
+  capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    evict_over_budget(shard);
+  }
+}
+
+std::size_t SolveCache::capacity_bytes() const {
+  return capacity_bytes_.load(std::memory_order_relaxed);
+}
+
+SolveCache::Totals SolveCache::totals() const {
+  Totals t;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    t.hits += shard.hits;
+    t.misses += shard.misses;
+    t.evictions += shard.evictions;
+    t.entries += shard.lru.size();
+    t.bytes += shard.bytes;
+  }
+  return t;
+}
+
+SolveCache& SolveCache::global() {
+  static SolveCache cache(capacity_from_env());
+  return cache;
+}
+
+SolveCache& solve_cache() { return SolveCache::global(); }
+
+}  // namespace ppd::cache

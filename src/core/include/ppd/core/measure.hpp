@@ -11,6 +11,7 @@
 #include "ppd/cells/path.hpp"
 #include "ppd/faults/fault.hpp"
 #include "ppd/mc/variation.hpp"
+#include "ppd/spice/analysis.hpp"
 
 namespace ppd::core {
 
@@ -27,11 +28,21 @@ struct SimSettings {
   /// test suite; the default favours Monte-Carlo throughput.
   bool adaptive = true;
   double dt_max = 8e-12;
-  /// Wall-clock budget per electrical solve [s]; <= 0 = unlimited. Forwarded
-  /// into the SPICE OP and transient loops, where expiry raises
-  /// ppd::TimeoutError (see ppd::resil) instead of spinning unbounded.
+  /// Wall-clock budget per electrical measurement [s]; <= 0 = unlimited.
+  /// ONE deadline of this length covers the whole analysis — operating
+  /// point and transient integration spend from the same budget — and
+  /// expiry raises ppd::TimeoutError (see ppd::resil) instead of spinning
+  /// unbounded.
   double budget_seconds = 0.0;
 };
+
+/// SPICE options for one measurement transient: integration settings from
+/// `sim`, probes restricted to the path terminals, and the single shared
+/// wall-clock budget (op.budget_seconds stays 0 — the OP draws from the
+/// transient's own deadline, so a budgeted measurement cannot run for twice
+/// its budget). Public so tests can pin the budget wiring.
+[[nodiscard]] spice::TransientOptions make_transient_options(
+    const SimSettings& sim, double t_stop, const cells::Path& path);
 
 /// Recipe for building path instances: the experiment framework rebuilds a
 /// fresh transistor-level circuit per Monte-Carlo sample, with the same
@@ -78,9 +89,14 @@ struct PathInstance {
 
 /// Sampled pulse transfer function of one circuit instance (Fig. 10): pairs
 /// (w_in, w_out) over a width grid, with 0 recorded for dampened pulses.
+/// A dampened pulse (w_out = 0) is a *measurement*; a solver failure is
+/// not — failed points carry w_out = NaN and failed[i] != 0 so downstream
+/// consumers cannot mistake a diverged solve for perfect attenuation.
 struct TransferCurve {
   std::vector<double> w_in;
-  std::vector<double> w_out;  ///< 0 when dampened
+  std::vector<double> w_out;   ///< 0 when dampened, NaN when the solve failed
+  std::vector<char> failed;    ///< per-point solver-failure flag
+  std::size_t n_failed = 0;    ///< number of failed points
 };
 
 [[nodiscard]] TransferCurve transfer_function(cells::Path& path, PulseKind kind,

@@ -57,7 +57,12 @@ CoverageResult reduce_verdicts(const CoverageOptions& options,
     for (std::size_t m = 0; m < options.multipliers.size(); ++m)
       if (verdicts[item][m]) res.coverage[m][r] += 1.0;
   }
-  res.simulations = verdicts.size() - quarantine.size();
+  // Sum the per-resistance valid counts instead of verdicts.size() -
+  // quarantine.size(): the size_t difference wraps to ~2^64 whenever the
+  // report outnumbers the collected verdicts, and the per-column counts are
+  // what the coverage rows were actually normalized by.
+  res.simulations = 0;
+  for (const std::size_t v : valid) res.simulations += v;
   for (auto& row : res.coverage)
     for (std::size_t r = 0; r < row.size(); ++r)
       row[r] = valid[r] == 0 ? 0.0 : row[r] / static_cast<double>(valid[r]);

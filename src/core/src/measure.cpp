@@ -1,8 +1,13 @@
 #include "ppd/core/measure.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/resil/faultplan.hpp"
 #include "ppd/spice/analysis.hpp"
+#include "ppd/spice/hash.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/wave/waveform.hpp"
 
@@ -24,23 +29,69 @@ mc::Rng sample_rng(std::uint64_t seed, std::size_t sample) {
   return mc::derive_rng(seed, sample);
 }
 
-namespace {
-
-spice::TransientOptions transient_options(const SimSettings& sim, double t_stop,
-                                          const cells::Path& path) {
+spice::TransientOptions make_transient_options(const SimSettings& sim,
+                                               double t_stop,
+                                               const cells::Path& path) {
   spice::TransientOptions opt;
   opt.t_stop = t_stop;
   opt.dt = sim.dt;
   opt.integrator = sim.integrator;
   opt.adaptive = sim.adaptive;
   opt.dt_max = sim.dt_max;
-  // One budget covers both phases: a hung OP and a hung integration loop
-  // surface as the same per-solve TimeoutError.
+  // One budget covers both phases: the transient's deadline is shared with
+  // its initial operating point, so a hung OP and a hung integration loop
+  // surface as the same TimeoutError within ~1x the budget. op.budget_seconds
+  // stays 0 — setting both here used to grant each phase a full budget,
+  // letting a "budgeted" measurement run for twice what it was given.
   opt.budget_seconds = sim.budget_seconds;
-  opt.op.budget_seconds = sim.budget_seconds;
   // The measurements only look at the path terminals.
   opt.probe = {path.input(), path.output()};
   return opt;
+}
+
+namespace {
+
+/// Content key for one scalar measurement. The circuit hash embeds the
+/// process corner, the per-sample variation draw, the injected fault
+/// resistance AND the already-driven stimulus spec (drive_pulse /
+/// drive_transition rewrite the input source before we are called), so two
+/// keys collide only for electrically identical measurements. Simulator
+/// settings that shape the integration ride along; budget_seconds stays out
+/// (timeouts throw and are never cached).
+std::uint64_t measure_cache_key(const std::string& domain,
+                                const cells::Path& path,
+                                const SimSettings& sim, double t_stop) {
+  cache::Hasher h;
+  h.str(domain);
+  spice::hash_circuit(h, path.netlist().circuit());
+  h.f64(sim.dt);
+  h.u8(sim.integrator == spice::Integrator::kTrapezoidal ? 0 : 1);
+  h.boolean(sim.adaptive);
+  h.f64(sim.dt_max);
+  h.f64(t_stop);
+  h.i64(path.input());
+  h.i64(path.output());
+  h.boolean(path.same_polarity());
+  return h.value();
+}
+
+/// Measurement results are optional<double> (nullopt = "no edge/pulse at
+/// the output", a legitimate physical answer); encode as {flag, value} so
+/// a cached dampened pulse round-trips distinct from a cached 0-width one.
+std::vector<double> encode_measurement(const std::optional<double>& v) {
+  return {v.has_value() ? 1.0 : 0.0, v.value_or(0.0)};
+}
+
+std::optional<double> decode_measurement(const std::vector<double>& enc) {
+  if (enc[0] != 0.0) return enc[1];
+  return std::nullopt;
+}
+
+/// Cache gate shared by the scalar measurements: off when the user disabled
+/// reuse and under fault injection (a replayed result would mask the very
+/// failures a chaos plan injects).
+bool measurement_cache_usable() {
+  return cache::cache_enabled() && !resil::fault_injection_active();
 }
 
 }  // namespace
@@ -49,15 +100,25 @@ std::optional<double> path_delay(cells::Path& path, bool input_rising,
                                  const SimSettings& sim) {
   path.drive_transition(input_rising, sim.t_launch);
   const double t_stop = sim.t_launch + sim.t_tail;
+  const bool use_cache = measurement_cache_usable();
+  const std::uint64_t key =
+      use_cache ? measure_cache_key("core.path_delay", path, sim, t_stop) : 0;
+  if (use_cache) {
+    if (const auto cached = cache::solve_cache().get(key);
+        cached.has_value() && cached->size() == 2)
+      return decode_measurement(*cached);
+  }
   const auto res =
       spice::run_transient(path.netlist().circuit(),
-                           transient_options(sim, t_stop, path));
+                           make_transient_options(sim, t_stop, path));
   const double half = path.netlist().process().vdd / 2.0;
   const bool out_rising = path.same_polarity() == input_rising;
-  return wave::propagation_delay(
+  const auto delay = wave::propagation_delay(
       res.wave(path.input()), res.wave(path.output()), half,
       input_rising ? wave::Edge::kRise : wave::Edge::kFall,
       out_rising ? wave::Edge::kRise : wave::Edge::kFall);
+  if (use_cache) cache::solve_cache().put(key, encode_measurement(delay));
+  return delay;
 }
 
 std::optional<double> output_pulse_width(cells::Path& path, PulseKind kind,
@@ -65,12 +126,26 @@ std::optional<double> output_pulse_width(cells::Path& path, PulseKind kind,
   const bool positive_in = kind == PulseKind::kH;
   path.drive_pulse(positive_in, w_in, sim.t_launch);
   const double t_stop = sim.t_launch + w_in + sim.t_tail;
+  // Memoized on the full measurement content: find_r_min re-measures the
+  // same (sample, R) pair at every bisection step, and the coverage R-grid
+  // re-builds identical fault-free instances per sample — those repeats hit
+  // here instead of re-running the transient.
+  const bool use_cache = measurement_cache_usable();
+  const std::uint64_t key =
+      use_cache ? measure_cache_key("core.pulse_width", path, sim, t_stop) : 0;
+  if (use_cache) {
+    if (const auto cached = cache::solve_cache().get(key);
+        cached.has_value() && cached->size() == 2)
+      return decode_measurement(*cached);
+  }
   const auto res =
       spice::run_transient(path.netlist().circuit(),
-                           transient_options(sim, t_stop, path));
+                           make_transient_options(sim, t_stop, path));
   const double half = path.netlist().process().vdd / 2.0;
   const bool positive_out = path.same_polarity() == positive_in;
-  return wave::pulse_width(res.wave(path.output()), half, positive_out);
+  const auto width = wave::pulse_width(res.wave(path.output()), half, positive_out);
+  if (use_cache) cache::solve_cache().put(key, encode_measurement(width));
+  return width;
 }
 
 TransferCurve transfer_function(cells::Path& path, PulseKind kind,
@@ -79,9 +154,23 @@ TransferCurve transfer_function(cells::Path& path, PulseKind kind,
   TransferCurve curve;
   curve.w_in = w_in_grid;
   curve.w_out.reserve(w_in_grid.size());
+  curve.failed.reserve(w_in_grid.size());
   for (double w : w_in_grid) {
-    const auto out = output_pulse_width(path, kind, w, sim);
-    curve.w_out.push_back(out.value_or(0.0));
+    // A dampened pulse (nullopt -> 0) is a physical result; a solver
+    // failure is not. Conflating them used to record a diverged solve as
+    // w_out = 0 — indistinguishable from perfect attenuation — so failures
+    // now carry NaN plus an explicit flag and the curve stays usable for
+    // the surviving points.
+    try {
+      const auto out = output_pulse_width(path, kind, w, sim);
+      curve.w_out.push_back(out.value_or(0.0));
+      curve.failed.push_back(0);
+    } catch (const NumericalError&) {
+      curve.w_out.push_back(std::numeric_limits<double>::quiet_NaN());
+      curve.failed.push_back(1);
+      ++curve.n_failed;
+      obs::counter("core.transfer.failures").add();
+    }
   }
   return curve;
 }

@@ -60,11 +60,18 @@ double detected_fraction(const PathFactory& factory,
   exec::record_sweep("core.rmin", stats);
   const resil::QuarantineReport report = guard.finish();
   quarantined += report.size();
-  const std::size_t valid = hits.size() - report.size();
-  simulations += valid;
+  // Count valid samples by walking the results, never as hits.size() -
+  // report.size(): size_t subtraction wraps when the report outnumbers the
+  // collected hits (e.g. a cancelled sweep that returned early), turning an
+  // empty population into ~2^64 "valid" samples.
+  std::size_t valid = 0;
   int detected = 0;
-  for (std::size_t s = 0; s < hits.size(); ++s)
-    if (!report.contains(s)) detected += hits[s];
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    if (report.contains(s)) continue;
+    ++valid;
+    detected += hits[s];
+  }
+  simulations += valid;
   return valid == 0 ? 0.0
                     : static_cast<double>(detected) / static_cast<double>(valid);
 }

@@ -209,6 +209,8 @@ namespace {
 std::optional<std::pair<double, double>> plan_widths(const FaultSimulator& sim,
                                                      const Path& path,
                                                      const AtpgOptions& opt) {
+  // A slope needs two grid points; w_in.size() - 1 below would wrap at 0.
+  if (opt.w_grid_points < 2) return std::nullopt;
   const auto kinds = path_kinds(sim.netlist(), path);
   // Discrete transfer curve of the fault-free chain.
   std::vector<double> w_in(opt.w_grid_points), w_out(opt.w_grid_points);

@@ -28,6 +28,10 @@ class Deadline {
   /// structs can use 0.0 as the "unlimited" default).
   [[nodiscard]] static Deadline after(double seconds);
 
+  /// The sooner of the two (an unlimited deadline never wins) — for sharing
+  /// one wall-clock budget across sequential phases of an analysis.
+  [[nodiscard]] static Deadline earliest(const Deadline& a, const Deadline& b);
+
   [[nodiscard]] bool unlimited() const { return !limited_; }
   [[nodiscard]] bool expired() const;
   /// Seconds left; a large positive constant when unlimited.

@@ -82,6 +82,11 @@ class FaultScope {
   bool installed_ = false;
 };
 
+/// True while a FaultScope is installed on this thread. The solve-reuse
+/// cache consults this to bypass itself under chaos: a cached result would
+/// mask the very failures the plan is trying to inject.
+[[nodiscard]] bool fault_injection_active();
+
 /// Seam helpers, called at the instrumented sites. All return false / no-op
 /// when no FaultScope is active on this thread.
 [[nodiscard]] bool inject_newton_nonconvergence();

@@ -19,6 +19,12 @@ Deadline Deadline::after(double seconds) {
   return d;
 }
 
+Deadline Deadline::earliest(const Deadline& a, const Deadline& b) {
+  if (!a.limited_) return b;
+  if (!b.limited_) return a;
+  return a.at_ <= b.at_ ? a : b;
+}
+
 bool Deadline::expired() const { return limited_ && Clock::now() >= at_; }
 
 double Deadline::remaining_seconds() const {

@@ -74,6 +74,8 @@ FaultScope::~FaultScope() {
   t_context = previous_;
 }
 
+bool fault_injection_active() { return t_context != nullptr; }
+
 bool inject_newton_nonconvergence() {
   return t_context != nullptr &&
          draw(FaultSite::kNewtonNonConverge,

@@ -59,6 +59,12 @@ struct OpResult {
   [[nodiscard]] double voltage(NodeId n) const;
 };
 
+/// Compute the operating point via the homotopy ladder. Converged solutions
+/// are memoized in the process-wide solve cache (ppd::cache) keyed on the
+/// circuit's OP content hash: a repeat solve of the same electrical system
+/// verifies the stored iterate with one linear solve and returns it verbatim
+/// — bit-identical to the cold run, counted as spice.newton.warm_start.hit.
+/// PPD_CACHE=0 disables the reuse entirely.
 [[nodiscard]] OpResult run_op(Circuit& circuit, const OpOptions& options = {});
 
 struct TransientOptions {
@@ -77,9 +83,11 @@ struct TransientOptions {
   /// Options for the initial operating point (e.g. .NODESET biases to pick
   /// a latch state before integrating).
   OpOptions op;
-  /// Wall-clock budget for the integration loop [s]; <= 0 = unlimited.
-  /// Expiry throws ppd::TimeoutError. (The initial OP has its own budget in
-  /// `op.budget_seconds`.)
+  /// Wall-clock budget for the WHOLE analysis [s] — the initial operating
+  /// point and the integration loop spend from this one deadline; <= 0 =
+  /// unlimited. Expiry throws ppd::TimeoutError. `op.budget_seconds`, when
+  /// set, additionally tightens just the OP phase (the earlier of the two
+  /// deadlines wins there).
   double budget_seconds = 0.0;
 };
 

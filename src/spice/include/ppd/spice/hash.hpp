@@ -1,0 +1,35 @@
+// Content addresses for circuits: feed a circuit's topology and exact
+// device parameters into a ppd::cache::Hasher, so the solve cache and the
+// Newton warm-start can key on "the same electrical system" instead of on
+// object identity. Device *names* are deliberately excluded — two circuits
+// that stamp identical MNA systems hash equal regardless of labels.
+//
+// Two views exist because two reuse layers need different equivalences:
+//
+//  * hash_circuit — the full circuit including complete source waveforms.
+//    Keys transient measurements: everything that shapes the waveform.
+//  * hash_circuit_op — sources reduced to their value at t = 0. The
+//    operating point only sees that value (OP-mode stamps evaluate sources
+//    at t = 0), so instances that differ merely in a later pulse width
+//    share one OP solution — the warm-start hit the transfer-function
+//    w_in grid lives on.
+#pragma once
+
+#include <cstdint>
+
+#include "ppd/cache/hash.hpp"
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::spice {
+
+/// Full content: topology, device parameters and complete source specs.
+void hash_circuit(cache::Hasher& h, const Circuit& circuit);
+
+/// Operating-point view: as hash_circuit, but each source contributes only
+/// its t = 0 value (and dynamic state does not exist yet at the OP).
+void hash_circuit_op(cache::Hasher& h, const Circuit& circuit);
+
+/// Convenience one-shots.
+[[nodiscard]] std::uint64_t circuit_content_hash(const Circuit& circuit);
+
+}  // namespace ppd::spice

@@ -1,0 +1,105 @@
+#include "ppd/spice/hash.hpp"
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+namespace {
+
+enum class SourceView { kFull, kAtTimeZero };
+
+void hash_source_spec(cache::Hasher& h, const SourceSpec& spec,
+                      SourceView view) {
+  if (view == SourceView::kAtTimeZero) {
+    // The operating point evaluates sources at t = 0 and never sees the
+    // rest of the waveform, so two specs with equal initial values are the
+    // same source as far as the OP system is concerned.
+    h.u8(10);
+    h.f64(source_value(spec, 0.0));
+    return;
+  }
+  if (const auto* dc = std::get_if<Dc>(&spec)) {
+    h.u8(11);
+    h.f64(dc->value);
+  } else if (const auto* p = std::get_if<Pulse>(&spec)) {
+    h.u8(12);
+    h.f64(p->v1);
+    h.f64(p->v2);
+    h.f64(p->delay);
+    h.f64(p->rise);
+    h.f64(p->fall);
+    h.f64(p->width);
+    h.f64(p->period);
+  } else {
+    const auto* pwl = std::get_if<Pwl>(&spec);
+    PPD_REQUIRE(pwl != nullptr, "unknown source spec kind in hash");
+    h.u8(13);
+    h.u64(pwl->points.size());
+    for (const auto& [t, v] : pwl->points) {
+      h.f64(t);
+      h.f64(v);
+    }
+  }
+}
+
+void hash_nodes(cache::Hasher& h, const Device& dev) {
+  const auto& nodes = dev.nodes();
+  h.u64(nodes.size());
+  for (const NodeId n : nodes) h.i64(n);
+}
+
+void hash_impl(cache::Hasher& h, const Circuit& circuit, SourceView view) {
+  // Node ids are assigned in creation order, so ids alone pin the topology;
+  // node *names* are labels (like device names) and stay out of the key.
+  h.u64(circuit.node_count());
+  h.u64(circuit.device_count());
+  for (const auto& dev : circuit.devices()) {
+    if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      h.u8(1);
+      hash_nodes(h, *r);
+      h.f64(r->resistance());
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(dev.get())) {
+      h.u8(2);
+      hash_nodes(h, *c);
+      h.f64(c->capacitance());
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(dev.get())) {
+      h.u8(3);
+      hash_nodes(h, *v);
+      hash_source_spec(h, v->spec(), view);
+    } else if (const auto* i = dynamic_cast<const CurrentSource*>(dev.get())) {
+      h.u8(4);
+      hash_nodes(h, *i);
+      hash_source_spec(h, i->spec(), view);
+    } else {
+      const auto* m = dynamic_cast<const Mosfet*>(dev.get());
+      PPD_REQUIRE(m != nullptr, "unknown device kind in hash");
+      const MosParams& p = m->params();
+      h.u8(5);
+      hash_nodes(h, *m);
+      h.u8(p.type == MosType::kNmos ? 0 : 1);
+      h.f64(p.w);
+      h.f64(p.l);
+      h.f64(p.vt0);
+      h.f64(p.kp);
+      h.f64(p.lambda);
+    }
+  }
+}
+
+}  // namespace
+
+void hash_circuit(cache::Hasher& h, const Circuit& circuit) {
+  hash_impl(h, circuit, SourceView::kFull);
+}
+
+void hash_circuit_op(cache::Hasher& h, const Circuit& circuit) {
+  hash_impl(h, circuit, SourceView::kAtTimeZero);
+}
+
+std::uint64_t circuit_content_hash(const Circuit& circuit) {
+  cache::Hasher h;
+  hash_circuit(h, circuit);
+  return h.value();
+}
+
+}  // namespace ppd::spice

@@ -1,0 +1,352 @@
+// ppd::cache — the solve-reuse layer. Covers the Hasher's aliasing
+// guarantees, the sharded LRU's bookkeeping (hits, eviction, kill switch,
+// concurrent traffic), the circuit content hashes, the Newton warm-start,
+// and the headline contract: cached and uncached sweeps are bit-identical
+// at any thread count.
+#include "ppd/cache/solve_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/core/coverage.hpp"
+#include "ppd/core/measure.hpp"
+#include "ppd/core/pulse_test.hpp"
+#include "ppd/core/rmin.hpp"
+#include "ppd/exec/parallel.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/spice/hash.hpp"
+
+namespace ppd::cache {
+namespace {
+
+/// RAII: run one test against a private cache state — global cache cleared
+/// on entry and exit, enablement restored.
+class CacheSandbox {
+ public:
+  CacheSandbox() : was_enabled_(cache_enabled()) {
+    set_cache_enabled(true);
+    SolveCache::global().clear();
+  }
+  ~CacheSandbox() {
+    SolveCache::global().clear();
+    set_cache_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(Hasher, DeterministicAndOrderSensitive) {
+  Hasher a, b;
+  a.f64(1.5);
+  a.u64(7);
+  b.f64(1.5);
+  b.u64(7);
+  EXPECT_EQ(a.value(), b.value());
+  Hasher c;
+  c.u64(7);
+  c.f64(1.5);
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(Hasher, TypeTagsPreventCrossTypeAliasing) {
+  Hasher a, b;
+  a.u64(0);
+  b.f64(0.0);
+  EXPECT_NE(a.value(), b.value());
+  Hasher t, f;
+  t.boolean(true);
+  f.boolean(false);
+  EXPECT_NE(t.value(), f.value());
+}
+
+TEST(Hasher, LengthPrefixPreventsConcatenationAliasing) {
+  Hasher a, b;
+  a.str("ab");
+  a.str("c");
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Hasher, DoublesHashByBitPattern) {
+  Hasher pos, neg;
+  pos.f64(0.0);
+  neg.f64(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+  // Values below any printing precision still key distinct entries.
+  Hasher x, y;
+  x.f64(1.0);
+  y.f64(std::nextafter(1.0, 2.0));
+  EXPECT_NE(x.value(), y.value());
+}
+
+TEST(SolveCache, RoundTripAndRecency) {
+  CacheSandbox sandbox;
+  SolveCache cache;
+  EXPECT_FALSE(cache.get(42).has_value());
+  cache.put(42, {1.0, 2.0, 3.0});
+  const auto hit = cache.get(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<double>{1.0, 2.0, 3.0}));
+  const auto t = cache.totals();
+  EXPECT_EQ(t.hits, 1u);
+  EXPECT_EQ(t.misses, 1u);
+  EXPECT_EQ(t.entries, 1u);
+  EXPECT_GT(t.bytes, 0u);
+}
+
+TEST(SolveCache, DuplicatePutKeepsFirstValue) {
+  CacheSandbox sandbox;
+  SolveCache cache;
+  cache.put(9, {1.0});
+  cache.put(9, {2.0});  // determinism contract: same key => same bits
+  EXPECT_EQ(*cache.get(9), std::vector<double>{1.0});
+  EXPECT_EQ(cache.totals().entries, 1u);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  CacheSandbox sandbox;
+  // Room for roughly one entry per shard; keys in one shard (multiples of
+  // 16) compete for a single slot.
+  SolveCache cache(16 * 130);
+  cache.put(16, std::vector<double>(4, 1.0));
+  cache.put(32, std::vector<double>(4, 2.0));
+  EXPECT_GT(cache.totals().evictions, 0u);
+  EXPECT_FALSE(cache.get(16).has_value());  // LRU victim
+  EXPECT_TRUE(cache.get(32).has_value());
+}
+
+TEST(SolveCache, KillSwitchMakesItInvisible) {
+  CacheSandbox sandbox;
+  SolveCache cache;
+  set_cache_enabled(false);
+  cache.put(5, {1.0});
+  EXPECT_FALSE(cache.get(5).has_value());
+  const auto t = cache.totals();
+  EXPECT_EQ(t.entries, 0u);
+  EXPECT_EQ(t.hits, 0u);
+  EXPECT_EQ(t.misses, 0u);  // disabled gets don't even count as misses
+  set_cache_enabled(true);
+  cache.put(5, {1.0});
+  EXPECT_TRUE(cache.get(5).has_value());
+}
+
+TEST(SolveCache, ShrinkingCapacityEvictsImmediately) {
+  CacheSandbox sandbox;
+  SolveCache cache;
+  for (std::uint64_t k = 0; k < 64; ++k)
+    cache.put(k, std::vector<double>(16, 1.0));
+  EXPECT_EQ(cache.totals().entries, 64u);
+  cache.set_capacity_bytes(16 * 256);
+  EXPECT_LT(cache.totals().entries, 64u);
+  EXPECT_LE(cache.totals().bytes, cache.capacity_bytes());
+}
+
+TEST(SolveCache, ConcurrentMixedTrafficIsSafeAndConsistent) {
+  CacheSandbox sandbox;
+  SolveCache cache;
+  constexpr std::size_t kItems = 512;
+  // Every item writes-then-reads its key; keys repeat across items so
+  // threads race get/put on shared shards (the interesting TSan surface).
+  const auto results = exec::parallel_map(
+      kItems,
+      [&](std::size_t i) -> double {
+        const auto key = static_cast<std::uint64_t>(i % 37);
+        cache.put(key, {static_cast<double>(key)});
+        const auto hit = cache.get(key);
+        return hit.has_value() ? (*hit)[0] : -1.0;
+      },
+      {});
+  for (std::size_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(results[i], static_cast<double>(i % 37)) << "item " << i;
+  EXPECT_EQ(cache.totals().entries, 37u);
+}
+
+cells::Path make_inverter_chain(std::size_t n) {
+  cells::PathOptions opt;
+  opt.kinds.assign(n, cells::GateKind::kInv);
+  return cells::build_path(cells::Process{}, opt, nullptr);
+}
+
+TEST(CircuitHash, ContentAddressesNotIdentities) {
+  cells::Path a = make_inverter_chain(3);
+  cells::Path b = make_inverter_chain(3);
+  EXPECT_EQ(spice::circuit_content_hash(a.netlist().circuit()),
+            spice::circuit_content_hash(b.netlist().circuit()));
+  cells::Path c = make_inverter_chain(4);
+  EXPECT_NE(spice::circuit_content_hash(a.netlist().circuit()),
+            spice::circuit_content_hash(c.netlist().circuit()));
+}
+
+TEST(CircuitHash, OpViewCollapsesPulseWidths) {
+  // Two stimuli that differ only in pulse width are the same system at
+  // t = 0 (the OP never sees the waveform) but different systems overall —
+  // the equivalence the transfer_function warm-start rides on.
+  cells::Path a = make_inverter_chain(3);
+  cells::Path b = make_inverter_chain(3);
+  a.drive_pulse(true, 0.2e-9, 0.3e-9);
+  b.drive_pulse(true, 0.4e-9, 0.3e-9);
+  EXPECT_NE(spice::circuit_content_hash(a.netlist().circuit()),
+            spice::circuit_content_hash(b.netlist().circuit()));
+  Hasher ha, hb;
+  spice::hash_circuit_op(ha, a.netlist().circuit());
+  spice::hash_circuit_op(hb, b.netlist().circuit());
+  EXPECT_EQ(ha.value(), hb.value());
+}
+
+TEST(WarmStart, RepeatOpIsBitIdenticalAndCounted) {
+  CacheSandbox sandbox;
+  cells::Path a = make_inverter_chain(3);
+  a.drive_pulse(true, 0.2e-9, 0.3e-9);
+  const std::uint64_t hits_before =
+      obs::counter("spice.newton.warm_start.hit").value();
+  const spice::OpResult cold = spice::run_op(a.netlist().circuit());
+  EXPECT_EQ(obs::counter("spice.newton.warm_start.hit").value(), hits_before);
+
+  // Same electrical system, rebuilt from scratch; and a different pulse
+  // width, which shares the OP by construction.
+  cells::Path b = make_inverter_chain(3);
+  b.drive_pulse(true, 0.4e-9, 0.3e-9);
+  const spice::OpResult warm = spice::run_op(b.netlist().circuit());
+  EXPECT_EQ(obs::counter("spice.newton.warm_start.hit").value(),
+            hits_before + 1);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < cold.x.size(); ++i)
+    EXPECT_EQ(warm.x[i], cold.x[i]) << "unknown " << i;  // bitwise, not NEAR
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  EXPECT_EQ(warm.used_gmin_stepping, cold.used_gmin_stepping);
+  EXPECT_EQ(warm.used_source_stepping, cold.used_source_stepping);
+}
+
+TEST(WarmStart, DisabledCacheStaysCold) {
+  CacheSandbox sandbox;
+  set_cache_enabled(false);
+  const std::uint64_t hits_before =
+      obs::counter("spice.newton.warm_start.hit").value();
+  for (int rep = 0; rep < 2; ++rep) {
+    cells::Path p = make_inverter_chain(3);
+    p.drive_pulse(true, 0.2e-9, 0.3e-9);
+    static_cast<void>(spice::run_op(p.netlist().circuit()));
+  }
+  EXPECT_EQ(obs::counter("spice.newton.warm_start.hit").value(), hits_before);
+}
+
+TEST(MeasureCache, RepeatPulseWidthIsBitIdentical) {
+  CacheSandbox sandbox;
+  core::PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  const core::SimSettings sim;
+
+  core::PathInstance cold_inst = core::make_instance(f, 0.0, nullptr);
+  const auto cold =
+      core::output_pulse_width(cold_inst.path, core::PulseKind::kH, 0.3e-9, sim);
+  const std::uint64_t hits_before = SolveCache::global().totals().hits;
+  core::PathInstance warm_inst = core::make_instance(f, 0.0, nullptr);
+  const auto warm =
+      core::output_pulse_width(warm_inst.path, core::PulseKind::kH, 0.3e-9, sim);
+  EXPECT_GT(SolveCache::global().totals().hits, hits_before);
+  ASSERT_EQ(warm.has_value(), cold.has_value());
+  if (cold.has_value()) {
+    EXPECT_EQ(*warm, *cold);  // bitwise
+  }
+}
+
+core::PathFactory rop_factory() {
+  core::PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  f.fault = spec;
+  return f;
+}
+
+core::CoverageOptions small_coverage_options(int threads) {
+  core::CoverageOptions o;
+  o.samples = 4;
+  o.seed = 2007;
+  o.resistances = {2e3, 10e3, 40e3};
+  o.threads = threads;
+  return o;
+}
+
+bool identical(const core::CoverageResult& a, const core::CoverageResult& b) {
+  return a.resistances == b.resistances && a.multipliers == b.multipliers &&
+         a.coverage == b.coverage && a.simulations == b.simulations;
+}
+
+// The headline acceptance criterion: the cache must be invisible to
+// results. One cold run (empty cache, caching on), one warm run (populated
+// cache), and one run with the kill switch thrown must produce identical
+// coverage matrices — at several thread counts.
+TEST(CacheDeterminism, CoverageColdWarmAndDisabledAgreeAtAnyThreadCount) {
+  CacheSandbox sandbox;
+  const core::PathFactory f = rop_factory();
+  core::PulseCalibrationOptions popt;
+  popt.samples = 3;
+  popt.seed = 21;
+  popt.w_in_grid = core::linspace(0.10e-9, 0.60e-9, 8);
+  const core::PulseTestCalibration cal = core::calibrate_pulse_test(f, popt);
+
+  SolveCache::global().clear();
+  const core::CoverageResult cold =
+      core::run_pulse_coverage(f, cal, small_coverage_options(1));
+  EXPECT_GT(SolveCache::global().totals().entries, 0u);
+
+  for (const int threads : {1, 2, 4}) {
+    const core::CoverageResult warm =
+        core::run_pulse_coverage(f, cal, small_coverage_options(threads));
+    EXPECT_TRUE(identical(warm, cold)) << "warm, threads=" << threads;
+  }
+
+  set_cache_enabled(false);
+  for (const int threads : {1, 2}) {
+    const core::CoverageResult off =
+        core::run_pulse_coverage(f, cal, small_coverage_options(threads));
+    EXPECT_TRUE(identical(off, cold)) << "disabled, threads=" << threads;
+  }
+}
+
+// find_r_min re-measures the same (sample, R) pairs across bisection steps;
+// the memoized repeats must not move the answer.
+TEST(CacheDeterminism, RminColdWarmAndDisabledAgree) {
+  CacheSandbox sandbox;
+  const core::PathFactory f = rop_factory();
+  core::PulseCalibrationOptions popt;
+  popt.samples = 3;
+  popt.seed = 31;
+  popt.w_in_grid = core::linspace(0.10e-9, 0.60e-9, 8);
+  const core::PulseTestCalibration cal = core::calibrate_pulse_test(f, popt);
+  core::RminOptions opt;
+  opt.samples = 3;
+  opt.seed = 31;
+  opt.r_lo = 500.0;
+  opt.r_hi = 500e3;
+  opt.bisection_steps = 5;
+
+  SolveCache::global().clear();
+  const core::RminResult cold = core::find_r_min(f, cal, opt);
+  const std::uint64_t hits_after_cold = SolveCache::global().totals().hits;
+  // Bisection repeats identical measurements, so even the cold pass hits.
+  EXPECT_GT(hits_after_cold, 0u);
+
+  const core::RminResult warm = core::find_r_min(f, cal, opt);
+  EXPECT_GT(SolveCache::global().totals().hits, hits_after_cold);
+
+  set_cache_enabled(false);
+  const core::RminResult off = core::find_r_min(f, cal, opt);
+
+  EXPECT_EQ(cold.detectable, warm.detectable);
+  EXPECT_EQ(cold.detectable, off.detectable);
+  EXPECT_DOUBLE_EQ(cold.r_min, warm.r_min);
+  EXPECT_DOUBLE_EQ(cold.r_min, off.r_min);
+  EXPECT_EQ(cold.simulations, warm.simulations);
+  EXPECT_EQ(cold.simulations, off.simulations);
+}
+
+}  // namespace
+}  // namespace ppd::cache

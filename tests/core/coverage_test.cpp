@@ -83,6 +83,43 @@ TEST(PulseCoverage, MonotoneInRAndThreshold) {
   EXPECT_EQ(res.coverage[1].front(), 0.0);
 }
 
+TEST(Coverage, FullyQuarantinedSweepReportsZeroSimulations) {
+  // All items injected to fail: simulations must clamp at 0 (the old
+  // verdicts.size() - quarantine.size() arithmetic wraps the moment the
+  // report outnumbers collected verdicts) and every coverage cell reads 0.
+  const PathFactory f = rop_factory();
+  PulseTestCalibration cal;
+  cal.w_in = 0.3e-9;
+  cal.w_th = 0.1e-9;
+  CoverageOptions copt = quick_coverage();
+  copt.resil.quarantine = true;
+  copt.resil.faults.seed = 13;
+  copt.resil.faults.p_item_fail = 1.0;
+  const CoverageResult res = run_pulse_coverage(f, cal, copt);
+  EXPECT_EQ(res.simulations, 0u);
+  EXPECT_EQ(res.quarantine.size(),
+            static_cast<std::size_t>(copt.samples) * copt.resistances.size());
+  for (const auto& row : res.coverage)
+    for (const double c : row) EXPECT_EQ(c, 0.0);
+}
+
+TEST(Coverage, PartialQuarantineCountsOnlyValidItems) {
+  const PathFactory f = rop_factory();
+  PulseTestCalibration cal;
+  cal.w_in = 0.3e-9;
+  cal.w_th = 0.1e-9;
+  CoverageOptions copt = quick_coverage();
+  copt.resil.quarantine = true;
+  copt.resil.faults.seed = 13;
+  copt.resil.faults.p_item_fail = 0.4;
+  const CoverageResult res = run_pulse_coverage(f, cal, copt);
+  const std::size_t items =
+      static_cast<std::size_t>(copt.samples) * copt.resistances.size();
+  ASSERT_GT(res.quarantine.size(), 0u);  // seed 13 at p=0.4 injects some
+  ASSERT_LT(res.quarantine.size(), items);
+  EXPECT_EQ(res.simulations, items - res.quarantine.size());
+}
+
 TEST(Coverage, RequiresFaultSpec) {
   PathFactory f = rop_factory();
   f.fault.reset();

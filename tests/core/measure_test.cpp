@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/resil/faultplan.hpp"
+#include "ppd/spice/analysis.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::core {
@@ -88,6 +94,92 @@ TEST(OutputPulseWidth, BothKindsPropagateWidePulses) {
   EXPECT_NEAR(*w_l, 0.5e-9, 0.2e-9);
 }
 
+TEST(MakeTransientOptions, OneBudgetCoversBothPhases) {
+  // Regression pin for the double-budget bug: setting sim.budget_seconds
+  // used to grant the OP phase a second full-length deadline on top of the
+  // transient's, letting a "budgeted" solve run for 2x its budget. The OP
+  // now spends from the transient's own deadline (op.budget_seconds 0).
+  const PathFactory f = small_factory();
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  SimSettings sim;
+  sim.budget_seconds = 1.5;
+  const spice::TransientOptions opt =
+      make_transient_options(sim, 1e-9, inst.path);
+  EXPECT_DOUBLE_EQ(opt.budget_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(opt.op.budget_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(opt.t_stop, 1e-9);
+  ASSERT_EQ(opt.probe.size(), 2u);
+}
+
+TEST(MakeTransientOptions, TransientBudgetGovernsTheOpPhase) {
+  // With an (effectively pre-expired) transient budget, the FIRST phase to
+  // notice must be the operating point — proof that it draws from the
+  // shared deadline rather than owning an unlimited one. Warm-starting is
+  // switched off so a cached OP cannot skip the phase under test.
+  const PathFactory f = small_factory();
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  inst.path.drive_pulse(true, 0.3e-9, 0.3e-9);
+  SimSettings sim;
+  sim.budget_seconds = 1e-9;
+  const bool was_enabled = cache::cache_enabled();
+  cache::set_cache_enabled(false);
+  try {
+    static_cast<void>(spice::run_transient(
+        inst.path.netlist().circuit(),
+        make_transient_options(sim, 1e-9, inst.path)));
+    cache::set_cache_enabled(was_enabled);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    cache::set_cache_enabled(was_enabled);
+    EXPECT_NE(std::string(e.what()).find("operating point"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MakeTransientOptions, BudgetBoundMeasurementFinishesNearBudget) {
+  // A deliberately step-starved transient (fixed 1 fs steps) cannot finish;
+  // it must abort within ~1x the budget, not the historical 2x.
+  const PathFactory f = small_factory();
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  SimSettings sim;
+  sim.dt = 1e-15;
+  sim.adaptive = false;
+  sim.budget_seconds = 0.3;
+  const bool was_enabled = cache::cache_enabled();
+  cache::set_cache_enabled(false);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      static_cast<void>(output_pulse_width(inst.path, PulseKind::kH, 0.3e-9, sim)),
+      TimeoutError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  cache::set_cache_enabled(was_enabled);
+  EXPECT_LT(elapsed, 3.0 * sim.budget_seconds);
+}
+
+TEST(TransferFunction, SolverFailureIsFlaggedNotZero) {
+  // Force every Newton solve to report non-convergence: each grid point's
+  // measurement fails. The curve must mark those points failed with NaN —
+  // not record w_out = 0, which means "perfectly dampened pulse".
+  const PathFactory f = small_factory();
+  SimSettings sim;
+  PathInstance inst = make_instance(f, 0.0, nullptr);
+  resil::FaultPlan plan;
+  plan.seed = 1;
+  plan.p_newton_nonconverge = 1.0;
+  const resil::FaultScope scope(plan, 0);
+  const auto grid = linspace(0.2e-9, 0.4e-9, 3);
+  const TransferCurve c = transfer_function(inst.path, PulseKind::kH, grid, sim);
+  ASSERT_EQ(c.w_out.size(), grid.size());
+  ASSERT_EQ(c.failed.size(), grid.size());
+  EXPECT_EQ(c.n_failed, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_TRUE(c.failed[i]) << "point " << i;
+    EXPECT_TRUE(std::isnan(c.w_out[i])) << "point " << i;
+  }
+}
+
 TEST(TransferFunction, HasThreeRegions) {
   // Fig. 10 structure: zeros, then a sub-linear climb, then slope ~1.
   const PathFactory f = small_factory(7);
@@ -96,6 +188,8 @@ TEST(TransferFunction, HasThreeRegions) {
   const auto grid = linspace(0.06e-9, 0.6e-9, 12);
   const TransferCurve c = transfer_function(inst.path, PulseKind::kH, grid, sim);
   ASSERT_EQ(c.w_out.size(), grid.size());
+  ASSERT_EQ(c.failed.size(), grid.size());
+  EXPECT_EQ(c.n_failed, 0u);                // healthy path: no failed solves
   EXPECT_DOUBLE_EQ(c.w_out.front(), 0.0);   // region 1: dampened
   EXPECT_GT(c.w_out.back(), 0.4e-9);        // region 3 reached
   // Monotone non-decreasing.

@@ -67,6 +67,30 @@ TEST(Rmin, UndetectableBracketReported) {
   EXPECT_FALSE(res.detectable);
 }
 
+TEST(Rmin, FullyQuarantinedSweepDoesNotWrapAccounting) {
+  // Every sample of every bisection step fails by injection and lands in
+  // quarantine. The valid-sample count must clamp at zero (a size_t
+  // "hits - quarantined" would wrap to ~2^64) and a 0-valid population
+  // reads as fraction 0 -> undetectable, never as division noise.
+  const PathFactory f = rop_factory();
+  PulseTestCalibration cal;
+  cal.w_in = 0.3e-9;
+  cal.w_th = 0.1e-9;
+  RminOptions opt;
+  opt.samples = 3;
+  opt.seed = 31;
+  opt.r_lo = 500.0;
+  opt.r_hi = 500e3;
+  opt.resil.quarantine = true;
+  opt.resil.faults.seed = 13;
+  opt.resil.faults.p_item_fail = 1.0;
+  const RminResult res = find_r_min(f, cal, opt);
+  EXPECT_FALSE(res.detectable);
+  EXPECT_EQ(res.simulations, 0u);
+  EXPECT_LT(res.simulations, 1u << 30);  // the wrap would be ~1.8e19
+  EXPECT_EQ(res.n_quarantined, 3u);      // one bracket-check sweep ran
+}
+
 TEST(Rmin, ValidatesOptions) {
   const PathFactory f = rop_factory();
   PulseTestCalibration cal;

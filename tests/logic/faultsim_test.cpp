@@ -161,6 +161,24 @@ TEST(Atpg, CoversC17RopFaults) {
   }
 }
 
+TEST(Atpg, DegenerateWidthGridYieldsNoTestsNotAWrap) {
+  // w_grid_points < 2 cannot support a slope estimate; width planning must
+  // report "no feasible pair" instead of wrapping w_in.size() - 1 at 0.
+  const Netlist nl = c17();
+  const FaultSimulator sim(nl, GateTimingLibrary::generic());
+  std::vector<NetId> sites;
+  for (NetId id = 0; id < nl.size(); ++id)
+    if (nl.gate(id).kind != LogicKind::kInput) sites.push_back(id);
+  const auto faults = enumerate_rop_faults(sites, 20e3);
+  for (const std::size_t points : {0u, 1u}) {
+    AtpgOptions opt;
+    opt.w_grid_points = points;
+    const AtpgResult res = generate_pulse_tests(sim, faults, opt);
+    EXPECT_TRUE(res.tests.empty()) << points;
+    EXPECT_EQ(res.coverage.detected_count, 0u) << points;
+  }
+}
+
 TEST(Atpg, SmallResistanceLowersCoverage) {
   const Netlist nl = c17();
   const FaultSimulator sim(nl, GateTimingLibrary::generic());

@@ -87,17 +87,43 @@ assert all(d == 0 for d in depth.values()), "unbalanced B/E pairs"
 print(f"trace OK: {len(events)} events, {len(depth)} lanes")
 PYEOF
 
-echo "== resil + exec under TSan and UBSan =="
+echo "== solve-cache stage (reuse must be invisible to results) =="
+# The solve cache memoizes measurements and warm-starts Newton within a
+# process. Contract: a cached run's output is byte-identical to a run with
+# the cache killed (PPD_CACHE=0), and the metrics snapshot shows real
+# traffic — hits, misses, and warm-started operating points.
+"$build/tools/ppdtool" --metrics="$obs_dir/cache-metrics.json" \
+  coverage --method=pulse --samples=4 --points=3 --csv \
+  > "$obs_dir/cov-cached.csv"
+PPD_CACHE=0 "$build/tools/ppdtool" \
+  coverage --method=pulse --samples=4 --points=3 --csv \
+  > "$obs_dir/cov-cold.csv"
+cmp "$obs_dir/cov-cached.csv" "$obs_dir/cov-cold.csv"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.counters["cache.solve.hit"] > 0 and
+         .counters["cache.solve.miss"] > 0' \
+    "$obs_dir/cache-metrics.json" >/dev/null
+  jq -e '.counters["spice.newton.warm_start.hit"] > 0' \
+    "$obs_dir/cache-metrics.json" >/dev/null
+else
+  echo "(jq not installed; cache metrics checks skipped)"
+fi
+
+echo "== resil + exec + cache under TSan and UBSan =="
 # The recovery/quarantine/checkpoint paths are themselves exercised under
-# injected chaos; run those suites with the race and UB detectors on.
+# injected chaos, and the sharded solve cache takes concurrent mixed
+# traffic; run those suites with the race and UB detectors on.
 for san in thread undefined; do
   sbuild="$build-$san"
   cmake -B "$sbuild" -S "$repo" -DPPD_SANITIZE="$san" >/dev/null
-  cmake --build "$sbuild" -j "$(nproc)" --target test_resil test_exec >/dev/null
+  cmake --build "$sbuild" -j "$(nproc)" \
+    --target test_resil test_exec test_cache >/dev/null
   echo "-- $san: test_resil"
   "$sbuild/tests/test_resil" --gtest_brief=1
   echo "-- $san: test_exec"
   "$sbuild/tests/test_exec" --gtest_brief=1
+  echo "-- $san: test_cache"
+  "$sbuild/tests/test_cache" --gtest_brief=1
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then
