@@ -1,0 +1,197 @@
+// Service load bench: N concurrent ppdctl-style clients against one
+// in-process ppdd server, mixed query types, cold cache then warm cache.
+//
+// Emits perf_engine-style JSON rows:
+//   {"section":"meta",...}
+//   {"section":"service_load","pass":"cold"|"warm","clients":N,...,
+//    "p50_ms":...,"p99_ms":...,"throughput_qps":...,"identical":true}
+//   {"section":"service_load_summary","warm_p50_speedup":...}
+//
+// Every served response is compared byte-for-byte against the result of
+// calling net::run_query directly with the same parameters — the
+// bit-identity contract under concurrent multi-client load, not just in the
+// single-shot case. The bench exits non-zero if any response diverges.
+//
+//   --clients=N   concurrent client connections (default 6, min 4)
+//   --rounds=N    repetitions of the query mix per client (default 2)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/net/client.hpp"
+#include "ppd/net/query.hpp"
+#include "ppd/net/server.hpp"
+#include "ppd/obs/run.hpp"
+#include "ppd/util/cli.hpp"
+
+namespace {
+
+using namespace ppd;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kBenchUpload = "load.bench";
+constexpr const char* kBenchText =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+
+struct QuerySpec {
+  const char* kind;
+  std::string arg;  // lint upload name
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+// Small instances of every query kind: the bench measures service overhead
+// and cache amortization, not the electrical solver itself.
+std::vector<QuerySpec> query_mix() {
+  return {
+      {"transfer", "", {{"points", "7"}}},
+      {"calibrate", "", {{"samples", "6"}}},
+      {"coverage", "", {{"samples", "4"}, {"points", "3"}}},
+      {"rmin", "", {{"samples", "3"}, {"steps", "4"}}},
+      {"lint", kBenchUpload, {}},
+  };
+}
+
+/// What ppdtool would print for this spec — the byte-identity reference.
+std::string expected_body(const QuerySpec& spec) {
+  const net::QueryKind kind = net::query_kind_from_string(spec.kind);
+  net::QueryParams params = net::params_from_lookup(
+      kind, [&spec](const std::string& key) -> std::optional<std::string> {
+        for (const auto& [k, v] : spec.params)
+          if (k == key) return v;
+        return std::nullopt;
+      });
+  if (kind == net::QueryKind::kLint) {
+    params.lint_name = kBenchUpload;
+    params.lint_text = kBenchText;
+  }
+  return net::run_query(kind, params).body;
+}
+
+struct ClientStats {
+  std::vector<double> latencies_s;
+  int mismatches = 0;
+};
+
+ClientStats run_client(std::uint16_t port, int rounds,
+                       const std::vector<QuerySpec>& mix,
+                       const std::vector<std::string>& expected) {
+  ClientStats stats;
+  net::Client client = net::Client::connect(port);
+  client.upload(kBenchUpload, kBenchText);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t q = 0; q < mix.size(); ++q) {
+      for (const auto& [key, value] : mix[q].params)
+        client.set(key, value);
+      const auto start = Clock::now();
+      const net::Client::Result res = client.run(mix[q].kind, mix[q].arg);
+      stats.latencies_s.push_back(
+          std::chrono::duration<double>(Clock::now() - start).count());
+      if (res.status != "ok" || res.body != expected[q]) ++stats.mismatches;
+    }
+  }
+  client.quit();
+  return stats;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(v.size()) - 1.0,
+                       std::ceil(p * static_cast<double>(v.size())) - 1.0));
+  return v[idx];
+}
+
+struct PassResult {
+  double p50_ms = 0.0, p99_ms = 0.0, qps = 0.0;
+  bool identical = false;
+};
+
+PassResult run_pass(const char* pass, std::uint16_t port, int clients,
+                    int rounds, const std::vector<QuerySpec>& mix,
+                    const std::vector<std::string>& expected) {
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        stats[static_cast<std::size_t>(c)] =
+            run_client(port, rounds, mix, expected);
+      });
+    for (auto& t : threads) t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  int mismatches = 0;
+  for (const auto& s : stats) {
+    all.insert(all.end(), s.latencies_s.begin(), s.latencies_s.end());
+    mismatches += s.mismatches;
+  }
+  PassResult res;
+  res.p50_ms = percentile(all, 0.50) * 1e3;
+  res.p99_ms = percentile(all, 0.99) * 1e3;
+  res.qps = static_cast<double>(all.size()) / wall;
+  res.identical = mismatches == 0;
+  std::printf(
+      "{\"section\":\"service_load\",\"pass\":\"%s\",\"clients\":%d,"
+      "\"rounds\":%d,\"queries\":%zu,\"wall_s\":%.4f,"
+      "\"throughput_qps\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"identical\":%s}\n",
+      pass, clients, rounds, all.size(), wall, res.qps, res.p50_ms,
+      res.p99_ms, res.identical ? "true" : "false");
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::ScopedRun run(obs::extract_run_options(argc, argv));
+  const util::Cli cli(argc, argv, {"clients", "rounds"});
+  const int clients = std::max(4, cli.get("clients", 6));
+  const int rounds = std::max(1, cli.get("rounds", 2));
+
+  const auto mix = query_mix();
+
+  std::printf("{\"section\":\"meta\",\"meta\":%s}\n",
+              obs::run_meta_json(2007, 0).c_str());
+
+  // Reference bodies computed directly (no socket), against a cold cache so
+  // the reference itself is what single-shot ppdtool prints.
+  cache::SolveCache::global().clear();
+  std::vector<std::string> expected;
+  expected.reserve(mix.size());
+  for (const auto& spec : mix) expected.push_back(expected_body(spec));
+
+  net::ServerOptions options;
+  options.port = 0;
+  net::Server server(options);
+  server.start();
+
+  // Cold pass: empty cache, every client pays its own solves (minus what
+  // concurrent clients share). Warm pass: identical workload replayed
+  // against the populated cache.
+  cache::SolveCache::global().clear();
+  const PassResult cold =
+      run_pass("cold", server.port(), clients, rounds, mix, expected);
+  const PassResult warm =
+      run_pass("warm", server.port(), clients, rounds, mix, expected);
+
+  std::printf(
+      "{\"section\":\"service_load_summary\",\"warm_p50_speedup\":%.3f,"
+      "\"warm_p99_speedup\":%.3f,\"identical\":%s}\n",
+      warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0,
+      warm.p99_ms > 0.0 ? cold.p99_ms / warm.p99_ms : 0.0,
+      cold.identical && warm.identical ? "true" : "false");
+
+  server.drain();
+  return cold.identical && warm.identical ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Wire grammar of the ppdd service, shared by the server, the ppdctl
+// client and the tests. Modeled on the PandABlocks-server control/data
+// split: a line-based control channel with one-line replies, and a
+// server-push data channel streaming one JSON object per line.
+//
+// Connection handshake (first line selects the channel):
+//   CONTROL                     -> OK ppdd <ver> session <token>
+//   DATA <token>                -> OK stream
+//
+// Control commands:
+//   SET <key> <value>           -> OK | ERR <msg>
+//   UPLOAD <name> <nbytes>\n<raw bytes>
+//                               -> OK upload <name> <nbytes> | ERR <msg>
+//   QUERY <kind> [<arg>]        -> OK <id> | BUSY | ERR <msg>
+//                                  kind: transfer|calibrate|coverage|rmin|lint
+//   STATS                       -> one JSON object (server + cache totals)
+//   PING                        -> OK pong
+//   QUIT                        -> OK bye (server closes the session)
+//
+// Data events (one JSON object per line):
+//   {"event":"hello","session":"<token>"}
+//   {"event":"result","id":N,"kind":"...","status":"ok|error|cancelled",
+//    "exit_code":N,"elapsed_s":X,"body":"...","error":"..."}
+//   {"event":"drain"}
+//
+// A result's "body" is the byte-exact stdout of the equivalent single-shot
+// ppdtool invocation (JSON-escaped on the wire): the determinism contract
+// extends across the socket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ppd::net {
+
+inline constexpr int kProtocolVersion = 1;
+/// Default control port (the paper year, shifted into the user range).
+inline constexpr std::uint16_t kDefaultPort = 7207;
+
+/// Full JSON string escaping (reversible — unlike the lossy escaper used
+/// for metrics meta blocks, this one must round-trip result bodies).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Inverse of json_quote. Throws ppd::ParseError on malformed escapes.
+[[nodiscard]] std::string json_unquote(std::string_view s);
+
+/// Parse one *flat* JSON object (string / number / bool / null values, no
+/// nesting) into key -> raw value text; string values are unquoted. The
+/// data-channel events and STATS replies are all flat by construction.
+/// Throws ppd::ParseError on malformed input.
+[[nodiscard]] std::map<std::string, std::string> parse_flat_json(
+    std::string_view line);
+
+/// Reply-line helpers (control channel).
+[[nodiscard]] std::string ok_reply(const std::string& detail = {});
+[[nodiscard]] std::string err_reply(const std::string& message);
+[[nodiscard]] bool is_ok(std::string_view reply);
+
+}  // namespace ppd::net

@@ -1,0 +1,138 @@
+// The ppdd service core: a long-lived TCP server answering pulse-test
+// queries for many concurrent clients against one shared backend.
+//
+// Architecture (PandABlocks-server control/data split):
+//  - an accept thread hands each connection to its own reader thread;
+//  - the first line selects the channel: CONTROL creates a session, DATA
+//    attaches the streaming result channel of an existing session;
+//  - control commands mutate session state synchronously; QUERY snapshots
+//    the session config into a QueryParams and submits one job to the
+//    process-wide ppd::exec pool — queries from every client batch onto
+//    the same workers, and nested sweep parallelism degrades to serial on
+//    a worker, so throughput scales with concurrent queries;
+//  - results are pushed to the session's data channel as JSON events, with
+//    bodies byte-identical to single-shot ppdtool output (ppd::net::query);
+//  - one process-wide cache::SolveCache means concurrent clients amortize
+//    each other's Newton warm-starts and memoized measurements.
+//
+// Backpressure is per-session (Session::admit; full window => BUSY).
+// Graceful drain: stop accepting, notify data channels, let in-flight
+// queries finish, then — past the grace budget — fire their CancelTokens
+// (sweeps with a session-configured checkpoint persist it via ppd::resil
+// before the cancellation escapes) and close everything.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ppd/net/session.hpp"
+#include "ppd/net/socket.hpp"
+
+namespace ppd::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via Server::port())
+  SessionLimits limits;
+  /// How long drain() waits for in-flight queries before cancelling them.
+  double drain_grace_seconds = 30.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the loopback listener and start the accept thread.
+  void start();
+
+  /// The bound control port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Graceful drain: refuse new connections and queries, push a drain
+  /// event to every data channel, wait drain_grace_seconds for in-flight
+  /// queries, cancel stragglers, then close all connections. Idempotent;
+  /// blocks until the server is fully stopped.
+  void drain();
+
+  /// drain() with a zero grace budget (in-flight queries are cancelled
+  /// immediately). The destructor calls this.
+  void stop();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t queries_accepted = 0;
+    std::uint64_t queries_busy = 0;
+    std::uint64_t queries_ok = 0;
+    std::uint64_t queries_error = 0;
+    std::uint64_t queries_cancelled = 0;
+    std::size_t sessions_active = 0;
+    std::size_t jobs_in_flight = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  /// The STATS reply: stats() plus the shared solve-cache totals, as one
+  /// flat JSON object.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<TcpStream> stream;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(const std::shared_ptr<TcpStream>& stream);
+  void handle_control(const std::shared_ptr<TcpStream>& stream);
+  void handle_data(const std::shared_ptr<TcpStream>& stream,
+                   const std::string& token);
+  /// QUERY: validate, admit, submit to the exec pool. Returns the reply.
+  std::string submit_query(const std::shared_ptr<Session>& session,
+                           const std::string& kind_word,
+                           const std::string& arg);
+  void drain_with_grace(double grace_seconds);
+  void reap_finished_connections_locked();
+
+  ServerOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex lifecycle_mutex_;  ///< serializes drain()/stop()
+
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_ = 0;
+
+  // In-flight jobs: counted for drain, tokens registered for cancellation.
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::size_t jobs_in_flight_ = 0;
+  std::map<std::uint64_t, exec::CancelToken> job_tokens_;
+  std::uint64_t next_job_ = 0;
+
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> queries_accepted_{0};
+  std::atomic<std::uint64_t> queries_busy_{0};
+  std::atomic<std::uint64_t> queries_ok_{0};
+  std::atomic<std::uint64_t> queries_error_{0};
+  std::atomic<std::uint64_t> queries_cancelled_{0};
+};
+
+}  // namespace ppd::net

@@ -1,0 +1,92 @@
+// One client's state on the ppdd service: the config written by SET
+// commands, uploaded netlist blobs, and the bounded in-flight window that
+// implements backpressure.
+//
+// Admission control counts every query from acceptance until its result
+// event has been written to the session's data channel (or until the
+// session dies). A client that submits without draining its data channel
+// therefore hits BUSY after `max_queue` queries — the queue cannot grow
+// without bound no matter how the client behaves. Results completed before
+// a data channel attaches are buffered (inside the same window) and
+// flushed on attach, so CONTROL-then-DATA connection order is not racy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ppd/net/query.hpp"
+#include "ppd/net/socket.hpp"
+
+namespace ppd::net {
+
+struct SessionLimits {
+  std::size_t max_queue = 8;           ///< in-flight window per session
+  std::size_t max_upload_bytes = 4u << 20;
+  std::size_t max_uploads = 64;
+};
+
+class Session {
+ public:
+  Session(std::string token, SessionLimits limits)
+      : token_(std::move(token)), limits_(limits) {}
+
+  [[nodiscard]] const std::string& token() const { return token_; }
+  [[nodiscard]] const SessionLimits& limits() const { return limits_; }
+
+  /// SET: validate the key against every query kind's key table (plus the
+  /// lint upload selector) and remember the value. Throws ppd::ParseError
+  /// on unknown keys so typos fail at SET time, not at query time.
+  void set(const std::string& key, const std::string& value);
+
+  /// Store an uploaded blob. Throws ppd::ParseError over the limits.
+  void upload(const std::string& name, std::string text);
+
+  /// Build the params for one query from the current config snapshot;
+  /// `arg` is the upload name for lint queries.
+  [[nodiscard]] QueryParams make_params(QueryKind kind,
+                                        const std::string& arg) const;
+
+  /// Try to admit one query into the in-flight window: returns the new
+  /// query id, or 0 when the window is full (reply BUSY).
+  [[nodiscard]] std::uint64_t admit();
+
+  /// Deliver a finished query's event line: writes it to the data channel
+  /// when one is attached (releasing its admission slot), otherwise buffers
+  /// it until attach. Never throws — a dead data channel detaches.
+  void deliver(std::string event_line);
+
+  /// Attach the data channel and flush everything buffered. The session
+  /// keeps a shared handle so delivery can outlive the reader thread.
+  void attach_data(std::shared_ptr<TcpStream> stream);
+  void detach_data();
+
+  /// Push a non-result event (hello / drain) to an attached data channel.
+  void notify(const std::string& event_line);
+
+  /// Shut both channels down (server stop): wakes blocked readers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  /// False when no channel is attached or the write failed (channel dropped).
+  bool write_event_locked(const std::string& line);
+
+  const std::string token_;
+  const SessionLimits limits_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, std::string> uploads_;
+  std::size_t upload_bytes_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::size_t in_flight_ = 0;          ///< admitted, result not yet delivered
+  std::deque<std::string> ready_;      ///< completed events awaiting a channel
+  std::shared_ptr<TcpStream> data_;
+};
+
+}  // namespace ppd::net

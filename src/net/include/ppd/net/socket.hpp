@@ -1,0 +1,93 @@
+// Thin RAII wrappers over loopback TCP sockets — the transport under the
+// ppdd control/data protocol. Deliberately minimal: blocking I/O, a
+// buffered line reader (the protocol is line-based, like the
+// PandABlocks-server control port), exact-count reads for upload payloads,
+// and a listener whose accept loop can be woken from another thread for
+// graceful drain.
+//
+// Every failure surfaces as ppd::net::NetError carrying errno text; EOF is
+// a value (nullopt / false), not an exception, because a peer hanging up is
+// a normal event for a server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ppd::net {
+
+/// Socket-layer failure (bind/connect/read/write). Carries errno context.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One connected TCP stream (either side). Move-only; closes on destruct.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to 127.0.0.1:port. Throws NetError on failure.
+  [[nodiscard]] static TcpStream connect_loopback(std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Next '\n'-terminated line, with the terminator (and any trailing '\r')
+  /// stripped. nullopt on clean EOF with no buffered partial line; a final
+  /// unterminated line is returned as-is. Throws NetError on read errors.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Exactly n bytes into out (resized). False on EOF before n bytes.
+  [[nodiscard]] bool read_exact(std::string& out, std::size_t n);
+
+  /// Write the whole buffer (handles partial writes / EINTR; SIGPIPE is
+  /// suppressed per-call). Throws NetError when the peer is gone.
+  void write_all(std::string_view data);
+
+  /// Half-close both directions, waking any blocked reader on the peer —
+  /// and on *this* stream, which is how the server detaches stuck
+  /// connections during drain. Safe to call from another thread and
+  /// idempotent; the fd stays owned until destruction.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port;
+/// port() reports the bound one.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Block for the next connection. nullopt once close() was called (the
+  /// drain path) or the listener is gone. Throws NetError on real failures.
+  [[nodiscard]] std::optional<TcpStream> accept();
+
+  /// Stop accepting: wakes a blocked accept(), which then returns nullopt.
+  /// Safe from any thread; idempotent.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ppd::net

@@ -1,0 +1,147 @@
+#include "ppd/net/client.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ppd/net/protocol.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace ppd::net {
+
+namespace {
+
+/// Second word of "OK ppdd <ver> session <token>"-style replies.
+std::string word_at(const std::string& line, std::size_t index) {
+  const auto words = util::split_ws(line);
+  if (index >= words.size())
+    throw ServiceError("malformed server reply: " + line);
+  return words[index];
+}
+
+}  // namespace
+
+Client Client::connect(std::uint16_t port) {
+  Client client;
+  client.control_ = TcpStream::connect_loopback(port);
+  client.control_.write_all("CONTROL\n");
+  const auto hello = client.control_.read_line();
+  if (!hello) throw ServiceError("server closed the control channel");
+  if (!is_ok(*hello)) throw ServiceError(*hello);
+  // "OK ppdd <ver> session <token>"
+  client.session_ = word_at(*hello, 4);
+
+  client.data_ = TcpStream::connect_loopback(port);
+  client.data_.write_all("DATA " + client.session_ + "\n");
+  const auto stream_ok = client.data_.read_line();
+  if (!stream_ok) throw ServiceError("server closed the data channel");
+  if (!is_ok(*stream_ok)) throw ServiceError(*stream_ok);
+  // First data event is the hello; consume it so wait() only sees results.
+  const auto hello_event = client.data_.read_line();
+  if (!hello_event) throw ServiceError("data channel closed before hello");
+  return client;
+}
+
+std::string Client::command(const std::string& line) {
+  control_.write_all(line + "\n");
+  const auto reply = control_.read_line();
+  if (!reply) throw ServiceError("server closed the control channel");
+  if (!is_ok(*reply) && reply->rfind("BUSY", 0) != 0)
+    throw ServiceError(*reply);
+  return *reply;
+}
+
+void Client::set(const std::string& key, const std::string& value) {
+  command("SET " + key + " " + value);
+}
+
+void Client::upload(const std::string& name, const std::string& text) {
+  control_.write_all("UPLOAD " + name + " " + std::to_string(text.size()) +
+                     "\n");
+  control_.write_all(text);
+  const auto reply = control_.read_line();
+  if (!reply) throw ServiceError("server closed the control channel");
+  if (!is_ok(*reply)) throw ServiceError(*reply);
+}
+
+Client::Submitted Client::submit(const std::string& kind,
+                                 const std::string& arg) {
+  std::string line = "QUERY " + kind;
+  if (!arg.empty()) line += " " + arg;
+  const std::string reply = command(line);
+  Submitted out;
+  if (reply.rfind("BUSY", 0) == 0) {
+    out.busy = true;
+    return out;
+  }
+  out.id = std::strtoull(word_at(reply, 1).c_str(), nullptr, 10);
+  return out;
+}
+
+Client::Result Client::wait(std::uint64_t id) {
+  const auto buffered = pending_.find(id);
+  if (buffered != pending_.end()) {
+    Result result = std::move(buffered->second);
+    pending_.erase(buffered);
+    return result;
+  }
+  for (;;) {
+    const auto line = data_.read_line();
+    if (!line)
+      throw ServiceError("data channel closed while waiting for query " +
+                         std::to_string(id));
+    const auto fields = parse_flat_json(*line);
+    const auto event = fields.find("event");
+    if (event == fields.end()) continue;
+    if (event->second == "drain") {
+      drained_ = true;
+      continue;
+    }
+    if (event->second != "result") continue;
+
+    Result result;
+    result.raw = *line;
+    const auto get = [&fields](const char* key) -> std::string {
+      const auto it = fields.find(key);
+      return it == fields.end() ? std::string() : it->second;
+    };
+    result.id = std::strtoull(get("id").c_str(), nullptr, 10);
+    result.kind = get("kind");
+    result.status = get("status");
+    result.exit_code = std::atoi(get("exit_code").c_str());
+    result.elapsed_s = std::strtod(get("elapsed_s").c_str(), nullptr);
+    result.body = get("body");
+    result.error = get("error");
+    if (result.id == id) return result;
+    pending_.emplace(result.id, std::move(result));
+  }
+}
+
+Client::Result Client::run(const std::string& kind, const std::string& arg) {
+  const Submitted submitted = submit(kind, arg);
+  if (submitted.busy)
+    throw ServiceError("server replied BUSY (session queue full)");
+  return wait(submitted.id);
+}
+
+std::string Client::stats() {
+  control_.write_all("STATS\n");
+  const auto reply = control_.read_line();
+  if (!reply) throw ServiceError("server closed the control channel");
+  if (reply->rfind("ERR", 0) == 0) throw ServiceError(*reply);
+  return *reply;
+}
+
+std::string Client::ping() { return command("PING"); }
+
+void Client::quit() {
+  try {
+    command("QUIT");
+  } catch (const NetError&) {
+    // Already gone — quit is best-effort by design.
+  } catch (const ServiceError&) {
+  }
+  control_.close();
+  data_.close();
+}
+
+}  // namespace ppd::net

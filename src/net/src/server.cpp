@@ -1,0 +1,392 @@
+#include "ppd/net/server.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/exec/thread_pool.hpp"
+#include "ppd/net/protocol.hpp"
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace ppd::net {
+
+namespace {
+
+obs::Counter& queries_counter(const char* leaf) {
+  return obs::counter(std::string("net.queries.") + leaf);
+}
+
+std::string result_event(std::uint64_t id, const char* kind,
+                         const char* status, int exit_code, double elapsed_s,
+                         const std::string& body, const std::string& error) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "{\"event\":\"result\",\"id\":%llu,\"kind\":\"%s\","
+                "\"status\":\"%s\",\"exit_code\":%d,\"elapsed_s\":%.6f",
+                static_cast<unsigned long long>(id), kind, status, exit_code,
+                elapsed_s);
+  std::string out = head;
+  if (!body.empty()) out += ",\"body\":" + json_quote(body);
+  if (!error.empty()) out += ",\"error\":" + json_quote(error);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(options) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  PPD_REQUIRE(!started_.load(), "Server::start called twice");
+  listener_ = std::make_unique<TcpListener>(options_.port);
+  started_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  obs::log_info("net", "ppdd listening",
+                {{"port", std::to_string(listener_->port())}});
+}
+
+std::uint16_t Server::port() const {
+  PPD_REQUIRE(listener_ != nullptr, "Server::port before start()");
+  return listener_->port();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    auto accepted = listener_->accept();
+    if (!accepted) return;  // listener closed: drain/stop
+    auto stream = std::make_shared<TcpStream>(std::move(*accepted));
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    reap_finished_connections_locked();
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    raw->stream = stream;
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw, stream] {
+      handle_connection(stream);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::reap_finished_connections_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<TcpStream>& stream) {
+  try {
+    const auto first = stream->read_line();
+    if (!first) return;
+    const auto words = util::split_ws(*first);
+    if (words.empty()) {
+      stream->write_all(err_reply("empty handshake") + "\n");
+      return;
+    }
+    if (draining_.load()) {
+      stream->write_all(err_reply("draining") + "\n");
+      return;
+    }
+    if (util::iequals(words[0], "CONTROL") && words.size() == 1) {
+      handle_control(stream);
+    } else if (util::iequals(words[0], "DATA") && words.size() == 2) {
+      handle_data(stream, words[1]);
+    } else {
+      stream->write_all(
+          err_reply("handshake must be CONTROL or DATA <token>") + "\n");
+    }
+  } catch (const NetError&) {
+    // Peer vanished mid-command; nothing to clean up beyond the stream.
+  } catch (const std::exception& e) {
+    obs::log_error("net", "connection handler failed", {{"error", e.what()}});
+  }
+}
+
+void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
+  std::shared_ptr<Session> session;
+  std::string token;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    token = "s" + std::to_string(++next_session_);
+    session = std::make_shared<Session>(token, options_.limits);
+    sessions_[token] = session;
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter("net.sessions.opened").add();
+  stream->write_all(ok_reply("ppdd " + std::to_string(kProtocolVersion) +
+                             " session " + token) +
+                    "\n");
+
+  for (;;) {
+    const auto line = stream->read_line();
+    if (!line) break;
+    if (util::trim(*line).empty()) continue;
+    const auto words = util::split_ws(*line);
+    std::string reply;
+    try {
+      const std::string& cmd = words[0];
+      if (util::iequals(cmd, "PING")) {
+        reply = ok_reply("pong");
+      } else if (util::iequals(cmd, "SET")) {
+        if (words.size() < 3)
+          throw ParseError("usage: SET <key> <value>");
+        // The value is everything after the key, so future list-valued
+        // settings with spaces stay representable. Search for the key
+        // *after* the command word — a key that happens to be a substring
+        // of "SET" must not anchor the split inside the command.
+        const auto cmd_end = line->find(words[0]) + words[0].size();
+        const auto key_pos = line->find(words[1], cmd_end);
+        const std::string value(
+            util::trim(line->substr(key_pos + words[1].size())));
+        session->set(words[1], value);
+        reply = ok_reply();
+      } else if (util::iequals(cmd, "UPLOAD")) {
+        if (words.size() != 3)
+          throw ParseError("usage: UPLOAD <name> <nbytes>");
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(words[2].c_str(), &end, 10);
+        if (end == words[2].c_str() || *end != '\0')
+          throw ParseError("UPLOAD size must be a byte count");
+        if (n > session->limits().max_upload_bytes)
+          throw ParseError("upload larger than the session budget");
+        std::string payload;
+        if (!stream->read_exact(payload, static_cast<std::size_t>(n)))
+          break;  // EOF mid-upload: drop the connection
+        session->upload(words[1], std::move(payload));
+        reply = ok_reply("upload " + words[1] + " " + words[2]);
+      } else if (util::iequals(cmd, "QUERY")) {
+        if (words.size() < 2 || words.size() > 3)
+          throw ParseError("usage: QUERY <kind> [<arg>]");
+        reply = submit_query(session, words[1],
+                             words.size() == 3 ? words[2] : std::string());
+      } else if (util::iequals(cmd, "STATS")) {
+        reply = stats_json();
+      } else if (util::iequals(cmd, "QUIT")) {
+        stream->write_all(ok_reply("bye") + "\n");
+        break;
+      } else {
+        throw ParseError("unknown command: " + cmd);
+      }
+    } catch (const NetError&) {
+      throw;  // socket-level failure: drop the connection, not the server
+    } catch (const std::exception& e) {
+      // ParseError from SET/QUERY validation, but also anything unexpected:
+      // a bad command must never take the control loop down.
+      reply = err_reply(e.what());
+    }
+    stream->write_all(reply + "\n");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.erase(token);
+  }
+  // Wake the session's data reader (if any); in-flight jobs keep their
+  // shared_ptr and finish into the detached session.
+  session->shutdown();
+}
+
+void Server::handle_data(const std::shared_ptr<TcpStream>& stream,
+                         const std::string& token) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const auto it = sessions_.find(token);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (!session) {
+    stream->write_all(err_reply("unknown session token") + "\n");
+    return;
+  }
+  stream->write_all(ok_reply("stream") + "\n");
+  session->attach_data(stream);
+  session->notify("{\"event\":\"hello\",\"session\":" + json_quote(token) +
+                  "}");
+  // Server-push channel: the client never sends; block until it hangs up
+  // (or drain shuts the socket down under us).
+  while (stream->read_line()) {
+  }
+  session->detach_data();
+}
+
+std::string Server::submit_query(const std::shared_ptr<Session>& session,
+                                 const std::string& kind_word,
+                                 const std::string& arg) {
+  if (draining_.load()) return err_reply("draining");
+  const QueryKind kind = query_kind_from_string(kind_word);
+  QueryParams params = session->make_params(kind, arg);  // throws ParseError
+
+  const std::uint64_t id = session->admit();
+  if (id == 0) {
+    queries_busy_.fetch_add(1, std::memory_order_relaxed);
+    queries_counter("busy").add();
+    return "BUSY";
+  }
+  queries_accepted_.fetch_add(1, std::memory_order_relaxed);
+  queries_counter("accepted").add();
+
+  std::uint64_t job_key = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job_key = ++next_job_;
+    job_tokens_[job_key] = params.cancel;
+    ++jobs_in_flight_;
+  }
+
+  exec::ThreadPool::global().submit([this, session, params, kind, id,
+                                     job_key] {
+    const char* kind_name = query_kind_name(kind);
+    const auto start = std::chrono::steady_clock::now();
+    std::string event;
+    try {
+      const QueryResult result = run_query(kind, params);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      obs::histogram("net.query.wall_s").record(elapsed);
+      queries_ok_.fetch_add(1, std::memory_order_relaxed);
+      queries_counter("ok").add();
+      event = result_event(id, kind_name, "ok", result.exit_code, elapsed,
+                           result.body, {});
+    } catch (const exec::CancelledError& e) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      queries_counter("cancelled").add();
+      event = result_event(id, kind_name, "cancelled", 1, elapsed, {},
+                           e.what());
+    } catch (const std::exception& e) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      queries_error_.fetch_add(1, std::memory_order_relaxed);
+      queries_counter("error").add();
+      event = result_event(id, kind_name, "error", 1, elapsed, {}, e.what());
+    }
+    session->deliver(std::move(event));
+    {
+      // Notify while holding the mutex: the drain waiter cannot return (and
+      // the Server cannot be destroyed under this cv) until this worker has
+      // fully left both the notify and the lock.
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      job_tokens_.erase(job_key);
+      --jobs_in_flight_;
+      jobs_cv_.notify_all();
+    }
+  });
+  return ok_reply(std::to_string(id));
+}
+
+void Server::drain() { drain_with_grace(options_.drain_grace_seconds); }
+
+void Server::stop() { drain_with_grace(0.0); }
+
+void Server::drain_with_grace(double grace_seconds) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!started_.load() || stopped_.load()) return;
+  draining_.store(true);
+
+  // 1. No new connections; the accept loop unblocks and exits.
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Tell every attached data channel the server is going away, so
+  // clients stop submitting and wait for their last results.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [token, session] : sessions_)
+      session->notify("{\"event\":\"drain\"}");
+  }
+
+  // 3. Give in-flight queries the grace budget to finish...
+  {
+    std::unique_lock<std::mutex> lock(jobs_mutex_);
+    jobs_cv_.wait_for(
+        lock, std::chrono::duration<double>(grace_seconds),
+        [this] { return jobs_in_flight_ == 0; });
+    // 4. ...then cancel the stragglers. A cancelled coverage sweep with a
+    // session-configured checkpoint persists it (resil::SweepGuard) before
+    // the CancelledError escapes, so the work is resumable.
+    for (auto& [key, token] : job_tokens_) token.cancel();
+    jobs_cv_.wait(lock, [this] { return jobs_in_flight_ == 0; });
+  }
+
+  // 5. Close every connection (control readers and data pushers) and join.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [token, session] : sessions_) session->shutdown();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& conn : conns_) conn->stream->shutdown_both();
+    for (auto& conn : conns_)
+      if (conn->thread.joinable()) conn->thread.join();
+    conns_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.clear();
+  }
+  stopped_.store(true);
+  obs::log_info("net", "ppdd drained", {});
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.queries_accepted = queries_accepted_.load(std::memory_order_relaxed);
+  s.queries_busy = queries_busy_.load(std::memory_order_relaxed);
+  s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
+  s.queries_error = queries_error_.load(std::memory_order_relaxed);
+  s.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    s.sessions_active = sessions_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    s.jobs_in_flight = jobs_in_flight_;
+  }
+  return s;
+}
+
+std::string Server::stats_json() const {
+  const Stats s = stats();
+  const auto cache = cache::solve_cache().totals();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"sessions_active\":%zu,\"sessions_opened\":%llu,"
+      "\"queries_accepted\":%llu,\"queries_busy\":%llu,\"queries_ok\":%llu,"
+      "\"queries_error\":%llu,\"queries_cancelled\":%llu,"
+      "\"jobs_in_flight\":%zu,\"draining\":%s,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,\"cache_entries\":%zu,"
+      "\"cache_bytes\":%zu}",
+      s.sessions_active, static_cast<unsigned long long>(s.sessions_opened),
+      static_cast<unsigned long long>(s.queries_accepted),
+      static_cast<unsigned long long>(s.queries_busy),
+      static_cast<unsigned long long>(s.queries_ok),
+      static_cast<unsigned long long>(s.queries_error),
+      static_cast<unsigned long long>(s.queries_cancelled), s.jobs_in_flight,
+      draining_.load() ? "true" : "false",
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses), cache.entries,
+      cache.bytes);
+  return buf;
+}
+
+}  // namespace ppd::net

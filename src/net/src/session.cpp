@@ -1,0 +1,141 @@
+#include "ppd/net/session.hpp"
+
+#include <algorithm>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::net {
+
+namespace {
+
+bool known_key(const std::string& key) {
+  static const std::vector<std::string> all = [] {
+    std::vector<std::string> keys;
+    for (const QueryKind kind :
+         {QueryKind::kTransfer, QueryKind::kCalibrate, QueryKind::kCoverage,
+          QueryKind::kRmin, QueryKind::kLint}) {
+      const auto& k = query_keys(kind);
+      keys.insert(keys.end(), k.begin(), k.end());
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  }();
+  return std::binary_search(all.begin(), all.end(), key);
+}
+
+}  // namespace
+
+void Session::set(const std::string& key, const std::string& value) {
+  if (!known_key(key))
+    throw ParseError("unknown config key: " + key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_[key] = value;
+}
+
+void Session::upload(const std::string& name, std::string text) {
+  if (name.empty() || name.find_first_of(" \t") != std::string::npos)
+    throw ParseError("upload name must be one non-empty word");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = uploads_.find(name);
+  const std::size_t replaced = it == uploads_.end() ? 0 : it->second.size();
+  if (it == uploads_.end() && uploads_.size() >= limits_.max_uploads)
+    throw ParseError("upload limit reached (" +
+                     std::to_string(limits_.max_uploads) + " blobs)");
+  if (upload_bytes_ - replaced + text.size() > limits_.max_upload_bytes)
+    throw ParseError("upload budget exceeded (" +
+                     std::to_string(limits_.max_upload_bytes) + " bytes)");
+  upload_bytes_ = upload_bytes_ - replaced + text.size();
+  uploads_[name] = std::move(text);
+}
+
+QueryParams Session::make_params(QueryKind kind, const std::string& arg) const {
+  std::map<std::string, std::string> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = config_;
+  }
+  QueryParams params = params_from_lookup(
+      kind, [&snapshot](const std::string& key) -> std::optional<std::string> {
+        const auto it = snapshot.find(key);
+        if (it == snapshot.end()) return std::nullopt;
+        return it->second;
+      });
+  if (kind == QueryKind::kLint) {
+    if (arg.empty())
+      throw ParseError("lint query needs an upload name: QUERY lint <name>");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = uploads_.find(arg);
+    if (it == uploads_.end())
+      throw ParseError("no upload named '" + arg + "' in this session");
+    params.lint_name = arg;
+    params.lint_text = it->second;
+  } else if (!arg.empty()) {
+    throw ParseError(std::string("query ") + query_kind_name(kind) +
+                     " takes no argument");
+  }
+  return params;
+}
+
+std::uint64_t Session::admit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ >= limits_.max_queue) return 0;
+  ++in_flight_;
+  return ++next_id_;
+}
+
+bool Session::write_event_locked(const std::string& line) {
+  if (!data_) return false;
+  try {
+    data_->write_all(line);
+    data_->write_all("\n");
+    return true;
+  } catch (const NetError&) {
+    // The data channel died mid-write: drop the channel, keep the event.
+    // Buffered + future results wait for a reattach; admission keeps
+    // counting them.
+    data_.reset();
+    return false;
+  }
+}
+
+void Session::deliver(std::string event_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (write_event_locked(event_line)) {
+    if (in_flight_ > 0) --in_flight_;
+    return;
+  }
+  ready_.push_back(std::move(event_line));
+}
+
+void Session::attach_data(std::shared_ptr<TcpStream> stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = std::move(stream);
+  while (!ready_.empty()) {
+    if (!write_event_locked(ready_.front())) break;
+    ready_.pop_front();
+    if (in_flight_ > 0) --in_flight_;
+  }
+}
+
+void Session::detach_data() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.reset();
+}
+
+void Session::notify(const std::string& event_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_event_locked(event_line);
+}
+
+void Session::shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_) data_->shutdown_both();
+}
+
+std::size_t Session::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+}  // namespace ppd::net

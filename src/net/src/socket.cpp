@@ -1,0 +1,193 @@
+#include "ppd/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ppd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  // The protocol is request/reply on small lines; without TCP_NODELAY every
+  // exchange would eat a Nagle delay.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return TcpStream(fd);
+}
+
+std::optional<std::string> TcpStream::read_line() {
+  for (;;) {
+    if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return std::nullopt;
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (errno == EINTR) continue;
+    // A connection reset while waiting for a command is the peer vanishing,
+    // not a server bug — treat it as EOF like an orderly close.
+    if (errno == ECONNRESET) return std::nullopt;
+    throw_errno("recv");
+  }
+}
+
+bool TcpStream::read_exact(std::string& out, std::size_t n) {
+  out.clear();
+  out.reserve(n);
+  const std::size_t from_buffer = std::min(n, buffer_.size());
+  out.append(buffer_, 0, from_buffer);
+  buffer_.erase(0, from_buffer);
+  while (out.size() < n) {
+    char chunk[4096];
+    const std::size_t want = std::min(sizeof(chunk), n - out.size());
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
+    if (got > 0) {
+      out.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return false;
+    throw_errno("recv");
+  }
+  return true;
+}
+
+void TcpStream::write_all(std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void TcpStream::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return TcpStream(fd);
+    }
+    if (errno == EINTR) continue;
+    // close() shut the listener down under us: report the orderly end of
+    // the accept loop rather than an error.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED)
+      return std::nullopt;
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace ppd::net

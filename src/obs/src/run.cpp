@@ -10,6 +10,7 @@
 #include "ppd/obs/log.hpp"
 #include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
+#include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
 
@@ -107,15 +108,10 @@ bool consume_run_flag(std::string_view arg, RunOptions& opts) {
 
 RunOptions extract_run_options(int& argc, char** argv) {
   RunOptions opts;
-  for (int i = 0; i < argc; ++i) {
-    if (!opts.command.empty()) opts.command += ' ';
-    opts.command += argv[i];
-  }
-  int out = 0;
-  for (int i = 0; i < argc; ++i) {
-    if (!consume_run_flag(argv[i], opts)) argv[out++] = argv[i];
-  }
-  argc = out;
+  opts.command = util::command_line(argc, argv);
+  util::strip_args(argc, argv, [&opts](std::string_view arg) {
+    return consume_run_flag(arg, opts);
+  });
   return opts;
 }
 

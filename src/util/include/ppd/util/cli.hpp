@@ -3,9 +3,11 @@
 // different experiment than the operator asked for.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ppd::util {
@@ -24,5 +26,18 @@ class Cli {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Join argv back into one space-separated command line (run-meta blocks,
+/// error messages).
+[[nodiscard]] std::string command_line(int argc, const char* const* argv);
+
+/// Global-flag stripping shared by every front end (ppdtool, ppdd, ppdctl,
+/// the benches): remove from argv every element `consume` returns true for,
+/// compacting argv in place and updating argc. The callback typically
+/// records the flag's value as a side effect (see obs::extract_run_options);
+/// everything it declines — including unknown flags — is left in place for
+/// the caller's own strict parser.
+void strip_args(int& argc, char** argv,
+                const std::function<bool(std::string_view)>& consume);
 
 }  // namespace ppd::util

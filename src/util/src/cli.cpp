@@ -49,4 +49,22 @@ int Cli::get(const std::string& key, int def) const {
   return static_cast<int>(v);
 }
 
+std::string command_line(int argc, const char* const* argv) {
+  std::string out;
+  for (int i = 0; i < argc; ++i) {
+    if (!out.empty()) out += ' ';
+    out += argv[i];
+  }
+  return out;
+}
+
+void strip_args(int& argc, char** argv,
+                const std::function<bool(std::string_view)>& consume) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (!consume(argv[i])) argv[out++] = argv[i];
+  }
+  argc = out;
+}
+
 }  // namespace ppd::util

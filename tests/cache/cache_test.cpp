@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "ppd/cells/path.hpp"
 #include "ppd/core/coverage.hpp"
@@ -164,6 +166,43 @@ TEST(SolveCache, ConcurrentMixedTrafficIsSafeAndConsistent) {
   for (std::size_t i = 0; i < kItems; ++i)
     EXPECT_EQ(results[i], static_cast<double>(i % 37)) << "item " << i;
   EXPECT_EQ(cache.totals().entries, 37u);
+}
+
+TEST(SolveCache, TinyBudgetConcurrentHitsAndEvictionsStayConsistent) {
+  // The multi-session service shape: many clients hammering one shared
+  // cache whose budget only holds a handful of entries, so every put races
+  // ongoing gets with LRU evictions on the same shards. Run with
+  // PPD_SANITIZE=thread this is the eviction-path TSan surface; the value
+  // assertions check eviction never corrupts a surviving entry.
+  CacheSandbox sandbox;
+  // The budget is split per shard (capacity / 16): 4000 bytes leaves room
+  // for about two entries in each shard, and keys that are multiples of 16
+  // all land in shard 0 — so 13 hot keys contend for two slots.
+  SolveCache cache(/*capacity_bytes=*/4000);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> corrupt{0};
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cache, &corrupt, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto slot = static_cast<std::uint64_t>((t + i) % 13);
+        const auto key = slot * 16;  // same shard for every key
+        cache.put(key, {static_cast<double>(slot), static_cast<double>(slot)});
+        if (const auto hit = cache.get(key)) {
+          if (hit->size() != 2 || (*hit)[0] != static_cast<double>(slot))
+            corrupt.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  const auto totals = cache.totals();
+  // Quiescent state: the shard is back under (or at the keep-one floor of)
+  // its slice of the budget despite the concurrent eviction storm.
+  EXPECT_LE(totals.entries, 2u);
+  EXPECT_GT(totals.evictions, 0u);
+  EXPECT_GT(totals.hits, 0u);
 }
 
 cells::Path make_inverter_chain(std::size_t n) {

@@ -1,0 +1,328 @@
+// ppd::net — the service layer. Covers the wire protocol helpers (reversible
+// JSON escaping, flat-object parsing), the loopback socket primitives, the
+// shared query layer's key tables, and the headline service contracts:
+// served responses byte-identical to direct run_query output (alone, under
+// concurrent multi-client load, and with the solve cache disabled),
+// per-session backpressure (BUSY), session isolation, and graceful drain.
+#include "ppd/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/net/client.hpp"
+#include "ppd/net/protocol.hpp"
+#include "ppd/net/query.hpp"
+#include "ppd/net/socket.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol helpers.
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, JsonQuoteRoundTripsEverything) {
+  const std::string nasty =
+      "line1\nline2\ttab \"quoted\" back\\slash\rcr \x01\x1f bytes";
+  const std::string quoted = json_quote(nasty);
+  EXPECT_EQ(json_unquote(quoted), nasty);
+  // The quoted form itself must be one line (the framing depends on it).
+  EXPECT_EQ(quoted.find('\n'), std::string::npos);
+  EXPECT_EQ(quoted.find('\r'), std::string::npos);
+}
+
+TEST(Protocol, JsonUnquoteRejectsMalformedEscapes) {
+  EXPECT_THROW((void)json_unquote("\"\\q\""), ParseError);
+  EXPECT_THROW((void)json_unquote("no quotes"), ParseError);
+  EXPECT_THROW((void)json_unquote("\"\\u2603\""), ParseError);  // > 0xff
+}
+
+TEST(Protocol, ParseFlatJsonReadsEventShapes) {
+  const auto fields = parse_flat_json(
+      R"({"event":"result","id":42,"exit_code":0,"elapsed_s":0.25,)"
+      R"("ok":true,"body":"a\nb"})");
+  EXPECT_EQ(fields.at("event"), "result");
+  EXPECT_EQ(fields.at("id"), "42");
+  EXPECT_EQ(fields.at("elapsed_s"), "0.25");
+  EXPECT_EQ(fields.at("ok"), "true");
+  EXPECT_EQ(fields.at("body"), "a\nb");
+  EXPECT_THROW((void)parse_flat_json("{\"unterminated\":"), ParseError);
+}
+
+TEST(Protocol, ReplyHelpers) {
+  EXPECT_TRUE(is_ok(ok_reply()));
+  EXPECT_TRUE(is_ok(ok_reply("pong")));
+  EXPECT_FALSE(is_ok(err_reply("nope")));
+  // ERR flattens embedded newlines to keep one-line framing.
+  EXPECT_EQ(err_reply("two\nlines").find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Socket primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Socket, LoopbackLineEcho) {
+  TcpListener listener(0);
+  const std::uint16_t port = listener.port();
+  ASSERT_NE(port, 0);
+
+  std::thread server([&listener] {
+    auto peer = listener.accept();
+    ASSERT_TRUE(peer.has_value());
+    while (const auto line = peer->read_line())
+      peer->write_all(*line + "\n");
+  });
+
+  TcpStream stream = TcpStream::connect_loopback(port);
+  stream.write_all("hello\nworld\n");
+  EXPECT_EQ(stream.read_line(), std::optional<std::string>("hello"));
+  EXPECT_EQ(stream.read_line(), std::optional<std::string>("world"));
+  stream.shutdown_both();
+  server.join();
+  listener.close();
+}
+
+TEST(Socket, CloseWakesAccept) {
+  TcpListener listener(0);
+  std::atomic<bool> accepted{true};
+  std::thread waiter([&] { accepted = listener.accept().has_value(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.close();
+  waiter.join();
+  EXPECT_FALSE(accepted.load());
+}
+
+// ---------------------------------------------------------------------------
+// Query layer.
+// ---------------------------------------------------------------------------
+
+TEST(Query, KindNamesRoundTrip) {
+  for (const QueryKind kind :
+       {QueryKind::kTransfer, QueryKind::kCalibrate, QueryKind::kCoverage,
+        QueryKind::kRmin, QueryKind::kLint})
+    EXPECT_EQ(query_kind_from_string(query_kind_name(kind)), kind);
+  EXPECT_THROW((void)query_kind_from_string("sta"), ParseError);
+}
+
+TEST(Query, DefaultsMatchDocumentedCliDefaults) {
+  const auto absent = [](const std::string&) -> std::optional<std::string> {
+    return std::nullopt;
+  };
+  const QueryParams transfer = params_from_lookup(QueryKind::kTransfer, absent);
+  EXPECT_EQ(transfer.points, 15u);
+  const QueryParams coverage = params_from_lookup(QueryKind::kCoverage, absent);
+  EXPECT_EQ(coverage.samples, 25);
+  EXPECT_EQ(coverage.points, 9u);
+  EXPECT_FALSE(coverage.strict);
+  const QueryParams rmin = params_from_lookup(QueryKind::kRmin, absent);
+  EXPECT_EQ(rmin.samples, 20);
+  EXPECT_EQ(rmin.bisection_steps, 10);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end service contracts.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBenchText =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+
+/// Direct (no socket) execution with the same parameter source a session
+/// SET would produce: the byte-identity reference.
+std::string direct_body(
+    QueryKind kind,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  QueryParams params = params_from_lookup(
+      kind, [&kv](const std::string& key) -> std::optional<std::string> {
+        for (const auto& [k, v] : kv)
+          if (k == key) return v;
+        return std::nullopt;
+      });
+  if (kind == QueryKind::kLint) {
+    params.lint_name = "t.bench";
+    params.lint_text = kBenchText;
+  }
+  return run_query(kind, params).body;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache::SolveCache::global().clear();
+    server_.emplace(options_);
+    server_->start();
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    cache::SolveCache::global().clear();
+  }
+
+  ServerOptions options_;
+  std::optional<Server> server_;
+};
+
+TEST_F(ServiceTest, ServedTransferIsByteIdenticalToDirect) {
+  Client client = Client::connect(server_->port());
+  client.set("points", "5");
+  const Client::Result res = client.run("transfer");
+  EXPECT_EQ(res.status, "ok");
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_EQ(res.body, direct_body(QueryKind::kTransfer, {{"points", "5"}}));
+  client.quit();
+}
+
+TEST_F(ServiceTest, UploadedLintIsByteIdenticalAndCarriesExitCode) {
+  Client client = Client::connect(server_->port());
+  client.upload("t.bench", kBenchText);
+  const Client::Result res = client.run("lint", "t.bench");
+  EXPECT_EQ(res.status, "ok");
+  EXPECT_EQ(res.body, direct_body(QueryKind::kLint, {}));
+
+  // An unknown upload name is an ERR at submit time, not a result event.
+  EXPECT_THROW((void)client.run("lint", "missing.bench"), ServiceError);
+  client.quit();
+}
+
+TEST_F(ServiceTest, SessionsAreIsolated) {
+  Client a = Client::connect(server_->port());
+  Client b = Client::connect(server_->port());
+  a.set("points", "4");
+  b.set("points", "6");
+  const Client::Result ra = a.run("transfer");
+  const Client::Result rb = b.run("transfer");
+  EXPECT_EQ(ra.body, direct_body(QueryKind::kTransfer, {{"points", "4"}}));
+  EXPECT_EQ(rb.body, direct_body(QueryKind::kTransfer, {{"points", "6"}}));
+  EXPECT_NE(ra.body, rb.body);
+  a.quit();
+  b.quit();
+}
+
+TEST_F(ServiceTest, UnknownConfigKeyFailsAtSetTime) {
+  Client client = Client::connect(server_->port());
+  EXPECT_THROW(client.set("pionts", "5"), ServiceError);
+  client.quit();
+}
+
+TEST_F(ServiceTest, StatsReportServerAndCacheCounters) {
+  Client client = Client::connect(server_->port());
+  client.set("points", "3");
+  (void)client.run("transfer");
+  const auto stats = parse_flat_json(client.stats());
+  EXPECT_EQ(stats.at("queries_ok"), "1");
+  EXPECT_EQ(stats.at("draining"), "false");
+  EXPECT_TRUE(stats.contains("cache_hits"));
+  EXPECT_TRUE(stats.contains("cache_entries"));
+  client.quit();
+}
+
+TEST(ServiceBackpressure, SecondQueryWithoutDataChannelIsBusy) {
+  // With max_queue=1 and no DATA channel attached, the first query's result
+  // buffers inside the admission window — so a second QUERY must get BUSY
+  // deterministically, no timing involved.
+  ServerOptions options;
+  options.limits.max_queue = 1;
+  Server server(options);
+  server.start();
+
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  control.write_all("CONTROL\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  control.write_all("SET points 3\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  control.write_all("QUERY transfer\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  control.write_all("QUERY transfer\n");
+  EXPECT_EQ(control.read_line().value(), "BUSY");
+  control.shutdown_both();
+  server.stop();
+}
+
+TEST(ServiceDrain, NotifiesDataChannelsAndRefusesNewConnections) {
+  ServerOptions options;
+  options.drain_grace_seconds = 5.0;
+  Server server(options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  Client client = Client::connect(port);
+  client.set("points", "3");
+  const Client::Result before = client.run("transfer");
+  EXPECT_EQ(before.status, "ok");
+
+  server.drain();
+  EXPECT_TRUE(server.draining());
+
+  // The drain event reached the data channel; the client notices on its
+  // next read (the stream ends after the event, hence the throw).
+  EXPECT_THROW((void)client.wait(9999), ServiceError);
+  EXPECT_TRUE(client.drained());
+
+  // Fully drained: the listener is gone.
+  EXPECT_THROW((void)TcpStream::connect_loopback(port), NetError);
+}
+
+TEST_F(ServiceTest, ConcurrentClientsGetByteIdenticalResponses) {
+  const std::vector<std::pair<std::string, std::string>> cov_kv = {
+      {"samples", "3"}, {"points", "3"}};
+  const std::string expect_transfer =
+      direct_body(QueryKind::kTransfer, {{"points", "5"}});
+  const std::string expect_coverage = direct_body(QueryKind::kCoverage, cov_kv);
+
+  constexpr int kClients = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&, c] {
+      Client client = Client::connect(server_->port());
+      client.set("points", c % 2 == 0 ? "5" : "3");
+      client.set("samples", "3");
+      if (c % 2 == 0) {
+        if (client.run("transfer").body != expect_transfer) ++mismatches;
+        client.set("points", "3");
+        if (client.run("coverage").body != expect_coverage) ++mismatches;
+      } else {
+        if (client.run("coverage").body != expect_coverage) ++mismatches;
+      }
+      client.quit();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const Server::Stats stats = server_->stats();
+  EXPECT_EQ(stats.queries_ok, 6u);
+  EXPECT_EQ(stats.queries_error, 0u);
+}
+
+TEST_F(ServiceTest, ServedResponsesIdenticalWithCacheDisabled) {
+  // The solve cache must be invisible across the wire: the same query
+  // served warm (second run, populated cache) and served with the cache
+  // killed produces the same bytes.
+  const std::vector<std::pair<std::string, std::string>> kv = {
+      {"samples", "3"}, {"points", "3"}};
+
+  Client client = Client::connect(server_->port());
+  client.set("samples", "3");
+  client.set("points", "3");
+  const std::string cold = client.run("coverage").body;
+  const std::string warm = client.run("coverage").body;
+  EXPECT_EQ(cold, warm);
+  EXPECT_GT(cache::SolveCache::global().totals().hits, 0u);
+
+  const bool was_enabled = cache::cache_enabled();
+  cache::set_cache_enabled(false);
+  const std::string uncached = client.run("coverage").body;
+  cache::set_cache_enabled(was_enabled);
+
+  EXPECT_EQ(cold, uncached);
+  EXPECT_EQ(cold, direct_body(QueryKind::kCoverage, kv));
+  client.quit();
+}
+
+}  // namespace
+}  // namespace ppd::net

@@ -109,7 +109,46 @@ else
   echo "(jq not installed; cache metrics checks skipped)"
 fi
 
-echo "== resil + exec + cache under TSan and UBSan =="
+echo "== service smoke (ppdd + ppdctl over loopback) =="
+# The persistent service's contract: responses byte-identical to single-shot
+# ppdtool, a scripted session streams well-formed JSON result events, and
+# SIGTERM drains gracefully (exit 0, all in-flight queries finished).
+"$build/tools/ppdd" --port=0 --port-file="$obs_dir/ppdd.port" \
+  --drain-grace=10 > "$obs_dir/ppdd.log" 2>&1 &
+ppdd_pid=$!
+for _ in $(seq 1 50); do
+  [ -s "$obs_dir/ppdd.port" ] && break
+  sleep 0.1
+done
+port="$(cat "$obs_dir/ppdd.port")"
+"$build/tools/ppdctl" --port="$port" ping | grep -q "OK pong"
+"$build/tools/ppdctl" --port="$port" query coverage \
+  --method=pulse --samples=4 --points=3 --csv > "$obs_dir/cov-served.csv"
+cmp "$obs_dir/cov-served.csv" "$obs_dir/cov-cached.csv"
+"$build/tools/ppdctl" --port="$port" batch > "$obs_dir/batch.out" <<'BATCH'
+set points 5
+query transfer
+set samples 4
+query calibrate
+stats
+quit
+BATCH
+if command -v jq >/dev/null 2>&1; then
+  jq -e -s '(map(select(.event == "result")) | length == 2) and
+            (map(select(.event == "result")) |
+             all(.status == "ok" and .exit_code == 0))' \
+    "$obs_dir/batch.out" >/dev/null
+  "$build/tools/ppdctl" --port="$port" stats |
+    jq -e '.queries_ok >= 3 and .queries_error == 0 and
+           .cache_entries >= 0' >/dev/null
+else
+  echo "(jq not installed; service JSON checks skipped)"
+fi
+kill -TERM "$ppdd_pid"
+wait "$ppdd_pid"  # graceful drain: exit 0 or set -e fails the stage
+grep -q "ppdd stopped" "$obs_dir/ppdd.log"
+
+echo "== resil + exec + cache + net under TSan and UBSan =="
 # The recovery/quarantine/checkpoint paths are themselves exercised under
 # injected chaos, and the sharded solve cache takes concurrent mixed
 # traffic; run those suites with the race and UB detectors on.
@@ -117,13 +156,15 @@ for san in thread undefined; do
   sbuild="$build-$san"
   cmake -B "$sbuild" -S "$repo" -DPPD_SANITIZE="$san" >/dev/null
   cmake --build "$sbuild" -j "$(nproc)" \
-    --target test_resil test_exec test_cache >/dev/null
+    --target test_resil test_exec test_cache test_net >/dev/null
   echo "-- $san: test_resil"
   "$sbuild/tests/test_resil" --gtest_brief=1
   echo "-- $san: test_exec"
   "$sbuild/tests/test_exec" --gtest_brief=1
   echo "-- $san: test_cache"
   "$sbuild/tests/test_cache" --gtest_brief=1
+  echo "-- $san: test_net"
+  "$sbuild/tests/test_net" --gtest_brief=1
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then

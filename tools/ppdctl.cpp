@@ -1,0 +1,174 @@
+// ppdctl — client for the ppdd pulse-test service.
+//
+//   ppdctl [--port=N] ping
+//       One round trip; prints the server's reply.
+//
+//   ppdctl [--port=N] stats
+//       Print the server's one-line stats JSON (queries, sessions, solve
+//       cache totals).
+//
+//   ppdctl [--port=N] query <kind> [--key=value ...]
+//       One-shot query: open a session, SET every flag, run the query, and
+//       print the result body — byte-identical to the equivalent ppdtool
+//       invocation — exiting with the query's exit code.
+//       kind: transfer|calibrate|coverage|rmin|lint
+//       `query lint <file>` uploads the local file first.
+//
+//   ppdctl [--port=N] batch
+//       Scripted session from stdin, one command per line:
+//         set <key> <value>
+//         upload <name> <local-path>
+//         query <kind> [<arg>]     -> prints the raw result event JSON
+//         stats                    -> prints the stats JSON
+//         ping
+//         quit
+//       Lines starting with '#' and blank lines are skipped. Exits non-zero
+//       if any query failed.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ppd/net/client.hpp"
+#include "ppd/net/protocol.hpp"
+#include "ppd/obs/run.hpp"
+#include "ppd/util/cli.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
+
+namespace {
+
+using namespace ppd;
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ParseError("cannot read " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string base_name(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int cmd_query(net::Client& client, int argc, char** argv) {
+  if (argc < 1)
+    throw ParseError(
+        "query needs a kind (transfer|calibrate|coverage|rmin|lint)");
+  const std::string kind = argv[0];
+  std::string arg;
+  int flags_from = 1;
+  if (util::iequals(kind, "lint")) {
+    if (argc < 2) throw ParseError("query lint needs a file");
+    const std::string path = argv[1];
+    arg = base_name(path);
+    client.upload(arg, slurp_file(path));
+    flags_from = 2;
+  }
+  for (int i = flags_from; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (!util::starts_with(flag, "--"))
+      throw ParseError("expected --key=value, got: " + flag);
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "1" : flag.substr(eq + 1);
+    client.set(key, value);
+  }
+  const net::Client::Result res = client.run(kind, arg);
+  if (res.status != "ok") {
+    std::cerr << "ppdctl: query " << res.status << ": " << res.error << "\n";
+    return res.status == "cancelled" ? 3 : 1;
+  }
+  std::cout << res.body;
+  return res.exit_code;
+}
+
+int cmd_batch(net::Client& client) {
+  int worst = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto words = util::split_ws(trimmed);
+    const std::string& cmd = words[0];
+    try {
+      if (util::iequals(cmd, "quit")) {
+        break;
+      } else if (util::iequals(cmd, "ping")) {
+        std::cout << client.ping() << "\n";
+      } else if (util::iequals(cmd, "stats")) {
+        std::cout << client.stats() << "\n";
+      } else if (util::iequals(cmd, "set") && words.size() >= 3) {
+        // The value is everything after the key, verbatim.
+        const auto key_pos = line.find(words[1], line.find(words[0]) +
+                                                     words[0].size());
+        const auto value =
+            util::trim(line.substr(key_pos + words[1].size()));
+        client.set(words[1], std::string(value));
+      } else if (util::iequals(cmd, "upload") && words.size() == 3) {
+        client.upload(words[1], slurp_file(words[2]));
+      } else if (util::iequals(cmd, "query") && words.size() >= 2) {
+        const std::string arg = words.size() > 2 ? words[2] : std::string();
+        const net::Client::Result res = client.run(words[1], arg);
+        std::cout << res.raw << "\n";
+        if (res.status != "ok" || res.exit_code != 0) worst = 1;
+      } else {
+        throw ParseError("unknown batch command: " + std::string(trimmed));
+      }
+    } catch (const net::ServiceError& e) {
+      std::cerr << "ppdctl: " << e.what() << "\n";
+      worst = 1;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
+  try {
+    // Strip the global --port flag; everything after the mode word belongs
+    // to the mode (query flags are session keys, not ppdctl flags).
+    std::uint16_t port = net::kDefaultPort;
+    util::strip_args(argc, argv, [&port](std::string_view arg) {
+      if (!util::starts_with(arg, "--port=")) return false;
+      port = static_cast<std::uint16_t>(
+          std::stoi(std::string(arg.substr(std::string("--port=").size()))));
+      return true;
+    });
+    if (argc < 2) {
+      std::cerr << "usage: ppdctl [--port=N] <ping|stats|query|batch> ...\n"
+                   "(see the header of tools/ppdctl.cpp)\n";
+      return 2;
+    }
+    const std::string mode = argv[1];
+
+    net::Client client = net::Client::connect(port);
+    int code = 2;
+    if (mode == "ping") {
+      std::cout << client.ping() << " (session " << client.session() << ")\n";
+      code = 0;
+    } else if (mode == "stats") {
+      std::cout << client.stats() << "\n";
+      code = 0;
+    } else if (mode == "query") {
+      code = cmd_query(client, argc - 2, argv + 2);
+    } else if (mode == "batch") {
+      code = cmd_batch(client);
+    } else {
+      std::cerr << "ppdctl: unknown mode: " << mode << "\n";
+    }
+    client.quit();
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "ppdctl: " << e.what() << "\n";
+    return 1;
+  }
+}

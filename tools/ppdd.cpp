@@ -1,0 +1,86 @@
+// ppdd — the persistent pulse-test service.
+//
+//   ppdd [--port=N] [--port-file=FILE] [--max-queue=N] [--drain-grace=s]
+//
+// Serves the same transfer / calibrate / coverage / rmin / lint queries as
+// ppdtool over a loopback socket (protocol: ppd/net/protocol.hpp), with
+// per-connection sessions, per-session backpressure, one process-wide
+// exec pool batching queries from every client, and one shared solve cache
+// warm-started across clients.
+//
+//   --port=N        control port (0 = ephemeral; default 7207)
+//   --port-file=F   write the bound port to F (for scripts using --port=0)
+//   --max-queue=N   per-session in-flight window before BUSY (default 8)
+//   --drain-grace=s how long SIGTERM waits for in-flight queries before
+//                   cancelling them (default 30; cancelled sweeps flush
+//                   their resil checkpoints)
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, every data
+// channel gets a {"event":"drain"} push, in-flight queries get the grace
+// budget to finish, stragglers are cancelled, and ppdd exits 0.
+#include <csignal>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "ppd/net/protocol.hpp"
+#include "ppd/net/server.hpp"
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/run.hpp"
+#include "ppd/util/cli.hpp"
+#include "ppd/util/error.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void ppdd_on_signal(int sig) {
+  g_signal = static_cast<std::sig_atomic_t>(sig);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
+  try {
+    // No subcommand word: Cli skips argv[0] itself.
+    const ppd::util::Cli cli(
+        argc, argv, {"port", "port-file", "max-queue", "drain-grace"});
+
+    ppd::net::ServerOptions options;
+    options.port = static_cast<std::uint16_t>(
+        cli.get("port", static_cast<int>(ppd::net::kDefaultPort)));
+    options.limits.max_queue =
+        static_cast<std::size_t>(cli.get("max-queue", 8));
+    options.drain_grace_seconds = cli.get("drain-grace", 30.0);
+
+    ppd::net::Server server(options);
+    server.start();
+
+    const std::string port_file = cli.get("port-file", std::string());
+    if (!port_file.empty()) {
+      std::ofstream os(port_file);
+      if (!os)
+        throw ppd::ParseError("cannot open " + port_file + " for writing");
+      os << server.port() << "\n";
+    }
+    std::cout << "ppdd listening on 127.0.0.1:" << server.port() << std::endl;
+
+    std::signal(SIGINT, ppdd_on_signal);
+    std::signal(SIGTERM, ppdd_on_signal);
+    while (g_signal == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    ppd::obs::log_info("ppdd",
+                       "signal " + std::to_string(static_cast<int>(g_signal)) +
+                           " received, draining");
+    std::cout << "ppdd draining" << std::endl;
+    server.drain();
+    std::cout << "ppdd stopped" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ppdd: " << e.what() << "\n";
+    return 1;
+  }
+}

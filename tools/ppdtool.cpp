@@ -10,7 +10,7 @@
 //   ppdtool coverage  [--method=pulse|delay] [--fault=KIND] [--stage=N]
 //                     [--r-lo=ohm] [--r-hi=ohm] [--points=N] [--samples=N]
 //                     [--strict] [--solve-budget=s] [--sweep-budget=s]
-//                     [--checkpoint=FILE] [--resume=FILE]
+//                     [--checkpoint=FILE] [--resume=FILE] [--threads=N]
 //                     [--fault-plan=SPEC] [--quarantine-json=FILE]
 //       Monte-Carlo fault-coverage sweep (Figs. 6-9 style). Runs in
 //       quarantine mode by default (failing samples are recorded and
@@ -18,6 +18,14 @@
 //       interrupted sweep from its checkpoint file. --fault-plan (or the
 //       PPD_FAULT_PLAN env var) injects deterministic faults, e.g.
 //       "seed=13,newton=0.35,nan=0.08" — see ppd/resil/faultplan.hpp.
+//       SIGINT/SIGTERM cancel the sweep cleanly: the checkpoint (if
+//       configured) is flushed and the exit code is 128+signal.
+//
+//   ppdtool rmin      [--fault=KIND] [--stage=N] [--samples=N] [--sigma=F]
+//                     [--r-lo=ohm] [--r-hi=ohm] [--steps=N]
+//                     [--target-coverage=F] [--threads=N]
+//       Bisect the minimum detectable fault resistance R_min of the pulse
+//       test (Fig. 10 style). Same signal semantics as coverage.
 //
 //   ppdtool sta       [--bench=FILE] [--clock=s]
 //       Static timing report of a .bench netlist (bundled C432-class
@@ -39,10 +47,17 @@
 //       Prints structured diagnostics (stable PPD0xx codes) as text or JSON
 //       and exits non-zero when error-severity findings remain.
 //
+// The query subcommands (transfer, calibrate, coverage, rmin, lint) are thin
+// wrappers over ppd::net's query layer — the same code path the ppdd service
+// executes, so served results are byte-identical to this tool's stdout.
+//
 // All table-producing subcommands accept --csv for machine-readable output.
-#include <fstream>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/logic_bridge.hpp"
@@ -53,8 +68,8 @@
 #include "ppd/logic/faultsim.hpp"
 #include "ppd/logic/sta.hpp"
 #include "ppd/logic/vcd.hpp"
+#include "ppd/net/query.hpp"
 #include "ppd/obs/run.hpp"
-#include "ppd/resil/faultplan.hpp"
 #include "ppd/spice/export.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
@@ -112,132 +127,86 @@ void emit(const util::Table& t, bool csv) {
     t.print(std::cout);
 }
 
-int cmd_transfer(int argc, char** argv) {
-  const util::Cli cli(argc, argv,
-                      {"gates", "w-lo", "w-hi", "points", "csv"});
-  core::PathFactory f;
-  f.options.kinds = gates_from_cli(cli);
-  const auto grid = core::linspace(cli.get("w-lo", 0.08e-9),
-                                   cli.get("w-hi", 0.8e-9),
-                                   static_cast<std::size_t>(cli.get("points", 15)));
-  core::PathInstance inst = core::make_instance(f, 0.0, nullptr);
-  const auto curve =
-      core::transfer_function(inst.path, core::PulseKind::kH, grid, {});
-  util::Table t({"w_in_s", "w_out_s"});
-  for (std::size_t i = 0; i < curve.w_in.size(); ++i)
-    t.add_numeric_row({curve.w_in[i], curve.w_out[i]}, 5);
-  emit(t, cli.has("csv"));
-  return 0;
+// ---------------------------------------------------------------------------
+// Signal-aware sweep cancellation (coverage / rmin).
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void ppdtool_on_signal(int sig) {
+  g_signal = static_cast<std::sig_atomic_t>(sig);
 }
 
-int cmd_calibrate(int argc, char** argv) {
-  const util::Cli cli(argc, argv,
-                      {"gates", "fault", "stage", "samples", "sigma", "seed", "csv"});
-  core::PathFactory f;
-  f.options.kinds = gates_from_cli(cli);
-  faults::PathFaultSpec spec;
-  spec.kind = fault_from_string(cli.get("fault", std::string("external")));
-  spec.stage = static_cast<std::size_t>(cli.get("stage", 1));
-  f.fault = spec;
-
-  const int samples = cli.get("samples", 30);
-  const auto model = mc::VariationModel::uniform_sigma(cli.get("sigma", 0.05));
-  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
-
-  core::DelayCalibrationOptions dopt;
-  dopt.samples = samples;
-  dopt.seed = seed;
-  dopt.variation = model;
-  const auto dcal = core::calibrate_delay_test(f, dopt);
-  core::PulseCalibrationOptions popt;
-  popt.samples = samples;
-  popt.seed = seed;
-  popt.variation = model;
-  const auto pcal = core::calibrate_pulse_test(f, popt);
-
-  util::Table t({"parameter", "value_s"});
-  t.add_row({"delay_T0", util::format_double(dcal.t_nominal, 6)});
-  t.add_row({"worst_fault_free_delay",
-             util::format_double(dcal.worst_fault_free_delay, 6)});
-  t.add_row({"pulse_w_in", util::format_double(pcal.w_in, 6)});
-  t.add_row({"pulse_w_th", util::format_double(pcal.w_th, 6)});
-  t.add_row({"min_fault_free_w_out",
-             util::format_double(pcal.min_fault_free_w_out, 6)});
-  emit(t, cli.has("csv"));
-  return 0;
-}
-
-int cmd_coverage(int argc, char** argv) {
-  const util::Cli cli(argc, argv,
-                      {"gates", "fault", "stage", "method", "samples", "sigma",
-                       "seed", "r-lo", "r-hi", "points", "csv", "strict",
-                       "solve-budget", "sweep-budget", "checkpoint", "resume",
-                       "fault-plan", "quarantine-json"});
-  core::PathFactory f;
-  f.options.kinds = gates_from_cli(cli);
-  faults::PathFaultSpec spec;
-  spec.kind = fault_from_string(cli.get("fault", std::string("external")));
-  spec.stage = static_cast<std::size_t>(cli.get("stage", 1));
-  f.fault = spec;
-
-  core::CoverageOptions copt;
-  copt.samples = cli.get("samples", 25);
-  copt.seed = static_cast<std::uint64_t>(cli.get("seed", 2007));
-  copt.variation = mc::VariationModel::uniform_sigma(cli.get("sigma", 0.05));
-  copt.resistances = core::logspace(cli.get("r-lo", 1e3), cli.get("r-hi", 64e3),
-                                    static_cast<std::size_t>(cli.get("points", 9)));
-
-  // The CLI defaults to quarantine mode — a long sweep should report its
-  // broken samples, not die on one of them; --strict restores the library's
-  // fail-fast default.
-  copt.resil.quarantine = !cli.has("strict");
-  copt.resil.solve_budget_seconds = cli.get("solve-budget", 0.0);
-  copt.resil.sweep_budget_seconds = cli.get("sweep-budget", 0.0);
-  copt.resil.checkpoint_path = cli.get("checkpoint", std::string());
-  const std::string resume = cli.get("resume", std::string());
-  if (!resume.empty()) {
-    copt.resil.checkpoint_path = resume;
-    copt.resil.resume = true;
+/// While alive, SIGINT/SIGTERM fire the sweep's CancelToken instead of
+/// killing the process: the cancellation unwinds through ppd::resil's
+/// SweepGuard, which flushes the checkpoint before the error escapes, and
+/// the caller exits with 128+signal so scripts can tell an interrupted
+/// sweep from a failed one.
+class SignalGuard {
+ public:
+  explicit SignalGuard(exec::CancelToken token) : token_(std::move(token)) {
+    g_signal = 0;
+    prev_int_ = std::signal(SIGINT, ppdtool_on_signal);
+    prev_term_ = std::signal(SIGTERM, ppdtool_on_signal);
+    // std::signal handlers may only touch the sig_atomic_t flag; a watcher
+    // thread turns the flag into a CancelToken fire.
+    watcher_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        if (g_signal != 0) {
+          token_.cancel();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
   }
-  const std::string plan = cli.get("fault-plan", std::string());
-  copt.resil.faults = plan.empty() ? resil::FaultPlan::from_env()
-                                   : resil::FaultPlan::parse(plan);
-
-  const std::string method = cli.get("method", std::string("pulse"));
-  core::CoverageResult res;
-  if (util::iequals(method, "delay")) {
-    core::DelayCalibrationOptions dopt;
-    dopt.samples = copt.samples;
-    dopt.seed = copt.seed;
-    dopt.variation = copt.variation;
-    res = core::run_delay_coverage(f, core::calibrate_delay_test(f, dopt), copt);
-  } else if (util::iequals(method, "pulse")) {
-    core::PulseCalibrationOptions popt;
-    popt.samples = copt.samples;
-    popt.seed = copt.seed;
-    popt.variation = copt.variation;
-    res = core::run_pulse_coverage(f, core::calibrate_pulse_test(f, popt), copt);
-  } else {
-    throw ppd::ParseError("unknown method: " + method + " (use pulse|delay)");
+  ~SignalGuard() {
+    stop_.store(true, std::memory_order_relaxed);
+    watcher_.join();
+    std::signal(SIGINT, prev_int_);
+    std::signal(SIGTERM, prev_term_);
   }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
 
-  util::Table t({"R_ohm", "x0.9", "x1.0", "x1.1"});
-  for (std::size_t r = 0; r < res.resistances.size(); ++r)
-    t.add_numeric_row({res.resistances[r], res.coverage[0][r],
-                       res.coverage[1][r], res.coverage[2][r]},
-                      4);
-  emit(t, cli.has("csv"));
-  std::cout << "# " << res.simulations << " electrical transients\n";
-  if (copt.resil.quarantine)
-    std::cout << "# n_quarantined = " << res.n_quarantined() << " of "
-              << res.quarantine.items << " samples\n";
-  const std::string qjson = cli.get("quarantine-json", std::string());
-  if (!qjson.empty()) {
-    std::ofstream os(qjson);
-    if (!os) throw ppd::ParseError("cannot open " + qjson + " for writing");
-    res.quarantine.write_json(os);
+  [[nodiscard]] int signal_number() const { return static_cast<int>(g_signal); }
+
+ private:
+  exec::CancelToken token_;
+  std::atomic<bool> stop_{false};
+  std::thread watcher_;
+  void (*prev_int_)(int) = nullptr;
+  void (*prev_term_)(int) = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Query subcommands: parse flags through the shared net::query key tables
+// and execute through the same run_query the ppdd service calls.
+// ---------------------------------------------------------------------------
+
+int cmd_query(net::QueryKind kind, int argc, char** argv,
+              bool signal_aware) {
+  const util::Cli cli(argc, argv, net::query_keys(kind));
+  const net::QueryParams params = net::params_from_cli(kind, cli);
+  if (!signal_aware) {
+    const net::QueryResult res = net::run_query(kind, params);
+    std::cout << res.body;
+    return res.exit_code;
   }
-  return 0;
+  SignalGuard guard(params.cancel);
+  try {
+    const net::QueryResult res = net::run_query(kind, params);
+    std::cout << res.body;
+    return res.exit_code;
+  } catch (const exec::CancelledError&) {
+    const int sig = guard.signal_number();
+    if (sig == 0) throw;  // not ours (e.g. an injected cancel-after fault)
+    std::cerr << "ppdtool: interrupted by signal " << sig;
+    if (!params.checkpoint.empty())
+      std::cerr << " (checkpoint saved: " << params.checkpoint << ")";
+    std::cerr << "\n";
+    return 128 + sig;
+  }
 }
 
 int cmd_sta(int argc, char** argv) {
@@ -385,8 +354,10 @@ int cmd_lint(int argc, char** argv) {
 
 int usage() {
   std::cerr << "usage: ppdtool "
-               "<transfer|calibrate|coverage|sta|atpg|export|vcd|lint> "
-               "[--options]\n(see the header of tools/ppdtool.cpp)\n";
+               "<transfer|calibrate|coverage|rmin|sta|atpg|export|vcd|lint> "
+               "[--options]\n"
+               "(see the header of tools/ppdtool.cpp; ppdd serves the same "
+               "queries over a socket)\n";
   return 2;
 }
 
@@ -400,9 +371,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "transfer") return cmd_transfer(argc - 1, argv + 1);
-    if (cmd == "calibrate") return cmd_calibrate(argc - 1, argv + 1);
-    if (cmd == "coverage") return cmd_coverage(argc - 1, argv + 1);
+    if (cmd == "transfer")
+      return cmd_query(net::QueryKind::kTransfer, argc - 1, argv + 1, false);
+    if (cmd == "calibrate")
+      return cmd_query(net::QueryKind::kCalibrate, argc - 1, argv + 1, false);
+    if (cmd == "coverage")
+      return cmd_query(net::QueryKind::kCoverage, argc - 1, argv + 1, true);
+    if (cmd == "rmin")
+      return cmd_query(net::QueryKind::kRmin, argc - 1, argv + 1, true);
     if (cmd == "sta") return cmd_sta(argc - 1, argv + 1);
     if (cmd == "atpg") return cmd_atpg(argc - 1, argv + 1);
     if (cmd == "export") return cmd_export(argc - 1, argv + 1);
