@@ -8,14 +8,14 @@
 // attenuation-model pre-estimates) -> electrical characterization of the
 // surviving paths (the paper's own two-level plan: "in the case of more
 // realistic circuits ... we need to operate at the logic level").
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "ppd/core/logic_bridge.hpp"
+#include "ppd/core/path_screen.hpp"
 #include "ppd/core/rmin.hpp"
 #include "ppd/faults/fault.hpp"
 #include "ppd/logic/bench.hpp"
-#include "ppd/logic/sensitize.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/table.hpp"
 
@@ -39,87 +39,78 @@ int run(int argc, char** argv) {
   const auto lib = logic::GateTimingLibrary::generic();
   const int max_paths = std::max(3, static_cast<int>(10 * cli.scale));
 
-  // Logic-level screening across fault sites.
-  struct Candidate {
-    std::string site;
-    logic::Path path;
-    std::vector<cells::GateKind> kinds;
-    std::size_t fault_stage;
-  };
-  std::vector<Candidate> candidates;
-  std::vector<std::string> seen_signatures;
-  for (int gi = 0; gi < 160 && static_cast<int>(candidates.size()) < max_paths;
-       gi += 7) {
-    const std::string site = "G" + std::to_string(gi);
-    if (!nl.has(site)) continue;
-    const logic::NetId via = nl.find(site);
-    for (const auto& path : logic::enumerate_paths_through(nl, via, 48)) {
-      if (static_cast<int>(candidates.size()) >= max_paths) break;
-      if (path.length() < 4 || path.length() > 9) continue;  // tractable span
-      if (!logic::sensitize_path(nl, path).ok) continue;
-      Candidate c;
-      c.site = site;
-      c.path = path;
-      c.kinds = core::to_cell_kinds(nl, path);
-      // Electrical fault stage: index of `via` along the extracted kinds.
-      c.fault_stage = 0;
-      for (std::size_t i = 1; i < path.nets.size(); ++i) {
-        if (path.nets[i] == via) break;
-        ++c.fault_stage;
-      }
-      // Deduplicate identical kind sequences + stage (same electrical case).
-      std::string sig = std::to_string(c.fault_stage) + ":";
-      for (auto k : c.kinds) sig += cells::gate_kind_name(k), sig += ',';
-      bool dup = false;
-      for (const auto& s : seen_signatures) dup = dup || s == sig;
-      if (dup) continue;
-      seen_signatures.push_back(sig);
-      candidates.push_back(std::move(c));
-    }
-  }
-  std::cout << "# " << candidates.size()
-            << " sensitizable, electrically distinct paths selected\n";
+  // Logic-level screening across fault sites: enumeration, sensitization
+  // ATPG and the ppd::sta static pulse-survival screen, shared with the
+  // coverage / R_min flows (see src/core/path_screen.hpp). The screen's
+  // feasibility box matches the electrical calibration below (w_in grid top
+  // 0.8 ns, sensing floor 50 ps), so a pulse-dead verdict means calibration
+  // is provably infeasible.
+  core::CandidateSelectionOptions copt;
+  copt.max_candidates = static_cast<std::size_t>(max_paths);
+  copt.screen_options.w_in_max = 0.8e-9;
+  copt.screen_options.w_th_floor = 50e-12;
+  const core::CandidateSelection sel = core::select_path_candidates(nl, lib, copt);
+  std::cout << "# funnel: " << sel.enumerated << " enumerated, "
+            << sel.length_rejected << " outside length window, "
+            << sel.unsensitizable << " unsensitizable, " << sel.duplicates
+            << " electrical duplicates -> " << sel.candidates.size()
+            << " candidates; static screen: " << sel.pulse_dead
+            << " provably pulse-dead, " << sel.kept.size() << " kept\n";
 
-  util::Table t({"site", "len", "w_in_ns", "w_th_ns", "R_min_ohm", "logic_w_req_ns"});
+  util::Table t({"site", "len", "screen", "w_in_ns", "w_th_ns", "R_min_ohm",
+                 "static_w_req_ns"});
   const auto model = mc::VariationModel::uniform_sigma(cli.sigma);
   const int cal_samples = std::max(4, static_cast<int>(cli.samples * cli.scale / 5));
 
-  for (const auto& c : candidates) {
-    core::PathFactory factory;
-    factory.options.kinds = c.kinds;
-    faults::PathFaultSpec fault;
-    fault.kind = faults::FaultKind::kExternalRopOutput;
-    fault.stage = c.fault_stage;
-    factory.fault = fault;
+  for (std::size_t ci = 0; ci < sel.candidates.size(); ++ci) {
+    const core::PathCandidate& c = sel.candidates[ci];
+    const sta::ScreenedPath* sp =
+        ci < sel.screened.size() ? &sel.screened[ci] : nullptr;
+    const bool dead = sp && sp->verdict != sta::Verdict::kKept;
+    const std::string w_req_s =
+        sp && std::isfinite(sp->w_required)
+            ? util::format_double(sp->w_required * 1e9, 4)
+            : "inf";
 
-    core::PulseCalibrationOptions popt;
-    popt.samples = cal_samples;
-    popt.seed = cli.seed;
-    popt.variation = model;
-
+    // Screened-out paths are reported, not simulated: the verdict is a
+    // proof that calibration cannot succeed inside the feasibility box.
     std::string w_in_s = "infeasible", w_th_s = "-", r_min_s = "-";
-    try {
-      const auto cal = core::calibrate_pulse_test(factory, popt);
-      core::RminOptions ropt;
-      ropt.samples = std::max(3, cal_samples / 2);
-      ropt.seed = cli.seed;
-      ropt.variation = model;
-      ropt.threads = cli.threads;
-      ropt.resil = cli.resil;
-      const auto rmin = core::find_r_min(factory, cal, ropt);
-      w_in_s = util::format_double(cal.w_in * 1e9, 4);
-      w_th_s = util::format_double(cal.w_th * 1e9, 4);
-      r_min_s = rmin.detectable ? util::format_double(rmin.r_min, 4)
-                                : "undetectable";
-    } catch (const ppd::NumericalError&) {
-      // Path cannot support a zero-false-positive pulse test: report as
-      // infeasible rather than aborting the sweep.
+    if (dead) {
+      w_in_s = "-";
+    } else {
+      core::PathFactory factory;
+      factory.options.kinds = c.kinds;
+      faults::PathFaultSpec fault;
+      fault.kind = faults::FaultKind::kExternalRopOutput;
+      fault.stage = c.fault_stage;
+      factory.fault = fault;
+
+      core::PulseCalibrationOptions popt;
+      popt.samples = cal_samples;
+      popt.seed = cli.seed;
+      popt.variation = model;
+
+      try {
+        const auto cal = core::calibrate_pulse_test(factory, popt);
+        core::RminOptions ropt;
+        ropt.samples = std::max(3, cal_samples / 2);
+        ropt.seed = cli.seed;
+        ropt.variation = model;
+        ropt.threads = cli.threads;
+        ropt.resil = cli.resil;
+        const auto rmin = core::find_r_min(factory, cal, ropt);
+        w_in_s = util::format_double(cal.w_in * 1e9, 4);
+        w_th_s = util::format_double(cal.w_th * 1e9, 4);
+        r_min_s = rmin.detectable ? util::format_double(rmin.r_min, 4)
+                                  : "undetectable";
+      } catch (const ppd::NumericalError&) {
+        // Path cannot support a zero-false-positive pulse test: report as
+        // infeasible rather than aborting the sweep.
+      }
     }
-    // Logic-level pre-estimate of the required input width (cheap screen).
-    const auto kinds = logic::path_kinds(nl, c.path);
-    const auto w_req = logic::required_input_width(lib, kinds, 100e-12);
-    t.add_row({c.site, std::to_string(c.kinds.size()), w_in_s, w_th_s, r_min_s,
-               w_req ? util::format_double(*w_req * 1e9, 4) : ">2"});
+    t.add_row({c.site, std::to_string(c.kinds.size()),
+               sp ? sta::verdict_name(sp->verdict) : "off", w_in_s, w_th_s,
+               r_min_s, w_req_s});
   }
   if (cli.csv_only)
     std::cout << t.to_csv();
@@ -127,7 +118,7 @@ int run(int argc, char** argv) {
     t.print(std::cout);
   std::cout << "# circle radius in the paper's figure ~ R_min; best paths "
                "have low (w_in, w_th)\n";
-  return candidates.empty() ? 1 : 0;
+  return sel.candidates.empty() ? 1 : 0;
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/core/coverage.hpp"
 #include "ppd/core/measure.hpp"
+#include "ppd/core/path_screen.hpp"
 #include "ppd/core/pulse_test.hpp"
 #include "ppd/core/rmin.hpp"
 #include "ppd/linalg/dense.hpp"
@@ -21,7 +22,9 @@
 #include "ppd/logic/sensitize.hpp"
 #include "ppd/logic/sim.hpp"
 #include "ppd/mc/rng.hpp"
+#include "ppd/obs/metrics.hpp"
 #include "ppd/obs/run.hpp"
+#include "ppd/util/error.hpp"
 
 namespace {
 
@@ -166,6 +169,102 @@ void run_solve_cache_section() {
       warm_totals.entries, identical ? "true" : "false");
 }
 
+// ---------------------------------------------------------------------------
+// Path-screen section: prune effectiveness of the ppd::sta static screen on
+// the constrained-generator c432-class workload (the same workload
+// tests/sta/screen_validation_test.cpp cross-validates; keep in sync). The
+// brute-force flow calibrates every candidate path; the screened flow only
+// the statically surviving ones. The JSON row carries candidates
+// before/after, the SPICE transients saved (target >= 3x), and asserts the
+// safety contract: zero missed detections and bit-identical kept results.
+// ---------------------------------------------------------------------------
+
+void run_path_screen_section() {
+  const logic::Netlist nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+  const auto lib = logic::GateTimingLibrary::generic();
+
+  core::CandidateSelectionOptions copt;
+  copt.max_candidates = 12;
+  copt.min_length = 3;
+  copt.screen_options.w_in_max = 0.155e-9;
+  copt.screen_options.w_th_floor = 50e-12;
+  copt.screen_options.margin = 0.10;
+  const core::CandidateSelection sel = core::select_path_candidates(nl, lib, copt);
+
+  core::PulseCalibrationOptions popt;
+  popt.samples = 3;
+  popt.seed = 2007;
+  popt.variation = mc::VariationModel::uniform_sigma(0.05);
+  popt.w_in_grid = core::linspace(0.07e-9, copt.screen_options.w_in_max, 7);
+  popt.w_th_floor = copt.screen_options.w_th_floor;
+
+  struct Outcome {
+    bool feasible = false;
+    double w_in = 0.0, w_th = 0.0;
+  };
+  const auto characterize = [&](const core::PathCandidate& c) {
+    core::PathFactory factory;
+    factory.options.kinds = c.kinds;
+    faults::PathFaultSpec fault;
+    fault.kind = faults::FaultKind::kExternalRopOutput;
+    fault.stage = c.fault_stage;
+    factory.fault = fault;
+    Outcome out;
+    try {
+      const auto cal = core::calibrate_pulse_test(factory, popt);
+      out.feasible = true;
+      out.w_in = cal.w_in;
+      out.w_th = cal.w_th;
+    } catch (const ppd::NumericalError&) {
+    }
+    return out;
+  };
+  auto& sims = obs::counter("spice.transient.runs");
+
+  // Brute force: every candidate path goes to SPICE calibration.
+  cache::SolveCache::global().clear();
+  const std::uint64_t brute_sims0 = sims.value();
+  std::vector<Outcome> brute;
+  for (const auto& c : sel.candidates) brute.push_back(characterize(c));
+  const std::uint64_t sims_brute = sims.value() - brute_sims0;
+
+  // Screened: only the statically surviving paths do.
+  cache::SolveCache::global().clear();
+  const std::uint64_t screened_sims0 = sims.value();
+  std::vector<Outcome> kept;
+  for (std::size_t idx : sel.kept) kept.push_back(characterize(sel.candidates[idx]));
+  const std::uint64_t sims_screened = sims.value() - screened_sims0;
+
+  // Safety contract, cross-checked right here: a screened-out path that
+  // calibrated in the brute-force flow is a missed detection; a kept path
+  // whose results differ breaks bit-identity.
+  std::size_t missed = 0;
+  for (std::size_t i = 0, k = 0; i < sel.candidates.size(); ++i) {
+    const bool is_kept = k < sel.kept.size() && sel.kept[k] == i;
+    if (!is_kept && brute[i].feasible) ++missed;
+    if (is_kept) ++k;
+  }
+  bool identical = true;
+  for (std::size_t k = 0; k < sel.kept.size(); ++k) {
+    const Outcome& b = brute[sel.kept[k]];
+    identical = identical && b.feasible == kept[k].feasible &&
+                b.w_in == kept[k].w_in && b.w_th == kept[k].w_th;
+  }
+
+  std::printf(
+      "{\"section\":\"path_screen\",\"workload\":\"c432_constrained_generator\","
+      "\"w_in_max_s\":%.3e,\"candidates\":%zu,\"kept\":%zu,\"pulse_dead\":%zu,"
+      "\"sims_brute\":%llu,\"sims_screened\":%llu,\"saved_ratio\":%.2f,"
+      "\"missed_detections\":%zu,\"identical\":%s}\n",
+      copt.screen_options.w_in_max, sel.candidates.size(), sel.kept.size(),
+      sel.pulse_dead, static_cast<unsigned long long>(sims_brute),
+      static_cast<unsigned long long>(sims_screened),
+      sims_screened ? static_cast<double>(sims_brute) /
+                          static_cast<double>(sims_screened)
+                    : 0.0,
+      missed, identical ? "true" : "false");
+}
+
 void BM_DenseLuSolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   mc::Rng rng(7);
@@ -259,6 +358,7 @@ int main(int argc, char** argv) {
   run.set_meta(2007, 0);
   run_thread_scaling();
   run_solve_cache_section();
+  run_path_screen_section();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,77 @@
+// Candidate-path selection for coverage / R_min sweeps — the shared
+// front end of the Fig. 11 flow, now with the ppd::sta static screen in
+// the loop:
+//
+//   enumerate paths through strided fault sites
+//     -> length window -> sensitization ATPG -> electrical-case dedup
+//     -> cap                                  (the brute-force population)
+//     -> static pulse-survival screen         (optional, ppd::sta)
+//
+// The screen filters the *same* capped population the brute-force sweep
+// would hand to SPICE, so the kept set is always a subset of it and every
+// screened-out path is individually accounted for — counted and verdicted,
+// never silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ppd/cells/netlist.hpp"
+#include "ppd/logic/attenuation.hpp"
+#include "ppd/logic/netlist.hpp"
+#include "ppd/logic/paths.hpp"
+#include "ppd/sta/screen.hpp"
+
+namespace ppd::core {
+
+struct CandidateSelectionOptions {
+  std::size_t max_candidates = 10;   ///< cap on the brute-force population
+  std::size_t site_stride = 7;      ///< every Nth "G<i>" gate is a fault site
+  std::size_t site_limit = 160;     ///< scan G0 .. G<site_limit-1>
+  std::size_t paths_per_site = 48;  ///< enumeration cap per site
+  std::size_t min_length = 4;       ///< path-length window (nets)
+  std::size_t max_length = 9;
+  /// Run the static screen over the capped population. Off = the exact
+  /// pre-screen brute-force behaviour (every candidate goes to SPICE).
+  bool screen = true;
+  /// Screen knobs; `justify` is ignored here (candidates are already
+  /// sensitized by construction).
+  sta::ScreenOptions screen_options;
+};
+
+/// One electrically distinct candidate: a sensitizable path plus the cell
+/// realization and the fault-stage index of its site.
+struct PathCandidate {
+  std::string site;                    ///< fault-site gate name
+  logic::Path path;
+  std::vector<cells::GateKind> kinds;  ///< transistor-level realization
+  std::size_t fault_stage = 0;         ///< site index along `kinds`
+};
+
+struct CandidateSelection {
+  /// The brute-force population: capped, deduplicated, sensitizable.
+  std::vector<PathCandidate> candidates;
+  /// Indices into `candidates` surviving the screen, in order. All of them
+  /// when screening is off.
+  std::vector<std::size_t> kept;
+  /// Per-candidate screen verdicts (parallel to `candidates`; empty when
+  /// screening is off).
+  std::vector<sta::ScreenedPath> screened;
+  // Funnel accounting.
+  std::size_t enumerated = 0;       ///< paths produced by enumeration
+  std::size_t length_rejected = 0;
+  std::size_t unsensitizable = 0;
+  std::size_t duplicates = 0;
+  std::size_t pulse_dead = 0;       ///< screened out as provably dead
+
+  [[nodiscard]] std::vector<PathCandidate> kept_candidates() const;
+};
+
+/// Deterministic (site order, enumeration order and the screen are all
+/// deterministic at any thread count).
+[[nodiscard]] CandidateSelection select_path_candidates(
+    const logic::Netlist& netlist, const logic::GateTimingLibrary& library,
+    const CandidateSelectionOptions& options = {});
+
+}  // namespace ppd::core

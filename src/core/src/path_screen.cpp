@@ -1,0 +1,93 @@
+#include "ppd/core/path_screen.hpp"
+
+#include <string>
+
+#include "ppd/core/logic_bridge.hpp"
+#include "ppd/logic/sensitize.hpp"
+
+namespace ppd::core {
+
+std::vector<PathCandidate> CandidateSelection::kept_candidates() const {
+  std::vector<PathCandidate> out;
+  out.reserve(kept.size());
+  for (std::size_t i : kept) out.push_back(candidates[i]);
+  return out;
+}
+
+CandidateSelection select_path_candidates(
+    const logic::Netlist& netlist, const logic::GateTimingLibrary& library,
+    const CandidateSelectionOptions& options) {
+  CandidateSelection sel;
+  std::vector<std::string> seen_signatures;
+  for (std::size_t gi = 0;
+       gi < options.site_limit && sel.candidates.size() < options.max_candidates;
+       gi += options.site_stride) {
+    const std::string site = "G" + std::to_string(gi);
+    if (!netlist.has(site)) continue;
+    const logic::NetId via = netlist.find(site);
+    for (const auto& path :
+         logic::enumerate_paths_through(netlist, via, options.paths_per_site)) {
+      if (sel.candidates.size() >= options.max_candidates) break;
+      ++sel.enumerated;
+      if (path.length() < options.min_length ||
+          path.length() > options.max_length) {
+        ++sel.length_rejected;
+        continue;
+      }
+      if (!logic::sensitize_path(netlist, path,
+                                 options.screen_options.sensitize)
+               .ok) {
+        ++sel.unsensitizable;
+        continue;
+      }
+      PathCandidate c;
+      c.site = site;
+      c.path = path;
+      c.kinds = to_cell_kinds(netlist, path);
+      c.fault_stage = 0;
+      for (std::size_t i = 1; i < path.nets.size(); ++i) {
+        if (path.nets[i] == via) break;
+        ++c.fault_stage;
+      }
+      // Deduplicate identical kind sequences + stage (same electrical case).
+      std::string sig = std::to_string(c.fault_stage) + ":";
+      for (auto k : c.kinds) {
+        sig += cells::gate_kind_name(k);
+        sig += ',';
+      }
+      bool dup = false;
+      for (const auto& s : seen_signatures) dup = dup || s == sig;
+      if (dup) {
+        ++sel.duplicates;
+        continue;
+      }
+      seen_signatures.push_back(sig);
+      sel.candidates.push_back(std::move(c));
+    }
+  }
+
+  if (!options.screen) {
+    sel.kept.reserve(sel.candidates.size());
+    for (std::size_t i = 0; i < sel.candidates.size(); ++i)
+      sel.kept.push_back(i);
+    return sel;
+  }
+
+  std::vector<logic::Path> paths;
+  paths.reserve(sel.candidates.size());
+  for (const PathCandidate& c : sel.candidates) paths.push_back(c.path);
+  sta::ScreenOptions sopt = options.screen_options;
+  sopt.justify = false;  // candidates are sensitizable by construction
+  const sta::ScreenReport screen =
+      sta::screen_paths(netlist, library, paths, sopt);
+  sel.screened = screen.paths;
+  for (std::size_t i = 0; i < sel.screened.size(); ++i) {
+    if (sel.screened[i].verdict == sta::Verdict::kKept)
+      sel.kept.push_back(i);
+    else
+      ++sel.pulse_dead;
+  }
+  return sel;
+}
+
+}  // namespace ppd::core

@@ -34,6 +34,20 @@ struct Diagnostic {
   std::string hint;      ///< how to fix it (may be empty)
 };
 
+/// Every stable diagnostic code any check can emit, sorted (PPD0xx
+/// netlist, PPD1xx electrical, PPD2xx pulse-config, PPD3xx static
+/// timing/testability). New rules must be registered here — suppression
+/// validation rejects anything else.
+[[nodiscard]] const std::vector<std::string>& known_codes();
+[[nodiscard]] bool is_known_code(const std::string& code);
+
+/// Parse a comma-separated suppression list ("PPD004,PPD107") into codes,
+/// trimming whitespace and dropping empty fields. Throws ParseError on a
+/// malformed or unknown code, so a typo in `--suppress` is a hard error
+/// instead of a silently ineffective filter.
+[[nodiscard]] std::vector<std::string> parse_suppress_list(
+    const std::string& csv);
+
 /// Filtering knobs shared by every lint entry point.
 struct LintOptions {
   /// Diagnostics below this severity are dropped by filtered().

@@ -25,6 +25,43 @@ Severity severity_from_string(const std::string& s) {
   throw ParseError("unknown severity: " + s + " (use note|warning|error)");
 }
 
+const std::vector<std::string>& known_codes() {
+  static const std::vector<std::string> codes = [] {
+    std::vector<std::string> c;
+    const auto family = [&c](int base, std::initializer_list<int> nums) {
+      for (int n : nums) {
+        std::string s = std::to_string(base + n);
+        c.push_back("PPD" + std::string(3 - s.size(), '0') + s);
+      }
+    };
+    family(0, {1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14});  // netlist
+    family(100, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});             // electrical
+    family(200, {1, 2, 3, 4, 5, 6, 7});                       // pulse config
+    family(300, {1, 2, 3, 4});                                // static timing
+    return c;
+  }();
+  return codes;
+}
+
+bool is_known_code(const std::string& code) {
+  const auto& codes = known_codes();
+  return std::find(codes.begin(), codes.end(), code) != codes.end();
+}
+
+std::vector<std::string> parse_suppress_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const std::string& field : util::split(csv, ',')) {
+    const std::string code{util::trim(field)};
+    if (code.empty()) continue;
+    if (!is_known_code(code))
+      throw ParseError("unknown diagnostic code in suppress list: '" + code +
+                       "' (known codes are PPD001..PPD" +
+                       known_codes().back().substr(3) + ", see ppdtool lint)");
+    out.push_back(code);
+  }
+  return out;
+}
+
 bool LintOptions::keeps(const Diagnostic& d) const {
   if (d.severity < min_severity) return false;
   return std::find(suppress.begin(), suppress.end(), d.code) == suppress.end();

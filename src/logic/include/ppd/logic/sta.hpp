@@ -13,8 +13,15 @@
 namespace ppd::logic {
 
 struct StaResult {
-  /// Worst-case (latest) arrival time per net, from the primary inputs.
+  /// Worst-case (latest) arrival time per net, from the primary inputs:
+  /// the worse of arrival_rise / arrival_fall.
   std::vector<double> arrival;
+  /// Latest arrival per output-edge polarity. Polarity matters: an
+  /// inverting gate's rising output edge is caused by a falling input edge
+  /// and costs delay_rise, so rise/fall must be tracked separately rather
+  /// than collapsed with max() per gate.
+  std::vector<double> arrival_rise;
+  std::vector<double> arrival_fall;
   /// Required time per net for the given clock period (latest time a change
   /// may appear without violating timing at any reachable output).
   std::vector<double> required;
@@ -27,7 +34,7 @@ struct StaResult {
   [[nodiscard]] double slack_at(NetId net) const;
 };
 
-/// Run STA using per-gate worst-case (max of rise/fall) delays.
+/// Run STA with polarity-aware per-gate rise/fall delays.
 /// `clock_period` <= 0 means "use the critical delay" (zero worst slack).
 [[nodiscard]] StaResult run_sta(const Netlist& netlist,
                                 const GateTimingLibrary& library,

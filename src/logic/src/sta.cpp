@@ -10,9 +10,21 @@ namespace ppd::logic {
 
 namespace {
 
-double gate_delay_max(const GateTimingLibrary& lib, LogicKind kind) {
-  const GateTiming& t = lib.timing(kind);
-  return std::max(t.delay_rise, t.delay_fall);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// XOR-class gates can produce either output edge from any input edge.
+bool either_edge(LogicKind kind) {
+  return kind == LogicKind::kXor || kind == LogicKind::kXnor;
+}
+
+/// Input-edge arrivals that can cause the given output edge of `kind`:
+/// non-inverting gates propagate the same polarity, inverting gates the
+/// opposite, XOR-class the worse of both.
+double causing_arrival(LogicKind kind, bool output_rise, double arr_rise,
+                       double arr_fall) {
+  if (either_edge(kind)) return std::max(arr_rise, arr_fall);
+  const bool input_rise = logic_kind_inverting(kind) ? !output_rise : output_rise;
+  return input_rise ? arr_rise : arr_fall;
 }
 
 }  // namespace
@@ -27,43 +39,81 @@ StaResult run_sta(const Netlist& netlist, const GateTimingLibrary& library,
   const std::size_t n = netlist.size();
   StaResult res;
   res.arrival.assign(n, 0.0);
-  res.required.assign(n, std::numeric_limits<double>::infinity());
+  res.arrival_rise.assign(n, 0.0);
+  res.arrival_fall.assign(n, 0.0);
+  res.required.assign(n, kInf);
   res.slack.assign(n, 0.0);
 
   const auto order = netlist.topological_order();
 
-  // Forward: latest arrival (PIs arrive at t = 0).
+  // Forward: latest arrival per output-edge polarity (PIs launch both
+  // polarities at t = 0). A rising output of an inverting gate is caused
+  // by a falling input and costs delay_rise — collapsing rise/fall with
+  // max() here would overstate delay through inverter-heavy paths.
   for (NetId id : order) {
     const Gate& g = netlist.gate(id);
     if (g.kind == LogicKind::kInput) continue;
-    double worst = 0.0;
-    for (NetId f : g.fanin) worst = std::max(worst, res.arrival[f]);
-    res.arrival[id] = worst + gate_delay_max(library, g.kind);
+    const GateTiming& t = library.timing(g.kind);
+    double rise_src = 0.0;
+    double fall_src = 0.0;
+    for (NetId f : g.fanin) {
+      rise_src = std::max(rise_src,
+                          causing_arrival(g.kind, true, res.arrival_rise[f],
+                                          res.arrival_fall[f]));
+      fall_src = std::max(fall_src,
+                          causing_arrival(g.kind, false, res.arrival_rise[f],
+                                          res.arrival_fall[f]));
+    }
+    res.arrival_rise[id] = rise_src + t.delay_rise;
+    res.arrival_fall[id] = fall_src + t.delay_fall;
+    res.arrival[id] = std::max(res.arrival_rise[id], res.arrival_fall[id]);
   }
   for (NetId o : netlist.outputs())
     res.critical_delay = std::max(res.critical_delay, res.arrival[o]);
 
   res.clock_period = clock_period > 0.0 ? clock_period : res.critical_delay;
 
-  // Backward: required times from the outputs.
-  for (NetId o : netlist.outputs())
-    res.required[o] = std::min(res.required[o], res.clock_period);
+  // Backward: required times from the outputs, per causing polarity.
+  std::vector<double> req_rise(n, kInf);
+  std::vector<double> req_fall(n, kInf);
+  for (NetId o : netlist.outputs()) {
+    req_rise[o] = std::min(req_rise[o], res.clock_period);
+    req_fall[o] = std::min(req_fall[o], res.clock_period);
+  }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NetId id = *it;
     const Gate& g = netlist.gate(id);
     if (g.kind == LogicKind::kInput) continue;
-    const double req_at_inputs =
-        res.required[id] - gate_delay_max(library, g.kind);
-    for (NetId f : g.fanin)
-      res.required[f] = std::min(res.required[f], req_at_inputs);
+    const GateTiming& t = library.timing(g.kind);
+    const double via_rise = req_rise[id] - t.delay_rise;
+    const double via_fall = req_fall[id] - t.delay_fall;
+    for (NetId f : g.fanin) {
+      if (either_edge(g.kind)) {
+        const double via = std::min(via_rise, via_fall);
+        req_rise[f] = std::min(req_rise[f], via);
+        req_fall[f] = std::min(req_fall[f], via);
+      } else if (logic_kind_inverting(g.kind)) {
+        req_fall[f] = std::min(req_fall[f], via_rise);
+        req_rise[f] = std::min(req_rise[f], via_fall);
+      } else {
+        req_rise[f] = std::min(req_rise[f], via_rise);
+        req_fall[f] = std::min(req_fall[f], via_fall);
+      }
+    }
   }
-  // Nets feeding nothing that reaches an output keep infinite required
-  // time; clamp their slack to the clock period for sane reporting.
+  // Collapse to the legacy per-net view: the binding (smallest-slack)
+  // polarity. Nets feeding nothing that reaches an output keep infinite
+  // required time; clamp their slack to the clock period for sane
+  // reporting.
   for (NetId id = 0; id < n; ++id) {
-    if (std::isinf(res.required[id]))
-      res.slack[id] = res.clock_period - res.arrival[id];
-    else
-      res.slack[id] = res.required[id] - res.arrival[id];
+    const double slack_rise = (std::isinf(req_rise[id]) ? res.clock_period
+                                                        : req_rise[id]) -
+                              res.arrival_rise[id];
+    const double slack_fall = (std::isinf(req_fall[id]) ? res.clock_period
+                                                        : req_fall[id]) -
+                              res.arrival_fall[id];
+    res.slack[id] = std::min(slack_rise, slack_fall);
+    res.required[id] = std::min(req_rise[id], req_fall[id]);
   }
   return res;
 }
@@ -71,27 +121,46 @@ StaResult run_sta(const Netlist& netlist, const GateTimingLibrary& library,
 Path critical_path(const Netlist& netlist, const StaResult& sta,
                    const GateTimingLibrary& library) {
   // Walk backward from the output with the largest arrival, always through
-  // the fanin that dominates the arrival time.
+  // the fanin whose causing-polarity arrival dominates. Ties keep the
+  // first (lowest-id) fanin, so the walk is deterministic.
   PPD_REQUIRE(!netlist.outputs().empty(), "netlist has no outputs");
   NetId cursor = netlist.outputs().front();
   for (NetId o : netlist.outputs())
     if (sta.arrival[o] > sta.arrival[cursor]) cursor = o;
 
+  bool rise = sta.arrival_rise[cursor] >= sta.arrival_fall[cursor];
   std::vector<NetId> rev{cursor};
   while (netlist.gate(cursor).kind != LogicKind::kInput) {
     const Gate& g = netlist.gate(cursor);
-    const double target =
-        sta.arrival[cursor] - gate_delay_max(library, g.kind);
+    const GateTiming& t = library.timing(g.kind);
+    const double target = (rise ? sta.arrival_rise[cursor]
+                                : sta.arrival_fall[cursor]) -
+                          (rise ? t.delay_rise : t.delay_fall);
+    // The causing input polarity for the current output edge.
+    const bool cause_rise =
+        either_edge(g.kind) ? true : (logic_kind_inverting(g.kind) ? !rise : rise);
     NetId best = g.fanin.front();
-    double best_err = std::numeric_limits<double>::infinity();
+    bool best_rise = cause_rise;
+    double best_err = kInf;
     for (NetId f : g.fanin) {
-      const double err = std::abs(sta.arrival[f] - target);
+      double arr;
+      bool arr_rise;
+      if (either_edge(g.kind)) {
+        arr_rise = sta.arrival_rise[f] >= sta.arrival_fall[f];
+        arr = arr_rise ? sta.arrival_rise[f] : sta.arrival_fall[f];
+      } else {
+        arr_rise = cause_rise;
+        arr = cause_rise ? sta.arrival_rise[f] : sta.arrival_fall[f];
+      }
+      const double err = std::abs(arr - target);
       if (err < best_err) {
         best_err = err;
         best = f;
+        best_rise = arr_rise;
       }
     }
     cursor = best;
+    rise = best_rise;
     rev.push_back(cursor);
   }
   Path p;

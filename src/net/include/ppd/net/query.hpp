@@ -24,9 +24,9 @@
 
 namespace ppd::net {
 
-enum class QueryKind { kTransfer, kCalibrate, kCoverage, kRmin, kLint };
+enum class QueryKind { kTransfer, kCalibrate, kCoverage, kRmin, kLint, kSta };
 
-/// Parse "transfer" / "calibrate" / "coverage" / "rmin" / "lint"
+/// Parse "transfer" / "calibrate" / "coverage" / "rmin" / "lint" / "sta"
 /// (case-insensitive); throws ppd::ParseError otherwise.
 [[nodiscard]] QueryKind query_kind_from_string(const std::string& s);
 [[nodiscard]] const char* query_kind_name(QueryKind kind);
@@ -63,12 +63,28 @@ struct QueryParams {
   std::string fault_plan;         ///< "" = PPD_FAULT_PLAN env
   std::string quarantine_json;    ///< side file ("" = none)
 
-  // Lint (uploaded blob; the name's extension selects the language).
+  // Lint (uploaded blob; the name's extension selects the language). The
+  // json/suppress knobs are shared with the sta query.
   std::string lint_name;
   std::string lint_text;
   bool lint_json = false;
   std::string lint_min_severity;  ///< "" = note
-  std::string lint_suppress;      ///< comma-separated codes
+  std::string lint_suppress;      ///< comma-separated codes (validated)
+
+  // Static timing (sta). `bench` is a local .bench path (ppdtool); an
+  // uploaded blob (bench_name + bench_text, ppdd) takes precedence; both
+  // empty = the bundled synthetic C432-class benchmark. The report names
+  // the netlist by base name, so file-loaded and uploaded runs of the
+  // same netlist are byte-identical.
+  std::string bench;
+  std::string bench_name;
+  std::string bench_text;
+  double clock = 0.0;          ///< clock period [s]; <= 0 = critical delay
+  std::size_t k_paths = 5;     ///< slackiest paths to enumerate
+  double w_in_max = 1.2e-9;    ///< generator ceiling for survival bounds
+  double w_th_floor = 50e-12;  ///< sensing floor for survival bounds
+  double margin = 0.25;        ///< survival parameter margin
+  double slack_frac = 0.25;    ///< PPD303 slack-site threshold fraction
 
   // Presentation + execution.
   bool csv = false;

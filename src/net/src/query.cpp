@@ -7,6 +7,9 @@
 #include "ppd/core/rmin.hpp"
 #include "ppd/lint/bench_lint.hpp"
 #include "ppd/lint/spice_lint.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/sta/interval_sta.hpp"
+#include "ppd/sta/lint.hpp"
 #include "ppd/resil/faultplan.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
@@ -114,8 +117,9 @@ QueryKind query_kind_from_string(const std::string& s) {
   if (iequals(s, "coverage")) return QueryKind::kCoverage;
   if (iequals(s, "rmin")) return QueryKind::kRmin;
   if (iequals(s, "lint")) return QueryKind::kLint;
+  if (iequals(s, "sta")) return QueryKind::kSta;
   throw ParseError("unknown query kind: " + s +
-                   " (use transfer|calibrate|coverage|rmin|lint)");
+                   " (use transfer|calibrate|coverage|rmin|lint|sta)");
 }
 
 const char* query_kind_name(QueryKind kind) {
@@ -125,6 +129,7 @@ const char* query_kind_name(QueryKind kind) {
     case QueryKind::kCoverage: return "coverage";
     case QueryKind::kRmin: return "rmin";
     case QueryKind::kLint: return "lint";
+    case QueryKind::kSta: return "sta";
   }
   return "?";
 }
@@ -146,12 +151,17 @@ const std::vector<std::string>& query_keys(QueryKind kind) {
       "strict", "csv",   "solve-budget",    "threads"};
   static const std::vector<std::string> lint{"json", "min-severity",
                                              "suppress"};
+  static const std::vector<std::string> sta{
+      "bench",  "clock",      "k",          "w-in-max", "w-th-floor",
+      "margin", "slack-frac", "suppress",   "json",     "csv",
+      "threads"};
   switch (kind) {
     case QueryKind::kTransfer: return transfer;
     case QueryKind::kCalibrate: return calibrate;
     case QueryKind::kCoverage: return coverage;
     case QueryKind::kRmin: return rmin;
     case QueryKind::kLint: return lint;
+    case QueryKind::kSta: return sta;
   }
   return transfer;
 }
@@ -205,6 +215,17 @@ QueryParams params_from_lookup(QueryKind kind, const ParamLookup& lookup) {
     case QueryKind::kLint:
       p.lint_json = kv.has("json");
       p.lint_min_severity = kv.get("min-severity", std::string());
+      p.lint_suppress = kv.get("suppress", std::string());
+      break;
+    case QueryKind::kSta:
+      p.bench = kv.get("bench", std::string());
+      p.clock = kv.get("clock", 0.0);
+      p.k_paths = static_cast<std::size_t>(kv.get("k", 5));
+      p.w_in_max = kv.get("w-in-max", 1.2e-9);
+      p.w_th_floor = kv.get("w-th-floor", 50e-12);
+      p.margin = kv.get("margin", 0.25);
+      p.slack_frac = kv.get("slack-frac", 0.25);
+      p.lint_json = kv.has("json");
       p.lint_suppress = kv.get("suppress", std::string());
       break;
   }
@@ -381,9 +402,8 @@ QueryResult run_lint(const QueryParams& p) {
   lint::LintOptions filter;
   if (!p.lint_min_severity.empty())
     filter.min_severity = lint::severity_from_string(p.lint_min_severity);
-  for (const auto& code : util::split(p.lint_suppress, ','))
-    if (!util::trim(code).empty())
-      filter.suppress.emplace_back(util::trim(code));
+  // Unknown/malformed codes are hard errors, not silently dead filters.
+  filter.suppress = lint::parse_suppress_list(p.lint_suppress);
 
   const lint::Report shown = report.filtered(filter);
   std::ostringstream os;
@@ -391,6 +411,130 @@ QueryResult run_lint(const QueryParams& p) {
     lint::write_json(os, shown);
   else
     lint::write_text(os, shown);
+  return {os.str(), shown.has_errors() ? 1 : 0};
+}
+
+std::string base_name(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+QueryResult run_sta(const QueryParams& p) {
+  // Load order: uploaded blob (ppdd), local file (ppdtool), bundled
+  // synthetic benchmark. The source is normalized to the base name so a
+  // served run over an uploaded netlist is byte-identical to the local
+  // run over the same file.
+  logic::Netlist nl;
+  if (!p.bench_text.empty()) {
+    lint::LintOptions errors_only;
+    errors_only.min_severity = lint::Severity::kError;
+    lint::lint_bench_text(p.bench_text, p.bench_name)
+        .filtered(errors_only)
+        .throw_on_error(p.bench_name);
+    nl = logic::parse_bench(p.bench_text);
+    nl.set_source(base_name(p.bench_name));
+  } else if (!p.bench.empty()) {
+    nl = logic::load_bench_file(p.bench);
+    nl.set_source(base_name(p.bench));
+  } else {
+    nl = logic::synthetic_benchmark(logic::SyntheticOptions{});
+    nl.set_source("<synthetic-c432>");
+  }
+  const auto lib = logic::GateTimingLibrary::generic();
+
+  const sta::IntervalStaResult ista = sta::run_interval_sta(nl, lib, p.clock);
+  sta::SlackiestOptions sopt;
+  sopt.clock_period = p.clock;
+  const auto slackiest = sta::k_slackiest_paths(nl, lib, p.k_paths, sopt);
+
+  sta::StaLintOptions lopt;
+  lopt.clock_period = p.clock;
+  lopt.survival.w_in_max = p.w_in_max;
+  lopt.survival.w_th_floor = p.w_th_floor;
+  lopt.survival.margin = p.margin;
+  lopt.slack_frac = p.slack_frac;
+  const lint::Report report = lint_sta(nl, lib, lopt);
+  lint::LintOptions filter;
+  filter.suppress = lint::parse_suppress_list(p.lint_suppress);
+  const lint::Report shown = report.filtered(filter);
+
+  const auto survival = sta::compute_survival(nl, lib, lopt.survival);
+  std::size_t sites = 0;
+  std::size_t dead_sites = 0;
+  for (logic::NetId id = 0; id < nl.size(); ++id) {
+    if (nl.gate(id).kind == logic::LogicKind::kInput) continue;
+    ++sites;
+    if (survival.dead(id)) ++dead_sites;
+  }
+
+  const auto path_string = [&nl](const logic::Path& path) {
+    std::string s;
+    for (logic::NetId n : path.nets) {
+      if (!s.empty()) s += '>';
+      s += nl.gate(n).name;
+    }
+    return s;
+  };
+
+  std::ostringstream os;
+  if (p.lint_json) {
+    os << "{\"netlist\":{\"name\":\"" << nl.source() << "\",\"gates\":"
+       << nl.gate_count() << ",\"depth\":" << nl.depth()
+       << ",\"inputs\":" << nl.inputs().size()
+       << ",\"outputs\":" << nl.outputs().size() << "}"
+       << ",\"timing\":{\"critical_delay_s\":"
+       << util::format_double(ista.critical_delay, 6)
+       << ",\"clock_period_s\":" << util::format_double(ista.clock_period, 6)
+       << "},\"slackiest_paths\":[";
+    for (std::size_t i = 0; i < slackiest.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"rank\":" << i << ",\"delay_s\":"
+         << util::format_double(slackiest[i].delay, 6)
+         << ",\"slack_s\":" << util::format_double(slackiest[i].slack, 6)
+         << ",\"length\":" << slackiest[i].path.length() << ",\"path\":\""
+         << path_string(slackiest[i].path) << "\"}";
+    }
+    os << "],\"survival\":{\"w_in_max_s\":"
+       << util::format_double(p.w_in_max, 6)
+       << ",\"w_th_floor_s\":" << util::format_double(p.w_th_floor, 6)
+       << ",\"margin\":" << util::format_double(p.margin, 6)
+       << ",\"sites\":" << sites << ",\"pulse_dead_sites\":" << dead_sites
+       << "},\"lint\":";
+    std::string lint_json_s = lint::to_json(shown);
+    while (!lint_json_s.empty() && lint_json_s.back() == '\n')
+      lint_json_s.pop_back();
+    os << lint_json_s << "}\n";
+    return {os.str(), shown.has_errors() ? 1 : 0};
+  }
+
+  os << "# " << nl.source() << ": " << nl.gate_count() << " gates, depth "
+     << nl.depth() << ", critical delay "
+     << util::format_double(ista.critical_delay, 5) << " s, clock "
+     << util::format_double(ista.clock_period, 5) << " s\n";
+  os << "# survival: " << dead_sites << " of " << sites
+     << " sites statically pulse-dead (w_in_max "
+     << util::format_double(p.w_in_max, 4) << " s, w_th_floor "
+     << util::format_double(p.w_th_floor, 4) << " s, margin "
+     << util::format_double(p.margin, 3) << ")\n";
+  util::Table paths_t({"rank", "delay_s", "slack_s", "len", "path"});
+  for (std::size_t i = 0; i < slackiest.size(); ++i)
+    paths_t.add_row({std::to_string(i),
+                     util::format_double(slackiest[i].delay, 5),
+                     util::format_double(slackiest[i].slack, 5),
+                     std::to_string(slackiest[i].path.length()),
+                     path_string(slackiest[i].path)});
+  emit(os, paths_t, p.csv);
+  util::Table slack_t({"slack_at_least_frac", "gates"});
+  for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::size_t n_sites = 0;
+    for (logic::NetId id = 0; id < nl.size(); ++id) {
+      if (nl.gate(id).kind == logic::LogicKind::kInput) continue;
+      if (ista.slack[id].lo >= frac * ista.clock_period) ++n_sites;
+    }
+    slack_t.add_row({util::format_double(frac, 3), std::to_string(n_sites)});
+  }
+  emit(os, slack_t, p.csv);
+  if (!shown.empty()) lint::write_text(os, shown);
   return {os.str(), shown.has_errors() ? 1 : 0};
 }
 
@@ -403,6 +547,7 @@ QueryResult run_query(QueryKind kind, const QueryParams& params) {
     case QueryKind::kCoverage: return run_coverage(params);
     case QueryKind::kRmin: return run_rmin(params);
     case QueryKind::kLint: return run_lint(params);
+    case QueryKind::kSta: return run_sta(params);
   }
   throw PreconditionError("unhandled query kind");
 }

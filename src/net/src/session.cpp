@@ -13,7 +13,7 @@ bool known_key(const std::string& key) {
     std::vector<std::string> keys;
     for (const QueryKind kind :
          {QueryKind::kTransfer, QueryKind::kCalibrate, QueryKind::kCoverage,
-          QueryKind::kRmin, QueryKind::kLint}) {
+          QueryKind::kRmin, QueryKind::kLint, QueryKind::kSta}) {
       const auto& k = query_keys(kind);
       keys.insert(keys.end(), k.begin(), k.end());
     }
@@ -70,6 +70,16 @@ QueryParams Session::make_params(QueryKind kind, const std::string& arg) const {
       throw ParseError("no upload named '" + arg + "' in this session");
     params.lint_name = arg;
     params.lint_text = it->second;
+  } else if (kind == QueryKind::kSta && !arg.empty()) {
+    // `QUERY sta [<upload>]`: the upload is optional — without one the
+    // query falls back to the `bench` config path or the bundled
+    // benchmark, exactly like ppdtool.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = uploads_.find(arg);
+    if (it == uploads_.end())
+      throw ParseError("no upload named '" + arg + "' in this session");
+    params.bench_name = arg;
+    params.bench_text = it->second;
   } else if (!arg.empty()) {
     throw ParseError(std::string("query ") + query_kind_name(kind) +
                      " takes no argument");

@@ -1,0 +1,42 @@
+// SCOAP testability measures (Goldstein): combinational 0/1
+// controllability CC0/CC1 and observability CO per net, with saturating
+// arithmetic. The screen uses them to price side-input justification —
+// a path whose side inputs cannot be statically driven to their
+// non-controlling values (infinite controllability) can never propagate
+// the probe pulse and is rejected before any SPICE deck is built.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppd/logic/netlist.hpp"
+#include "ppd/logic/paths.hpp"
+
+namespace ppd::sta {
+
+/// Saturating sentinel: a value that can never be justified/observed.
+inline constexpr std::uint64_t kScoapInfinite = ~std::uint64_t{0};
+
+/// Saturating add that absorbs kScoapInfinite.
+[[nodiscard]] std::uint64_t scoap_add(std::uint64_t a, std::uint64_t b);
+
+struct ScoapResult {
+  std::vector<std::uint64_t> cc0;  ///< cost to drive the net to 0
+  std::vector<std::uint64_t> cc1;  ///< cost to drive the net to 1
+  std::vector<std::uint64_t> co;   ///< cost to observe the net at a PO
+};
+
+/// Compute CC0/CC1 forward and CO backward over the whole netlist.
+/// PIs: CC0 = CC1 = 1. POs: CO = 0. Everything saturates at
+/// kScoapInfinite instead of overflowing.
+[[nodiscard]] ScoapResult compute_scoap(const logic::Netlist& netlist);
+
+/// Total SCOAP cost to hold every side input along `path` at its
+/// non-controlling value (AND/NAND sides at 1, OR/NOR sides at 0; XOR-class
+/// and single-input gates cost nothing). kScoapInfinite means some side
+/// input is statically unjustifiable and the path cannot be sensitized.
+[[nodiscard]] std::uint64_t side_input_cost(const logic::Netlist& netlist,
+                                            const ScoapResult& scoap,
+                                            const logic::Path& path);
+
+}  // namespace ppd::sta

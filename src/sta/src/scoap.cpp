@@ -1,0 +1,174 @@
+#include "ppd/sta/scoap.hpp"
+
+#include <algorithm>
+
+#include "ppd/util/error.hpp"
+
+namespace ppd::sta {
+
+std::uint64_t scoap_add(std::uint64_t a, std::uint64_t b) {
+  if (a == kScoapInfinite || b == kScoapInfinite) return kScoapInfinite;
+  const std::uint64_t s = a + b;
+  return s < a ? kScoapInfinite : s;
+}
+
+namespace {
+
+using logic::LogicKind;
+
+std::uint64_t sat_min(std::uint64_t a, std::uint64_t b) {
+  return std::min(a, b);
+}
+
+/// CC of an XOR-class gate over its inputs, folded pairwise:
+/// xor(a,b) = 1 costs min(cc0a+cc1b, cc1a+cc0b), = 0 costs
+/// min(cc0a+cc0b, cc1a+cc1b); XNOR swaps the two.
+void fold_xor(bool xnor, const std::vector<std::uint64_t>& c0,
+              const std::vector<std::uint64_t>& c1, std::uint64_t& out0,
+              std::uint64_t& out1) {
+  std::uint64_t a0 = c0[0];
+  std::uint64_t a1 = c1[0];
+  for (std::size_t i = 1; i < c0.size(); ++i) {
+    const std::uint64_t same =
+        sat_min(scoap_add(a0, c0[i]), scoap_add(a1, c1[i]));
+    const std::uint64_t diff =
+        sat_min(scoap_add(a0, c1[i]), scoap_add(a1, c0[i]));
+    a0 = same;
+    a1 = diff;
+  }
+  if (xnor) {
+    out0 = a1;
+    out1 = a0;
+  } else {
+    out0 = a0;
+    out1 = a1;
+  }
+}
+
+}  // namespace
+
+ScoapResult compute_scoap(const logic::Netlist& netlist) {
+  const std::size_t n = netlist.size();
+  ScoapResult res;
+  res.cc0.assign(n, kScoapInfinite);
+  res.cc1.assign(n, kScoapInfinite);
+  res.co.assign(n, kScoapInfinite);
+
+  const auto order = netlist.topological_order();
+
+  for (logic::NetId id : order) {
+    const logic::Gate& g = netlist.gate(id);
+    if (g.kind == LogicKind::kInput) {
+      res.cc0[id] = 1;
+      res.cc1[id] = 1;
+      continue;
+    }
+    std::vector<std::uint64_t> in0;
+    std::vector<std::uint64_t> in1;
+    in0.reserve(g.fanin.size());
+    in1.reserve(g.fanin.size());
+    for (logic::NetId f : g.fanin) {
+      in0.push_back(res.cc0[f]);
+      in1.push_back(res.cc1[f]);
+    }
+    std::uint64_t all0 = 1;  // every input at its value, +1 for the gate
+    std::uint64_t all1 = 1;
+    std::uint64_t min0 = kScoapInfinite;  // cheapest single input
+    std::uint64_t min1 = kScoapInfinite;
+    for (std::size_t i = 0; i < in0.size(); ++i) {
+      all0 = scoap_add(all0, in0[i]);
+      all1 = scoap_add(all1, in1[i]);
+      min0 = sat_min(min0, scoap_add(in0[i], 1));
+      min1 = sat_min(min1, scoap_add(in1[i], 1));
+    }
+    switch (g.kind) {
+      case LogicKind::kBuf:
+        res.cc0[id] = scoap_add(in0[0], 1);
+        res.cc1[id] = scoap_add(in1[0], 1);
+        break;
+      case LogicKind::kNot:
+        res.cc0[id] = scoap_add(in1[0], 1);
+        res.cc1[id] = scoap_add(in0[0], 1);
+        break;
+      case LogicKind::kAnd:
+        res.cc0[id] = min0;
+        res.cc1[id] = all1;
+        break;
+      case LogicKind::kNand:
+        res.cc0[id] = all1;
+        res.cc1[id] = min0;
+        break;
+      case LogicKind::kOr:
+        res.cc0[id] = all0;
+        res.cc1[id] = min1;
+        break;
+      case LogicKind::kNor:
+        res.cc0[id] = min1;
+        res.cc1[id] = all0;
+        break;
+      case LogicKind::kXor:
+      case LogicKind::kXnor: {
+        std::uint64_t o0 = kScoapInfinite;
+        std::uint64_t o1 = kScoapInfinite;
+        fold_xor(g.kind == LogicKind::kXnor, in0, in1, o0, o1);
+        res.cc0[id] = scoap_add(o0, 1);
+        res.cc1[id] = scoap_add(o1, 1);
+        break;
+      }
+      case LogicKind::kInput: break;  // handled above
+    }
+  }
+
+  // Backward observability: observing input i of gate g requires observing
+  // g plus holding the other inputs non-controlling (AND/NAND: 1, OR/NOR:
+  // 0; XOR-class: either value, take the cheaper).
+  for (logic::NetId o : netlist.outputs()) res.co[o] = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const logic::NetId id = *it;
+    const logic::Gate& g = netlist.gate(id);
+    if (g.kind == LogicKind::kInput) continue;
+    for (logic::NetId f : g.fanin) {
+      std::uint64_t cost = scoap_add(res.co[id], 1);
+      for (logic::NetId s : g.fanin) {
+        if (s == f) continue;
+        std::uint64_t side = kScoapInfinite;
+        switch (g.kind) {
+          case LogicKind::kAnd:
+          case LogicKind::kNand: side = res.cc1[s]; break;
+          case LogicKind::kOr:
+          case LogicKind::kNor: side = res.cc0[s]; break;
+          case LogicKind::kXor:
+          case LogicKind::kXnor:
+            side = sat_min(res.cc0[s], res.cc1[s]);
+            break;
+          default: side = 0; break;
+        }
+        cost = scoap_add(cost, side);
+      }
+      res.co[f] = sat_min(res.co[f], cost);
+    }
+  }
+  return res;
+}
+
+std::uint64_t side_input_cost(const logic::Netlist& netlist,
+                              const ScoapResult& scoap,
+                              const logic::Path& path) {
+  PPD_REQUIRE(!path.nets.empty(), "empty path");
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < path.nets.size(); ++i) {
+    const logic::Gate& g = netlist.gate(path.nets[i]);
+    const auto ctrl = logic::controlling_value(g.kind);
+    if (!ctrl.has_value()) continue;  // XOR-class / NOT / BUF: no side cost
+    for (logic::NetId s : g.fanin) {
+      if (s == path.nets[i - 1]) continue;
+      // Non-controlling value: the complement of the controlling one.
+      const std::uint64_t c =
+          *ctrl ? scoap.cc0[s] : scoap.cc1[s];
+      total = scoap_add(total, c);
+    }
+  }
+  return total;
+}
+
+}  // namespace ppd::sta

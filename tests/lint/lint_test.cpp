@@ -82,6 +82,32 @@ TEST(Diagnostics, FilteringBySeverityAndSuppression) {
   EXPECT_FALSE(rest.has_errors());
 }
 
+TEST(Diagnostics, KnownCodesCoverEveryFamily) {
+  const auto& codes = lint::known_codes();
+  EXPECT_FALSE(codes.empty());
+  for (const char* c : {"PPD001", "PPD014", "PPD101", "PPD110", "PPD201",
+                        "PPD207", "PPD301", "PPD304"})
+    EXPECT_TRUE(lint::is_known_code(c)) << c;
+  EXPECT_FALSE(lint::is_known_code("PPD999"));
+  EXPECT_FALSE(lint::is_known_code("PPD3"));
+  EXPECT_FALSE(lint::is_known_code("ppd001"));  // codes are case-sensitive
+}
+
+TEST(Diagnostics, ParseSuppressListValidatesCodes) {
+  EXPECT_EQ(lint::parse_suppress_list("PPD001"),
+            (std::vector<std::string>{"PPD001"}));
+  EXPECT_EQ(lint::parse_suppress_list(" PPD004 , PPD301 "),
+            (std::vector<std::string>{"PPD004", "PPD301"}));
+  // Empty fields and the empty list are fine (no suppression).
+  EXPECT_TRUE(lint::parse_suppress_list("").empty());
+  EXPECT_TRUE(lint::parse_suppress_list(" , ,").empty());
+  // Unknown or malformed codes are hard errors, not silently dead filters.
+  EXPECT_THROW((void)lint::parse_suppress_list("PPD999"), ParseError);
+  EXPECT_THROW((void)lint::parse_suppress_list("PPD001,PPD9999"), ParseError);
+  EXPECT_THROW((void)lint::parse_suppress_list("301"), ParseError);
+  EXPECT_THROW((void)lint::parse_suppress_list("PPD001;PPD004"), ParseError);
+}
+
 TEST(Diagnostics, TextReporterFormat) {
   Report report;
   report.add(Severity::kError, "PPD001", "f.bench:3", "combinational cycle",

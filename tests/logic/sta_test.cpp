@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "ppd/logic/bench.hpp"
 #include "ppd/util/error.hpp"
 
@@ -97,6 +100,89 @@ TEST(Sta, SyntheticBenchmarkHasSlackSpread) {
   // And the critical path itself has (near) zero slack.
   const Path crit = critical_path(nl, sta, GateTimingLibrary::generic());
   EXPECT_LT(sta.slack_at(crit.nets[crit.length() / 2]), 1e-12);
+}
+
+TEST(Sta, InverterChainUsesAlternatingEdgeDelays) {
+  // Polarity regression: through two inverters, a launched rising edge
+  // falls at the first output (delay_fall) and rises again at the second
+  // (delay_rise) — 120 + 60 = 180 ps either way, NOT 2 x max = 240 ps.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g1 = nl.add_gate(LogicKind::kNot, "g1", {a});
+  const NetId g2 = nl.add_gate(LogicKind::kNot, "g2", {g1});
+  nl.mark_output(g2);
+  GateTimingLibrary lib;
+  GateTiming t;
+  t.delay_rise = 120e-12;
+  t.delay_fall = 60e-12;
+  lib.set(LogicKind::kNot, t);
+  const StaResult sta = run_sta(nl, lib);
+  EXPECT_DOUBLE_EQ(sta.arrival_rise[g1], 120e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival_fall[g1], 60e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival_rise[g2], 60e-12 + 120e-12);
+  EXPECT_DOUBLE_EQ(sta.arrival_fall[g2], 120e-12 + 60e-12);
+  EXPECT_DOUBLE_EQ(sta.critical_delay, 180e-12);
+  // And the critical path still walks the whole chain.
+  const Path p = critical_path(nl, sta, lib);
+  ASSERT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.input(), a);
+  EXPECT_EQ(p.output(), g2);
+}
+
+TEST(Sta, SingleGateNetlist) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate(LogicKind::kBuf, "g", {a});
+  nl.mark_output(g);
+  const StaResult sta = run_sta(nl, flat_library());
+  EXPECT_DOUBLE_EQ(sta.critical_delay, 100e-12);
+  const Path p = critical_path(nl, sta, flat_library());
+  ASSERT_EQ(p.length(), 2u);
+  EXPECT_EQ(p.input(), a);
+  EXPECT_EQ(p.output(), g);
+  EXPECT_NEAR(sta.slack_at(g), 0.0, 1e-18);
+  ASSERT_EQ(slack_sites(nl, sta, -1e-15).size(), 1u);
+}
+
+TEST(Sta, GateReachingNoOutputClampsSlackToClock) {
+  // `dead` feeds nothing that reaches an output: its required time stays
+  // infinite, and the reported slack clamps against the clock period
+  // instead of going infinite.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(LogicKind::kNot, "g", {a});
+  const NetId dead = nl.add_gate(LogicKind::kNot, "dead", {b});
+  (void)dead;
+  nl.mark_output(g);
+  const StaResult sta = run_sta(nl, flat_library(), 500e-12);
+  EXPECT_TRUE(std::isinf(sta.required[nl.find("dead")]));
+  EXPECT_NEAR(sta.slack_at(nl.find("dead")), 500e-12 - 100e-12, 1e-18);
+  // slack_sites at a generous threshold picks it up (alongside the equally
+  // slack output gate), not infinity-NaN.
+  const auto sites = slack_sites(nl, sta, 300e-12);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_TRUE(std::find(sites.begin(), sites.end(), nl.find("dead")) !=
+              sites.end());
+}
+
+TEST(Sta, CriticalPathTieBreakIsDeterministic) {
+  // Two exactly tied 2-level branches into one NAND: the walk must keep
+  // the first (lowest-id) fanin at every tie, run after run.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId ga = nl.add_gate(LogicKind::kNot, "ga", {a});
+  const NetId gb = nl.add_gate(LogicKind::kNot, "gb", {b});
+  const NetId out = nl.add_gate(LogicKind::kNand, "out", {ga, gb});
+  nl.mark_output(out);
+  const StaResult sta = run_sta(nl, flat_library());
+  EXPECT_DOUBLE_EQ(sta.arrival[ga], sta.arrival[gb]);  // the tie is exact
+  const Path first = critical_path(nl, sta, flat_library());
+  ASSERT_EQ(first.length(), 3u);
+  EXPECT_EQ(first.nets[1], ga) << "tie must resolve to the first fanin";
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(critical_path(nl, sta, flat_library()).nets, first.nets);
 }
 
 TEST(Sta, UsesWorstEdgeDelay) {

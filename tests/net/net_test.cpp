@@ -106,9 +106,9 @@ TEST(Socket, CloseWakesAccept) {
 TEST(Query, KindNamesRoundTrip) {
   for (const QueryKind kind :
        {QueryKind::kTransfer, QueryKind::kCalibrate, QueryKind::kCoverage,
-        QueryKind::kRmin, QueryKind::kLint})
+        QueryKind::kRmin, QueryKind::kLint, QueryKind::kSta})
     EXPECT_EQ(query_kind_from_string(query_kind_name(kind)), kind);
-  EXPECT_THROW((void)query_kind_from_string("sta"), ParseError);
+  EXPECT_THROW((void)query_kind_from_string("atpg"), ParseError);
 }
 
 TEST(Query, DefaultsMatchDocumentedCliDefaults) {
@@ -124,6 +124,22 @@ TEST(Query, DefaultsMatchDocumentedCliDefaults) {
   const QueryParams rmin = params_from_lookup(QueryKind::kRmin, absent);
   EXPECT_EQ(rmin.samples, 20);
   EXPECT_EQ(rmin.bisection_steps, 10);
+  const QueryParams sta = params_from_lookup(QueryKind::kSta, absent);
+  EXPECT_EQ(sta.k_paths, 5u);
+  EXPECT_DOUBLE_EQ(sta.clock, 0.0);
+  EXPECT_DOUBLE_EQ(sta.w_in_max, 1.2e-9);
+  EXPECT_DOUBLE_EQ(sta.w_th_floor, 50e-12);
+  EXPECT_DOUBLE_EQ(sta.margin, 0.25);
+  EXPECT_DOUBLE_EQ(sta.slack_frac, 0.25);
+}
+
+TEST(Query, SuppressListIsValidatedAtRunTime) {
+  const auto lookup = [](const std::string& key) -> std::optional<std::string> {
+    if (key == "suppress") return "PPD999";
+    return std::nullopt;
+  };
+  const QueryParams params = params_from_lookup(QueryKind::kSta, lookup);
+  EXPECT_THROW((void)run_query(QueryKind::kSta, params), ParseError);
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +163,10 @@ std::string direct_body(
   if (kind == QueryKind::kLint) {
     params.lint_name = "t.bench";
     params.lint_text = kBenchText;
+  }
+  if (kind == QueryKind::kSta) {
+    params.bench_name = "t.bench";
+    params.bench_text = kBenchText;
   }
   return run_query(kind, params).body;
 }
@@ -186,6 +206,26 @@ TEST_F(ServiceTest, UploadedLintIsByteIdenticalAndCarriesExitCode) {
 
   // An unknown upload name is an ERR at submit time, not a result event.
   EXPECT_THROW((void)client.run("lint", "missing.bench"), ServiceError);
+  client.quit();
+}
+
+TEST_F(ServiceTest, UploadedStaIsByteIdenticalToDirect) {
+  Client client = Client::connect(server_->port());
+  client.upload("t.bench", kBenchText);
+  const Client::Result res = client.run("sta", "t.bench");
+  EXPECT_EQ(res.status, "ok");
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_EQ(res.body, direct_body(QueryKind::kSta, {}));
+  client.quit();
+}
+
+TEST_F(ServiceTest, ServedStaRejectsUnknownSuppressCodes) {
+  Client client = Client::connect(server_->port());
+  client.upload("t.bench", kBenchText);
+  client.set("suppress", "PPD999");
+  const Client::Result res = client.run("sta", "t.bench");
+  EXPECT_EQ(res.status, "error");
+  EXPECT_NE(res.error.find("unknown diagnostic code"), std::string::npos);
   client.quit();
 }
 

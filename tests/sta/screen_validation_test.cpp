@@ -1,0 +1,244 @@
+// Brute-force vs screened electrical cross-validation of the static path
+// screen (the PR's safety contract):
+//
+//  * the screened flow's kept set is a subset of the brute-force candidate
+//    population, and every screened-out path is individually accounted for;
+//  * zero missed detections — every path the screen rejects as pulse-dead
+//    is electrically infeasible in the brute-force flow too (calibration
+//    fails or nothing is detectable through it);
+//  * the kept paths' electrical results are bit-identical to the
+//    brute-force flow's results for the same paths;
+//  * the screen saves at least 3x the SPICE transient work on the
+//    constrained-generator c432-class workload.
+//
+// The workload constrains the on-chip generator (w_in_max = 155 ps): the
+// paper's premise is a cheap local generator, and narrow ceilings are where
+// static screening pays. Controls: a single-inverter path that is both
+// electrically feasible and screen-kept (the screen must not kill live
+// paths), and a 9-stage NAND chain that is both screen-dead and
+// electrically dead (the screen must reject it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/core/path_screen.hpp"
+#include "ppd/core/pulse_test.hpp"
+#include "ppd/faults/fault.hpp"
+#include "ppd/logic/bench.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::sta {
+namespace {
+
+// The constrained-generator workload, shared verbatim with the
+// bench_perf_engine path_screen section (keep in sync).
+constexpr double kWInMax = 0.155e-9;
+constexpr double kWThFloor = 50e-12;
+constexpr double kMargin = 0.10;
+
+core::CandidateSelectionOptions workload_options(bool screen) {
+  core::CandidateSelectionOptions opt;
+  opt.max_candidates = 12;
+  opt.min_length = 3;
+  opt.screen = screen;
+  opt.screen_options.w_in_max = kWInMax;
+  opt.screen_options.w_th_floor = kWThFloor;
+  opt.screen_options.margin = kMargin;
+  return opt;
+}
+
+core::PulseCalibrationOptions calibration_options() {
+  core::PulseCalibrationOptions popt;
+  popt.samples = 3;
+  popt.seed = 2007;
+  popt.variation = mc::VariationModel::uniform_sigma(0.05);
+  // The electrical grid tops out exactly at the screen's generator
+  // ceiling: the screen may assume no wider pulse is ever launched.
+  popt.w_in_grid = core::linspace(0.07e-9, kWInMax, 7);
+  popt.w_th_floor = kWThFloor;
+  return popt;
+}
+
+struct ElectricalOutcome {
+  bool feasible = false;
+  double w_in = 0.0;
+  double w_th = 0.0;
+  double min_fault_free_w_out = 0.0;
+};
+
+ElectricalOutcome characterize(const core::PathCandidate& c) {
+  core::PathFactory factory;
+  factory.options.kinds = c.kinds;
+  faults::PathFaultSpec fault;
+  fault.kind = faults::FaultKind::kExternalRopOutput;
+  fault.stage = c.fault_stage;
+  factory.fault = fault;
+  ElectricalOutcome out;
+  try {
+    const auto cal = core::calibrate_pulse_test(factory, calibration_options());
+    out.feasible = true;
+    out.w_in = cal.w_in;
+    out.w_th = cal.w_th;
+    out.min_fault_free_w_out = cal.min_fault_free_w_out;
+  } catch (const NumericalError&) {
+    // No grid point supports a zero-false-positive pulse test: the path
+    // cannot detect anything under this generator.
+  }
+  return out;
+}
+
+std::uint64_t transient_runs() {
+  return obs::counter("spice.transient.runs").value();
+}
+
+TEST(ScreenValidation, KeptIsSubsetOfBruteForcePopulation) {
+  const logic::Netlist nl =
+      logic::synthetic_benchmark(logic::SyntheticOptions{});
+  const auto lib = logic::GateTimingLibrary::generic();
+  const auto brute = core::select_path_candidates(nl, lib, workload_options(false));
+  const auto screened = core::select_path_candidates(nl, lib, workload_options(true));
+
+  // Screening filters the identical capped population: same candidates, in
+  // the same order — the kept set is a subset by construction.
+  ASSERT_EQ(brute.candidates.size(), screened.candidates.size());
+  for (std::size_t i = 0; i < brute.candidates.size(); ++i) {
+    EXPECT_EQ(brute.candidates[i].path.nets, screened.candidates[i].path.nets);
+    EXPECT_EQ(brute.candidates[i].fault_stage, screened.candidates[i].fault_stage);
+  }
+  EXPECT_EQ(brute.kept.size(), brute.candidates.size());
+  EXPECT_EQ(brute.pulse_dead, 0u);
+  ASSERT_EQ(screened.screened.size(), screened.candidates.size());
+  EXPECT_EQ(screened.kept.size() + screened.pulse_dead,
+            screened.candidates.size());
+  for (std::size_t idx : screened.kept) {
+    ASSERT_LT(idx, screened.candidates.size());
+    EXPECT_EQ(screened.screened[idx].verdict, Verdict::kKept);
+  }
+  // The workload must actually prune hard enough to matter (>= 3x).
+  EXPECT_GE(screened.candidates.size(), 3 * screened.kept.size())
+      << "screen must prune >= 3x of the constrained-generator population";
+}
+
+TEST(ScreenValidation, FeasiblePathIsKept) {
+  // Positive control: a single inverter is electrically calibratable under
+  // the constrained grid, and the screen keeps it.
+  logic::Netlist nl;
+  const logic::NetId a = nl.add_input("a");
+  const logic::NetId g = nl.add_gate(logic::LogicKind::kNot, "g", {a});
+  nl.mark_output(g);
+  logic::Path p;
+  p.nets = {a, g};
+
+  ScreenOptions sopt;
+  sopt.w_in_max = kWInMax;
+  sopt.w_th_floor = kWThFloor;
+  sopt.margin = kMargin;
+  const ScreenReport report =
+      screen_paths(nl, logic::GateTimingLibrary::generic(), {p}, sopt);
+  ASSERT_EQ(report.paths.size(), 1u);
+  EXPECT_EQ(report.paths[0].verdict, Verdict::kKept);
+
+  core::PathCandidate c;
+  c.path = p;
+  c.kinds = {cells::GateKind::kInv};
+  c.fault_stage = 0;
+  const ElectricalOutcome e = characterize(c);
+  EXPECT_TRUE(e.feasible)
+      << "the positive control must calibrate under the constrained grid";
+  EXPECT_LE(e.w_in, kWInMax);
+  EXPECT_GE(e.w_th, kWThFloor);
+}
+
+TEST(ScreenValidation, DeadPathIsPrunedAndElectricallyInfeasible) {
+  // Negative control: nine NAND stages block every pulse the constrained
+  // generator can launch — the screen proves it, SPICE confirms it.
+  logic::Netlist nl;
+  const logic::NetId a = nl.add_input("a");
+  logic::NetId prev = a;
+  logic::Path p;
+  p.nets = {a};
+  for (int i = 0; i < 9; ++i) {
+    prev = nl.add_gate(logic::LogicKind::kNand, "n" + std::to_string(i),
+                       {prev, prev});
+    p.nets.push_back(prev);
+  }
+  nl.mark_output(prev);
+
+  ScreenOptions sopt;
+  sopt.w_in_max = kWInMax;
+  sopt.w_th_floor = kWThFloor;
+  sopt.margin = kMargin;
+  sopt.justify = false;
+  const ScreenReport report =
+      screen_paths(nl, logic::GateTimingLibrary::generic(), {p}, sopt);
+  ASSERT_EQ(report.paths.size(), 1u);
+  EXPECT_EQ(report.paths[0].verdict, Verdict::kPulseDead);
+  EXPECT_GT(report.paths[0].w_required, kWInMax);
+
+  core::PathCandidate c;
+  c.path = p;
+  c.kinds.assign(9, cells::GateKind::kNand2);
+  c.fault_stage = 4;
+  const ElectricalOutcome e = characterize(c);
+  EXPECT_FALSE(e.feasible)
+      << "screen-dead path must be electrically infeasible: w_in = " << e.w_in;
+}
+
+TEST(ScreenValidation, ZeroMissedDetectionsAndThreeFoldSavings) {
+  const logic::Netlist nl =
+      logic::synthetic_benchmark(logic::SyntheticOptions{});
+  const auto lib = logic::GateTimingLibrary::generic();
+  const auto screened = core::select_path_candidates(nl, lib, workload_options(true));
+  ASSERT_FALSE(screened.candidates.empty());
+
+  // Brute-force flow: every candidate goes to the electrical layer.
+  cache::SolveCache::global().clear();
+  const std::uint64_t sims_before_brute = transient_runs();
+  std::vector<ElectricalOutcome> brute;
+  brute.reserve(screened.candidates.size());
+  for (const auto& c : screened.candidates) brute.push_back(characterize(c));
+  const std::uint64_t sims_brute = transient_runs() - sims_before_brute;
+
+  // Screened flow: only the kept paths do.
+  cache::SolveCache::global().clear();
+  const std::uint64_t sims_before_screened = transient_runs();
+  std::vector<ElectricalOutcome> kept_outcomes;
+  for (std::size_t idx : screened.kept)
+    kept_outcomes.push_back(characterize(screened.candidates[idx]));
+  const std::uint64_t sims_screened = transient_runs() - sims_before_screened;
+
+  // Zero missed detections: no screened-out path was electrically feasible
+  // in the brute-force flow.
+  for (std::size_t i = 0; i < screened.candidates.size(); ++i) {
+    const bool kept = screened.screened[i].verdict == Verdict::kKept;
+    if (kept) continue;
+    EXPECT_FALSE(brute[i].feasible)
+        << "missed detection: screened-out candidate " << i << " ("
+        << nl.gate(screened.candidates[i].path.output()).name
+        << ") calibrated at w_in = " << brute[i].w_in;
+  }
+
+  // Kept results are bit-identical between the flows (same factories, same
+  // seeds, cache cleared before each flow).
+  for (std::size_t k = 0; k < screened.kept.size(); ++k) {
+    const std::size_t i = screened.kept[k];
+    EXPECT_EQ(brute[i].feasible, kept_outcomes[k].feasible) << i;
+    EXPECT_EQ(brute[i].w_in, kept_outcomes[k].w_in) << i;
+    EXPECT_EQ(brute[i].w_th, kept_outcomes[k].w_th) << i;
+    EXPECT_EQ(brute[i].min_fault_free_w_out,
+              kept_outcomes[k].min_fault_free_w_out)
+        << i;
+  }
+
+  // >= 3x fewer SPICE transients.
+  ASSERT_GT(sims_brute, 0u);
+  EXPECT_GE(sims_brute, 3 * sims_screened)
+      << "sims_brute = " << sims_brute << ", sims_screened = " << sims_screened;
+}
+
+}  // namespace
+}  // namespace ppd::sta

@@ -24,6 +24,40 @@ for f in "$repo"/data/*.bench; do
   "$build/tools/ppdtool" lint "$f"
 done
 
+echo "== sta stage (interval STA + PPD3xx screen over data/) =="
+# The static-analysis gate: `ppdtool sta --json` must emit well-formed JSON
+# with the documented shape for every shipped netlist, and the PPD3xx lint
+# family must come back clean on them — or be suppressed here with a
+# rationale.
+for f in "$repo"/data/*.bench; do
+  echo "-- $f"
+  suppress=""
+  case "$(basename "$f")" in
+    c432_class.bench)
+      # PPD302 (unjustifiable side input) is expected on the c432-class
+      # netlist: its reconvergent fanout makes many individually-slackiest
+      # paths unsensitizable while the sites stay covered through sibling
+      # paths — the screen itself reroutes them (see the funnel in
+      # bench_fig11). Anything else in the PPD3xx family is a regression.
+      suppress="--suppress=PPD302";;
+  esac
+  if command -v jq >/dev/null 2>&1; then
+    "$build/tools/ppdtool" sta --json --bench="$f" $suppress |
+      jq -e '(.netlist.gates > 0) and (.timing.critical_delay_s > 0) and
+             (.slackiest_paths | length > 0) and
+             (.survival.sites >= .survival.pulse_dead_sites) and
+             (.lint.diagnostics |
+              map(select(.code | test("^PPD3"))) | length == 0)' >/dev/null
+  else
+    "$build/tools/ppdtool" sta --bench="$f" $suppress >/dev/null
+  fi
+done
+# Unknown suppress codes are hard errors on the sta path too.
+if "$build/tools/ppdtool" sta --suppress=PPD999 >/dev/null 2>&1; then
+  echo "sta stage: unknown --suppress code unexpectedly accepted" >&2
+  exit 1
+fi
+
 echo "== observability smoke (metrics + trace JSON) =="
 # A tiny coverage run must produce a valid metrics snapshot (with a
 # non-empty Newton-iteration histogram and the standard meta block) and a
@@ -148,15 +182,16 @@ kill -TERM "$ppdd_pid"
 wait "$ppdd_pid"  # graceful drain: exit 0 or set -e fails the stage
 grep -q "ppdd stopped" "$obs_dir/ppdd.log"
 
-echo "== resil + exec + cache + net under TSan and UBSan =="
+echo "== resil + exec + cache + net + sta under TSan and UBSan =="
 # The recovery/quarantine/checkpoint paths are themselves exercised under
-# injected chaos, and the sharded solve cache takes concurrent mixed
-# traffic; run those suites with the race and UB detectors on.
+# injected chaos, the sharded solve cache takes concurrent mixed traffic,
+# and the path screen fans out across a thread pool; run those suites with
+# the race and UB detectors on.
 for san in thread undefined; do
   sbuild="$build-$san"
   cmake -B "$sbuild" -S "$repo" -DPPD_SANITIZE="$san" >/dev/null
   cmake --build "$sbuild" -j "$(nproc)" \
-    --target test_resil test_exec test_cache test_net >/dev/null
+    --target test_resil test_exec test_cache test_net test_sta >/dev/null
   echo "-- $san: test_resil"
   "$sbuild/tests/test_resil" --gtest_brief=1
   echo "-- $san: test_exec"
@@ -165,6 +200,8 @@ for san in thread undefined; do
   "$sbuild/tests/test_cache" --gtest_brief=1
   echo "-- $san: test_net"
   "$sbuild/tests/test_net" --gtest_brief=1
+  echo "-- $san: test_sta"
+  "$sbuild/tests/test_sta" --gtest_brief=1
 done
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -11,8 +11,10 @@
 //       One-shot query: open a session, SET every flag, run the query, and
 //       print the result body — byte-identical to the equivalent ppdtool
 //       invocation — exiting with the query's exit code.
-//       kind: transfer|calibrate|coverage|rmin|lint
+//       kind: transfer|calibrate|coverage|rmin|lint|sta
 //       `query lint <file>` uploads the local file first.
+//       `query sta [<file>]` optionally uploads a .bench file; without one
+//       the server uses its `bench` config path or the bundled benchmark.
 //
 //   ppdctl [--port=N] batch
 //       Scripted session from stdin, one command per line:
@@ -57,12 +59,18 @@ std::string base_name(const std::string& path) {
 int cmd_query(net::Client& client, int argc, char** argv) {
   if (argc < 1)
     throw ParseError(
-        "query needs a kind (transfer|calibrate|coverage|rmin|lint)");
+        "query needs a kind (transfer|calibrate|coverage|rmin|lint|sta)");
   const std::string kind = argv[0];
   std::string arg;
   int flags_from = 1;
   if (util::iequals(kind, "lint")) {
     if (argc < 2) throw ParseError("query lint needs a file");
+    const std::string path = argv[1];
+    arg = base_name(path);
+    client.upload(arg, slurp_file(path));
+    flags_from = 2;
+  } else if (util::iequals(kind, "sta") && argc >= 2 &&
+             !util::starts_with(argv[1], "--")) {
     const std::string path = argv[1];
     arg = base_name(path);
     client.upload(arg, slurp_file(path));

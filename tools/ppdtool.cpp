@@ -27,9 +27,14 @@
 //       Bisect the minimum detectable fault resistance R_min of the pulse
 //       test (Fig. 10 style). Same signal semantics as coverage.
 //
-//   ppdtool sta       [--bench=FILE] [--clock=s]
-//       Static timing report of a .bench netlist (bundled C432-class
-//       benchmark when no file is given).
+//   ppdtool sta       [--bench=FILE] [--clock=s] [--k=N] [--w-in-max=s]
+//                     [--w-th-floor=s] [--margin=F] [--slack-frac=F]
+//                     [--suppress=PPD301,...] [--json]
+//       Static path-screening report of a .bench netlist (bundled
+//       C432-class benchmark when no file is given): four-value interval
+//       STA, the K slackiest paths (branch-and-bound), static
+//       pulse-survival site counts, and the PPD3xx testability lint
+//       family. --json emits the whole report as one JSON object.
 //
 //   ppdtool atpg      [--bench=FILE] [--r=ohm] [--slack=FRACTION]
 //       Logic-level ROP fault list at slack sites + greedy pulse-test ATPG.
@@ -209,28 +214,6 @@ int cmd_query(net::QueryKind kind, int argc, char** argv,
   }
 }
 
-int cmd_sta(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"bench", "clock", "csv"});
-  const logic::Netlist nl = netlist_from_cli(cli);
-  const auto lib = logic::GateTimingLibrary::generic();
-  const auto sta = logic::run_sta(nl, lib, cli.get("clock", 0.0));
-  std::cout << "# " << nl.gate_count() << " gates, depth " << nl.depth()
-            << ", critical delay "
-            << util::format_double(sta.critical_delay, 5) << " s, clock "
-            << util::format_double(sta.clock_period, 5) << " s\n";
-  const auto crit = logic::critical_path(nl, sta, lib);
-  std::cout << "# critical path:";
-  for (logic::NetId n : crit.nets) std::cout << ' ' << nl.gate(n).name;
-  std::cout << "\n";
-  util::Table t({"slack_at_least_frac", "gates"});
-  for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5})
-    t.add_row({util::format_double(frac, 3),
-               std::to_string(
-                   logic::slack_sites(nl, sta, frac * sta.clock_period).size())});
-  emit(t, cli.has("csv"));
-  return 0;
-}
-
 int cmd_atpg(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"bench", "r", "slack", "paths", "csv"});
   const logic::Netlist nl = netlist_from_cli(cli);
@@ -320,9 +303,10 @@ int cmd_lint(int argc, char** argv) {
       filter.min_severity = lint::severity_from_string(
           arg.substr(std::string("--min-severity=").size()));
     } else if (util::starts_with(arg, "--suppress=")) {
-      for (const auto& code :
-           util::split(arg.substr(std::string("--suppress=").size()), ','))
-        filter.suppress.emplace_back(util::trim(code));
+      // Unknown/malformed codes are hard errors, not silently dead filters.
+      for (auto& code : lint::parse_suppress_list(
+               arg.substr(std::string("--suppress=").size())))
+        filter.suppress.push_back(std::move(code));
     } else if (util::starts_with(arg, "--")) {
       throw ppd::ParseError("unknown lint flag: " + arg);
     } else {
@@ -379,7 +363,8 @@ int main(int argc, char** argv) {
       return cmd_query(net::QueryKind::kCoverage, argc - 1, argv + 1, true);
     if (cmd == "rmin")
       return cmd_query(net::QueryKind::kRmin, argc - 1, argv + 1, true);
-    if (cmd == "sta") return cmd_sta(argc - 1, argv + 1);
+    if (cmd == "sta")
+      return cmd_query(net::QueryKind::kSta, argc - 1, argv + 1, false);
     if (cmd == "atpg") return cmd_atpg(argc - 1, argv + 1);
     if (cmd == "export") return cmd_export(argc - 1, argv + 1);
     if (cmd == "vcd") return cmd_vcd(argc - 1, argv + 1);
