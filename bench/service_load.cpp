@@ -3,14 +3,23 @@
 //
 // Emits perf_engine-style JSON rows:
 //   {"section":"meta",...}
-//   {"section":"service_load","pass":"cold"|"warm","clients":N,...,
-//    "p50_ms":...,"p99_ms":...,"throughput_qps":...,"identical":true}
-//   {"section":"service_load_summary","warm_p50_speedup":...}
+//   {"section":"service_load","pass":"cold"|"warm"|"warm_noobs",
+//    "clients":N,...,"p50_ms":...,"p99_ms":...,"throughput_qps":...,
+//    "identical":true}
+//   {"section":"service_obs_overhead","p50_on_ms":...,"p50_off_ms":...,
+//    "overhead_pct":...}
+//   {"section":"service_load_summary","warm_p50_speedup":...,
+//    "metrics_events":N,...}
 //
 // Every served response is compared byte-for-byte against the result of
 // calling net::run_query directly with the same parameters — the
 // bit-identity contract under concurrent multi-client load, not just in the
-// single-shot case. The bench exits non-zero if any response diverges.
+// single-shot case. Every result event must also carry a non-zero query id
+// and a positive execute time (the observability contract). A subscriber
+// client rides along during the warm pass and validates the SUBSCRIBE
+// metrics stream. The warm_noobs pass replays the warm workload with
+// metrics recording disabled, measuring the observability overhead on the
+// served path. The bench exits non-zero if any contract breaks.
 //
 //   --clients=N   concurrent client connections (default 6, min 4)
 //   --rounds=N    repetitions of the query mix per client (default 2)
@@ -25,8 +34,10 @@
 
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/net/client.hpp"
+#include "ppd/net/protocol.hpp"
 #include "ppd/net/query.hpp"
 #include "ppd/net/server.hpp"
+#include "ppd/obs/metrics.hpp"
 #include "ppd/obs/run.hpp"
 #include "ppd/util/cli.hpp"
 
@@ -92,7 +103,11 @@ ClientStats run_client(std::uint16_t port, int rounds,
       const net::Client::Result res = client.run(mix[q].kind, mix[q].arg);
       stats.latencies_s.push_back(
           std::chrono::duration<double>(Clock::now() - start).count());
-      if (res.status != "ok" || res.body != expected[q]) ++stats.mismatches;
+      // Body byte-identity plus the observability contract: every result
+      // carries its server-wide query id and a positive execute time.
+      if (res.status != "ok" || res.body != expected[q] || res.qid == 0 ||
+          res.execute_s <= 0.0)
+        ++stats.mismatches;
     }
   }
   client.quit();
@@ -151,6 +166,39 @@ PassResult run_pass(const char* pass, std::uint16_t port, int clients,
   return res;
 }
 
+struct SubscriberResult {
+  int events = 0;
+  bool ok = false;
+};
+
+/// Ride-along metrics subscriber: SUBSCRIBE at a fast period, validate
+/// `want` consecutive frames (parseable, seq increments, stats present).
+SubscriberResult run_subscriber(std::uint16_t port, int want) {
+  SubscriberResult out;
+  try {
+    net::Client client = net::Client::connect(port);
+    client.subscribe(0.05);
+    std::uint64_t last_seq = 0;
+    while (out.events < want) {
+      const auto line = client.next_event();
+      if (!line) return out;
+      if (line->rfind("{\"event\":\"metrics\"", 0) != 0) continue;
+      const net::JsonValue ev = net::parse_json(*line);
+      const std::uint64_t seq = ev.at("seq").as_uint();
+      if (seq != last_seq + 1) return out;
+      last_seq = seq;
+      (void)ev.at("stats").at("server").at("queries_accepted").as_uint();
+      (void)ev.at("interval").at("transfer").at("ok").as_uint();
+      ++out.events;
+    }
+    out.ok = true;
+    client.quit();
+  } catch (const std::exception&) {
+    // Validation failure or a dropped stream: reported via ok=false.
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,16 +230,39 @@ int main(int argc, char** argv) {
   cache::SolveCache::global().clear();
   const PassResult cold =
       run_pass("cold", server.port(), clients, rounds, mix, expected);
+
+  // A subscriber validates the SUBSCRIBE metrics stream while the warm
+  // pass generates load (the stream keeps flowing after the pass, so the
+  // join cannot deadlock).
+  SubscriberResult sub;
+  std::thread subscriber(
+      [&sub, &server] { sub = run_subscriber(server.port(), 2); });
   const PassResult warm =
       run_pass("warm", server.port(), clients, rounds, mix, expected);
+  subscriber.join();
+
+  // Observability overhead on the served path: replay the warm workload
+  // with metrics recording disabled and compare p50.
+  obs::set_metrics_enabled(false);
+  const PassResult noobs =
+      run_pass("warm_noobs", server.port(), clients, rounds, mix, expected);
+  obs::set_metrics_enabled(true);
+  const double overhead_pct =
+      noobs.p50_ms > 0.0 ? (warm.p50_ms - noobs.p50_ms) / noobs.p50_ms * 100.0
+                         : 0.0;
+  std::printf(
+      "{\"section\":\"service_obs_overhead\",\"p50_on_ms\":%.3f,"
+      "\"p50_off_ms\":%.3f,\"overhead_pct\":%.2f}\n",
+      warm.p50_ms, noobs.p50_ms, overhead_pct);
 
   std::printf(
       "{\"section\":\"service_load_summary\",\"warm_p50_speedup\":%.3f,"
-      "\"warm_p99_speedup\":%.3f,\"identical\":%s}\n",
+      "\"warm_p99_speedup\":%.3f,\"metrics_events\":%d,\"identical\":%s}\n",
       warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0,
-      warm.p99_ms > 0.0 ? cold.p99_ms / warm.p99_ms : 0.0,
-      cold.identical && warm.identical ? "true" : "false");
+      warm.p99_ms > 0.0 ? cold.p99_ms / warm.p99_ms : 0.0, sub.events,
+      cold.identical && warm.identical && noobs.identical ? "true" : "false");
 
   server.drain();
-  return cold.identical && warm.identical ? 0 : 1;
+  return cold.identical && warm.identical && noobs.identical && sub.ok ? 0
+                                                                       : 1;
 }

@@ -51,7 +51,10 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueue a task. Tasks must not block on other pool tasks.
+  /// Enqueue a task. Tasks must not block on other pool tasks. The
+  /// submitter's obs query context (if any) is captured and re-bound on the
+  /// worker for the task's duration, so tracing stays query-attributable
+  /// across the pool boundary.
   void submit(std::function<void()> task);
 
   [[nodiscard]] PoolStats stats() const;

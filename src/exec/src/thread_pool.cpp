@@ -43,6 +43,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   PPD_REQUIRE(task != nullptr, "cannot submit an empty task");
+  // Forward the submitter's query context to whichever worker runs the
+  // task, so spans/metrics recorded inside attribute to the served query
+  // that spawned the work (nested parallel_for fan-out included).
+  if (const std::uint64_t ctx = obs::query_context(); ctx != 0) {
+    task = [ctx, inner = std::move(task)] {
+      const obs::ScopedQueryContext scope(ctx);
+      inner();
+    };
+  }
   const std::size_t slot =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -47,10 +48,14 @@ class Client {
 
   struct Result {
     std::uint64_t id = 0;
+    std::uint64_t qid = 0;  ///< server-wide query id (trace correlation)
     std::string kind;
     std::string status;   ///< "ok" | "error" | "cancelled"
     int exit_code = 0;
     double elapsed_s = 0.0;
+    double queue_s = 0.0;      ///< admission -> worker pickup
+    double execute_s = 0.0;    ///< running the query
+    double serialize_s = 0.0;  ///< building the result event
     std::string body;     ///< byte-exact equivalent ppdtool stdout
     std::string error;
     std::string raw;      ///< the JSON event line as received
@@ -66,6 +71,18 @@ class Client {
 
   /// The one-line STATS JSON.
   [[nodiscard]] std::string stats();
+
+  /// SUBSCRIBE: ask for periodic "metrics" events on the data channel
+  /// (period_s <= 0 unsubscribes). Read them with next_event().
+  void subscribe(double period_s);
+
+  /// Next raw event line from the data channel (nullopt = stream closed).
+  /// Sets drained() when a drain event passes by. Do not mix with wait()
+  /// on a session that has queries in flight — both read the same stream.
+  [[nodiscard]] std::optional<std::string> next_event();
+
+  /// TRACE: pull the server's Chrome trace-event JSON dump.
+  [[nodiscard]] std::string trace_dump();
 
   /// PING round trip; returns the server's reply line.
   std::string ping();

@@ -13,19 +13,45 @@
 //                               -> OK upload <name> <nbytes> | ERR <msg>
 //   QUERY <kind> [<arg>]        -> OK <id> | BUSY | ERR <msg>
 //                                  kind: transfer|calibrate|coverage|rmin|lint
-//   STATS                       -> one JSON object (server + cache totals)
+//   STATS                       -> one nested JSON object:
+//                                  {"server":{...},"cache":{...},
+//                                   "kinds":{"<kind>":{accepted,ok,error,
+//                                    cancelled,busy,"queue_s":{hist},
+//                                    "execute_s":{hist}},...},
+//                                   "sessions":[{...},...]}
+//                                  hist = {"count","sum","mean","min","max",
+//                                   "p50","p99","underflow","overflow",
+//                                   "bins":[[lo,hi,count],...]}
+//   SUBSCRIBE [<period_s>]      -> OK subscribe <period> | OK subscribe off
+//                                  periodic "metrics" events on the session's
+//                                  data channel; period <= 0 (or omitted arg
+//                                  defaults to 1.0) unsubscribes
+//   TRACE                       -> OK trace <nbytes> followed by <nbytes> of
+//                                  Chrome trace-event JSON on the control
+//                                  stream (recent served-query spans)
 //   PING                        -> OK pong
 //   QUIT                        -> OK bye (server closes the session)
 //
 // Data events (one JSON object per line):
 //   {"event":"hello","session":"<token>"}
-//   {"event":"result","id":N,"kind":"...","status":"ok|error|cancelled",
-//    "exit_code":N,"elapsed_s":X,"body":"...","error":"..."}
+//   {"event":"result","id":N,"qid":N,"kind":"...",
+//    "status":"ok|error|cancelled","exit_code":N,"elapsed_s":X,
+//    "queue_s":X,"execute_s":X,"serialize_s":X,"body":"...","error":"..."}
+//   {"event":"metrics","seq":N,"interval_s":X,"stats":{<STATS object>},
+//    "interval":{"<kind>":{"ok":N,"execute_s_count":N,"execute_s_sum":X,
+//     "queue_s_sum":X},...}}
 //   {"event":"drain"}
+//
+// A result's "qid" is the server-wide query id minted at admission — the
+// same id tags every trace span the query produced (args.qid in a TRACE
+// dump), correlating a client's query with its server-side cost. The
+// timing breakdown is queue-wait (admission -> worker pickup), execute
+// (running the query), serialize (building the result event).
 //
 // A result's "body" is the byte-exact stdout of the equivalent single-shot
 // ppdtool invocation (JSON-escaped on the wire): the determinism contract
-// extends across the socket.
+// extends across the socket — ids and timings ride in separate fields so
+// they never perturb the payload bytes.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +59,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ppd::net {
 
@@ -49,10 +76,36 @@ inline constexpr std::uint16_t kDefaultPort = 7207;
 
 /// Parse one *flat* JSON object (string / number / bool / null values, no
 /// nesting) into key -> raw value text; string values are unquoted. The
-/// data-channel events and STATS replies are all flat by construction.
+/// data-channel result/hello/drain events are flat by construction; the
+/// nested STATS reply and metrics events need parse_json below.
 /// Throws ppd::ParseError on malformed input.
 [[nodiscard]] std::map<std::string, std::string> parse_flat_json(
     std::string_view line);
+
+/// Fully parsed JSON value (recursive). Scalars keep their raw text in
+/// `scalar` (strings already unquoted); objects keep member order as
+/// emitted. Built for the nested STATS / metrics payloads — a small
+/// recursive-descent reader, not a general-purpose JSON library.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  std::string scalar;  ///< raw number text / "true"/"false" / string bytes
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Member access that throws ppd::ParseError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] double as_number() const;       ///< throws unless kNumber
+  [[nodiscard]] std::uint64_t as_uint() const;  ///< throws unless kNumber
+  [[nodiscard]] bool as_bool() const;           ///< throws unless kBool
+};
+
+/// Parse one complete JSON document (object/array/scalar). Trailing bytes
+/// after the document and nesting deeper than an internal sanity depth are
+/// rejected. Throws ppd::ParseError on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 /// Reply-line helpers (control channel).
 [[nodiscard]] std::string ok_reply(const std::string& detail = {});

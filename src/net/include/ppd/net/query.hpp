@@ -25,6 +25,8 @@
 namespace ppd::net {
 
 enum class QueryKind { kTransfer, kCalibrate, kCoverage, kRmin, kLint, kSta };
+/// Number of QueryKind values (per-kind metric tables are sized by this).
+inline constexpr std::size_t kQueryKindCount = 6;
 
 /// Parse "transfer" / "calibrate" / "coverage" / "rmin" / "lint" / "sta"
 /// (case-insensitive); throws ppd::ParseError otherwise.

@@ -22,7 +22,9 @@
 // before the cancellation escapes) and close everything.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -34,6 +36,7 @@
 
 #include "ppd/net/session.hpp"
 #include "ppd/net/socket.hpp"
+#include "ppd/obs/metrics.hpp"
 
 namespace ppd::net {
 
@@ -42,6 +45,9 @@ struct ServerOptions {
   SessionLimits limits;
   /// How long drain() waits for in-flight queries before cancelling them.
   double drain_grace_seconds = 30.0;
+  /// Queries whose queue + execute time exceeds this emit a rate-limited
+  /// slow-query warning with the query id; <= 0 disables the log.
+  double slow_query_seconds = 1.0;
 };
 
 class Server {
@@ -82,8 +88,10 @@ class Server {
     std::size_t jobs_in_flight = 0;
   };
   [[nodiscard]] Stats stats() const;
-  /// The STATS reply: stats() plus the shared solve-cache totals, as one
-  /// flat JSON object.
+  /// The STATS reply: one nested JSON object — server totals, solve-cache
+  /// totals, per-query-kind counters plus queue/execute latency histograms
+  /// (from this server's own registry, so totals are exact per instance),
+  /// and a per-session listing. One line (no embedded newlines).
   [[nodiscard]] std::string stats_json() const;
 
  private:
@@ -104,6 +112,22 @@ class Server {
                            const std::string& arg);
   void drain_with_grace(double grace_seconds);
   void reap_finished_connections_locked();
+  /// Dedicated thread pushing "metrics" events to subscribed sessions.
+  void metrics_push_loop();
+
+  /// Cached handles into kind_registry_, one row per QueryKind. The
+  /// registry is server-local (not the process-global one) so STATS totals
+  /// count exactly this instance's queries — fresh per Server, exact under
+  /// any thread count (the shard-merge contract).
+  struct KindMetrics {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* error = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* busy = nullptr;
+    obs::Histogram* queue_s = nullptr;
+    obs::Histogram* execute_s = nullptr;
+  };
 
   ServerOptions options_;
   std::unique_ptr<TcpListener> listener_;
@@ -133,6 +157,17 @@ class Server {
   std::atomic<std::uint64_t> queries_ok_{0};
   std::atomic<std::uint64_t> queries_error_{0};
   std::atomic<std::uint64_t> queries_cancelled_{0};
+
+  obs::Registry kind_registry_;
+  std::array<KindMetrics, kQueryKindCount> kind_metrics_;
+  obs::Histogram* serialize_hist_ = nullptr;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  // Metrics pusher: woken by SUBSCRIBE and by drain/stop.
+  std::thread push_thread_;
+  std::mutex push_mutex_;
+  std::condition_variable push_cv_;
+  bool push_stop_ = false;
 };
 
 }  // namespace ppd::net

@@ -71,6 +71,15 @@ class Session {
   void shutdown();
 
   [[nodiscard]] std::size_t in_flight() const;
+  /// Completed events still buffered, waiting for a data channel.
+  [[nodiscard]] std::size_t undelivered() const;
+  /// Total queries ever admitted on this session.
+  [[nodiscard]] std::uint64_t queries_accepted() const;
+
+  /// SUBSCRIBE state: period between pushed metrics events, in seconds
+  /// (0 = not subscribed). Read by the server's push loop.
+  void set_subscribe_period(double period_s);
+  [[nodiscard]] double subscribe_period() const;
 
  private:
   /// False when no channel is attached or the write failed (channel dropped).
@@ -85,6 +94,7 @@ class Session {
   std::size_t upload_bytes_ = 0;
   std::uint64_t next_id_ = 0;
   std::size_t in_flight_ = 0;          ///< admitted, result not yet delivered
+  double subscribe_period_s_ = 0.0;    ///< 0 = no metrics subscription
   std::deque<std::string> ready_;      ///< completed events awaiting a channel
   std::shared_ptr<TcpStream> data_;
 };

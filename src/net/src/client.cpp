@@ -1,5 +1,6 @@
 #include "ppd/net/client.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -89,6 +90,9 @@ Client::Result Client::wait(std::uint64_t id) {
     if (!line)
       throw ServiceError("data channel closed while waiting for query " +
                          std::to_string(id));
+    // Metrics events are nested JSON (flat parse would choke); a waiting
+    // client just skips them.
+    if (line->rfind("{\"event\":\"metrics\"", 0) == 0) continue;
     const auto fields = parse_flat_json(*line);
     const auto event = fields.find("event");
     if (event == fields.end()) continue;
@@ -105,10 +109,14 @@ Client::Result Client::wait(std::uint64_t id) {
       return it == fields.end() ? std::string() : it->second;
     };
     result.id = std::strtoull(get("id").c_str(), nullptr, 10);
+    result.qid = std::strtoull(get("qid").c_str(), nullptr, 10);
     result.kind = get("kind");
     result.status = get("status");
     result.exit_code = std::atoi(get("exit_code").c_str());
     result.elapsed_s = std::strtod(get("elapsed_s").c_str(), nullptr);
+    result.queue_s = std::strtod(get("queue_s").c_str(), nullptr);
+    result.execute_s = std::strtod(get("execute_s").c_str(), nullptr);
+    result.serialize_s = std::strtod(get("serialize_s").c_str(), nullptr);
     result.body = get("body");
     result.error = get("error");
     if (result.id == id) return result;
@@ -129,6 +137,32 @@ std::string Client::stats() {
   if (!reply) throw ServiceError("server closed the control channel");
   if (reply->rfind("ERR", 0) == 0) throw ServiceError(*reply);
   return *reply;
+}
+
+void Client::subscribe(double period_s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", period_s);
+  command(std::string("SUBSCRIBE ") + buf);
+}
+
+std::optional<std::string> Client::next_event() {
+  const auto line = data_.read_line();
+  if (!line) return std::nullopt;
+  if (line->rfind("{\"event\":\"drain\"", 0) == 0) drained_ = true;
+  return line;
+}
+
+std::string Client::trace_dump() {
+  control_.write_all("TRACE\n");
+  const auto reply = control_.read_line();
+  if (!reply) throw ServiceError("server closed the control channel");
+  if (!is_ok(*reply)) throw ServiceError(*reply);
+  // "OK trace <nbytes>" then the raw payload on the same stream.
+  const auto n = std::strtoull(word_at(*reply, 2).c_str(), nullptr, 10);
+  std::string payload;
+  if (!control_.read_exact(payload, static_cast<std::size_t>(n)))
+    throw ServiceError("control channel closed mid trace dump");
+  return payload;
 }
 
 std::string Client::ping() { return command("PING"); }

@@ -1,6 +1,8 @@
 #include "ppd/net/protocol.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
@@ -91,7 +93,131 @@ void skip_ws(std::string_view s, std::size_t& i) {
   while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
 }
 
+constexpr int kMaxJsonDepth = 32;
+
+JsonValue parse_value_at(std::string_view s, std::size_t& i, int depth) {
+  if (depth > kMaxJsonDepth) bad("nesting too deep");
+  skip_ws(s, i);
+  if (i >= s.size()) bad("missing value");
+  JsonValue v;
+  const char c = s[i];
+  if (c == '"') {
+    v.kind = JsonValue::Kind::kString;
+    v.scalar = unquote_at(s, i);
+    return v;
+  }
+  if (c == '{') {
+    v.kind = JsonValue::Kind::kObject;
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return v;
+    }
+    for (;;) {
+      skip_ws(s, i);
+      std::string key = unquote_at(s, i);
+      skip_ws(s, i);
+      if (i >= s.size() || s[i] != ':') bad("expected ':'");
+      ++i;
+      v.members.emplace_back(std::move(key), parse_value_at(s, i, depth + 1));
+      skip_ws(s, i);
+      if (i >= s.size()) bad("unterminated object");
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return v;
+      }
+      bad("expected ',' or '}'");
+    }
+  }
+  if (c == '[') {
+    v.kind = JsonValue::Kind::kArray;
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value_at(s, i, depth + 1));
+      skip_ws(s, i);
+      if (i >= s.size()) bad("unterminated array");
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return v;
+      }
+      bad("expected ',' or ']'");
+    }
+  }
+  // Bare scalar: number / true / false / null.
+  const std::size_t start = i;
+  while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '+' || s[i] == '-' || s[i] == '.'))
+    ++i;
+  if (i == start) bad(std::string("unexpected character '") + c + "'");
+  v.scalar = std::string(s.substr(start, i - start));
+  if (v.scalar == "null") {
+    v.kind = JsonValue::Kind::kNull;
+  } else if (v.scalar == "true" || v.scalar == "false") {
+    v.kind = JsonValue::Kind::kBool;
+  } else {
+    v.kind = JsonValue::Kind::kNumber;
+  }
+  return v;
+}
+
 }  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, val] : members)
+    if (k == key) return &val;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) bad("missing member \"" + std::string(key) + "\"");
+  return *v;
+}
+
+double JsonValue::as_number() const {
+  if (kind != Kind::kNumber) bad("value is not a number");
+  std::size_t pos = 0;
+  const double v = std::stod(scalar, &pos);
+  if (pos != scalar.size()) bad("bad number \"" + scalar + "\"");
+  return v;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (kind != Kind::kNumber) bad("value is not a number");
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(scalar, &pos);
+  if (pos != scalar.size()) bad("bad integer \"" + scalar + "\"");
+  return static_cast<std::uint64_t>(v);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) bad("value is not a bool");
+  return scalar == "true";
+}
+
+JsonValue parse_json(std::string_view text) {
+  std::size_t i = 0;
+  JsonValue v = parse_value_at(text, i, 0);
+  skip_ws(text, i);
+  while (i < text.size() && (text[i] == '\n' || text[i] == '\r')) ++i;
+  if (i != text.size()) bad("trailing bytes after document");
+  return v;
+}
 
 std::string json_unquote(std::string_view s) {
   std::size_t i = 0;

@@ -1,13 +1,16 @@
 #include "ppd/net/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/exec/thread_pool.hpp"
 #include "ppd/net/protocol.hpp"
 #include "ppd/obs/log.hpp"
 #include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
 
@@ -19,33 +22,96 @@ obs::Counter& queries_counter(const char* leaf) {
   return obs::counter(std::string("net.queries.") + leaf);
 }
 
-std::string result_event(std::uint64_t id, const char* kind,
-                         const char* status, int exit_code, double elapsed_s,
-                         const std::string& body, const std::string& error) {
-  char head[160];
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Latency spec shared by the queue/execute/serialize histograms: 1 µs to
+/// 1000 s, 36 log bins (~6 bins per decade).
+constexpr obs::HistogramSpec kLatencySpec{1e-6, 1e3, 36};
+
+/// SUBSCRIBE periods are clamped up to this so a client cannot turn the
+/// pusher into a busy loop.
+constexpr double kMinSubscribePeriod = 0.05;
+
+/// Build the result event line. The serialize cost (JSON-escaping the body
+/// is the expensive part) is measured first and embedded in the same
+/// event, so the head is formatted after the tail.
+std::string result_event(std::uint64_t id, std::uint64_t qid, const char* kind,
+                         const char* status, int exit_code, double queue_s,
+                         double execute_s, const std::string& body,
+                         const std::string& error, double* serialize_s_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string tail;
+  if (!body.empty()) tail += ",\"body\":" + json_quote(body);
+  if (!error.empty()) tail += ",\"error\":" + json_quote(error);
+  const double serialize_s =
+      seconds_between(t0, std::chrono::steady_clock::now());
+  if (serialize_s_out != nullptr) *serialize_s_out = serialize_s;
+  // elapsed_s repeats execute_s: pre-breakdown consumers keyed on it.
+  char head[288];
   std::snprintf(head, sizeof(head),
-                "{\"event\":\"result\",\"id\":%llu,\"kind\":\"%s\","
-                "\"status\":\"%s\",\"exit_code\":%d,\"elapsed_s\":%.6f",
-                static_cast<unsigned long long>(id), kind, status, exit_code,
-                elapsed_s);
+                "{\"event\":\"result\",\"id\":%llu,\"qid\":%llu,"
+                "\"kind\":\"%s\",\"status\":\"%s\",\"exit_code\":%d,"
+                "\"elapsed_s\":%.6f,\"queue_s\":%.6f,\"execute_s\":%.6f,"
+                "\"serialize_s\":%.6f",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(qid), kind, status, exit_code,
+                execute_s, queue_s, execute_s, serialize_s);
   std::string out = head;
-  if (!body.empty()) out += ",\"body\":" + json_quote(body);
-  if (!error.empty()) out += ",\"error\":" + json_quote(error);
+  out += tail;
   out += "}";
   return out;
 }
 
+/// %.17g double for JSON (matches the metrics exporter's convention).
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const obs::HistogramSnapshot* find_histogram(const obs::MetricsSnapshot& snap,
+                                             const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::uint64_t find_counter(const obs::MetricsSnapshot& snap,
+                           const std::string& name) {
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return v;
+  return 0;
+}
+
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(options) {}
+Server::Server(ServerOptions options) : options_(options) {
+  for (std::size_t k = 0; k < kind_metrics_.size(); ++k) {
+    const std::string name = query_kind_name(static_cast<QueryKind>(k));
+    KindMetrics& m = kind_metrics_[k];
+    m.accepted = &kind_registry_.counter(name + ".accepted");
+    m.ok = &kind_registry_.counter(name + ".ok");
+    m.error = &kind_registry_.counter(name + ".error");
+    m.cancelled = &kind_registry_.counter(name + ".cancelled");
+    m.busy = &kind_registry_.counter(name + ".busy");
+    m.queue_s = &kind_registry_.histogram(name + ".queue_s", kLatencySpec);
+    m.execute_s = &kind_registry_.histogram(name + ".execute_s", kLatencySpec);
+  }
+  serialize_hist_ = &kind_registry_.histogram("serialize_s", kLatencySpec);
+}
 
 Server::~Server() { stop(); }
 
 void Server::start() {
   PPD_REQUIRE(!started_.load(), "Server::start called twice");
   listener_ = std::make_unique<TcpListener>(options_.port);
+  started_at_ = std::chrono::steady_clock::now();
   started_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  push_thread_ = std::thread([this] { metrics_push_loop(); });
   obs::log_info("net", "ppdd listening",
                 {{"port", std::to_string(listener_->port())}});
 }
@@ -171,6 +237,35 @@ void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
                              words.size() == 3 ? words[2] : std::string());
       } else if (util::iequals(cmd, "STATS")) {
         reply = stats_json();
+      } else if (util::iequals(cmd, "SUBSCRIBE")) {
+        if (words.size() > 2)
+          throw ParseError("usage: SUBSCRIBE [<period_s>]");
+        double period = 1.0;
+        if (words.size() == 2) {
+          char* end = nullptr;
+          period = std::strtod(words[1].c_str(), &end);
+          if (end == words[1].c_str() || *end != '\0')
+            throw ParseError("SUBSCRIBE period must be a number (seconds)");
+        }
+        if (period > 0.0) {
+          period = std::max(period, kMinSubscribePeriod);
+          session->set_subscribe_period(period);
+          push_cv_.notify_all();  // first snapshot goes out immediately
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", period);
+          reply = ok_reply(std::string("subscribe ") + buf);
+        } else {
+          session->set_subscribe_period(0.0);
+          reply = ok_reply("subscribe off");
+        }
+      } else if (util::iequals(cmd, "TRACE")) {
+        std::ostringstream dump;
+        obs::TraceSession::global().write_chrome_trace(dump);
+        const std::string payload = dump.str();
+        stream->write_all(ok_reply("trace " + std::to_string(payload.size())) +
+                          "\n");
+        stream->write_all(payload);
+        continue;  // reply already written (header + raw payload)
       } else if (util::iequals(cmd, "QUIT")) {
         stream->write_all(ok_reply("bye") + "\n");
         break;
@@ -225,15 +320,18 @@ std::string Server::submit_query(const std::shared_ptr<Session>& session,
   if (draining_.load()) return err_reply("draining");
   const QueryKind kind = query_kind_from_string(kind_word);
   QueryParams params = session->make_params(kind, arg);  // throws ParseError
+  KindMetrics& km = kind_metrics_[static_cast<std::size_t>(kind)];
 
   const std::uint64_t id = session->admit();
   if (id == 0) {
     queries_busy_.fetch_add(1, std::memory_order_relaxed);
     queries_counter("busy").add();
+    km.busy->add();
     return "BUSY";
   }
   queries_accepted_.fetch_add(1, std::memory_order_relaxed);
   queries_counter("accepted").add();
+  km.accepted->add();
 
   std::uint64_t job_key = 0;
   {
@@ -243,40 +341,68 @@ std::string Server::submit_query(const std::shared_ptr<Session>& session,
     ++jobs_in_flight_;
   }
 
-  exec::ThreadPool::global().submit([this, session, params, kind, id,
-                                     job_key] {
+  // job_key doubles as the query id (qid): process-unique, echoed in the
+  // result event, bound as the obs query context so every span/metric the
+  // query triggers — including pool fan-out — is attributable to it.
+  const auto admitted = std::chrono::steady_clock::now();
+  exec::ThreadPool::global().submit([this, session, params, kind, id, job_key,
+                                     admitted, &km] {
     const char* kind_name = query_kind_name(kind);
     const auto start = std::chrono::steady_clock::now();
-    std::string event;
-    try {
-      const QueryResult result = run_query(kind, params);
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      obs::histogram("net.query.wall_s").record(elapsed);
-      queries_ok_.fetch_add(1, std::memory_order_relaxed);
-      queries_counter("ok").add();
-      event = result_event(id, kind_name, "ok", result.exit_code, elapsed,
-                           result.body, {});
-    } catch (const exec::CancelledError& e) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
-      queries_counter("cancelled").add();
-      event = result_event(id, kind_name, "cancelled", 1, elapsed, {},
-                           e.what());
-    } catch (const std::exception& e) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      queries_error_.fetch_add(1, std::memory_order_relaxed);
-      queries_counter("error").add();
-      event = result_event(id, kind_name, "error", 1, elapsed, {}, e.what());
+    const double queue_s = seconds_between(admitted, start);
+    const char* status = "ok";
+    int exit_code = 0;
+    std::string body;
+    std::string error;
+    {
+      const obs::ScopedQueryContext qctx(job_key);
+      try {
+        const obs::Span span(std::string("net.query.") + kind_name);
+        QueryResult result = run_query(kind, params);
+        exit_code = result.exit_code;
+        body = std::move(result.body);
+        queries_ok_.fetch_add(1, std::memory_order_relaxed);
+        queries_counter("ok").add();
+        km.ok->add();
+      } catch (const exec::CancelledError& e) {
+        status = "cancelled";
+        exit_code = 1;
+        error = e.what();
+        queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        queries_counter("cancelled").add();
+        km.cancelled->add();
+      } catch (const std::exception& e) {
+        status = "error";
+        exit_code = 1;
+        error = e.what();
+        queries_error_.fetch_add(1, std::memory_order_relaxed);
+        queries_counter("error").add();
+        km.error->add();
+      }
     }
+    const double execute_s =
+        seconds_between(start, std::chrono::steady_clock::now());
+    obs::histogram("net.query.wall_s").record(execute_s);
+    km.queue_s->record(queue_s);
+    km.execute_s->record(execute_s);
+    if (options_.slow_query_seconds > 0.0 &&
+        queue_s + execute_s >= options_.slow_query_seconds) {
+      static obs::RateLimit slow_rl(5, 1.0);
+      if (slow_rl.allow())
+        obs::log_warn("net", "slow query",
+                      {{"qid", std::to_string(job_key)},
+                       {"session", session->token()},
+                       {"id", std::to_string(id)},
+                       {"kind", kind_name},
+                       {"status", status},
+                       {"queue_s", json_num(queue_s)},
+                       {"execute_s", json_num(execute_s)}});
+    }
+    double serialize_s = 0.0;
+    std::string event = result_event(id, job_key, kind_name, status, exit_code,
+                                     queue_s, execute_s, body, error,
+                                     &serialize_s);
+    serialize_hist_->record(serialize_s);
     session->deliver(std::move(event));
     {
       // Notify while holding the mutex: the drain waiter cannot return (and
@@ -299,6 +425,14 @@ void Server::drain_with_grace(double grace_seconds) {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (!started_.load() || stopped_.load()) return;
   draining_.store(true);
+
+  // 0. Stop the metrics pusher first so no events race the teardown.
+  {
+    std::lock_guard<std::mutex> lock(push_mutex_);
+    push_stop_ = true;
+  }
+  push_cv_.notify_all();
+  if (push_thread_.joinable()) push_thread_.join();
 
   // 1. No new connections; the accept loop unblocks and exits.
   listener_->close();
@@ -337,12 +471,104 @@ void Server::drain_with_grace(double grace_seconds) {
       if (conn->thread.joinable()) conn->thread.join();
     conns_.clear();
   }
+  std::size_t undelivered = 0;
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [token, session] : sessions_)
+      undelivered += session->undelivered();
     sessions_.clear();
   }
   stopped_.store(true);
-  obs::log_info("net", "ppdd drained", {});
+  obs::log_info(
+      "net", "ppdd drained",
+      {{"completed", std::to_string(queries_ok_.load())},
+       {"errors", std::to_string(queries_error_.load())},
+       {"cancelled", std::to_string(queries_cancelled_.load())},
+       {"undelivered", std::to_string(undelivered)}});
+}
+
+void Server::metrics_push_loop() {
+  using clock = std::chrono::steady_clock;
+  struct PushState {
+    std::uint64_t seq = 0;
+    obs::MetricsSnapshot last;
+    clock::time_point last_time{};
+    clock::time_point next_due{};
+  };
+  std::map<std::string, PushState> states;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(push_mutex_);
+      if (push_stop_) return;
+    }
+    const auto now = clock::now();
+    auto next_wake = now + std::chrono::seconds(1);
+    bool any = false;
+    std::vector<std::shared_ptr<Session>> due;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (auto it = states.begin(); it != states.end();) {
+        // Forget sessions that closed or unsubscribed.
+        const auto sit = sessions_.find(it->first);
+        if (sit == sessions_.end() || sit->second->subscribe_period() <= 0.0)
+          it = states.erase(it);
+        else
+          ++it;
+      }
+      for (auto& [token, session] : sessions_) {
+        if (session->subscribe_period() <= 0.0) continue;
+        any = true;
+        const auto st = states.find(token);
+        if (st == states.end() || st->second.next_due <= now)
+          due.push_back(session);  // new subscriber: first push immediately
+        else
+          next_wake = std::min(next_wake, st->second.next_due);
+      }
+    }
+    for (const auto& session : due) {
+      const double period = session->subscribe_period();
+      if (period <= 0.0) continue;  // unsubscribed since the scan
+      PushState& st = states[session->token()];
+      const obs::MetricsSnapshot cur = kind_registry_.snapshot();
+      const double interval_s =
+          st.seq == 0 ? 0.0 : seconds_between(st.last_time, now);
+      const obs::MetricsSnapshot delta = obs::snapshot_delta(st.last, cur);
+      ++st.seq;
+      std::ostringstream os;
+      os << "{\"event\":\"metrics\",\"seq\":" << st.seq
+         << ",\"interval_s\":" << json_num(interval_s)
+         << ",\"stats\":" << stats_json() << ",\"interval\":{";
+      for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+        const std::string name = query_kind_name(static_cast<QueryKind>(k));
+        const obs::HistogramSnapshot* ex =
+            find_histogram(delta, name + ".execute_s");
+        const obs::HistogramSnapshot* qu =
+            find_histogram(delta, name + ".queue_s");
+        if (k != 0) os << ',';
+        os << '"' << name << "\":{\"ok\":" << find_counter(delta, name + ".ok")
+           << ",\"execute_s_count\":" << (ex != nullptr ? ex->count : 0)
+           << ",\"execute_s_sum\":" << json_num(ex != nullptr ? ex->sum : 0.0)
+           << ",\"queue_s_sum\":" << json_num(qu != nullptr ? qu->sum : 0.0)
+           << '}';
+      }
+      os << "}}";
+      session->notify(os.str());
+      st.last = cur;
+      st.last_time = now;
+      st.next_due =
+          now + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(period));
+      next_wake = std::min(next_wake, st.next_due);
+    }
+    std::unique_lock<std::mutex> lock(push_mutex_);
+    if (push_stop_) return;
+    if (any)
+      push_cv_.wait_until(lock, next_wake);
+    else
+      // Idle: nothing subscribed. Wake on SUBSCRIBE (notified) or poll
+      // slowly as a backstop.
+      push_cv_.wait_for(lock, std::chrono::milliseconds(250));
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -367,26 +593,80 @@ Server::Stats Server::stats() const {
 std::string Server::stats_json() const {
   const Stats s = stats();
   const auto cache = cache::solve_cache().totals();
-  char buf[512];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"sessions_active\":%zu,\"sessions_opened\":%llu,"
-      "\"queries_accepted\":%llu,\"queries_busy\":%llu,\"queries_ok\":%llu,"
-      "\"queries_error\":%llu,\"queries_cancelled\":%llu,"
-      "\"jobs_in_flight\":%zu,\"draining\":%s,"
-      "\"cache_hits\":%llu,\"cache_misses\":%llu,\"cache_entries\":%zu,"
-      "\"cache_bytes\":%zu}",
-      s.sessions_active, static_cast<unsigned long long>(s.sessions_opened),
-      static_cast<unsigned long long>(s.queries_accepted),
-      static_cast<unsigned long long>(s.queries_busy),
-      static_cast<unsigned long long>(s.queries_ok),
-      static_cast<unsigned long long>(s.queries_error),
-      static_cast<unsigned long long>(s.queries_cancelled), s.jobs_in_flight,
-      draining_.load() ? "true" : "false",
-      static_cast<unsigned long long>(cache.hits),
-      static_cast<unsigned long long>(cache.misses), cache.entries,
-      cache.bytes);
-  return buf;
+  const obs::MetricsSnapshot snap = kind_registry_.snapshot();
+  const double uptime_s =
+      started_.load() ? seconds_between(started_at_,
+                                        std::chrono::steady_clock::now())
+                      : 0.0;
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  const double hit_ratio =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache.hits) /
+                         static_cast<double>(lookups);
+
+  std::ostringstream os;
+  os << "{\"server\":{\"sessions_active\":" << s.sessions_active
+     << ",\"sessions_opened\":" << s.sessions_opened
+     << ",\"queries_accepted\":" << s.queries_accepted
+     << ",\"queries_busy\":" << s.queries_busy
+     << ",\"queries_ok\":" << s.queries_ok
+     << ",\"queries_error\":" << s.queries_error
+     << ",\"queries_cancelled\":" << s.queries_cancelled
+     << ",\"jobs_in_flight\":" << s.jobs_in_flight
+     << ",\"draining\":" << (draining_.load() ? "true" : "false")
+     << ",\"uptime_s\":" << json_num(uptime_s) << ",\"serialize_s\":";
+  {
+    const obs::HistogramSnapshot* ser = find_histogram(snap, "serialize_s");
+    if (ser != nullptr)
+      obs::write_histogram_json(os, *ser);
+    else
+      os << "{}";
+  }
+  os << "},\"cache\":{\"hits\":" << cache.hits
+     << ",\"misses\":" << cache.misses << ",\"entries\":" << cache.entries
+     << ",\"bytes\":" << cache.bytes
+     << ",\"hit_ratio\":" << json_num(hit_ratio) << "},\"kinds\":{";
+  for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+    const std::string name = query_kind_name(static_cast<QueryKind>(k));
+    if (k != 0) os << ',';
+    os << '"' << name
+       << "\":{\"accepted\":" << find_counter(snap, name + ".accepted")
+       << ",\"ok\":" << find_counter(snap, name + ".ok")
+       << ",\"error\":" << find_counter(snap, name + ".error")
+       << ",\"cancelled\":" << find_counter(snap, name + ".cancelled")
+       << ",\"busy\":" << find_counter(snap, name + ".busy")
+       << ",\"queue_s\":";
+    const obs::HistogramSnapshot* qu = find_histogram(snap, name + ".queue_s");
+    if (qu != nullptr)
+      obs::write_histogram_json(os, *qu);
+    else
+      os << "{}";
+    os << ",\"execute_s\":";
+    const obs::HistogramSnapshot* ex =
+        find_histogram(snap, name + ".execute_s");
+    if (ex != nullptr)
+      obs::write_histogram_json(os, *ex);
+    else
+      os << "{}";
+    os << '}';
+  }
+  os << "},\"sessions\":[";
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    bool first = true;
+    for (const auto& [token, session] : sessions_) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"token\":" << json_quote(token)
+         << ",\"in_flight\":" << session->in_flight()
+         << ",\"window\":" << session->limits().max_queue
+         << ",\"accepted\":" << session->queries_accepted()
+         << ",\"subscribed\":"
+         << (session->subscribe_period() > 0.0 ? "true" : "false") << '}';
+    }
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace ppd::net

@@ -148,4 +148,24 @@ std::size_t Session::in_flight() const {
   return in_flight_;
 }
 
+std::size_t Session::undelivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size();
+}
+
+std::uint64_t Session::queries_accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+void Session::set_subscribe_period(double period_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribe_period_s_ = period_s > 0.0 ? period_s : 0.0;
+}
+
+double Session::subscribe_period() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribe_period_s_;
+}
+
 }  // namespace ppd::net

@@ -151,6 +151,10 @@ struct HistogramSnapshot {
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+  /// Estimate the p-quantile (p in [0,1]) from the binned counts, linearly
+  /// interpolated within the containing bin. Underflow observations resolve
+  /// to min (or spec.lo), overflow to max (or spec.hi). 0 when empty.
+  [[nodiscard]] double quantile(double p) const;
 };
 
 /// Name-sorted, merged view of every metric at one instant.
@@ -159,6 +163,22 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
 };
+
+/// What happened between two snapshots of the same registry: counters and
+/// histogram bins/counts/sums are subtracted (metrics absent from `older`
+/// count from zero), gauges are taken from `newer` (instantaneous values
+/// have no meaningful difference). min/max also come from `newer` — a
+/// window-local extremum is not recoverable from totals. Because snapshot
+/// totals are exact merged sums (the PR 3 contract), the delta of two
+/// quiescent snapshots is exact too. Feeds the service's SUBSCRIBE stream:
+/// the pushed `interval` block is a snapshot delta.
+[[nodiscard]] MetricsSnapshot snapshot_delta(const MetricsSnapshot& older,
+                                             const MetricsSnapshot& newer);
+
+/// One-line JSON summary of a histogram: count/sum/mean/min/max, p50/p99
+/// quantile estimates, and the non-empty bins as [lo,hi,count] triples.
+/// Compact enough to embed per query kind in the service STATS reply.
+void write_histogram_json(std::ostream& os, const HistogramSnapshot& h);
 
 /// Process-wide metric store. Metrics are created on first use and never
 /// removed; lookup takes the registry mutex, so hot paths should cache the

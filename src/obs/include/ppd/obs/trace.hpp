@@ -11,6 +11,19 @@
 //
 // The session is off by default; an inactive Span costs one relaxed atomic
 // load. Load the exported file in chrome://tracing or https://ui.perfetto.dev.
+//
+// Query context: a served query carries a process-unique id (minted by the
+// ppdd service at admission). set_query_context / ScopedQueryContext bind
+// that id to the calling thread; every event recorded while the context is
+// set is tagged with it (exported as args.qid on the begin event), and
+// exec::ThreadPool::submit captures the submitter's context so spans on
+// pool workers attribute to the query that spawned them.
+//
+// Ring mode (set_ring_limit) bounds each lane to the most recent N events —
+// the long-running daemon keeps a sliding window of served-query spans that
+// `ppdctl trace` can dump at any time without unbounded growth. Exports
+// drop unmatched begin/end events at the window edges so the emitted JSON
+// always keeps B/E balanced per lane.
 #pragma once
 
 #include <atomic>
@@ -33,6 +46,7 @@ class TraceSession {
     double ts_us = 0.0;    ///< steady time since session epoch
     double cpu_us = 0.0;   ///< thread-CPU duration ('E' events only)
     std::uint32_t tid = 0; ///< lane (one per recording thread)
+    std::uint64_t ctx = 0; ///< query context at record time (0 = none)
   };
 
   static TraceSession& global();
@@ -47,6 +61,15 @@ class TraceSession {
   /// Label the calling thread's lane in the viewer (sticky across
   /// start/stop, safe to call whether or not the session is active).
   void set_thread_name(std::string name);
+
+  /// Keep only the most recent ~`max_events_per_thread` events per lane
+  /// (0 = unbounded, the default). Lets a long-running daemon record
+  /// continuously: old events are evicted in recording order, and exports
+  /// re-balance B/E pairs around the evicted edge.
+  void set_ring_limit(std::size_t max_events_per_thread);
+  [[nodiscard]] std::size_t ring_limit() const {
+    return ring_limit_.load(std::memory_order_relaxed);
+  }
 
   void record(std::string name, char phase, double cpu_us);
 
@@ -78,7 +101,27 @@ class TraceSession {
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::atomic<bool> active_{false};
+  std::atomic<std::size_t> ring_limit_{0};
   std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The calling thread's query context (0 = none). Tagging is cooperative:
+/// the service sets the context around a query's execution, and the exec
+/// pool forwards the submitter's context to the worker running the task.
+[[nodiscard]] std::uint64_t query_context();
+void set_query_context(std::uint64_t qid);
+
+/// RAII binding of a query context to the current thread; restores the
+/// previous context on destruction (nesting-safe).
+class ScopedQueryContext {
+ public:
+  explicit ScopedQueryContext(std::uint64_t qid);
+  ~ScopedQueryContext();
+  ScopedQueryContext(const ScopedQueryContext&) = delete;
+  ScopedQueryContext& operator=(const ScopedQueryContext&) = delete;
+
+ private:
+  std::uint64_t saved_;
 };
 
 /// RAII span on the global session. Records nothing when the session is

@@ -237,6 +237,79 @@ void Registry::reset() {
   }
 }
 
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count);
+  double seen = static_cast<double>(underflow);
+  if (target <= seen && underflow > 0) return min != 0.0 ? min : spec.lo;
+  for (const HistogramBinSnapshot& b : bins) {
+    const double next = seen + static_cast<double>(b.count);
+    if (target <= next) {
+      const double frac =
+          b.count == 0 ? 0.0 : (target - seen) / static_cast<double>(b.count);
+      return b.lo + (b.hi - b.lo) * frac;
+    }
+    seen = next;
+  }
+  return max != 0.0 ? max : spec.hi;  // lands in overflow
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& older,
+                               const MetricsSnapshot& newer) {
+  MetricsSnapshot out;
+  std::map<std::string, std::uint64_t> old_counters(older.counters.begin(),
+                                                    older.counters.end());
+  out.counters.reserve(newer.counters.size());
+  for (const auto& [name, value] : newer.counters) {
+    const auto it = old_counters.find(name);
+    const std::uint64_t base = it == old_counters.end() ? 0 : it->second;
+    out.counters.emplace_back(name, value >= base ? value - base : 0);
+  }
+  out.gauges = newer.gauges;
+  std::map<std::string, const HistogramSnapshot*> old_hists;
+  for (const HistogramSnapshot& h : older.histograms) old_hists[h.name] = &h;
+  out.histograms.reserve(newer.histograms.size());
+  for (const HistogramSnapshot& h : newer.histograms) {
+    HistogramSnapshot d = h;  // spec/min/max/name from the newer snapshot
+    const auto it = old_hists.find(h.name);
+    if (it != old_hists.end()) {
+      const HistogramSnapshot& o = *it->second;
+      d.count = h.count >= o.count ? h.count - o.count : 0;
+      d.underflow = h.underflow >= o.underflow ? h.underflow - o.underflow : 0;
+      d.overflow = h.overflow >= o.overflow ? h.overflow - o.overflow : 0;
+      d.sum = h.sum - o.sum;
+      std::map<double, std::uint64_t> old_bins;
+      for (const HistogramBinSnapshot& b : o.bins) old_bins[b.lo] = b.count;
+      d.bins.clear();
+      for (const HistogramBinSnapshot& b : h.bins) {
+        const auto ob = old_bins.find(b.lo);
+        const std::uint64_t base = ob == old_bins.end() ? 0 : ob->second;
+        if (b.count > base) d.bins.push_back({b.lo, b.hi, b.count - base});
+      }
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+void write_histogram_json(std::ostream& os, const HistogramSnapshot& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+     << ",\"mean\":" << json_number(h.mean())
+     << ",\"min\":" << json_number(h.min) << ",\"max\":" << json_number(h.max)
+     << ",\"p50\":" << json_number(h.quantile(0.50))
+     << ",\"p99\":" << json_number(h.quantile(0.99))
+     << ",\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
+     << ",\"bins\":[";
+  for (std::size_t b = 0; b < h.bins.size(); ++b) {
+    if (b != 0) os << ',';
+    os << '[' << json_number(h.bins[b].lo) << ',' << json_number(h.bins[b].hi)
+       << ',' << h.bins[b].count << ']';
+  }
+  os << "]}";
+}
+
 Counter& counter(const std::string& name) {
   return Registry::global().counter(name);
 }

@@ -33,7 +33,20 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+thread_local std::uint64_t t_query_context = 0;
+
 }  // namespace
+
+std::uint64_t query_context() { return t_query_context; }
+
+void set_query_context(std::uint64_t qid) { t_query_context = qid; }
+
+ScopedQueryContext::ScopedQueryContext(std::uint64_t qid)
+    : saved_(t_query_context) {
+  t_query_context = qid;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { t_query_context = saved_; }
 
 TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -70,6 +83,10 @@ void TraceSession::set_thread_name(std::string name) {
   b.name = std::move(name);
 }
 
+void TraceSession::set_ring_limit(std::size_t max_events_per_thread) {
+  ring_limit_.store(max_events_per_thread, std::memory_order_relaxed);
+}
+
 void TraceSession::record(std::string name, char phase, double cpu_us) {
   const double ts = now_us();
   ThreadBuffer& b = local_buffer();
@@ -80,7 +97,16 @@ void TraceSession::record(std::string name, char phase, double cpu_us) {
   e.ts_us = ts;
   e.cpu_us = cpu_us;
   e.tid = b.tid;
+  e.ctx = t_query_context;
   b.events.push_back(std::move(e));
+  const std::size_t limit = ring_limit_.load(std::memory_order_relaxed);
+  if (limit != 0 && b.events.size() > limit) {
+    // Evict the oldest quarter in one move, so the amortized per-record
+    // cost stays O(1) instead of O(limit) for an erase-one-front ring.
+    const auto drop =
+        static_cast<std::vector<Event>::difference_type>(limit / 4 + 1);
+    b.events.erase(b.events.begin(), b.events.begin() + drop);
+  }
 }
 
 std::vector<TraceSession::Event> TraceSession::events() const {
@@ -118,6 +144,8 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
   os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
   bool first = true;
   char buf[64];
+  std::vector<char> keep;
+  std::vector<std::size_t> open;
   for (const auto& b : buffers) {
     const std::lock_guard<std::mutex> lock(b->mutex);
     if (!b->name.empty()) {
@@ -127,14 +155,32 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
          << b->tid << ",\"args\":{\"name\":\"" << json_escape(b->name)
          << "\"}}";
     }
-    for (const Event& e : b->events) {
+    // Emit only matched B/E pairs: ring eviction (or an export taken while
+    // spans are open) can leave an E whose B was dropped, or a B whose E
+    // has not been recorded yet — the exported stream stays balanced.
+    keep.assign(b->events.size(), 0);
+    open.clear();
+    for (std::size_t i = 0; i < b->events.size(); ++i) {
+      if (b->events[i].phase == 'B') {
+        open.push_back(i);
+      } else if (!open.empty()) {
+        keep[open.back()] = 1;
+        keep[i] = 1;
+        open.pop_back();
+      }
+    }
+    for (std::size_t i = 0; i < b->events.size(); ++i) {
+      if (keep[i] == 0) continue;
+      const Event& e = b->events[i];
       if (!first) os << ',';
       first = false;
       std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
       os << "\n{\"ph\":\"" << e.phase << "\",\"name\":\"" << json_escape(e.name)
          << "\",\"cat\":\"ppd\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
          << buf;
-      if (e.phase == 'E' && e.cpu_us > 0.0) {
+      if (e.phase == 'B' && e.ctx != 0) {
+        os << ",\"args\":{\"qid\":" << e.ctx << '}';
+      } else if (e.phase == 'E' && e.cpu_us > 0.0) {
         std::snprintf(buf, sizeof(buf), "%.3f", e.cpu_us);
         os << ",\"args\":{\"cpu_us\":" << buf << '}';
       }

@@ -8,10 +8,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "ppd/exec/cancel.hpp"
 #include "ppd/exec/thread_pool.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/mc/rng.hpp"
 #include "ppd/util/error.hpp"
 
@@ -179,6 +181,28 @@ TEST(ThreadPoolStats, CountersAdvanceWithSubmittedWork) {
   const PoolStats after = ThreadPool::global().stats();
   EXPECT_GE(after.tasks_executed, before.tasks_executed);
   EXPECT_GE(after.steals, before.steals);
+}
+
+TEST(ThreadPool, SubmitForwardsQueryContextToWorker) {
+  // The submitter's obs query context must travel with the task so spans
+  // and metrics recorded on the worker stay query-attributable.
+  std::atomic<std::uint64_t> seen_with_ctx{~0ull};
+  std::atomic<std::uint64_t> seen_without_ctx{~0ull};
+  std::atomic<int> done{0};
+  {
+    const obs::ScopedQueryContext ctx(123);
+    ThreadPool::global().submit([&] {
+      seen_with_ctx.store(obs::query_context());
+      done.fetch_add(1);
+    });
+  }
+  ThreadPool::global().submit([&] {
+    seen_without_ctx.store(obs::query_context());
+    done.fetch_add(1);
+  });
+  while (done.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(seen_with_ctx.load(), 123u);
+  EXPECT_EQ(seen_without_ctx.load(), 0u);
 }
 
 }  // namespace

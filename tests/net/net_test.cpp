@@ -9,12 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ppd/cache/solve_cache.hpp"
+#include "ppd/obs/log.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/net/client.hpp"
 #include "ppd/net/protocol.hpp"
 #include "ppd/net/query.hpp"
@@ -54,6 +59,30 @@ TEST(Protocol, ParseFlatJsonReadsEventShapes) {
   EXPECT_EQ(fields.at("ok"), "true");
   EXPECT_EQ(fields.at("body"), "a\nb");
   EXPECT_THROW((void)parse_flat_json("{\"unterminated\":"), ParseError);
+}
+
+TEST(Protocol, ParseJsonReadsNestedDocuments) {
+  const JsonValue doc = parse_json(
+      R"({"server":{"queries_ok":3,"draining":false,"uptime_s":1.5},)"
+      R"("kinds":{"transfer":{"queue_s":{"bins":[[1e-6,2e-6,4]]}}},)"
+      R"("sessions":[{"token":"s1"},{"token":"s2"}],"none":null})");
+  EXPECT_EQ(doc.at("server").at("queries_ok").as_uint(), 3u);
+  EXPECT_FALSE(doc.at("server").at("draining").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("server").at("uptime_s").as_number(), 1.5);
+  const JsonValue& bins =
+      doc.at("kinds").at("transfer").at("queue_s").at("bins");
+  ASSERT_EQ(bins.items.size(), 1u);
+  ASSERT_EQ(bins.items[0].items.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins.items[0].items[2].as_number(), 4.0);
+  ASSERT_EQ(doc.at("sessions").items.size(), 2u);
+  EXPECT_EQ(doc.at("sessions").items[1].at("token").scalar, "s2");
+  EXPECT_EQ(doc.at("none").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW((void)doc.at("absent"), ParseError);
+
+  EXPECT_THROW((void)parse_json("{\"a\":}"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1} extra"), ParseError);
+  EXPECT_THROW((void)parse_json("[[[[" + std::string(40, '[')), ParseError);
 }
 
 TEST(Protocol, ReplyHelpers) {
@@ -253,11 +282,138 @@ TEST_F(ServiceTest, StatsReportServerAndCacheCounters) {
   Client client = Client::connect(server_->port());
   client.set("points", "3");
   (void)client.run("transfer");
-  const auto stats = parse_flat_json(client.stats());
-  EXPECT_EQ(stats.at("queries_ok"), "1");
-  EXPECT_EQ(stats.at("draining"), "false");
-  EXPECT_TRUE(stats.contains("cache_hits"));
-  EXPECT_TRUE(stats.contains("cache_entries"));
+  const JsonValue stats = parse_json(client.stats());
+  const JsonValue& server = stats.at("server");
+  EXPECT_EQ(server.at("queries_ok").as_uint(), 1u);
+  EXPECT_FALSE(server.at("draining").as_bool());
+  EXPECT_GT(server.at("uptime_s").as_number(), 0.0);
+  EXPECT_GE(stats.at("cache").at("hits").as_uint(), 0u);
+  EXPECT_GE(stats.at("cache").at("entries").as_uint(), 0u);
+  // Per-kind block: the transfer row saw exactly one query; both latency
+  // histograms recorded it.
+  const JsonValue& transfer = stats.at("kinds").at("transfer");
+  EXPECT_EQ(transfer.at("accepted").as_uint(), 1u);
+  EXPECT_EQ(transfer.at("ok").as_uint(), 1u);
+  EXPECT_EQ(transfer.at("queue_s").at("count").as_uint(), 1u);
+  EXPECT_EQ(transfer.at("execute_s").at("count").as_uint(), 1u);
+  EXPECT_GT(transfer.at("execute_s").at("p50").as_number(), 0.0);
+  // Kinds that saw no queries are present with zero counts (fixed shape).
+  EXPECT_EQ(stats.at("kinds").at("rmin").at("accepted").as_uint(), 0u);
+  // This session appears in the listing with its accepted count.
+  ASSERT_EQ(stats.at("sessions").items.size(), 1u);
+  EXPECT_EQ(stats.at("sessions").items[0].at("accepted").as_uint(), 1u);
+  client.quit();
+}
+
+TEST_F(ServiceTest, ResultEventCarriesQueryIdAndTimingBreakdown) {
+  Client client = Client::connect(server_->port());
+  client.set("points", "3");
+  const Client::Result res = client.run("transfer");
+  EXPECT_EQ(res.status, "ok");
+  EXPECT_GT(res.qid, 0u);
+  EXPECT_GE(res.queue_s, 0.0);
+  EXPECT_GT(res.execute_s, 0.0);
+  EXPECT_GE(res.serialize_s, 0.0);
+  // The breakdown rides in separate fields of the same event.
+  EXPECT_NE(res.raw.find("\"qid\":"), std::string::npos);
+  EXPECT_NE(res.raw.find("\"queue_s\":"), std::string::npos);
+  EXPECT_NE(res.raw.find("\"execute_s\":"), std::string::npos);
+  EXPECT_NE(res.raw.find("\"serialize_s\":"), std::string::npos);
+  // elapsed_s is retained as an alias of execute_s for older consumers.
+  EXPECT_DOUBLE_EQ(res.elapsed_s, res.execute_s);
+  client.quit();
+}
+
+TEST_F(ServiceTest, StatsSnapshotExactUnderConcurrentMixedKinds) {
+  // 4 concurrent clients, each running one transfer and one lint: the
+  // per-kind snapshot totals must be exact (the PR 3 merge-exactness
+  // contract — thread-count-invariant integer sums), not approximate.
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&] {
+      Client client = Client::connect(server_->port());
+      client.set("points", "3");
+      client.upload("t.bench", kBenchText);
+      if (client.run("transfer").status != "ok") ++failures;
+      if (client.run("lint", "t.bench").status != "ok") ++failures;
+      client.quit();
+    });
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  Client probe = Client::connect(server_->port());
+  const JsonValue stats = parse_json(probe.stats());
+  EXPECT_EQ(stats.at("server").at("queries_ok").as_uint(), 2u * kClients);
+  for (const char* kind : {"transfer", "lint"}) {
+    const JsonValue& row = stats.at("kinds").at(kind);
+    EXPECT_EQ(row.at("accepted").as_uint(), static_cast<unsigned>(kClients))
+        << kind;
+    EXPECT_EQ(row.at("ok").as_uint(), static_cast<unsigned>(kClients))
+        << kind;
+    EXPECT_EQ(row.at("error").as_uint(), 0u) << kind;
+    EXPECT_EQ(row.at("queue_s").at("count").as_uint(),
+              static_cast<unsigned>(kClients))
+        << kind;
+    EXPECT_EQ(row.at("execute_s").at("count").as_uint(),
+              static_cast<unsigned>(kClients))
+        << kind;
+  }
+  for (const char* kind : {"calibrate", "coverage", "rmin", "sta"})
+    EXPECT_EQ(stats.at("kinds").at(kind).at("accepted").as_uint(), 0u)
+        << kind;
+  probe.quit();
+}
+
+TEST_F(ServiceTest, SubscribeStreamsMetricsSnapshots) {
+  Client worker = Client::connect(server_->port());
+  worker.set("points", "3");
+  (void)worker.run("transfer");
+
+  Client watcher = Client::connect(server_->port());
+  watcher.subscribe(0.05);
+  std::uint64_t last_seq = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto line = watcher.next_event();
+    ASSERT_TRUE(line.has_value());
+    ASSERT_EQ(line->rfind("{\"event\":\"metrics\"", 0), 0u) << *line;
+    const JsonValue ev = parse_json(*line);
+    EXPECT_EQ(ev.at("seq").as_uint(), last_seq + 1);
+    last_seq = ev.at("seq").as_uint();
+    // The embedded stats block is the full STATS document.
+    EXPECT_GE(ev.at("stats").at("server").at("queries_ok").as_uint(), 1u);
+    EXPECT_GE(
+        ev.at("stats").at("kinds").at("transfer").at("ok").as_uint(), 1u);
+    (void)ev.at("interval").at("transfer").at("ok").as_uint();
+  }
+  watcher.subscribe(0.0);  // unsubscribe; the control channel still works
+  EXPECT_TRUE(is_ok(watcher.ping()));
+  watcher.quit();
+  worker.quit();
+}
+
+TEST_F(ServiceTest, TraceDumpContainsServedQuerySpans) {
+  obs::TraceSession& trace = obs::TraceSession::global();
+  trace.set_ring_limit(4096);
+  trace.start();
+
+  Client client = Client::connect(server_->port());
+  client.set("points", "3");
+  const Client::Result res = client.run("transfer");
+  ASSERT_EQ(res.status, "ok");
+  ASSERT_GT(res.qid, 0u);
+
+  const std::string dump = client.trace_dump();
+  trace.stop();
+  trace.clear();
+  trace.set_ring_limit(0);
+
+  // The served query's span is in the dump, tagged with the same qid the
+  // result event carried — the client-side correlation contract.
+  EXPECT_NE(dump.find("net.query.transfer"), std::string::npos);
+  EXPECT_NE(dump.find("\"qid\":" + std::to_string(res.qid)),
+            std::string::npos);
   client.quit();
 }
 
@@ -295,8 +451,21 @@ TEST(ServiceDrain, NotifiesDataChannelsAndRefusesNewConnections) {
   const Client::Result before = client.run("transfer");
   EXPECT_EQ(before.status, "ok");
 
+  // Capture the drain log line: the shutdown summary must account for
+  // every accepted query (completed/cancelled/undelivered).
+  std::ostringstream captured;
+  obs::Logger::global().set_text_stream(&captured);
+  obs::Logger::global().set_level(obs::LogLevel::kInfo);
   server.drain();
+  obs::Logger::global().set_level(obs::LogLevel::kWarn);
+  obs::Logger::global().set_text_stream(&std::cerr);
   EXPECT_TRUE(server.draining());
+
+  const std::string drain_log = captured.str();
+  EXPECT_NE(drain_log.find("ppdd drained"), std::string::npos) << drain_log;
+  EXPECT_NE(drain_log.find("completed=1"), std::string::npos) << drain_log;
+  EXPECT_NE(drain_log.find("cancelled=0"), std::string::npos) << drain_log;
+  EXPECT_NE(drain_log.find("undelivered=0"), std::string::npos) << drain_log;
 
   // The drain event reached the data channel; the client notices on its
   // next read (the stream ends after the event, hence the throw).

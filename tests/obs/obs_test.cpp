@@ -186,6 +186,151 @@ TEST(Trace, ChromeExportShape) {
   session.clear();
 }
 
+TEST(Trace, QueryContextScopesAndNests) {
+  EXPECT_EQ(obs::query_context(), 0u);
+  {
+    const obs::ScopedQueryContext outer(7);
+    EXPECT_EQ(obs::query_context(), 7u);
+    {
+      const obs::ScopedQueryContext inner(9);
+      EXPECT_EQ(obs::query_context(), 9u);
+    }
+    EXPECT_EQ(obs::query_context(), 7u);
+  }
+  EXPECT_EQ(obs::query_context(), 0u);
+}
+
+TEST(Trace, SpansCarryQueryContextIntoChromeExport) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.start();
+  {
+    const obs::ScopedQueryContext ctx(42);
+    const obs::Span span("ctx.tagged");
+  }
+  { const obs::Span span("ctx.untagged"); }
+  session.stop();
+
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 4u);
+  bool saw_tagged = false;
+  for (const auto& e : events)
+    if (e.phase == 'B' && e.name == "ctx.tagged") {
+      EXPECT_EQ(e.ctx, 42u);
+      saw_tagged = true;
+    }
+  EXPECT_TRUE(saw_tagged);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"args\":{\"qid\":42}"), std::string::npos);
+  // The untagged span exports without an args block.
+  const auto untagged = json.find("\"name\":\"ctx.untagged\"");
+  ASSERT_NE(untagged, std::string::npos);
+  EXPECT_EQ(json.find("\"qid\":0"), std::string::npos);
+  session.clear();
+}
+
+TEST(Trace, RingLimitBoundsLanesAndExportStaysBalanced) {
+  obs::TraceSession& session = obs::TraceSession::global();
+  session.set_ring_limit(8);
+  EXPECT_EQ(session.ring_limit(), 8u);
+  session.start();
+  for (int i = 0; i < 100; ++i) {
+    const obs::Span span("ring.churn");
+  }
+  session.stop();
+
+  const auto events = session.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_LE(events.size(), 8u);
+
+  // Eviction can orphan a B or E at the ring edge; the exporter must emit
+  // stack-matched pairs only.
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos)
+    ++begins, pos += 8;
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos)
+    ++ends, pos += 8;
+  EXPECT_EQ(begins, ends);
+  session.clear();
+  session.set_ring_limit(0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  obs::Registry registry;
+  obs::Histogram& hist =
+      registry.histogram("q", obs::HistogramSpec{1.0, 1e3, 12});
+  for (int i = 0; i < 100; ++i) hist.record(10.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  // Every observation sits in one bin: all quantiles land inside it.
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 20.0);
+  // Out-of-range p clamps; an empty histogram estimates 0.
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_EQ(obs::HistogramSnapshot{}.quantile(0.5), 0.0);
+  // Underflow-only data resolves to the recorded min.
+  obs::Histogram& under =
+      registry.histogram("u", obs::HistogramSpec{1.0, 1e3, 12});
+  under.record(0.25);
+  const auto snap2 = registry.snapshot();
+  for (const auto& hs : snap2.histograms) {
+    if (hs.name == "u") {
+      EXPECT_DOUBLE_EQ(hs.quantile(0.5), 0.25);
+    }
+  }
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsWindowTotals) {
+  obs::Registry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.0);
+  registry.histogram("h", obs::HistogramSpec{1.0, 1e3, 12}).record(5.0);
+  const auto older = registry.snapshot();
+
+  registry.counter("c").add(2);
+  registry.counter("fresh").add(7);
+  registry.gauge("g").set(4.0);
+  registry.histogram("h").record(6.0);
+  registry.histogram("h").record(7.0);
+  const auto newer = registry.snapshot();
+
+  const auto delta = obs::snapshot_delta(older, newer);
+  for (const auto& [name, value] : delta.counters) {
+    if (name == "c") {
+      EXPECT_EQ(value, 2u);
+    }
+    if (name == "fresh") {
+      EXPECT_EQ(value, 7u);  // absent in older: counts from zero
+    }
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    if (name == "g") {
+      EXPECT_DOUBLE_EQ(value, 4.0);  // instantaneous
+    }
+  }
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(delta.histograms[0].sum, 13.0);
+
+  std::ostringstream os;
+  obs::write_histogram_json(os, delta.histograms[0]);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bins\":["), std::string::npos);
+}
+
 TEST(MetricsJson, EmbedsMetaAndSeries) {
   obs::counter("test.obs.json").add(3);
   std::ostringstream os;

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench JSON streams.
+
+Compares a bench's JSON-lines output (bench_perf_engine,
+bench_service_load) against a committed baseline file with per-row rules
+and exits non-zero on any regression, so CI can gate merges on measured
+performance instead of hope.
+
+Usage:
+    bench_gate.py --baseline bench/baseline/service_load.json results.jsonl
+    some_bench | bench_gate.py --baseline bench/baseline/perf_engine.json -
+    bench_gate.py --self-test
+
+Input: one JSON object per line (non-JSON lines are ignored, so the raw
+bench stdout can be piped in directly).
+
+Baseline schema:
+    {
+      "bench": "service_load",
+      "rules": [
+        {
+          "name": "warm pass byte-identity",
+          "match":     {"section": "service_load", "pass": "warm"},
+          "require":   {"identical": true},          # exact equality
+          "min":       {"throughput_qps": 10.0},     # row >= bound
+          "max":       {"p99_ms": 500.0},            # row <= bound
+          "tolerance": {"p50_ms": {"baseline": 2.0, "max_ratio": 5.0}},
+                       # row <= baseline * max_ratio
+          "optional":  false                         # missing row fails
+        }
+      ]
+    }
+
+Every row matching `match` is checked against the rule; a non-optional
+rule that matches no row fails (a silently vanished section must not pass
+the gate). Exit code: 0 all rules pass, 1 any failure, 2 usage error.
+"""
+
+import json
+import sys
+
+
+def load_rows(stream):
+    rows = []
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return rows
+
+
+def matches(row, match):
+    return all(row.get(key) == value for key, value in match.items())
+
+
+def check_rule(rule, rows):
+    """Returns a list of failure strings (empty = rule passed)."""
+    name = rule.get("name", json.dumps(rule.get("match", {})))
+    hits = [row for row in rows if matches(row, rule.get("match", {}))]
+    if not hits:
+        if rule.get("optional", False):
+            return []
+        return ["%s: no row matched %s" % (name, json.dumps(rule.get("match", {})))]
+
+    failures = []
+    for row in hits:
+        for key, want in rule.get("require", {}).items():
+            got = row.get(key)
+            if got != want:
+                failures.append("%s: %s == %r, want %r" % (name, key, got, want))
+        for key, bound in rule.get("min", {}).items():
+            got = row.get(key)
+            if not isinstance(got, (int, float)) or got < bound:
+                failures.append("%s: %s = %r, want >= %r" % (name, key, got, bound))
+        for key, bound in rule.get("max", {}).items():
+            got = row.get(key)
+            if not isinstance(got, (int, float)) or got > bound:
+                failures.append("%s: %s = %r, want <= %r" % (name, key, got, bound))
+        for key, tol in rule.get("tolerance", {}).items():
+            got = row.get(key)
+            limit = tol["baseline"] * tol["max_ratio"]
+            if not isinstance(got, (int, float)) or got > limit:
+                failures.append(
+                    "%s: %s = %r, want <= %g (baseline %g x %g)"
+                    % (name, key, got, limit, tol["baseline"], tol["max_ratio"])
+                )
+    return failures
+
+
+def run_gate(baseline, rows):
+    """Returns (passed, report_lines)."""
+    report = []
+    passed = True
+    for rule in baseline.get("rules", []):
+        name = rule.get("name", json.dumps(rule.get("match", {})))
+        failures = check_rule(rule, rows)
+        if failures:
+            passed = False
+            for failure in failures:
+                report.append("FAIL %s" % failure)
+        else:
+            report.append("PASS %s" % name)
+    return passed, report
+
+
+def self_test():
+    baseline = {
+        "bench": "synthetic",
+        "rules": [
+            {
+                "name": "identity",
+                "match": {"section": "load", "pass": "warm"},
+                "require": {"identical": True},
+            },
+            {
+                "name": "latency",
+                "match": {"section": "load", "pass": "warm"},
+                "tolerance": {"p50_ms": {"baseline": 2.0, "max_ratio": 5.0}},
+                "min": {"qps": 10.0},
+            },
+            {
+                "name": "must exist",
+                "match": {"section": "gone"},
+            },
+            {
+                "name": "may be absent",
+                "match": {"section": "also_gone"},
+                "optional": True,
+            },
+        ],
+    }
+    good = [{"section": "load", "pass": "warm", "identical": True,
+             "p50_ms": 3.0, "qps": 50.0},
+            {"section": "gone"}]
+    bad = [{"section": "load", "pass": "warm", "identical": False,
+            "p50_ms": 30.0, "qps": 5.0}]
+
+    ok, report = run_gate(baseline, good)
+    assert ok, report
+    assert sum(1 for line in report if line.startswith("PASS")) == 4, report
+
+    ok, report = run_gate(baseline, bad)
+    assert not ok, report
+    fails = [line for line in report if line.startswith("FAIL")]
+    # identical mismatch, p50 over tolerance, qps under min, missing section.
+    assert len(fails) == 4, report
+
+    # Non-JSON chatter and malformed lines are skipped, not fatal.
+    rows = load_rows(["not json", "{broken", '{"section": "gone"}'])
+    assert rows == [{"section": "gone"}]
+
+    print("bench_gate self-test: OK")
+    return 0
+
+
+def main(argv):
+    baseline_path = None
+    input_path = None
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--self-test":
+            return self_test()
+        if arg == "--baseline":
+            if not args:
+                print("bench_gate: --baseline needs a file", file=sys.stderr)
+                return 2
+            baseline_path = args.pop(0)
+        elif arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif input_path is None:
+            input_path = arg
+        else:
+            print("bench_gate: unexpected argument %r" % arg, file=sys.stderr)
+            return 2
+
+    if baseline_path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    if input_path is None or input_path == "-":
+        rows = load_rows(sys.stdin)
+    else:
+        with open(input_path) as handle:
+            rows = load_rows(handle)
+
+    passed, report = run_gate(baseline, rows)
+    for line in report:
+        print(line)
+    label = baseline.get("bench", baseline_path)
+    print("bench_gate: %s %s" % (label, "PASS" if passed else "FAIL"))
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -148,7 +148,8 @@ echo "== service smoke (ppdd + ppdctl over loopback) =="
 # ppdtool, a scripted session streams well-formed JSON result events, and
 # SIGTERM drains gracefully (exit 0, all in-flight queries finished).
 "$build/tools/ppdd" --port=0 --port-file="$obs_dir/ppdd.port" \
-  --drain-grace=10 > "$obs_dir/ppdd.log" 2>&1 &
+  --drain-grace=10 --metrics="$obs_dir/ppdd-metrics.json" \
+  > "$obs_dir/ppdd.log" 2>&1 &
 ppdd_pid=$!
 for _ in $(seq 1 50); do
   [ -s "$obs_dir/ppdd.port" ] && break
@@ -168,19 +169,53 @@ stats
 quit
 BATCH
 if command -v jq >/dev/null 2>&1; then
+  # Every result event carries the observability breakdown: a server-wide
+  # query id plus queue/execute/serialize timings in separate fields.
   jq -e -s '(map(select(.event == "result")) | length == 2) and
             (map(select(.event == "result")) |
-             all(.status == "ok" and .exit_code == 0))' \
+             all(.status == "ok" and .exit_code == 0 and .qid > 0 and
+                 .queue_s >= 0 and .execute_s > 0 and .serialize_s >= 0))' \
     "$obs_dir/batch.out" >/dev/null
+  # STATS is the structured per-kind snapshot: server totals, cache block,
+  # and a latency histogram per query kind.
   "$build/tools/ppdctl" --port="$port" stats |
-    jq -e '.queries_ok >= 3 and .queries_error == 0 and
-           .cache_entries >= 0' >/dev/null
+    jq -e '.server.queries_ok >= 3 and .server.queries_error == 0 and
+           .cache.entries >= 0 and
+           .kinds.coverage.ok >= 1 and
+           .kinds.transfer.execute_s.count >= 1' >/dev/null
+  # SUBSCRIBE streams consecutive metrics frames with increasing seq and an
+  # embedded stats document.
+  "$build/tools/ppdctl" --port="$port" subscribe --interval=0.1 --count=2 |
+    jq -e -s 'length == 2 and (.[1].seq == .[0].seq + 1) and
+              all(.event == "metrics" and
+                  (.stats.server.queries_ok >= 3) and
+                  (.interval | has("transfer")))' >/dev/null
+  # TRACE dumps the server's span ring as a Chrome trace; served queries
+  # appear tagged with their qid.
+  "$build/tools/ppdctl" --port="$port" trace "$obs_dir/ppdd-trace.json"
+  jq -e '.traceEvents | length > 0' "$obs_dir/ppdd-trace.json" >/dev/null
+  jq -e '[.traceEvents[] | select(.args.qid? != null)] | length > 0' \
+    "$obs_dir/ppdd-trace.json" >/dev/null
 else
   echo "(jq not installed; service JSON checks skipped)"
 fi
 kill -TERM "$ppdd_pid"
 wait "$ppdd_pid"  # graceful drain: exit 0 or set -e fails the stage
 grep -q "ppdd stopped" "$obs_dir/ppdd.log"
+# The drain flushed the server's metrics snapshot to disk.
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.counters["net.queries.ok"] >= 3' \
+    "$obs_dir/ppdd-metrics.json" >/dev/null
+fi
+
+echo "== bench gate (perf-regression rules over bench output) =="
+# tools/bench_gate.py compares a bench's JSON rows against the committed
+# baseline rules; a byte-identity break or an order-of-magnitude latency
+# regression fails the repo gate.
+python3 "$repo/tools/bench_gate.py" --self-test
+"$build/bench/bench_service_load" --clients=4 --rounds=1 |
+  python3 "$repo/tools/bench_gate.py" \
+    --baseline "$repo/bench/baseline/service_load.json" -
 
 echo "== resil + exec + cache + net + sta under TSan and UBSan =="
 # The recovery/quarantine/checkpoint paths are themselves exercised under

@@ -26,6 +26,24 @@
 //         quit
 //       Lines starting with '#' and blank lines are skipped. Exits non-zero
 //       if any query failed.
+//
+//   ppdctl [--port=N] subscribe [--interval=S] [--count=N]
+//       SUBSCRIBE to the server's metrics stream and print the raw
+//       "metrics" event JSON lines (one per line; machine-friendly). Stops
+//       after N events when --count is given, otherwise streams until the
+//       server goes away.
+//
+//   ppdctl [--port=N] top [--interval=S] [--count=N]
+//       Live view over the same stream: a refreshing per-query-kind table
+//       (totals, qps, latency percentiles) plus server/cache summary
+//       lines. Clears the screen between frames on a terminal.
+//
+//   ppdctl [--port=N] trace <out.json>
+//       Pull the server's Chrome trace-event dump of recent served-query
+//       spans (load in chrome://tracing or ui.perfetto.dev; result events'
+//       "qid" matches the spans' args.qid).
+#include <unistd.h>
+
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -97,6 +115,130 @@ int cmd_query(net::Client& client, int argc, char** argv) {
   return res.exit_code;
 }
 
+/// Parse the shared subscribe/top flags (--interval=S, --count=N).
+void parse_stream_flags(int argc, char** argv, double& interval,
+                        long long& count) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (util::starts_with(flag, "--interval=")) {
+      interval = std::stod(flag.substr(std::string("--interval=").size()));
+    } else if (util::starts_with(flag, "--count=")) {
+      count = std::stoll(flag.substr(std::string("--count=").size()));
+    } else {
+      throw ParseError("unknown flag: " + flag +
+                       " (expected --interval=S or --count=N)");
+    }
+  }
+}
+
+bool is_metrics_event(const std::string& line) {
+  return util::starts_with(line, "{\"event\":\"metrics\"");
+}
+
+int cmd_subscribe(net::Client& client, int argc, char** argv) {
+  double interval = 1.0;
+  long long count = -1;
+  parse_stream_flags(argc, argv, interval, count);
+  client.subscribe(interval);
+  long long seen = 0;
+  while (count < 0 || seen < count) {
+    const auto line = client.next_event();
+    if (!line) break;
+    if (!is_metrics_event(*line)) continue;
+    std::cout << *line << "\n" << std::flush;
+    ++seen;
+  }
+  // Open-ended streams end when the server drains — that is a success.
+  return count < 0 || seen >= count ? 0 : 1;
+}
+
+double hist_number(const net::JsonValue& hist, const char* key) {
+  const net::JsonValue* v = hist.find(key);
+  return v != nullptr && v->kind == net::JsonValue::Kind::kNumber
+             ? v->as_number()
+             : 0.0;
+}
+
+void render_top_frame(const net::JsonValue& ev, bool clear) {
+  const net::JsonValue& stats = ev.at("stats");
+  const net::JsonValue& server = stats.at("server");
+  const net::JsonValue& cache = stats.at("cache");
+  const net::JsonValue& kinds = stats.at("kinds");
+  const net::JsonValue& interval = ev.at("interval");
+  const double dt = ev.at("interval_s").as_number();
+
+  std::ostringstream os;
+  if (clear) os << "\x1b[H\x1b[J";  // home + clear: refresh in place
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "ppdd up %.0fs  sessions %.0f  in-flight %.0f  "
+                "accepted %.0f ok %.0f err %.0f cxl %.0f busy %.0f\n",
+                server.at("uptime_s").as_number(),
+                server.at("sessions_active").as_number(),
+                server.at("jobs_in_flight").as_number(),
+                server.at("queries_accepted").as_number(),
+                server.at("queries_ok").as_number(),
+                server.at("queries_error").as_number(),
+                server.at("queries_cancelled").as_number(),
+                server.at("queries_busy").as_number());
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "cache hits %.0f misses %.0f hit-ratio %.2f  entries %.0f\n",
+                cache.at("hits").as_number(), cache.at("misses").as_number(),
+                cache.at("hit_ratio").as_number(),
+                cache.at("entries").as_number());
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "%-10s %8s %6s %6s %8s %10s %10s\n", "kind",
+                "ok", "err", "cxl", "qps", "p50 ms", "p99 ms");
+  os << buf;
+  for (const auto& [name, kind] : kinds.members) {
+    const net::JsonValue& exec_hist = kind.at("execute_s");
+    double qps = 0.0;
+    if (const net::JsonValue* iv = interval.find(name);
+        iv != nullptr && dt > 0.0)
+      qps = iv->at("ok").as_number() / dt;
+    std::snprintf(buf, sizeof(buf),
+                  "%-10s %8.0f %6.0f %6.0f %8.1f %10.2f %10.2f\n",
+                  name.c_str(), kind.at("ok").as_number(),
+                  kind.at("error").as_number(),
+                  kind.at("cancelled").as_number(), qps,
+                  hist_number(exec_hist, "p50") * 1e3,
+                  hist_number(exec_hist, "p99") * 1e3);
+    os << buf;
+  }
+  std::cout << os.str() << std::flush;
+}
+
+int cmd_top(net::Client& client, int argc, char** argv) {
+  double interval = 1.0;
+  long long count = -1;
+  parse_stream_flags(argc, argv, interval, count);
+  client.subscribe(interval);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  long long seen = 0;
+  while (count < 0 || seen < count) {
+    const auto line = client.next_event();
+    if (!line) break;
+    if (!is_metrics_event(*line)) continue;
+    render_top_frame(net::parse_json(*line), tty);
+    ++seen;
+  }
+  return count < 0 || seen >= count ? 0 : 1;
+}
+
+int cmd_trace(net::Client& client, int argc, char** argv) {
+  if (argc < 1) throw ParseError("usage: ppdctl trace <out.json>");
+  const std::string path = argv[0];
+  const std::string dump = client.trace_dump();
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ParseError("cannot open " + path + " for writing");
+  os << dump;
+  if (!os) throw ParseError("short write to " + path);
+  std::cerr << "ppdctl: wrote " << dump.size() << " bytes to " << path
+            << "\n";
+  return 0;
+}
+
 int cmd_batch(net::Client& client) {
   int worst = 0;
   std::string line;
@@ -152,7 +294,8 @@ int main(int argc, char** argv) {
       return true;
     });
     if (argc < 2) {
-      std::cerr << "usage: ppdctl [--port=N] <ping|stats|query|batch> ...\n"
+      std::cerr << "usage: ppdctl [--port=N] "
+                   "<ping|stats|query|batch|subscribe|top|trace> ...\n"
                    "(see the header of tools/ppdctl.cpp)\n";
       return 2;
     }
@@ -170,6 +313,12 @@ int main(int argc, char** argv) {
       code = cmd_query(client, argc - 2, argv + 2);
     } else if (mode == "batch") {
       code = cmd_batch(client);
+    } else if (mode == "subscribe") {
+      code = cmd_subscribe(client, argc - 2, argv + 2);
+    } else if (mode == "top") {
+      code = cmd_top(client, argc - 2, argv + 2);
+    } else if (mode == "trace") {
+      code = cmd_trace(client, argc - 2, argv + 2);
     } else {
       std::cerr << "ppdctl: unknown mode: " << mode << "\n";
     }

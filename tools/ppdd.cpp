@@ -1,6 +1,9 @@
 // ppdd — the persistent pulse-test service.
 //
 //   ppdd [--port=N] [--port-file=FILE] [--max-queue=N] [--drain-grace=s]
+//        [--slow-query=s] [--trace-ring=N]
+//        [--metrics=F] [--metrics-format=json|text] [--trace=F]
+//        [--log-level=L] [--log-json=F]
 //
 // Serves the same transfer / calibrate / coverage / rmin / lint queries as
 // ppdtool over a loopback socket (protocol: ppd/net/protocol.hpp), with
@@ -14,6 +17,16 @@
 //   --drain-grace=s how long SIGTERM waits for in-flight queries before
 //                   cancelling them (default 30; cancelled sweeps flush
 //                   their resil checkpoints)
+//   --slow-query=s  log a rate-limited warning for queries slower than
+//                   this (queue + execute; default 1.0, 0 disables)
+//   --trace-ring=N  keep a sliding window of ~N trace events per thread so
+//                   `ppdctl trace` can dump recent served-query spans from
+//                   a long-running daemon (default 8192, 0 disables)
+//
+// The standard obs flags (--metrics= etc., shared with every other binary)
+// are honoured too; the metrics snapshot and Chrome trace are flushed when
+// the SIGTERM drain completes, so a supervised daemon leaves its telemetry
+// behind on shutdown.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, every data
 // channel gets a {"event":"drain"} push, in-flight queries get the grace
@@ -24,10 +37,12 @@
 #include <iostream>
 #include <thread>
 
+#include "ppd/exec/thread_pool.hpp"
 #include "ppd/net/protocol.hpp"
 #include "ppd/net/server.hpp"
 #include "ppd/obs/log.hpp"
 #include "ppd/obs/run.hpp"
+#include "ppd/obs/trace.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
 
@@ -45,8 +60,9 @@ int main(int argc, char** argv) {
   ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
   try {
     // No subcommand word: Cli skips argv[0] itself.
-    const ppd::util::Cli cli(
-        argc, argv, {"port", "port-file", "max-queue", "drain-grace"});
+    const ppd::util::Cli cli(argc, argv,
+                             {"port", "port-file", "max-queue", "drain-grace",
+                              "slow-query", "trace-ring"});
 
     ppd::net::ServerOptions options;
     options.port = static_cast<std::uint16_t>(
@@ -54,6 +70,20 @@ int main(int argc, char** argv) {
     options.limits.max_queue =
         static_cast<std::size_t>(cli.get("max-queue", 8));
     options.drain_grace_seconds = cli.get("drain-grace", 30.0);
+    options.slow_query_seconds = cli.get("slow-query", 1.0);
+
+    run.set_meta(0, ppd::exec::ThreadPool::global().size());
+
+    // Ring-bounded continuous tracing: recording is always on so `ppdctl
+    // trace` works against a long-running daemon, but each thread keeps
+    // only the most recent window of events. --trace=FILE still gets the
+    // shutdown dump via ScopedRun.
+    const int trace_ring = cli.get("trace-ring", 8192);
+    if (trace_ring > 0) {
+      ppd::obs::TraceSession& trace = ppd::obs::TraceSession::global();
+      trace.set_ring_limit(static_cast<std::size_t>(trace_ring));
+      if (!trace.active()) trace.start();
+    }
 
     ppd::net::Server server(options);
     server.start();
@@ -77,6 +107,9 @@ int main(int argc, char** argv) {
                            " received, draining");
     std::cout << "ppdd draining" << std::endl;
     server.drain();
+    // Flush the obs sinks (--metrics / --trace) before announcing the stop:
+    // a supervisor that gates on "ppdd stopped" can rely on the files.
+    run.finish();
     std::cout << "ppdd stopped" << std::endl;
     return 0;
   } catch (const std::exception& e) {
