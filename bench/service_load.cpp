@@ -6,6 +6,9 @@
 //   {"section":"service_load","pass":"cold"|"warm"|"warm_noobs",
 //    "clients":N,...,"p50_ms":...,"p99_ms":...,"throughput_qps":...,
 //    "identical":true}
+//   {"section":"service_load","pass":"overload","offered":N,"accepted":N,
+//    "busy":N,"expired":N,"shed_rate":...,"p99_ms":...,"typed":true,
+//    "alive":true,"identical":true}
 //   {"section":"service_obs_overhead","p50_on_ms":...,"p50_off_ms":...,
 //    "overhead_pct":...}
 //   {"section":"service_load_summary","warm_p50_speedup":...,
@@ -19,7 +22,17 @@
 // client rides along during the warm pass and validates the SUBSCRIBE
 // metrics stream. The warm_noobs pass replays the warm workload with
 // metrics recording disabled, measuring the observability overhead on the
-// served path. The bench exits non-zero if any contract breaks.
+// served path.
+//
+// The overload pass (PR 9) offers 2x the configured capacity against a
+// dedicated server with a tiny in-flight ceiling: every refused query must
+// carry a typed BUSY reply (never a silent drop), a deadline-carrying query
+// behind the simulated queue delay must come back "expired", accepted
+// queries must stay byte-identical, and the server must answer normally
+// afterwards. It reports the shed rate and the p99 of *accepted* queries —
+// the latency promise load shedding exists to protect.
+//
+// The bench exits non-zero if any contract breaks.
 //
 //   --clients=N   concurrent client connections (default 6, min 4)
 //   --rounds=N    repetitions of the query mix per client (default 2)
@@ -166,6 +179,125 @@ PassResult run_pass(const char* pass, std::uint16_t port, int clients,
   return res;
 }
 
+struct OverloadResult {
+  int offered = 0;    ///< every QUERY submitted
+  int accepted = 0;   ///< got a slot (result event followed)
+  int busy = 0;       ///< typed BUSY (shed / ceiling / backlog)
+  int ok = 0;
+  int expired = 0;    ///< typed result status "expired"
+  int errors = 0;     ///< body mismatch / error status / untyped outcome
+  double p99_ms = 0.0;  ///< over accepted queries only
+  bool alive = false;   ///< server answered normally after the storm
+};
+
+/// Offered load at 2x the server's in-flight capacity: `clients` concurrent
+/// connections against a ceiling of clients/2. Every submit must resolve to
+/// a typed outcome — accepted (result event), or a reply starting "BUSY".
+OverloadResult run_overload_pass(int clients, int rounds,
+                                 const std::vector<QuerySpec>& mix,
+                                 const std::vector<std::string>& expected) {
+  net::ServerOptions options;
+  options.port = 0;
+  options.max_inflight_total = static_cast<std::size_t>(std::max(1, clients / 2));
+  // Hold each accepted query at pickup for a beat: capacity stays genuinely
+  // saturated for the whole storm instead of depending on solver timing.
+  options.debug_pickup_delay_seconds = 0.005;
+  net::Server server(options);
+  server.start();
+
+  std::vector<OverloadResult> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        OverloadResult& out = per_client[static_cast<std::size_t>(c)];
+        std::vector<double>& lat = latencies[static_cast<std::size_t>(c)];
+        net::Client client = net::Client::connect(server.port());
+        client.upload(kBenchUpload, kBenchText);
+        net::Client::SubmitOptions opts;
+        opts.deadline_ms = 2000;  // generous: queue delay alone never expires
+        for (int round = 0; round < rounds; ++round) {
+          for (std::size_t q = 0; q < mix.size(); ++q) {
+            for (const auto& [key, value] : mix[q].params)
+              client.set(key, value);
+            ++out.offered;
+            const auto start = Clock::now();
+            const net::Client::Submitted sub =
+                client.submit(mix[q].kind, mix[q].arg, opts);
+            if (sub.busy) {
+              // Refusals must be typed, never a silent drop.
+              if (sub.reply.rfind("BUSY", 0) == 0)
+                ++out.busy;
+              else
+                ++out.errors;
+              continue;
+            }
+            ++out.accepted;
+            const net::Client::Result res = client.wait(sub.id);
+            lat.push_back(
+                std::chrono::duration<double>(Clock::now() - start).count());
+            if (res.status == "ok" && res.body == expected[q])
+              ++out.ok;
+            else if (res.status == "expired")
+              ++out.expired;
+            else
+              ++out.errors;
+          }
+        }
+        client.quit();
+      });
+    for (auto& t : threads) t.join();
+  }
+
+  OverloadResult total;
+  std::vector<double> all;
+  for (int c = 0; c < clients; ++c) {
+    const OverloadResult& out = per_client[static_cast<std::size_t>(c)];
+    total.offered += out.offered;
+    total.accepted += out.accepted;
+    total.busy += out.busy;
+    total.ok += out.ok;
+    total.expired += out.expired;
+    total.errors += out.errors;
+    all.insert(all.end(), latencies[static_cast<std::size_t>(c)].begin(),
+               latencies[static_cast<std::size_t>(c)].end());
+  }
+  total.p99_ms = percentile(all, 0.99) * 1e3;
+
+  // Deterministic deadline expiry: alone on the server, a 1 ms deadline
+  // behind the 5 ms pickup delay must be admitted, never executed, and
+  // reported with the typed "expired" status.
+  try {
+    net::Client late = net::Client::connect(server.port());
+    late.set("points", "7");
+    net::Client::SubmitOptions opts;
+    opts.deadline_ms = 1;
+    const net::Client::Submitted sub = late.submit("transfer", "", opts);
+    if (!sub.busy) {
+      ++total.offered;
+      ++total.accepted;
+      const net::Client::Result res = late.wait(sub.id);
+      if (res.status == "expired" && res.body.empty())
+        ++total.expired;
+      else
+        ++total.errors;
+    }
+    // The server must still answer normally after the storm.
+    total.alive = net::is_ok(late.ping()) &&
+                  net::parse_json(late.stats())
+                          .at("server")
+                          .at("draining")
+                          .as_bool() == false;
+    late.quit();
+  } catch (const std::exception&) {
+    total.alive = false;
+  }
+  server.drain();
+  return total;
+}
+
 struct SubscriberResult {
   int events = 0;
   bool ok = false;
@@ -255,6 +387,29 @@ int main(int argc, char** argv) {
       "\"p50_off_ms\":%.3f,\"overhead_pct\":%.2f}\n",
       warm.p50_ms, noobs.p50_ms, overhead_pct);
 
+  // Overload: 2x capacity against a dedicated small-ceiling server. The
+  // accounting must be airtight — every offered query resolves to accepted
+  // or typed BUSY, every accepted one to ok/expired, and the server stays
+  // healthy.
+  const OverloadResult over =
+      run_overload_pass(clients, rounds, mix, expected);
+  const bool over_typed =
+      over.errors == 0 && over.offered == over.accepted + over.busy &&
+      over.accepted == over.ok + over.expired;
+  const double shed_rate =
+      over.offered > 0
+          ? static_cast<double>(over.busy) / static_cast<double>(over.offered)
+          : 0.0;
+  std::printf(
+      "{\"section\":\"service_load\",\"pass\":\"overload\",\"clients\":%d,"
+      "\"rounds\":%d,\"offered\":%d,\"accepted\":%d,\"busy\":%d,\"ok\":%d,"
+      "\"expired\":%d,\"errors\":%d,\"shed_rate\":%.3f,\"p99_ms\":%.3f,"
+      "\"typed\":%s,\"alive\":%s,\"identical\":%s}\n",
+      clients, rounds, over.offered, over.accepted, over.busy, over.ok,
+      over.expired, over.errors, shed_rate, over.p99_ms,
+      over_typed ? "true" : "false", over.alive ? "true" : "false",
+      over.errors == 0 ? "true" : "false");
+
   std::printf(
       "{\"section\":\"service_load_summary\",\"warm_p50_speedup\":%.3f,"
       "\"warm_p99_speedup\":%.3f,\"metrics_events\":%d,\"identical\":%s}\n",
@@ -263,6 +418,8 @@ int main(int argc, char** argv) {
       cold.identical && warm.identical && noobs.identical ? "true" : "false");
 
   server.drain();
-  return cold.identical && warm.identical && noobs.identical && sub.ok ? 0
-                                                                       : 1;
+  return cold.identical && warm.identical && noobs.identical && sub.ok &&
+                 over_typed && over.alive
+             ? 0
+             : 1;
 }

@@ -1,0 +1,114 @@
+// ChaosProxy — a fault-injecting loopback TCP proxy for hardening tests.
+//
+// The proxy sits between a client and ppdd and forwards raw bytes in both
+// directions, consulting a seeded resil::FaultPlan (its sock-* seams) on
+// every forwarded chunk:
+//
+//   sock-partial  forward the chunk as 1..8-byte dribbles, so line and
+//                 frame reassembly on the far side is exercised;
+//   sock-reset    hard-reset the connection mid-chunk (SO_LINGER 0 close
+//                 => RST), the harshest peer departure;
+//   sock-stall    slow-loris: hold the chunk for stall_seconds before
+//                 forwarding (readers must not busy-spin or time out the
+//                 server);
+//   sock-delay    forward after delay_seconds (reordering across the two
+//                 directions, late ACK-like arrival).
+//
+// Every decision is a pure hash of (plan seed, connection id, direction,
+// seam, per-chunk draw counter) via resil::fault_uniform, so a failing
+// seed replays byte-for-byte — no RNG state, no thread-schedule
+// dependence in *what* is injected (the interleaving of two live sockets
+// naturally still varies).
+//
+// The proxy never parses the protocol: it is pure bytes, which is what
+// lets the same harness chaos-test CONTROL, DATA and upload payload
+// traffic alike. tools/chaosproxy wraps this class in a CLI; the
+// tests/net chaos suite drives it in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "ppd/net/socket.hpp"
+#include "ppd/resil/faultplan.hpp"
+
+namespace ppd::net {
+
+struct ChaosProxyOptions {
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral (read back via port())
+  std::uint16_t upstream_port = 0;
+  resil::FaultPlan plan;  ///< only the sock-* seams are consulted
+};
+
+/// Injection totals, for asserting a chaos run actually exercised faults.
+struct ChaosProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t delays = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Bind the listener and start accepting. Each connection dials the
+  /// upstream and pumps both directions on their own threads.
+  void start();
+
+  /// The bound listen port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Stop accepting, reset every live connection, join all threads.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] ChaosProxyStats stats() const;
+
+ private:
+  struct Conn {
+    TcpStream client;
+    TcpStream upstream;
+    std::thread up;    ///< client -> upstream pump
+    std::thread down;  ///< upstream -> client pump
+    std::atomic<int> open_pumps{2};
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  /// Forward src -> dst until EOF/reset. `direction` is 0 for
+  /// client->upstream, 1 for upstream->client (part of the draw key).
+  void pump(Conn* conn, TcpStream* src, TcpStream* dst, std::uint64_t conn_id,
+            std::uint64_t direction);
+  /// Interruptible sleep: returns early when stop() is underway.
+  void chaos_sleep(double seconds);
+  void reap_finished_locked();
+
+  ChaosProxyOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_ = 0;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> forwarded_bytes_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace ppd::net

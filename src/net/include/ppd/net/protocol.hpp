@@ -11,8 +11,28 @@
 //   SET <key> <value>           -> OK | ERR <msg>
 //   UPLOAD <name> <nbytes>\n<raw bytes>
 //                               -> OK upload <name> <nbytes> | ERR <msg>
-//   QUERY <kind> [<arg>]        -> OK <id> | BUSY | ERR <msg>
+//   QUERY <kind> [<arg>] [deadline_ms=<N>] [id=<N>]
+//                               -> OK <id> | OK <id> cached | OK <id> dup
+//                                | BUSY[ <reason>] | ERR <msg>
 //                                  kind: transfer|calibrate|coverage|rmin|lint
+//                                  deadline_ms: if the query is still queued
+//                                  when the deadline (measured from admission)
+//                                  elapses, it is never executed and its
+//                                  result event carries status "expired".
+//                                  id: client-chosen re-issue id for crash
+//                                  recovery — an id the server has already
+//                                  acknowledged answers "OK <id> cached"
+//                                  without re-executing; an id still in
+//                                  flight answers "OK <id> dup".
+//   RESUME <token>              -> OK resume <token> next <N> acked <ids|->
+//                                  re-binds this control connection to a
+//                                  journaled session after a disconnect or a
+//                                  server restart with --recover; must come
+//                                  before any QUERY on the connection. <N> is
+//                                  the resumed session's accepted-query count
+//                                  (the next re-issue id to use) and <ids> the
+//                                  comma-separated acked ids a client must not
+//                                  re-execute.
 //   STATS                       -> one nested JSON object:
 //                                  {"server":{...},"cache":{...},
 //                                   "kinds":{"<kind>":{accepted,ok,error,
@@ -32,10 +52,28 @@
 //   PING                        -> OK pong
 //   QUIT                        -> OK bye (server closes the session)
 //
+// Overload and quota replies (typed, never a silent drop or a crash):
+//   BUSY                        window full (per-session in-flight cap)
+//   BUSY server (...)           process-wide in-flight ceiling reached
+//   BUSY shed (...)             queue depth above the shed watermark; low-
+//                               priority kinds (coverage, rmin) shed first,
+//                               then calibrate, then transfer/lint/sta
+//   BUSY backlog (...)          undelivered-result backlog cap reached
+//   ERR quota.size              UPLOAD nbytes not a plain decimal <= 19
+//                               digits (connection is dropped — the payload
+//                               length is unknowable, so the stream cannot
+//                               be resynchronised)
+//   ERR quota.upload_bytes      UPLOAD exceeds the per-session byte budget
+//                               (payload is drained; connection survives)
+//   ERR quota.uploads           per-session netlist count cap
+//   ERR quota.name              UPLOAD name with path separators / dotdot
+//   ERR quota.line              control line longer than --max-line-bytes
+//                               (stream resyncs at the next newline)
+//
 // Data events (one JSON object per line):
 //   {"event":"hello","session":"<token>"}
 //   {"event":"result","id":N,"qid":N,"kind":"...",
-//    "status":"ok|error|cancelled","exit_code":N,"elapsed_s":X,
+//    "status":"ok|error|cancelled|expired","exit_code":N,"elapsed_s":X,
 //    "queue_s":X,"execute_s":X,"serialize_s":X,"body":"...","error":"..."}
 //   {"event":"metrics","seq":N,"interval_s":X,"stats":{<STATS object>},
 //    "interval":{"<kind>":{"ok":N,"execute_s_count":N,"execute_s_sum":X,

@@ -15,7 +15,27 @@
 //  - one process-wide cache::SolveCache means concurrent clients amortize
 //    each other's Newton warm-starts and memoized measurements.
 //
-// Backpressure is per-session (Session::admit; full window => BUSY).
+// Backpressure and overload control are layered:
+//  - per-session window (Session::admit; full window/backlog => BUSY);
+//  - a process-wide in-flight ceiling (max_inflight_total => BUSY server);
+//  - above shed_watermark in-flight jobs the server load-sheds, refusing
+//    low-priority kinds (coverage/rmin first, then calibrate) with a BUSY
+//    shed reply — deterministic given the same arrival order;
+//  - a QUERY may carry deadline_ms: if the deadline passes while the query
+//    is still queued it is never executed and its result event reports
+//    status "expired"; otherwise the remaining time clamps the query's
+//    resil solve/sweep budgets (the SimSettings::budget_seconds path).
+//
+// Quotas: every per-session resource (upload bytes/count, control line
+// length, result backlog) is capped; violations answer "ERR quota.<leaf>"
+// and bump net.quota.<leaf> — never a crash or an unbounded allocation.
+//
+// Crash recovery: with a journal attached, session state (SET / UPLOAD /
+// accepted qids / delivered result events) is persisted append-only; a
+// restarted server with recover=true rebuilds the sessions detached, and a
+// reconnecting client RESUMEs its token, learns which qids were already
+// acked, and re-issues the rest idempotently ("QUERY <kind> id=<qid>").
+//
 // Graceful drain: stop accepting, notify data channels, let in-flight
 // queries finish, then — past the grace budget — fire their CancelTokens
 // (sweeps with a session-configured checkpoint persist it via ppd::resil
@@ -34,6 +54,7 @@
 #include <string>
 #include <thread>
 
+#include "ppd/net/journal.hpp"
 #include "ppd/net/session.hpp"
 #include "ppd/net/socket.hpp"
 #include "ppd/obs/metrics.hpp"
@@ -48,6 +69,24 @@ struct ServerOptions {
   /// Queries whose queue + execute time exceeds this emit a rate-limited
   /// slow-query warning with the query id; <= 0 disables the log.
   double slow_query_seconds = 1.0;
+  /// Process-wide cap on in-flight queries across every session; at the
+  /// ceiling every QUERY answers "BUSY server". 0 = unlimited.
+  std::size_t max_inflight_total = 64;
+  /// In-flight jobs at or above this enter load-shedding (low-priority
+  /// kinds refused first). 0 = half the ceiling.
+  std::size_t shed_watermark = 0;
+  /// Crash-safe session journal ("" = off) and its compaction threshold.
+  std::string journal_path;
+  std::size_t journal_rotate_bytes = 4u << 20;
+  /// Replay journal_path on start() and rebuild its sessions (detached,
+  /// RESUMEable) instead of starting empty.
+  bool recover = false;
+  /// Journal-backed sessions that outlive their control connection; the
+  /// oldest detached session is evicted beyond this.
+  std::size_t max_detached_sessions = 16;
+  /// Test hook: sleep this long at worker pickup before the deadline
+  /// check, simulating queue delay deterministically. 0 in production.
+  double debug_pickup_delay_seconds = 0.0;
 };
 
 class Server {
@@ -57,7 +96,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind the loopback listener and start the accept thread.
+  /// Bind the loopback listener and start the accept thread. With
+  /// options.recover, replay the journal first and rebuild its sessions.
   void start();
 
   /// The bound control port (valid after start()).
@@ -84,14 +124,18 @@ class Server {
     std::uint64_t queries_ok = 0;
     std::uint64_t queries_error = 0;
     std::uint64_t queries_cancelled = 0;
+    std::uint64_t queries_expired = 0;  ///< deadline passed while queued/run
+    std::uint64_t queries_shed = 0;     ///< refused by load-shedding
+    std::uint64_t quota_violations = 0;
     std::size_t sessions_active = 0;
     std::size_t jobs_in_flight = 0;
   };
   [[nodiscard]] Stats stats() const;
-  /// The STATS reply: one nested JSON object — server totals, solve-cache
-  /// totals, per-query-kind counters plus queue/execute latency histograms
-  /// (from this server's own registry, so totals are exact per instance),
-  /// and a per-session listing. One line (no embedded newlines).
+  /// The STATS reply: one nested JSON object — server totals (including
+  /// overload/quota counters and the shed-mode flag), solve-cache totals,
+  /// per-query-kind counters plus queue/execute latency histograms (from
+  /// this server's own registry, so totals are exact per instance), and a
+  /// per-session listing. One line (no embedded newlines).
   [[nodiscard]] std::string stats_json() const;
 
  private:
@@ -101,15 +145,31 @@ class Server {
     std::atomic<bool> done{false};
   };
 
+  /// Parsed tail of a QUERY line: positional arg + key=value options.
+  struct QuerySpec {
+    std::string arg;
+    std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+    std::uint64_t reissue_id = 0;   ///< 0 = fresh admission
+  };
+
   void accept_loop();
   void handle_connection(const std::shared_ptr<TcpStream>& stream);
   void handle_control(const std::shared_ptr<TcpStream>& stream);
   void handle_data(const std::shared_ptr<TcpStream>& stream,
                    const std::string& token);
-  /// QUERY: validate, admit, submit to the exec pool. Returns the reply.
+  /// QUERY: validate, admit (quota/overload checks), submit to the exec
+  /// pool. Returns the reply.
   std::string submit_query(const std::shared_ptr<Session>& session,
                            const std::string& kind_word,
-                           const std::string& arg);
+                           const QuerySpec& spec);
+  /// RESUME <token>: rebind this control connection to a detached session.
+  std::string resume_session(std::shared_ptr<Session>& session,
+                             std::string& token,
+                             const std::string& want_token);
+  /// Loop-exit bookkeeping: keep a journal-backed session detached (up to
+  /// max_detached_sessions) or erase it.
+  void release_session(const std::shared_ptr<Session>& session,
+                       const std::string& token, bool clean_quit);
   void drain_with_grace(double grace_seconds);
   void reap_finished_connections_locked();
   /// Dedicated thread pushing "metrics" events to subscribed sessions.
@@ -125,12 +185,15 @@ class Server {
     obs::Counter* error = nullptr;
     obs::Counter* cancelled = nullptr;
     obs::Counter* busy = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* shed = nullptr;
     obs::Histogram* queue_s = nullptr;
     obs::Histogram* execute_s = nullptr;
   };
 
   ServerOptions options_;
   std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<SessionJournal> journal_;
   std::thread accept_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
@@ -143,8 +206,10 @@ class Server {
   mutable std::mutex sessions_mutex_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_session_ = 0;
+  std::uint64_t next_detach_seq_ = 0;
 
-  // In-flight jobs: counted for drain, tokens registered for cancellation.
+  // In-flight jobs: counted for drain and the admission ceiling, tokens
+  // registered for cancellation.
   mutable std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;
   std::size_t jobs_in_flight_ = 0;
@@ -157,6 +222,9 @@ class Server {
   std::atomic<std::uint64_t> queries_ok_{0};
   std::atomic<std::uint64_t> queries_error_{0};
   std::atomic<std::uint64_t> queries_cancelled_{0};
+  std::atomic<std::uint64_t> queries_expired_{0};
+  std::atomic<std::uint64_t> queries_shed_{0};
+  std::atomic<std::uint64_t> quota_violations_{0};
 
   obs::Registry kind_registry_;
   std::array<KindMetrics, kQueryKindCount> kind_metrics_;

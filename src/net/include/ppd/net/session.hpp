@@ -9,17 +9,28 @@
 // without bound no matter how the client behaves. Results completed before
 // a data channel attaches are buffered (inside the same window) and
 // flushed on attach, so CONTROL-then-DATA connection order is not racy.
+//
+// Hardening (PR 9): every per-session resource is capped (SessionLimits),
+// violations throw the typed QuotaError (rendered as "ERR quota.<leaf>"
+// on the wire, counted as net.quota.<leaf>), and the session carries the
+// crash-recovery state — delivered ("acked") result events kept for
+// idempotent re-issue, an in-flight id set for duplicate suppression, and
+// attach/detach bookkeeping so a journal-backed session survives its
+// control connection and can be RESUMEd.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "ppd/net/query.hpp"
 #include "ppd/net/socket.hpp"
+#include "ppd/util/error.hpp"
 
 namespace ppd::net {
 
@@ -27,6 +38,23 @@ struct SessionLimits {
   std::size_t max_queue = 8;           ///< in-flight window per session
   std::size_t max_upload_bytes = 4u << 20;
   std::size_t max_uploads = 64;
+  std::size_t max_line_bytes = 64u << 10;  ///< CONTROL line length cap
+  /// Completed-but-undelivered result events buffered per session before
+  /// admission refuses new queries (BUSY backlog). Bounds the ready queue
+  /// for a client that submits but never drains its data channel.
+  std::size_t max_backlog = 8;
+};
+
+/// A per-session resource cap was hit. `leaf()` names the quota — the
+/// server replies "ERR quota.<leaf>: ..." and bumps "net.quota.<leaf>".
+class QuotaError : public ParseError {
+ public:
+  QuotaError(const std::string& leaf, const std::string& detail)
+      : ParseError("quota." + leaf + ": " + detail), leaf_(leaf) {}
+  [[nodiscard]] const std::string& leaf() const { return leaf_; }
+
+ private:
+  std::string leaf_;
 };
 
 class Session {
@@ -42,7 +70,8 @@ class Session {
   /// on unknown keys so typos fail at SET time, not at query time.
   void set(const std::string& key, const std::string& value);
 
-  /// Store an uploaded blob. Throws ppd::ParseError over the limits.
+  /// Store an uploaded blob. Throws QuotaError over the limits and
+  /// ParseError for malformed names (whitespace, path separators).
   void upload(const std::string& name, std::string text);
 
   /// Build the params for one query from the current config snapshot;
@@ -51,18 +80,57 @@ class Session {
                                         const std::string& arg) const;
 
   /// Try to admit one query into the in-flight window: returns the new
-  /// query id, or 0 when the window is full (reply BUSY).
-  [[nodiscard]] std::uint64_t admit();
+  /// query id, or 0 when the window or the undelivered backlog is full
+  /// (reply BUSY). `backlog_full` (optional) distinguishes the two.
+  [[nodiscard]] std::uint64_t admit(bool* backlog_full = nullptr);
 
-  /// Deliver a finished query's event line: writes it to the data channel
-  /// when one is attached (releasing its admission slot), otherwise buffers
-  /// it until attach. Never throws — a dead data channel detaches.
-  void deliver(std::string event_line);
+  /// Re-issue admission for an explicit id (RESUME recovery path): admits
+  /// the id unless it is already running or the window is full. Advances
+  /// next_id_ past `id` so fresh admissions never collide.
+  enum class Admit { kAdmitted, kDuplicate, kBusy };
+  [[nodiscard]] Admit admit_with_id(std::uint64_t id);
+
+  /// Deliver query `id`'s event line: writes it to the data channel when
+  /// one is attached (releasing its admission slot and recording the ack),
+  /// otherwise buffers it until attach. Never throws — a dead data channel
+  /// detaches (counted as net.data.write_failed).
+  void deliver(std::uint64_t id, std::string event_line);
+
+  /// Push an already-acked event again (idempotent re-issue of an acked
+  /// id). Consumes no admission slot. False when the backlog is full.
+  [[nodiscard]] bool redeliver(std::uint64_t id);
+
+  /// The journaled/delivered event for `id`, or nullptr when never acked
+  /// (or already aged out of the bounded ack window).
+  [[nodiscard]] const std::string* acked_event(std::uint64_t id) const;
+  /// Ids with retained acked events, ascending (the RESUME reply).
+  [[nodiscard]] std::vector<std::uint64_t> acked_ids() const;
+
+  /// Restore journal-recovered state (server --recover). Bypasses quota
+  /// re-checks for acks; config/uploads go through set()/upload() instead.
+  void restore(std::uint64_t next_id,
+               std::map<std::uint64_t, std::string> acked);
+
+  /// Invoked (under the session lock) each time a result event is actually
+  /// written to the data channel — the journal's ack hook.
+  void set_ack_hook(
+      std::function<void(std::uint64_t id, const std::string& event)> hook);
 
   /// Attach the data channel and flush everything buffered. The session
   /// keeps a shared handle so delivery can outlive the reader thread.
-  void attach_data(std::shared_ptr<TcpStream> stream);
+  /// `preamble` (the hello event, one line, no newline) is written first,
+  /// in the same critical section — once a client has seen the hello, no
+  /// concurrent notify()/deliver() can slip into the unattached gap.
+  void attach_data(std::shared_ptr<TcpStream> stream,
+                   const std::string& preamble = {});
   void detach_data();
+
+  /// Control-connection bookkeeping: a journal-backed session outlives its
+  /// control connection (detached => RESUMEable). `seq` orders detachments
+  /// so the server can evict the oldest when too many linger.
+  void set_control_attached(bool attached, std::uint64_t seq = 0);
+  [[nodiscard]] bool control_attached() const;
+  [[nodiscard]] std::uint64_t detached_seq() const;
 
   /// Push a non-result event (hello / drain) to an attached data channel.
   void notify(const std::string& event_line);
@@ -82,8 +150,15 @@ class Session {
   [[nodiscard]] double subscribe_period() const;
 
  private:
+  struct Ready {
+    std::uint64_t id = 0;
+    std::string line;
+    bool holds_slot = true;  ///< false for redelivered (already-acked) events
+  };
+
   /// False when no channel is attached or the write failed (channel dropped).
   bool write_event_locked(const std::string& line);
+  void record_ack_locked(std::uint64_t id, const std::string& line);
 
   const std::string token_;
   const SessionLimits limits_;
@@ -95,8 +170,13 @@ class Session {
   std::uint64_t next_id_ = 0;
   std::size_t in_flight_ = 0;          ///< admitted, result not yet delivered
   double subscribe_period_s_ = 0.0;    ///< 0 = no metrics subscription
-  std::deque<std::string> ready_;      ///< completed events awaiting a channel
+  std::deque<Ready> ready_;            ///< completed events awaiting a channel
   std::shared_ptr<TcpStream> data_;
+  std::set<std::uint64_t> inflight_ids_;
+  std::map<std::uint64_t, std::string> acked_;  ///< bounded (kMaxAckedKept)
+  std::function<void(std::uint64_t, const std::string&)> ack_hook_;
+  bool control_attached_ = true;
+  std::uint64_t detached_seq_ = 0;
 };
 
 }  // namespace ppd::net

@@ -44,10 +44,27 @@ class TcpStream {
   /// Next '\n'-terminated line, with the terminator (and any trailing '\r')
   /// stripped. nullopt on clean EOF with no buffered partial line; a final
   /// unterminated line is returned as-is. Throws NetError on read errors.
+  ///
+  /// With a line limit set (set_line_limit), a line longer than the limit
+  /// never accumulates: its tail is read and discarded in bounded chunks
+  /// until the newline, a short head is returned for the error message, and
+  /// last_line_truncated() reports the violation — the stream stays in sync
+  /// on the next line, so the server can answer ERR and keep serving.
   [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Cap on bytes buffered for one line (0 = unlimited, the default).
+  void set_line_limit(std::size_t max_bytes) { line_limit_ = max_bytes; }
+  /// True when the line returned by the last read_line() exceeded the limit
+  /// (the returned string is a truncated head).
+  [[nodiscard]] bool last_line_truncated() const { return truncated_; }
 
   /// Exactly n bytes into out (resized). False on EOF before n bytes.
   [[nodiscard]] bool read_exact(std::string& out, std::size_t n);
+
+  /// Read and drop exactly n bytes (a rejected upload payload — consuming
+  /// it keeps the control stream in sync without allocating the payload).
+  /// False on EOF before n bytes.
+  [[nodiscard]] bool discard_exact(std::size_t n);
 
   /// Write the whole buffer (handles partial writes / EINTR; SIGPIPE is
   /// suppressed per-call). Throws NetError when the peer is gone.
@@ -64,6 +81,8 @@ class TcpStream {
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line
+  std::size_t line_limit_ = 0;  ///< 0 = unlimited
+  bool truncated_ = false;
 };
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port;

@@ -1,0 +1,222 @@
+#include "ppd/net/chaos.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "ppd/obs/log.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::net {
+
+namespace {
+
+using resil::FaultSite;
+using resil::fault_uniform;
+
+constexpr std::size_t kChunk = 4096;
+
+/// Arm an RST-on-close: SO_LINGER with zero timeout makes close() send a
+/// reset instead of a FIN, which is the rudest way a peer can vanish.
+void arm_reset(int fd) {
+  if (fd < 0) return;
+  struct linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  PPD_REQUIRE(!started_.load(), "ChaosProxy::start called twice");
+  PPD_REQUIRE(options_.upstream_port != 0,
+              "ChaosProxy needs an upstream port");
+  listener_ = std::make_unique<TcpListener>(options_.listen_port);
+  started_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+std::uint16_t ChaosProxy::port() const {
+  PPD_REQUIRE(listener_ != nullptr, "ChaosProxy::port before start()");
+  return listener_->port();
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.forwarded_bytes = forwarded_bytes_.load(std::memory_order_relaxed);
+  s.partial_writes = partial_writes_.load(std::memory_order_relaxed);
+  s.resets = resets_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.delays = delays_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ChaosProxy::accept_loop() {
+  for (;;) {
+    auto accepted = listener_->accept();
+    if (!accepted) return;
+    TcpStream upstream;
+    try {
+      upstream = TcpStream::connect_loopback(options_.upstream_port);
+    } catch (const NetError& e) {
+      // Upstream down: drop the client (it sees EOF) and keep listening —
+      // that is itself a fault worth surviving.
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    reap_finished_locked();
+    const std::uint64_t conn_id = ++next_conn_;
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    raw->client = std::move(*accepted);
+    raw->upstream = std::move(upstream);
+    conns_.push_back(std::move(conn));
+    raw->up = std::thread([this, raw, conn_id] {
+      pump(raw, &raw->client, &raw->upstream, conn_id, 0);
+    });
+    raw->down = std::thread([this, raw, conn_id] {
+      pump(raw, &raw->upstream, &raw->client, conn_id, 1);
+    });
+  }
+}
+
+void ChaosProxy::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->up.joinable()) (*it)->up.join();
+      if ((*it)->down.joinable()) (*it)->down.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChaosProxy::chaos_sleep(double seconds) {
+  // Sleep in slices so stop() is never held hostage by a long stall.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void ChaosProxy::pump(Conn* conn, TcpStream* src, TcpStream* dst,
+                      std::uint64_t conn_id, std::uint64_t direction) {
+  const resil::FaultPlan& plan = options_.plan;
+  // The draw key folds the direction into the item, so the two pumps of a
+  // connection see independent (but each fully deterministic) streams.
+  const std::uint64_t item = conn_id * 2 + direction;
+  std::uint64_t draw = 0;
+  char buf[kChunk];
+  bool reset = false;
+  for (;;) {
+    const ssize_t n = ::recv(src->fd(), buf, sizeof(buf), 0);
+    if (n == 0) break;  // EOF: half-close downstream, drain the other pump
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // ECONNRESET & friends: treat as EOF
+    }
+    ++draw;
+    try {
+      if (plan.p_sock_reset > 0.0 &&
+          fault_uniform(plan.seed, item,
+                        static_cast<std::uint64_t>(FaultSite::kSockReset),
+                        draw) < plan.p_sock_reset) {
+        // RST both sides mid-frame. Nothing of this chunk is forwarded.
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        reset = true;
+        break;
+      }
+      if (plan.p_sock_stall > 0.0 &&
+          fault_uniform(plan.seed, item,
+                        static_cast<std::uint64_t>(FaultSite::kSockStall),
+                        draw) < plan.p_sock_stall) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        chaos_sleep(plan.sock_stall_seconds);
+      }
+      if (plan.p_sock_delay > 0.0 &&
+          fault_uniform(plan.seed, item,
+                        static_cast<std::uint64_t>(FaultSite::kSockDelay),
+                        draw) < plan.p_sock_delay) {
+        delays_.fetch_add(1, std::memory_order_relaxed);
+        chaos_sleep(plan.sock_delay_seconds);
+      }
+      if (plan.p_sock_partial > 0.0 &&
+          fault_uniform(plan.seed, item,
+                        static_cast<std::uint64_t>(FaultSite::kSockPartial),
+                        draw) < plan.p_sock_partial) {
+        // Dribble: 1..8-byte writes, size drawn from the same pure hash.
+        partial_writes_.fetch_add(1, std::memory_order_relaxed);
+        std::size_t off = 0;
+        std::uint64_t sub = 0;
+        while (off < static_cast<std::size_t>(n)) {
+          const double u = fault_uniform(
+              plan.seed, item,
+              static_cast<std::uint64_t>(FaultSite::kSockPartial),
+              (draw << 20) + ++sub);
+          const std::size_t piece = std::min<std::size_t>(
+              1 + static_cast<std::size_t>(u * 8.0),
+              static_cast<std::size_t>(n) - off);
+          dst->write_all(std::string_view(buf + off, piece));
+          off += piece;
+        }
+      } else {
+        dst->write_all(std::string_view(buf, static_cast<std::size_t>(n)));
+      }
+      forwarded_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+    } catch (const NetError&) {
+      break;  // downstream gone: stop pumping this direction
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+  }
+  if (reset) {
+    arm_reset(conn->client.fd());
+    arm_reset(conn->upstream.fd());
+    conn->client.shutdown_both();
+    conn->upstream.shutdown_both();
+  } else {
+    // Propagate the half-close so line-based peers see a clean EOF.
+    if (dst->fd() >= 0) ::shutdown(dst->fd(), SHUT_WR);
+    if (src->fd() >= 0) ::shutdown(src->fd(), SHUT_RD);
+  }
+  if (conn->open_pumps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    conn->done.store(true, std::memory_order_release);
+}
+
+void ChaosProxy::stop() {
+  if (!started_.load()) return;
+  if (stopping_.exchange(true)) {
+    // Second caller (destructor after explicit stop): just make sure the
+    // accept thread is gone.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto& conn : conns_) {
+    conn->client.shutdown_both();
+    conn->upstream.shutdown_both();
+  }
+  for (auto& conn : conns_) {
+    if (conn->up.joinable()) conn->up.join();
+    if (conn->down.joinable()) conn->down.join();
+  }
+  conns_.clear();
+}
+
+}  // namespace ppd::net

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/exec/thread_pool.hpp"
@@ -22,6 +24,10 @@ obs::Counter& queries_counter(const char* leaf) {
   return obs::counter(std::string("net.queries.") + leaf);
 }
 
+obs::Counter& quota_counter(const std::string& leaf) {
+  return obs::counter("net.quota." + leaf);
+}
+
 double seconds_between(std::chrono::steady_clock::time_point a,
                        std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -34,6 +40,21 @@ constexpr obs::HistogramSpec kLatencySpec{1e-6, 1e3, 36};
 /// SUBSCRIBE periods are clamped up to this so a client cannot turn the
 /// pusher into a busy loop.
 constexpr double kMinSubscribePeriod = 0.05;
+
+/// Shed priority: the cheapest interactive kinds are refused last, the
+/// heavy sweep kinds first. Deterministic per kind, so the shed decision
+/// depends only on the in-flight count at arrival.
+int kind_priority(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCoverage:
+    case QueryKind::kRmin:
+      return 0;  // heavy MC sweeps: shed first
+    case QueryKind::kCalibrate:
+      return 1;
+    default:
+      return 2;  // transfer / lint / sta: cheap, keep serving
+  }
+}
 
 /// Build the result event line. The serialize cost (JSON-escaping the body
 /// is the expensive part) is measured first and embedded in the same
@@ -86,6 +107,20 @@ std::uint64_t find_counter(const obs::MetricsSnapshot& snap,
   return 0;
 }
 
+/// Strict non-negative integer parse for protocol option values: rejects
+/// empty strings, signs, garbage tails and values that overflow — the
+/// hostile-client hardening for every "<key>=<number>" the server accepts.
+bool parse_wire_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options) : options_(options) {
@@ -97,6 +132,8 @@ Server::Server(ServerOptions options) : options_(options) {
     m.error = &kind_registry_.counter(name + ".error");
     m.cancelled = &kind_registry_.counter(name + ".cancelled");
     m.busy = &kind_registry_.counter(name + ".busy");
+    m.expired = &kind_registry_.counter(name + ".expired");
+    m.shed = &kind_registry_.counter(name + ".shed");
     m.queue_s = &kind_registry_.histogram(name + ".queue_s", kLatencySpec);
     m.execute_s = &kind_registry_.histogram(name + ".execute_s", kLatencySpec);
   }
@@ -107,6 +144,54 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   PPD_REQUIRE(!started_.load(), "Server::start called twice");
+
+  if (!options_.journal_path.empty()) {
+    SessionJournal::State recovered;
+    if (options_.recover)
+      recovered = SessionJournal::replay(options_.journal_path);
+    journal_ = std::make_unique<SessionJournal>(
+        options_.journal_path, options_.journal_rotate_bytes, recovered);
+    // Rebuild each journaled session as a detached, RESUMEable session.
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [token, rec] : recovered) {
+      auto session = std::make_shared<Session>(token, options_.limits);
+      for (const auto& [key, value] : rec.config) {
+        try {
+          session->set(key, value);
+        } catch (const std::exception& e) {
+          obs::log_warn("net", "journal: dropping config key on recovery",
+                        {{"token", token}, {"key", key}, {"error", e.what()}});
+        }
+      }
+      for (const auto& [name, text] : rec.uploads) {
+        try {
+          session->upload(name, text);
+        } catch (const std::exception& e) {
+          obs::log_warn("net", "journal: dropping upload on recovery",
+                        {{"token", token}, {"name", name}, {"error", e.what()}});
+        }
+      }
+      session->restore(rec.next_id, rec.acked);
+      session->set_control_attached(false, ++next_detach_seq_);
+      SessionJournal* journal = journal_.get();
+      const std::string tok = token;
+      session->set_ack_hook(
+          [journal, tok](std::uint64_t id, const std::string& event) {
+            journal->record_ack(tok, id, event);
+          });
+      sessions_[token] = session;
+      // Keep fresh tokens ("s<N>") clear of recovered ones.
+      if (token.size() > 1 && token[0] == 's') {
+        const std::uint64_t n = std::strtoull(token.c_str() + 1, nullptr, 10);
+        next_session_ = std::max(next_session_, n);
+      }
+      obs::log_info("net", "recovered session",
+                    {{"token", token},
+                     {"acked", std::to_string(rec.acked.size())},
+                     {"unacked", std::to_string(rec.accepted.size())}});
+    }
+  }
+
   listener_ = std::make_unique<TcpListener>(options_.port);
   started_at_ = std::chrono::steady_clock::now();
   started_.store(true);
@@ -126,6 +211,9 @@ void Server::accept_loop() {
     auto accepted = listener_->accept();
     if (!accepted) return;  // listener closed: drain/stop
     auto stream = std::make_shared<TcpStream>(std::move(*accepted));
+    // Every inbound line is length-capped from the first byte: an endless
+    // line from a hostile client costs O(limit) memory, not O(sent bytes).
+    stream->set_line_limit(options_.limits.max_line_bytes);
     std::lock_guard<std::mutex> lock(conns_mutex_);
     reap_finished_connections_locked();
     auto conn = std::make_unique<Conn>();
@@ -154,6 +242,13 @@ void Server::handle_connection(const std::shared_ptr<TcpStream>& stream) {
   try {
     const auto first = stream->read_line();
     if (!first) return;
+    if (stream->last_line_truncated()) {
+      quota_counter("line").add();
+      quota_violations_.fetch_add(1, std::memory_order_relaxed);
+      stream->write_all(err_reply("quota.line: handshake line too long") +
+                        "\n");
+      return;
+    }
     const auto words = util::split_ws(*first);
     if (words.empty()) {
       stream->write_all(err_reply("empty handshake") + "\n");
@@ -176,6 +271,10 @@ void Server::handle_connection(const std::shared_ptr<TcpStream>& stream) {
   } catch (const std::exception& e) {
     obs::log_error("net", "connection handler failed", {{"error", e.what()}});
   }
+  // The Conn entry keeps the stream alive until the next reap (drain needs
+  // the handle to kick stuck peers) — shut it down now so a deliberately
+  // dropped client sees EOF immediately, not at the next accept.
+  stream->shutdown_both();
 }
 
 void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
@@ -189,13 +288,33 @@ void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
   }
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   obs::counter("net.sessions.opened").add();
+  if (journal_) {
+    journal_->record_open(token);
+    SessionJournal* journal = journal_.get();
+    const std::string tok = token;
+    session->set_ack_hook(
+        [journal, tok](std::uint64_t id, const std::string& event) {
+          journal->record_ack(tok, id, event);
+        });
+  }
   stream->write_all(ok_reply("ppdd " + std::to_string(kProtocolVersion) +
                              " session " + token) +
                     "\n");
 
+  bool clean_quit = false;
   for (;;) {
     const auto line = stream->read_line();
     if (!line) break;
+    if (stream->last_line_truncated()) {
+      quota_counter("line").add();
+      quota_violations_.fetch_add(1, std::memory_order_relaxed);
+      stream->write_all(
+          err_reply("quota.line: line exceeds " +
+                    std::to_string(session->limits().max_line_bytes) +
+                    " bytes") +
+          "\n");
+      continue;
+    }
     if (util::trim(*line).empty()) continue;
     const auto words = util::split_ws(*line);
     std::string reply;
@@ -215,26 +334,75 @@ void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
         const std::string value(
             util::trim(line->substr(key_pos + words[1].size())));
         session->set(words[1], value);
+        if (journal_) journal_->record_set(session->token(), words[1], value);
         reply = ok_reply();
       } else if (util::iequals(cmd, "UPLOAD")) {
         if (words.size() != 3)
           throw ParseError("usage: UPLOAD <name> <nbytes>");
-        char* end = nullptr;
-        const unsigned long long n = std::strtoull(words[2].c_str(), &end, 10);
-        if (end == words[2].c_str() || *end != '\0')
-          throw ParseError("UPLOAD size must be a byte count");
-        if (n > session->limits().max_upload_bytes)
-          throw ParseError("upload larger than the session budget");
-        std::string payload;
-        if (!stream->read_exact(payload, static_cast<std::size_t>(n)))
-          break;  // EOF mid-upload: drop the connection
-        session->upload(words[1], std::move(payload));
-        reply = ok_reply("upload " + words[1] + " " + words[2]);
+        std::uint64_t n = 0;
+        if (!parse_wire_u64(words[2], &n)) {
+          // Unparseable/negative/overflowing size: there is no way to know
+          // how many payload bytes follow, so the stream cannot be
+          // resynced — answer and drop the connection.
+          quota_counter("size").add();
+          quota_violations_.fetch_add(1, std::memory_order_relaxed);
+          stream->write_all(
+              err_reply("quota.size: UPLOAD size must be a non-negative "
+                        "byte count, got '" +
+                        words[2] + "'") +
+              "\n");
+          break;
+        }
+        if (n > session->limits().max_upload_bytes) {
+          // Over-quota but well-formed: drain the announced payload in
+          // bounded chunks (never allocating it) so the control stream
+          // stays in sync and the session survives the violation.
+          quota_counter("upload_bytes").add();
+          quota_violations_.fetch_add(1, std::memory_order_relaxed);
+          if (!stream->discard_exact(static_cast<std::size_t>(n))) break;
+          reply = err_reply(
+              "quota.upload_bytes: upload of " + words[2] +
+              " bytes exceeds the session budget (" +
+              std::to_string(session->limits().max_upload_bytes) + ")");
+        } else {
+          std::string payload;
+          if (!stream->read_exact(payload, static_cast<std::size_t>(n)))
+            break;  // EOF mid-upload: drop the connection
+          if (journal_) {
+            session->upload(words[1], payload);
+            journal_->record_upload(session->token(), words[1], payload);
+          } else {
+            session->upload(words[1], std::move(payload));
+          }
+          reply = ok_reply("upload " + words[1] + " " + words[2]);
+        }
       } else if (util::iequals(cmd, "QUERY")) {
-        if (words.size() < 2 || words.size() > 3)
-          throw ParseError("usage: QUERY <kind> [<arg>]");
-        reply = submit_query(session, words[1],
-                             words.size() == 3 ? words[2] : std::string());
+        if (words.size() < 2)
+          throw ParseError(
+              "usage: QUERY <kind> [<arg>] [deadline_ms=<N>] [id=<N>]");
+        QuerySpec spec;
+        for (std::size_t w = 2; w < words.size(); ++w) {
+          const std::string& word = words[w];
+          if (util::starts_with(word, "deadline_ms=")) {
+            const std::string v = word.substr(12);
+            if (!parse_wire_u64(v, &spec.deadline_ms) || spec.deadline_ms == 0)
+              throw ParseError("deadline_ms needs a positive integer, got '" +
+                               v + "'");
+          } else if (util::starts_with(word, "id=")) {
+            const std::string v = word.substr(3);
+            if (!parse_wire_u64(v, &spec.reissue_id) || spec.reissue_id == 0)
+              throw ParseError("id needs a positive integer, got '" + v + "'");
+          } else if (spec.arg.empty() && word.find('=') == std::string::npos) {
+            spec.arg = word;
+          } else {
+            throw ParseError(
+                "usage: QUERY <kind> [<arg>] [deadline_ms=<N>] [id=<N>]");
+          }
+        }
+        reply = submit_query(session, words[1], spec);
+      } else if (util::iequals(cmd, "RESUME")) {
+        if (words.size() != 2) throw ParseError("usage: RESUME <token>");
+        reply = resume_session(session, token, words[1]);
       } else if (util::iequals(cmd, "STATS")) {
         reply = stats_json();
       } else if (util::iequals(cmd, "SUBSCRIBE")) {
@@ -268,12 +436,17 @@ void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
         continue;  // reply already written (header + raw payload)
       } else if (util::iequals(cmd, "QUIT")) {
         stream->write_all(ok_reply("bye") + "\n");
+        clean_quit = true;
         break;
       } else {
         throw ParseError("unknown command: " + cmd);
       }
     } catch (const NetError&) {
       throw;  // socket-level failure: drop the connection, not the server
+    } catch (const QuotaError& e) {
+      quota_counter(e.leaf()).add();
+      quota_violations_.fetch_add(1, std::memory_order_relaxed);
+      reply = err_reply(e.what());
     } catch (const std::exception& e) {
       // ParseError from SET/QUERY validation, but also anything unexpected:
       // a bad command must never take the control loop down.
@@ -282,13 +455,93 @@ void Server::handle_control(const std::shared_ptr<TcpStream>& stream) {
     stream->write_all(reply + "\n");
   }
 
+  release_session(session, token, clean_quit);
+}
+
+void Server::release_session(const std::shared_ptr<Session>& session,
+                             const std::string& token, bool clean_quit) {
+  // A journal-backed session with history survives its control connection
+  // (detached, RESUMEable) unless the client said QUIT; everything else is
+  // erased as before. Detached sessions are bounded: beyond the cap the
+  // oldest one is evicted, so hostile connect-and-vanish clients cannot
+  // accumulate state.
+  const bool keep = journal_ != nullptr && !clean_quit &&
+                    !draining_.load() &&
+                    (session->queries_accepted() > 0 ||
+                     session->undelivered() > 0);
+  std::shared_ptr<Session> evicted;
+  std::string evicted_token;
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
-    sessions_.erase(token);
+    if (!keep) {
+      sessions_.erase(token);
+    } else {
+      session->set_control_attached(false, ++next_detach_seq_);
+      std::size_t detached = 0;
+      std::uint64_t oldest_seq = 0;
+      std::string oldest_token;
+      for (const auto& [tok, s] : sessions_) {
+        if (s->control_attached()) continue;
+        ++detached;
+        if (oldest_token.empty() || s->detached_seq() < oldest_seq) {
+          oldest_seq = s->detached_seq();
+          oldest_token = tok;
+        }
+      }
+      if (detached > options_.max_detached_sessions && !oldest_token.empty()) {
+        evicted = sessions_[oldest_token];
+        evicted_token = oldest_token;
+        sessions_.erase(oldest_token);
+      }
+    }
   }
-  // Wake the session's data reader (if any); in-flight jobs keep their
-  // shared_ptr and finish into the detached session.
-  session->shutdown();
+  if (!keep && journal_) journal_->record_close(token);
+  if (evicted) {
+    if (journal_) journal_->record_close(evicted_token);
+    evicted->shutdown();
+    obs::log_warn("net", "evicted oldest detached session",
+                  {{"token", evicted_token}});
+  }
+  if (!keep) {
+    // Wake the session's data reader (if any); in-flight jobs keep their
+    // shared_ptr and finish into the detached session.
+    session->shutdown();
+  }
+}
+
+std::string Server::resume_session(std::shared_ptr<Session>& session,
+                                   std::string& token,
+                                   const std::string& want_token) {
+  if (journal_ == nullptr)
+    throw ParseError("RESUME needs a journal-backed server (--journal)");
+  if (session->queries_accepted() > 0)
+    throw ParseError("RESUME must precede any QUERY on this connection");
+  if (want_token == token) return ok_reply("resume " + token + " noop");
+  std::shared_ptr<Session> target;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const auto it = sessions_.find(want_token);
+    if (it != sessions_.end() && !it->second->control_attached()) {
+      target = it->second;
+      target->set_control_attached(true);
+      sessions_.erase(token);  // abandon the fresh, unused session
+    }
+  }
+  if (!target)
+    return err_reply("no resumable session '" + want_token +
+                     "' (unknown, still attached, or evicted)");
+  journal_->record_close(token);  // the abandoned fresh session
+  session = target;
+  token = want_token;
+  std::string acked;
+  for (const std::uint64_t id : session->acked_ids()) {
+    if (!acked.empty()) acked += ',';
+    acked += std::to_string(id);
+  }
+  obs::counter("net.sessions.resumed").add();
+  return ok_reply("resume " + token + " next " +
+                  std::to_string(session->queries_accepted()) + " acked " +
+                  (acked.empty() ? "-" : acked));
 }
 
 void Server::handle_data(const std::shared_ptr<TcpStream>& stream,
@@ -304,9 +557,12 @@ void Server::handle_data(const std::shared_ptr<TcpStream>& stream,
     return;
   }
   stream->write_all(ok_reply("stream") + "\n");
-  session->attach_data(stream);
-  session->notify("{\"event\":\"hello\",\"session\":" + json_quote(token) +
-                  "}");
+  // The hello is written inside attach_data's critical section so it
+  // precedes any buffered result events AND no concurrent notify()/deliver()
+  // can fire after the client sees the hello but before the channel is
+  // attached (a metrics frame dropped in that gap would skip a seq).
+  session->attach_data(
+      stream, "{\"event\":\"hello\",\"session\":" + json_quote(token) + "}");
   // Server-push channel: the client never sends; block until it hangs up
   // (or drain shuts the socket down under us).
   while (stream->read_line()) {
@@ -316,14 +572,103 @@ void Server::handle_data(const std::shared_ptr<TcpStream>& stream,
 
 std::string Server::submit_query(const std::shared_ptr<Session>& session,
                                  const std::string& kind_word,
-                                 const std::string& arg) {
+                                 const QuerySpec& spec) {
   if (draining_.load()) return err_reply("draining");
   const QueryKind kind = query_kind_from_string(kind_word);
-  QueryParams params = session->make_params(kind, arg);  // throws ParseError
   KindMetrics& km = kind_metrics_[static_cast<std::size_t>(kind)];
 
-  const std::uint64_t id = session->admit();
+  // Idempotent re-issue of an already-acknowledged qid: answer from the
+  // session's ack record (the journaled event bytes), never re-execute.
+  if (spec.reissue_id != 0 &&
+      session->acked_event(spec.reissue_id) != nullptr) {
+    if (!session->redeliver(spec.reissue_id))
+      return "BUSY backlog (redelivery buffered events at cap)";
+    obs::counter("net.queries.deduped").add();
+    return ok_reply(std::to_string(spec.reissue_id) + " cached");
+  }
+
+  QueryParams params = session->make_params(kind, spec.arg);  // throws
+
+  // Process-wide admission: ceiling, then the load-shedding watermark.
+  // Reserving the job slot inside the same critical section keeps the
+  // ceiling exact under concurrent submits.
+  std::uint64_t job_key = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const std::size_t ceiling = options_.max_inflight_total;
+    if (ceiling > 0) {
+      std::size_t watermark = options_.shed_watermark > 0
+                                  ? options_.shed_watermark
+                                  : ceiling / 2;
+      watermark = std::min(watermark, ceiling);
+      // Graduated shedding: low priority refused from the watermark,
+      // medium priority from halfway between watermark and ceiling.
+      const std::size_t high = watermark + (ceiling - watermark + 1) / 2;
+      const int priority = kind_priority(kind);
+      if (jobs_in_flight_ >= ceiling) {
+        queries_busy_.fetch_add(1, std::memory_order_relaxed);
+        queries_counter("busy").add();
+        quota_counter("inflight").add();
+        quota_violations_.fetch_add(1, std::memory_order_relaxed);
+        km.busy->add();
+        return "BUSY server (in-flight ceiling " + std::to_string(ceiling) +
+               ")";
+      }
+      if ((priority == 0 && jobs_in_flight_ >= watermark) ||
+          (priority <= 1 && jobs_in_flight_ >= high)) {
+        queries_shed_.fetch_add(1, std::memory_order_relaxed);
+        queries_counter("shed").add();
+        km.shed->add();
+        return "BUSY shed (overload: " + std::to_string(jobs_in_flight_) +
+               " in flight >= watermark " + std::to_string(watermark) + ")";
+      }
+    }
+    job_key = ++next_job_;
+    job_tokens_[job_key] = params.cancel;
+    ++jobs_in_flight_;
+  }
+
+  const auto release_job = [this, job_key] {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job_tokens_.erase(job_key);
+    --jobs_in_flight_;
+    jobs_cv_.notify_all();
+  };
+
+  // Per-session admission (window + backlog quota).
+  std::uint64_t id = 0;
+  if (spec.reissue_id != 0) {
+    switch (session->admit_with_id(spec.reissue_id)) {
+      case Session::Admit::kDuplicate:
+        // Already running: the original admission will deliver exactly one
+        // result event for this id.
+        release_job();
+        obs::counter("net.queries.deduped").add();
+        return ok_reply(std::to_string(spec.reissue_id) + " dup");
+      case Session::Admit::kBusy:
+        id = 0;
+        break;
+      case Session::Admit::kAdmitted:
+        id = spec.reissue_id;
+        break;
+    }
+  } else {
+    bool backlog_full = false;
+    id = session->admit(&backlog_full);
+    if (id == 0 && backlog_full) {
+      release_job();
+      quota_counter("backlog").add();
+      quota_violations_.fetch_add(1, std::memory_order_relaxed);
+      queries_busy_.fetch_add(1, std::memory_order_relaxed);
+      queries_counter("busy").add();
+      km.busy->add();
+      return "BUSY backlog (" +
+             std::to_string(session->limits().max_backlog) +
+             " undelivered results; attach/drain the data channel)";
+    }
+  }
   if (id == 0) {
+    release_job();
     queries_busy_.fetch_add(1, std::memory_order_relaxed);
     queries_counter("busy").add();
     km.busy->add();
@@ -332,33 +677,57 @@ std::string Server::submit_query(const std::shared_ptr<Session>& session,
   queries_accepted_.fetch_add(1, std::memory_order_relaxed);
   queries_counter("accepted").add();
   km.accepted->add();
-
-  std::uint64_t job_key = 0;
-  {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
-    job_key = ++next_job_;
-    job_tokens_[job_key] = params.cancel;
-    ++jobs_in_flight_;
-  }
+  if (journal_)
+    journal_->record_accept(session->token(), id, query_kind_name(kind),
+                            spec.arg);
 
   // job_key doubles as the query id (qid): process-unique, echoed in the
   // result event, bound as the obs query context so every span/metric the
   // query triggers — including pool fan-out — is attributable to it.
   const auto admitted = std::chrono::steady_clock::now();
+  const std::uint64_t deadline_ms = spec.deadline_ms;
   exec::ThreadPool::global().submit([this, session, params, kind, id, job_key,
-                                     admitted, &km] {
+                                     admitted, deadline_ms, &km] {
     const char* kind_name = query_kind_name(kind);
+    if (options_.debug_pickup_delay_seconds > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.debug_pickup_delay_seconds));
     const auto start = std::chrono::steady_clock::now();
     const double queue_s = seconds_between(admitted, start);
     const char* status = "ok";
     int exit_code = 0;
     std::string body;
     std::string error;
-    {
+    // deadline_ms counts from admission: expired while queued => the query
+    // is shed at pickup (status "expired", no execution); otherwise the
+    // remaining time clamps the resil budgets, which flow into
+    // SimSettings::budget_seconds via run_query.
+    const double remaining_s =
+        deadline_ms == 0
+            ? 0.0
+            : static_cast<double>(deadline_ms) * 1e-3 - queue_s;
+    if (deadline_ms != 0 && remaining_s <= 0.0) {
+      status = "expired";
+      exit_code = 1;
+      error = "deadline of " + std::to_string(deadline_ms) +
+              " ms expired after " + json_num(queue_s) + " s in queue";
+      queries_expired_.fetch_add(1, std::memory_order_relaxed);
+      queries_counter("expired").add();
+      km.expired->add();
+    } else {
+      QueryParams p = params;
+      if (deadline_ms != 0) {
+        p.solve_budget = p.solve_budget > 0.0
+                             ? std::min(p.solve_budget, remaining_s)
+                             : remaining_s;
+        p.sweep_budget = p.sweep_budget > 0.0
+                             ? std::min(p.sweep_budget, remaining_s)
+                             : remaining_s;
+      }
       const obs::ScopedQueryContext qctx(job_key);
       try {
         const obs::Span span(std::string("net.query.") + kind_name);
-        QueryResult result = run_query(kind, params);
+        QueryResult result = run_query(kind, p);
         exit_code = result.exit_code;
         body = std::move(result.body);
         queries_ok_.fetch_add(1, std::memory_order_relaxed);
@@ -371,6 +740,21 @@ std::string Server::submit_query(const std::shared_ptr<Session>& session,
         queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
         queries_counter("cancelled").add();
         km.cancelled->add();
+      } catch (const TimeoutError& e) {
+        // With a deadline attached, a budget expiry mid-run is the deadline
+        // firing — report it as expired, distinct from a numerical error.
+        status = deadline_ms != 0 ? "expired" : "error";
+        exit_code = 1;
+        error = e.what();
+        if (deadline_ms != 0) {
+          queries_expired_.fetch_add(1, std::memory_order_relaxed);
+          queries_counter("expired").add();
+          km.expired->add();
+        } else {
+          queries_error_.fetch_add(1, std::memory_order_relaxed);
+          queries_counter("error").add();
+          km.error->add();
+        }
       } catch (const std::exception& e) {
         status = "error";
         exit_code = 1;
@@ -403,7 +787,7 @@ std::string Server::submit_query(const std::shared_ptr<Session>& session,
                                      queue_s, execute_s, body, error,
                                      &serialize_s);
     serialize_hist_->record(serialize_s);
-    session->deliver(std::move(event));
+    session->deliver(id, std::move(event));
     {
       // Notify while holding the mutex: the drain waiter cannot return (and
       // the Server cannot be destroyed under this cv) until this worker has
@@ -484,6 +868,8 @@ void Server::drain_with_grace(double grace_seconds) {
       {{"completed", std::to_string(queries_ok_.load())},
        {"errors", std::to_string(queries_error_.load())},
        {"cancelled", std::to_string(queries_cancelled_.load())},
+       {"expired", std::to_string(queries_expired_.load())},
+       {"shed", std::to_string(queries_shed_.load())},
        {"undelivered", std::to_string(undelivered)}});
 }
 
@@ -579,6 +965,9 @@ Server::Stats Server::stats() const {
   s.queries_ok = queries_ok_.load(std::memory_order_relaxed);
   s.queries_error = queries_error_.load(std::memory_order_relaxed);
   s.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
+  s.queries_expired = queries_expired_.load(std::memory_order_relaxed);
+  s.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  s.quota_violations = quota_violations_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     s.sessions_active = sessions_.size();
@@ -603,6 +992,11 @@ std::string Server::stats_json() const {
       lookups == 0 ? 0.0
                    : static_cast<double>(cache.hits) /
                          static_cast<double>(lookups);
+  const std::size_t ceiling = options_.max_inflight_total;
+  const std::size_t watermark =
+      options_.shed_watermark > 0
+          ? std::min(options_.shed_watermark, ceiling)
+          : ceiling / 2;
 
   std::ostringstream os;
   os << "{\"server\":{\"sessions_active\":" << s.sessions_active
@@ -612,9 +1006,20 @@ std::string Server::stats_json() const {
      << ",\"queries_ok\":" << s.queries_ok
      << ",\"queries_error\":" << s.queries_error
      << ",\"queries_cancelled\":" << s.queries_cancelled
+     << ",\"queries_expired\":" << s.queries_expired
+     << ",\"queries_shed\":" << s.queries_shed
+     << ",\"quota_violations\":" << s.quota_violations
      << ",\"jobs_in_flight\":" << s.jobs_in_flight
+     << ",\"inflight_ceiling\":" << ceiling
+     << ",\"shed_watermark\":" << watermark << ",\"shed_mode\":"
+     << (ceiling > 0 && s.jobs_in_flight >= watermark ? "true" : "false")
      << ",\"draining\":" << (draining_.load() ? "true" : "false")
-     << ",\"uptime_s\":" << json_num(uptime_s) << ",\"serialize_s\":";
+     << ",\"uptime_s\":" << json_num(uptime_s);
+  if (journal_)
+    os << ",\"journal\":{\"path\":" << json_quote(journal_->path())
+       << ",\"bytes\":" << journal_->bytes()
+       << ",\"rotations\":" << journal_->rotations() << "}";
+  os << ",\"serialize_s\":";
   {
     const obs::HistogramSnapshot* ser = find_histogram(snap, "serialize_s");
     if (ser != nullptr)
@@ -635,6 +1040,8 @@ std::string Server::stats_json() const {
        << ",\"error\":" << find_counter(snap, name + ".error")
        << ",\"cancelled\":" << find_counter(snap, name + ".cancelled")
        << ",\"busy\":" << find_counter(snap, name + ".busy")
+       << ",\"expired\":" << find_counter(snap, name + ".expired")
+       << ",\"shed\":" << find_counter(snap, name + ".shed")
        << ",\"queue_s\":";
     const obs::HistogramSnapshot* qu = find_histogram(snap, name + ".queue_s");
     if (qu != nullptr)
@@ -661,6 +1068,9 @@ std::string Server::stats_json() const {
          << ",\"in_flight\":" << session->in_flight()
          << ",\"window\":" << session->limits().max_queue
          << ",\"accepted\":" << session->queries_accepted()
+         << ",\"undelivered\":" << session->undelivered()
+         << ",\"attached\":"
+         << (session->control_attached() ? "true" : "false")
          << ",\"subscribed\":"
          << (session->subscribe_period() > 0.0 ? "true" : "false") << '}';
     }

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "ppd/obs/metrics.hpp"
 #include "ppd/util/error.hpp"
 
 namespace ppd::net {
 
 namespace {
+
+/// Acked result events retained per session for idempotent re-issue after
+/// a crash. Older acks age out (a re-issue of one simply re-executes) so a
+/// long-lived session cannot grow without bound.
+constexpr std::size_t kMaxAckedKept = 256;
 
 bool known_key(const std::string& key) {
   static const std::vector<std::string> all = [] {
@@ -36,15 +42,26 @@ void Session::set(const std::string& key, const std::string& value) {
 void Session::upload(const std::string& name, std::string text) {
   if (name.empty() || name.find_first_of(" \t") != std::string::npos)
     throw ParseError("upload name must be one non-empty word");
+  // Upload names are session-local labels, never paths — reject separator
+  // characters outright so no later layer can be talked into treating one
+  // as a filesystem location.
+  if (name.find_first_of("/\\") != std::string::npos ||
+      name.find("..") != std::string::npos)
+    throw QuotaError("name", "upload name must not contain path separators: " +
+                                 name);
+  if (name.size() > 128)
+    throw QuotaError("name", "upload name longer than 128 bytes");
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = uploads_.find(name);
   const std::size_t replaced = it == uploads_.end() ? 0 : it->second.size();
   if (it == uploads_.end() && uploads_.size() >= limits_.max_uploads)
-    throw ParseError("upload limit reached (" +
-                     std::to_string(limits_.max_uploads) + " blobs)");
+    throw QuotaError("uploads", "upload limit reached (" +
+                                    std::to_string(limits_.max_uploads) +
+                                    " blobs)");
   if (upload_bytes_ - replaced + text.size() > limits_.max_upload_bytes)
-    throw ParseError("upload budget exceeded (" +
-                     std::to_string(limits_.max_upload_bytes) + " bytes)");
+    throw QuotaError("upload_bytes",
+                     "upload budget exceeded (" +
+                         std::to_string(limits_.max_upload_bytes) + " bytes)");
   upload_bytes_ = upload_bytes_ - replaced + text.size();
   uploads_[name] = std::move(text);
 }
@@ -87,11 +104,30 @@ QueryParams Session::make_params(QueryKind kind, const std::string& arg) const {
   return params;
 }
 
-std::uint64_t Session::admit() {
+std::uint64_t Session::admit(bool* backlog_full) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (backlog_full != nullptr) *backlog_full = false;
+  if (ready_.size() >= limits_.max_backlog) {
+    if (backlog_full != nullptr) *backlog_full = true;
+    return 0;
+  }
   if (in_flight_ >= limits_.max_queue) return 0;
   ++in_flight_;
-  return ++next_id_;
+  const std::uint64_t id = ++next_id_;
+  inflight_ids_.insert(id);
+  return id;
+}
+
+Session::Admit Session::admit_with_id(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ids_.count(id) != 0) return Admit::kDuplicate;
+  if (in_flight_ >= limits_.max_queue ||
+      ready_.size() >= limits_.max_backlog)
+    return Admit::kBusy;
+  ++in_flight_;
+  next_id_ = std::max(next_id_, id);
+  inflight_ids_.insert(id);
+  return Admit::kAdmitted;
 }
 
 bool Session::write_event_locked(const std::string& line) {
@@ -101,36 +137,106 @@ bool Session::write_event_locked(const std::string& line) {
     data_->write_all("\n");
     return true;
   } catch (const NetError&) {
-    // The data channel died mid-write: drop the channel, keep the event.
-    // Buffered + future results wait for a reattach; admission keeps
-    // counting them.
+    // The data channel died mid-write (EPIPE / ECONNRESET): drop the
+    // channel, keep the event. Buffered + future results wait for a
+    // reattach; admission keeps counting them; the drain summary reports
+    // them as undelivered.
+    obs::counter("net.data.write_failed").add();
     data_.reset();
     return false;
   }
 }
 
-void Session::deliver(std::string event_line) {
+void Session::record_ack_locked(std::uint64_t id, const std::string& line) {
+  inflight_ids_.erase(id);
+  acked_[id] = line;
+  while (acked_.size() > kMaxAckedKept) acked_.erase(acked_.begin());
+  if (ack_hook_) ack_hook_(id, line);
+}
+
+void Session::deliver(std::uint64_t id, std::string event_line) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (write_event_locked(event_line)) {
     if (in_flight_ > 0) --in_flight_;
+    record_ack_locked(id, event_line);
     return;
   }
-  ready_.push_back(std::move(event_line));
+  ready_.push_back(Ready{id, std::move(event_line), true});
 }
 
-void Session::attach_data(std::shared_ptr<TcpStream> stream) {
+bool Session::redeliver(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = acked_.find(id);
+  if (it == acked_.end()) return false;
+  if (write_event_locked(it->second)) return true;
+  if (ready_.size() >= limits_.max_backlog) return false;
+  ready_.push_back(Ready{id, it->second, false});
+  return true;
+}
+
+const std::string* Session::acked_event(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = acked_.find(id);
+  return it == acked_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> Session::acked_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(acked_.size());
+  for (const auto& [id, line] : acked_) ids.push_back(id);
+  return ids;
+}
+
+void Session::restore(std::uint64_t next_id,
+                      std::map<std::uint64_t, std::string> acked) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_id_ = std::max(next_id_, next_id);
+  acked_ = std::move(acked);
+  while (acked_.size() > kMaxAckedKept) acked_.erase(acked_.begin());
+}
+
+void Session::set_ack_hook(
+    std::function<void(std::uint64_t, const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ack_hook_ = std::move(hook);
+}
+
+void Session::attach_data(std::shared_ptr<TcpStream> stream,
+                          const std::string& preamble) {
   std::lock_guard<std::mutex> lock(mutex_);
   data_ = std::move(stream);
+  if (!preamble.empty() && !write_event_locked(preamble)) return;
   while (!ready_.empty()) {
-    if (!write_event_locked(ready_.front())) break;
+    if (!write_event_locked(ready_.front().line)) break;
+    const Ready done = std::move(ready_.front());
     ready_.pop_front();
-    if (in_flight_ > 0) --in_flight_;
+    if (done.holds_slot) {
+      if (in_flight_ > 0) --in_flight_;
+      record_ack_locked(done.id, done.line);
+    }
   }
 }
 
 void Session::detach_data() {
   std::lock_guard<std::mutex> lock(mutex_);
   data_.reset();
+}
+
+void Session::set_control_attached(bool attached, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  control_attached_ = attached;
+  if (!attached) detached_seq_ = seq;
+}
+
+bool Session::control_attached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return control_attached_;
+}
+
+std::uint64_t Session::detached_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detached_seq_;
 }
 
 void Session::notify(const std::string& event_line) {

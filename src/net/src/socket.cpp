@@ -39,13 +39,18 @@ void set_nodelay(int fd) {
 TcpStream::~TcpStream() { close(); }
 
 TcpStream::TcpStream(TcpStream&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      line_limit_(other.line_limit_),
+      truncated_(other.truncated_) {}
 
 TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    line_limit_ = other.line_limit_;
+    truncated_ = other.truncated_;
   }
   return *this;
 }
@@ -66,12 +71,53 @@ TcpStream TcpStream::connect_loopback(std::uint16_t port) {
 }
 
 std::optional<std::string> TcpStream::read_line() {
+  truncated_ = false;
   for (;;) {
     if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+      if (line_limit_ > 0 && nl > line_limit_) {
+        // Over-long but already complete (newline buffered): the stream is
+        // naturally resynced, just surface the truncation.
+        std::string head = buffer_.substr(0, 64);
+        buffer_.erase(0, nl + 1);
+        truncated_ = true;
+        return head;
+      }
       std::string line = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
+    }
+    if (line_limit_ > 0 && buffer_.size() > line_limit_) {
+      // Over-long line from a hostile or broken peer: keep a short head for
+      // the caller's error message and drop the rest of the line in bounded
+      // chunks, so memory stays O(limit) and the next line reads cleanly.
+      std::string head = buffer_.substr(0, 64);
+      buffer_.clear();
+      for (;;) {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          const char* nl_at = static_cast<const char*>(
+              std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+          if (nl_at != nullptr) {
+            buffer_.assign(nl_at + 1,
+                           static_cast<std::size_t>(chunk + n - (nl_at + 1)));
+            truncated_ = true;
+            return head;
+          }
+          continue;
+        }
+        if (n == 0) {
+          truncated_ = true;
+          return head;  // EOF inside the over-long line
+        }
+        if (errno == EINTR) continue;
+        if (errno == ECONNRESET) {
+          truncated_ = true;
+          return head;
+        }
+        throw_errno("recv");
+      }
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -106,6 +152,26 @@ bool TcpStream::read_exact(std::string& out, std::size_t n) {
     const ssize_t got = ::recv(fd_, chunk, want, 0);
     if (got > 0) {
       out.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return false;
+    throw_errno("recv");
+  }
+  return true;
+}
+
+bool TcpStream::discard_exact(std::size_t n) {
+  const std::size_t from_buffer = std::min(n, buffer_.size());
+  buffer_.erase(0, from_buffer);
+  n -= from_buffer;
+  while (n > 0) {
+    char chunk[4096];
+    const std::size_t want = std::min(sizeof(chunk), n);
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
+    if (got > 0) {
+      n -= static_cast<std::size_t>(got);
       continue;
     }
     if (got == 0) return false;

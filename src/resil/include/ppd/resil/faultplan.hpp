@@ -18,7 +18,13 @@
 //               quarantine without the electrical layer, e.g. in logic);
 //   * delay   — a sweep item sleeps, exercising deadlines and watchdogs;
 //   * cancel-after — the sweep's CancelToken fires after N completed items,
-//               exercising checkpoint/resume (handled by SweepGuard).
+//               exercising checkpoint/resume (handled by SweepGuard);
+//   * sock-*  — socket chaos for the ppdd service: the fault-injecting
+//               loopback proxy (ppd::net::ChaosProxy) draws partial writes,
+//               mid-frame resets, slow-loris stalls and delayed forwards
+//               from the same seeded hash, so a failing chaos seed replays
+//               exactly. These seams are consumed by the proxy directly via
+//               fault_uniform(), not through a FaultScope.
 #pragma once
 
 #include <cstdint>
@@ -37,13 +43,29 @@ struct FaultPlan {
   /// (0 = never). Used to test checkpoint/resume.
   std::size_t cancel_after_items = 0;
 
+  // Socket chaos (consumed by ppd::net::ChaosProxy per forwarded chunk).
+  double p_sock_partial = 0.0;  ///< "sock-partial=" — dribble 1..8B writes
+  double p_sock_reset = 0.0;    ///< "sock-reset="   — RST mid-frame
+  double p_sock_stall = 0.0;    ///< "sock-stall=p:seconds" — slow-loris
+  double sock_stall_seconds = 0.0;
+  double p_sock_delay = 0.0;    ///< "sock-delay=p:seconds" — delayed forward
+  double sock_delay_seconds = 0.0;
+
   [[nodiscard]] bool enabled() const {
     return p_newton_nonconverge > 0.0 || p_newton_nan > 0.0 ||
            p_item_fail > 0.0 || p_item_delay > 0.0 || cancel_after_items > 0;
   }
 
+  /// True when any socket seam is armed (the chaos proxy's gate; socket
+  /// seams deliberately do not arm FaultScope / enabled()).
+  [[nodiscard]] bool socket_enabled() const {
+    return p_sock_partial > 0.0 || p_sock_reset > 0.0 || p_sock_stall > 0.0 ||
+           p_sock_delay > 0.0;
+  }
+
   /// Parse "seed=7,newton=0.3,nan=0.05,item=0.2,delay=0.1:0.01,
-  /// cancel-after=30" (any subset, any order). Throws ParseError.
+  /// cancel-after=30,sock-partial=0.3,sock-reset=0.02,sock-stall=0.1:0.02,
+  /// sock-delay=0.2:0.005" (any subset, any order). Throws ParseError.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
   /// Plan from the PPD_FAULT_PLAN environment variable (empty/unset =
@@ -61,7 +83,18 @@ enum class FaultSite : std::uint64_t {
   kNewtonNan = 2,
   kItemFail = 3,
   kItemDelay = 4,
+  kSockPartial = 5,
+  kSockReset = 6,
+  kSockStall = 7,
+  kSockDelay = 8,
 };
+
+/// The deterministic draw behind every injection decision, exported for
+/// consumers that inject outside a sweep item (the socket chaos proxy):
+/// hash (seed, item, site, draw counter) into a uniform in [0, 1). Pure —
+/// the k-th draw for a given key is identical at any thread count.
+[[nodiscard]] double fault_uniform(std::uint64_t seed, std::uint64_t item,
+                                   std::uint64_t site, std::uint64_t draw);
 
 namespace detail {
 struct FaultContext;

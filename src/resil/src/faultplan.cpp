@@ -29,7 +29,27 @@ double parse_prob(const std::string& key, const std::string& value) {
   return p;
 }
 
+/// Parse "p:seconds" into (probability, non-negative seconds).
+void parse_prob_seconds(const std::string& key, const std::string& value,
+                        double* p, double* seconds) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos)
+    throw ParseError("fault plan: " + key + " needs p:seconds, got '" + value +
+                     "'");
+  *p = parse_prob(key, value.substr(0, colon));
+  *seconds = std::strtod(value.c_str() + colon + 1, nullptr);
+  if (*seconds < 0.0)
+    throw ParseError("fault plan: " + key + " seconds must be >= 0");
+}
+
 }  // namespace
+
+double fault_uniform(std::uint64_t seed, std::uint64_t item, std::uint64_t site,
+                     std::uint64_t draw) {
+  const std::uint64_t h =
+      mix64(mix64(mix64(seed ^ 0x5eedfau) ^ item) ^ (site << 32 | draw));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+}
 
 struct detail::FaultContext {
   const FaultPlan* plan = nullptr;
@@ -48,11 +68,8 @@ thread_local detail::FaultContext* t_context = nullptr;
 bool draw(FaultSite site, double probability) {
   if (probability <= 0.0 || t_context == nullptr) return false;
   detail::FaultContext& ctx = *t_context;
-  const std::uint64_t h =
-      mix64(mix64(mix64(ctx.plan->seed ^ 0x5eedfau) ^ ctx.item) ^
-            (static_cast<std::uint64_t>(site) << 32 | ctx.draws++));
-  const double u =
-      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+  const double u = fault_uniform(ctx.plan->seed, ctx.item,
+                                 static_cast<std::uint64_t>(site), ctx.draws++);
   return u < probability;
 }
 
@@ -122,19 +139,24 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (key == "item") {
       plan.p_item_fail = parse_prob(key, value);
     } else if (key == "delay") {
-      const auto colon = value.find(':');
-      if (colon == std::string::npos)
-        throw ParseError("fault plan: delay needs p:seconds, got '" + value + "'");
-      plan.p_item_delay = parse_prob(key, value.substr(0, colon));
-      plan.delay_seconds = std::strtod(value.c_str() + colon + 1, nullptr);
-      if (plan.delay_seconds < 0.0)
-        throw ParseError("fault plan: delay seconds must be >= 0");
+      parse_prob_seconds(key, value, &plan.p_item_delay, &plan.delay_seconds);
     } else if (key == "cancel-after") {
       plan.cancel_after_items =
           static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "sock-partial") {
+      plan.p_sock_partial = parse_prob(key, value);
+    } else if (key == "sock-reset") {
+      plan.p_sock_reset = parse_prob(key, value);
+    } else if (key == "sock-stall") {
+      parse_prob_seconds(key, value, &plan.p_sock_stall,
+                         &plan.sock_stall_seconds);
+    } else if (key == "sock-delay") {
+      parse_prob_seconds(key, value, &plan.p_sock_delay,
+                         &plan.sock_delay_seconds);
     } else {
       throw ParseError("fault plan: unknown key '" + key +
-                       "' (use seed|newton|nan|item|delay|cancel-after)");
+                       "' (use seed|newton|nan|item|delay|cancel-after|"
+                       "sock-partial|sock-reset|sock-stall|sock-delay)");
     }
   }
   return plan;
@@ -146,7 +168,7 @@ FaultPlan FaultPlan::from_env() {
 }
 
 std::string FaultPlan::describe() const {
-  if (!enabled()) return "off";
+  if (!enabled() && !socket_enabled()) return "off";
   std::string s = "seed=" + std::to_string(seed);
   const auto add = [&s](const std::string& part) { s += "," + part; };
   if (p_newton_nonconverge > 0.0)
@@ -158,6 +180,14 @@ std::string FaultPlan::describe() const {
         std::to_string(delay_seconds));
   if (cancel_after_items > 0)
     add("cancel-after=" + std::to_string(cancel_after_items));
+  if (p_sock_partial > 0.0) add("sock-partial=" + std::to_string(p_sock_partial));
+  if (p_sock_reset > 0.0) add("sock-reset=" + std::to_string(p_sock_reset));
+  if (p_sock_stall > 0.0)
+    add("sock-stall=" + std::to_string(p_sock_stall) + ":" +
+        std::to_string(sock_stall_seconds));
+  if (p_sock_delay > 0.0)
+    add("sock-delay=" + std::to_string(p_sock_delay) + ":" +
+        std::to_string(sock_delay_seconds));
   return s;
 }
 

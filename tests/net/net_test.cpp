@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <optional>
@@ -19,12 +20,14 @@
 
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/obs/log.hpp"
+#include "ppd/obs/metrics.hpp"
 #include "ppd/obs/trace.hpp"
 #include "ppd/net/client.hpp"
 #include "ppd/net/protocol.hpp"
 #include "ppd/net/query.hpp"
 #include "ppd/net/socket.hpp"
 #include "ppd/util/error.hpp"
+#include "ppd/util/strings.hpp"
 
 namespace ppd::net {
 namespace {
@@ -531,6 +534,353 @@ TEST_F(ServiceTest, ServedResponsesIdenticalWithCacheDisabled) {
   EXPECT_EQ(cold, uncached);
   EXPECT_EQ(cold, direct_body(QueryKind::kCoverage, kv));
   client.quit();
+}
+
+// ---------------------------------------------------------------------------
+// Quotas, overload control and hostile-input hardening.
+// ---------------------------------------------------------------------------
+
+/// Spin until `pred` holds (bounded) — replaces sleeps in the tests that
+/// wait for a buffered result / failed delivery to become visible.
+template <typename Pred>
+bool poll_until(Pred pred, double seconds = 5.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+/// Raw control-channel handshake; returns the session token.
+std::string raw_control_handshake(TcpStream& control) {
+  control.write_all("CONTROL\n");
+  const auto hello = control.read_line();
+  EXPECT_TRUE(hello.has_value() && is_ok(*hello));
+  const auto words = util::split_ws(*hello);
+  return words.size() > 4 ? words[4] : std::string();
+}
+
+TEST(ServiceQuota, MalformedUploadSizeAnswersErrAndDropsConnection) {
+  // A size that cannot be parsed leaves the server with no way to know how
+  // many payload bytes follow — the only safe move is a typed ERR and a
+  // dropped connection, never an allocation sized by hostile input.
+  ServerOptions options;
+  Server server(options);
+  server.start();
+  for (const char* size : {"-1", "99999999999999999999999", "12abc", "0x10"}) {
+    TcpStream control = TcpStream::connect_loopback(server.port());
+    (void)raw_control_handshake(control);
+    control.write_all(std::string("UPLOAD evil.bench ") + size + "\n");
+    const auto reply = control.read_line();
+    ASSERT_TRUE(reply.has_value()) << size;
+    EXPECT_EQ(reply->rfind("ERR quota.size", 0), 0u) << *reply;
+    // The connection is gone: the next read sees EOF (no resync possible).
+    try {
+      EXPECT_FALSE(control.read_line().has_value()) << size;
+    } catch (const NetError&) {
+      // RST instead of FIN is also an acceptable way to be dropped.
+    }
+  }
+  // The violations never destabilized the server.
+  Client probe = Client::connect(server.port());
+  EXPECT_TRUE(is_ok(probe.ping()));
+  EXPECT_GE(server.stats().quota_violations, 4u);
+  probe.quit();
+  server.stop();
+}
+
+TEST(ServiceQuota, UploadNameWithPathSeparatorsIsRefused) {
+  ServerOptions options;
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  for (const char* name : {"../escape", "a/b.bench", "a\\b.bench"}) {
+    try {
+      client.upload(name, "x");
+      FAIL() << "upload accepted hostile name " << name;
+    } catch (const ServiceError& e) {
+      EXPECT_NE(std::string(e.what()).find("quota.name"), std::string::npos)
+          << e.what();
+    }
+  }
+  // The session survives every refusal.
+  EXPECT_TRUE(is_ok(client.ping()));
+  client.quit();
+  server.stop();
+}
+
+TEST(ServiceQuota, OversizedUploadIsDiscardedAndSessionSurvives) {
+  // Well-formed but over-budget: the payload is drained in bounded chunks
+  // (never allocated), the reply is a typed ERR, and the control stream
+  // stays in sync for the next command.
+  ServerOptions options;
+  options.limits.max_upload_bytes = 16;
+  Server server(options);
+  server.start();
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  (void)raw_control_handshake(control);
+  const std::string payload(64, 'x');
+  control.write_all("UPLOAD big.bench 64\n" + payload);
+  const auto reply = control.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR quota.upload_bytes", 0), 0u) << *reply;
+  control.write_all("PING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+
+  // The cumulative budget also holds across small uploads: the second blob
+  // that would push the total over is refused after being read, and the
+  // session keeps serving.
+  control.write_all("UPLOAD a.bench 12\nINPUT(a)\n a ");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  control.write_all("UPLOAD b.bench 12\nINPUT(b)\n b ");
+  const auto over = control.read_line();
+  ASSERT_TRUE(over.has_value());
+  EXPECT_EQ(over->rfind("ERR quota.upload_bytes", 0), 0u) << *over;
+  control.write_all("PING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  control.shutdown_both();
+  server.stop();
+}
+
+TEST(ServiceQuota, OverlongControlLineAnswersErrAndStreamResyncs) {
+  ServerOptions options;
+  options.limits.max_line_bytes = 64;
+  Server server(options);
+  server.start();
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  (void)raw_control_handshake(control);
+  // 4 KiB of junk on one line: the reader must never buffer it all, answer
+  // a typed ERR, and resync at the newline.
+  control.write_all("SET noise " + std::string(4096, 'z') + "\n");
+  const auto reply = control.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ERR quota.line", 0), 0u) << *reply;
+  control.write_all("PING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  // A line just over the cap whose newline lands in the same TCP segment
+  // (well under one recv) must be refused too, not slip through because the
+  // terminator was already buffered.
+  control.write_all("SET noise " + std::string(80, 'z') + "\n");
+  const auto small_over = control.read_line();
+  ASSERT_TRUE(small_over.has_value());
+  EXPECT_EQ(small_over->rfind("ERR quota.line", 0), 0u) << *small_over;
+  control.write_all("PING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  control.shutdown_both();
+  EXPECT_GE(server.stats().quota_violations, 2u);
+  server.stop();
+}
+
+TEST(ServiceQuota, ResultBacklogCapAnswersBusyBacklog) {
+  // With no data channel attached, completed results pile up as
+  // undelivered; past max_backlog the next QUERY is refused with the typed
+  // backlog reply rather than buffering without bound.
+  ServerOptions options;
+  options.limits.max_queue = 8;
+  options.limits.max_backlog = 1;
+  Server server(options);
+  server.start();
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  (void)raw_control_handshake(control);
+  control.write_all("SET points 3\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  control.write_all("QUERY transfer\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  // Wait for the result to land in the undelivered buffer.
+  ASSERT_TRUE(poll_until([&control] {
+    control.write_all("STATS\n");
+    const JsonValue stats = parse_json(control.read_line().value());
+    return stats.at("sessions").items.size() == 1 &&
+           stats.at("sessions").items[0].at("undelivered").as_uint() >= 1;
+  }));
+  control.write_all("QUERY transfer\n");
+  const auto reply = control.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("BUSY backlog", 0), 0u) << *reply;
+  control.shutdown_both();
+  server.stop();
+}
+
+TEST(ServiceOverload, DeadlineExpiredWhileQueuedIsNeverExecuted) {
+  ServerOptions options;
+  options.debug_pickup_delay_seconds = 0.2;  // simulated queue delay
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  client.set("points", "3");
+  const Client::Submitted sub =
+      client.submit("transfer", "", Client::SubmitOptions{/*deadline_ms=*/50});
+  ASSERT_FALSE(sub.busy);
+  const Client::Result res = client.wait(sub.id);
+  EXPECT_EQ(res.status, "expired");
+  EXPECT_NE(res.error.find("deadline"), std::string::npos) << res.error;
+  EXPECT_TRUE(res.body.empty());  // expired queries never execute
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.queries_expired, 1u);
+  EXPECT_EQ(stats.queries_ok, 0u);
+  const JsonValue doc = parse_json(client.stats());
+  EXPECT_EQ(doc.at("server").at("queries_expired").as_uint(), 1u);
+  EXPECT_EQ(doc.at("kinds").at("transfer").at("expired").as_uint(), 1u);
+  client.quit();
+  server.stop();
+}
+
+TEST(ServiceOverload, ShedsLowPriorityKindsFirstAboveWatermark) {
+  // ceiling 2, watermark 1: with one job pinned in flight the server is in
+  // shed mode — coverage (lowest priority) is refused with the typed shed
+  // reply while transfer (highest) still gets the last slot; at the ceiling
+  // everything gets the typed server-ceiling reply. Deterministic: the
+  // pinned pickup delay holds the jobs in flight for the whole sequence.
+  ServerOptions options;
+  options.max_inflight_total = 2;
+  options.shed_watermark = 1;
+  options.debug_pickup_delay_seconds = 0.4;
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  client.set("points", "3");
+  client.set("samples", "3");
+
+  const Client::Submitted first = client.submit("transfer");
+  ASSERT_FALSE(first.busy);
+  const Client::Submitted shed = client.submit("coverage");
+  EXPECT_TRUE(shed.busy);
+  EXPECT_NE(shed.reply.find("BUSY shed"), std::string::npos) << shed.reply;
+  const Client::Submitted second = client.submit("transfer");
+  ASSERT_FALSE(second.busy);
+  const Client::Submitted ceiling = client.submit("transfer");
+  EXPECT_TRUE(ceiling.busy);
+  EXPECT_NE(ceiling.reply.find("BUSY server"), std::string::npos)
+      << ceiling.reply;
+
+  // The accepted queries still complete normally once picked up.
+  EXPECT_EQ(client.wait(first.id).status, "ok");
+  EXPECT_EQ(client.wait(second.id).status, "ok");
+  const Server::Stats stats = server.stats();
+  EXPECT_GE(stats.queries_shed, 1u);
+  EXPECT_GE(stats.queries_busy, 1u);
+  const JsonValue doc = parse_json(client.stats());
+  EXPECT_GE(doc.at("kinds").at("coverage").at("shed").as_uint(), 1u);
+  EXPECT_EQ(doc.at("server").at("shed_mode").as_bool(), false);
+  client.quit();
+  server.stop();
+}
+
+TEST(ServiceResilience, DataWriteFailureIsCountedAndParksTheEvent) {
+  // The delivery write path must treat EPIPE/ECONNRESET as a value: the
+  // channel detaches, the event parks as undelivered (slot retained), and
+  // net.data.write_failed counts it — never an escaping exception.
+  const auto failed_before = obs::counter("net.data.write_failed").value();
+  TcpListener listener(0);
+  TcpStream peer = TcpStream::connect_loopback(listener.port());
+  auto accepted = listener.accept();
+  ASSERT_TRUE(accepted.has_value());
+  Session session("t", SessionLimits{});
+  session.attach_data(std::make_shared<TcpStream>(std::move(*accepted)));
+  peer.close();  // peer gone; the RST lands asynchronously
+  // Deliveries keep "succeeding" into the socket buffer until the RST
+  // arrives; the first write after it fails and parks its event.
+  bool parked = false;
+  for (int i = 0; i < 200 && !parked; ++i) {
+    const std::uint64_t id = session.admit();
+    ASSERT_NE(id, 0u);
+    session.deliver(id, "{\"event\":\"result\",\"id\":" + std::to_string(id) +
+                            "}");
+    parked = session.undelivered() > 0;
+    if (!parked) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(parked);
+  EXPECT_GT(obs::counter("net.data.write_failed").value(), failed_before);
+  listener.close();
+}
+
+TEST(ServiceResilience, DataChannelDeathIsAbsorbedAndFlushedOnReattach) {
+  // Killing the data socket must cost the server nothing: results for a
+  // dead channel park as undelivered, the control channel keeps answering,
+  // and a fresh DATA attach flushes the buffered tail.
+  ServerOptions options;
+  Server server(options);
+  server.start();
+
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  const std::string token = raw_control_handshake(control);
+  ASSERT_FALSE(token.empty());
+  control.write_all("SET points 3\n");
+  ASSERT_TRUE(is_ok(control.read_line().value()));
+  {
+    TcpStream data = TcpStream::connect_loopback(server.port());
+    data.write_all("DATA " + token + "\n");
+    ASSERT_TRUE(is_ok(data.read_line().value()));
+    ASSERT_TRUE(data.read_line().has_value());  // hello event
+    data.close();  // abrupt death
+  }
+  for (int q = 0; q < 2; ++q) {
+    control.write_all("QUERY transfer\n");
+    ASSERT_TRUE(is_ok(control.read_line().value()));
+  }
+  // Both results end up parked for the dead channel.
+  ASSERT_TRUE(poll_until([&control] {
+    control.write_all("STATS\n");
+    const JsonValue stats = parse_json(control.read_line().value());
+    return stats.at("sessions").items.size() == 1 &&
+           stats.at("sessions").items[0].at("undelivered").as_uint() >= 2;
+  }));
+  // Control channel unaffected by the dead data channel.
+  control.write_all("PING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+
+  // Reattach: the undelivered tail flushes to the new channel.
+  TcpStream data2 = TcpStream::connect_loopback(server.port());
+  data2.write_all("DATA " + token + "\n");
+  ASSERT_TRUE(is_ok(data2.read_line().value()));
+  int results = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (results < 1 && std::chrono::steady_clock::now() < deadline) {
+    const auto line = data2.read_line();
+    if (!line) break;
+    if (line->rfind("{\"event\":\"result\"", 0) == 0) ++results;
+  }
+  EXPECT_GE(results, 1);
+  control.write_all("QUIT\n");
+  (void)control.read_line();
+  server.stop();
+}
+
+TEST(ServiceFraming, DribbledControlBytesParseAsOneLine) {
+  // A slow-loris client sending one byte at a time must look identical to
+  // a whole-line write once the newline arrives.
+  ServerOptions options;
+  Server server(options);
+  server.start();
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  (void)raw_control_handshake(control);
+  const std::string line = "PING\n";
+  for (const char c : line) control.write_all(std::string_view(&c, 1));
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  control.shutdown_both();
+  server.stop();
+}
+
+TEST(ServiceFraming, CoalescedControlFramesAnswerInOrder) {
+  // Several commands in one TCP segment: the reader must split them at
+  // newlines and answer each in order (no frame is lost or merged).
+  ServerOptions options;
+  Server server(options);
+  server.start();
+  TcpStream control = TcpStream::connect_loopback(server.port());
+  (void)raw_control_handshake(control);
+  control.write_all("PING\nSTATS\nPING\n");
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  const auto stats = control.read_line();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NO_THROW((void)parse_json(*stats));
+  EXPECT_EQ(control.read_line().value(), "OK pong");
+  control.shutdown_both();
+  server.stop();
 }
 
 }  // namespace

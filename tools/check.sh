@@ -208,6 +208,117 @@ if command -v jq >/dev/null 2>&1; then
     "$obs_dir/ppdd-metrics.json" >/dev/null
 fi
 
+echo "== service chaos stage (fault-injecting proxy over the wire) =="
+# The hardening contract under socket chaos: test_chaos drives the service
+# through ppd::net::ChaosProxy across ten deterministic FaultPlan seeds —
+# partial writes, mid-frame resets, slow-loris stalls, delayed forwards —
+# asserting no deadlocks, no leaked sessions, and no malformed frames.
+"$build/tests/test_chaos" --gtest_brief=1
+# End-to-end through the standalone proxy binary: a real ppdctl query
+# crosses a chaotic chaosproxy (dribbled writes + delays; no resets, so a
+# single attempt suffices) and must come back byte-identical.
+"$build/tools/ppdd" --port=0 --port-file="$obs_dir/chaos-ppdd.port" \
+  --drain-grace=10 > "$obs_dir/chaos-ppdd.log" 2>&1 &
+chaos_ppdd_pid=$!
+for _ in $(seq 1 50); do
+  [ -s "$obs_dir/chaos-ppdd.port" ] && break
+  sleep 0.1
+done
+"$build/tools/chaosproxy" --upstream="$(cat "$obs_dir/chaos-ppdd.port")" \
+  --port=0 --port-file="$obs_dir/chaos-proxy.port" \
+  --faults="seed=11,sock-partial=0.4,sock-delay=0.3:0.002" \
+  > "$obs_dir/chaosproxy.log" 2>&1 &
+chaosproxy_pid=$!
+for _ in $(seq 1 50); do
+  [ -s "$obs_dir/chaos-proxy.port" ] && break
+  sleep 0.1
+done
+proxy_port="$(cat "$obs_dir/chaos-proxy.port")"
+"$build/tools/ppdctl" --port="$proxy_port" ping | grep -q "OK pong"
+"$build/tools/ppdctl" --port="$proxy_port" query coverage \
+  --method=pulse --samples=4 --points=3 --csv > "$obs_dir/cov-chaos.csv"
+cmp "$obs_dir/cov-chaos.csv" "$obs_dir/cov-cached.csv"
+kill -TERM "$chaosproxy_pid"
+wait "$chaosproxy_pid"
+grep -q "partial_writes" "$obs_dir/chaosproxy.log"
+kill -TERM "$chaos_ppdd_pid"
+wait "$chaos_ppdd_pid"
+
+echo "== crash recovery stage (kill -9, --recover, RESUME re-issue) =="
+# The crash-safety contract: a ppdd killed with SIGKILL mid-batch, restarted
+# from its journal with --recover, and re-joined by the same ppdctl batch
+# (RESUME + idempotent re-issue by qid) yields a result set byte-identical
+# to an uninterrupted run — with no query executed twice.
+# transfer answers fast (the kill trigger); the heavier coverage sweep
+# behind it is where the SIGKILL lands mid-execution.
+cat > "$obs_dir/recover.batch" <<'BATCH'
+set points 5
+set samples 4
+query transfer
+query coverage
+query calibrate
+quit
+BATCH
+# Reference: the same batch against an undisturbed server.
+"$build/tools/ppdd" --port=0 --port-file="$obs_dir/ref.port" \
+  --drain-grace=10 > "$obs_dir/ref-ppdd.log" 2>&1 &
+ref_pid=$!
+for _ in $(seq 1 50); do [ -s "$obs_dir/ref.port" ] && break; sleep 0.1; done
+"$build/tools/ppdctl" --port="$(cat "$obs_dir/ref.port")" batch \
+  < "$obs_dir/recover.batch" > "$obs_dir/ref-results.out"
+kill -TERM "$ref_pid"; wait "$ref_pid"
+# Interrupted run: journal-backed server, SIGKILL after the first result.
+"$build/tools/ppdd" --port=0 --port-file="$obs_dir/rec.port" \
+  --journal="$obs_dir/ppdd.journal" --drain-grace=10 \
+  > "$obs_dir/rec-ppdd.log" 2>&1 &
+rec_pid=$!
+for _ in $(seq 1 50); do [ -s "$obs_dir/rec.port" ] && break; sleep 0.1; done
+rec_port="$(cat "$obs_dir/rec.port")"
+"$build/tools/ppdctl" --port="$rec_port" --retries=15 --retry-backoff=0.3 \
+  batch < "$obs_dir/recover.batch" > "$obs_dir/rec-results.out" &
+batch_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '"event":"result"' "$obs_dir/rec-results.out" 2>/dev/null && break
+  sleep 0.1
+done
+kill -KILL "$rec_pid"
+wait "$rec_pid" 2>/dev/null || true
+# Restart on the same port from the journal; the ppdctl batch (still
+# retrying in the background) RESUMEs its session and re-issues whatever
+# was never acknowledged.
+"$build/tools/ppdd" --port="$rec_port" \
+  --journal="$obs_dir/ppdd.journal" --recover --drain-grace=10 \
+  > "$obs_dir/rec-ppdd2.log" 2>&1 &
+rec2_pid=$!
+wait "$batch_pid"
+# Byte-identity of the two result sets, and at-most-once execution of the
+# pre-crash query on the recovered instance (its per-kind accepted counter
+# must not move — an acked qid is redelivered, never re-run).
+"$build/tools/ppdctl" --port="$rec_port" stats > "$obs_dir/rec-stats.json"
+python3 - "$obs_dir/ref-results.out" "$obs_dir/rec-results.out" \
+  "$obs_dir/rec-stats.json" <<'PYEOF'
+import json, sys
+def results(path):
+    rows = []
+    for line in open(path):
+        line = line.strip()
+        if not line.startswith('{"event":"result"'):
+            continue
+        e = json.loads(line)
+        rows.append((e["id"], e["kind"], e["status"], e["exit_code"], e["body"]))
+    return sorted(rows)
+ref, rec = results(sys.argv[1]), results(sys.argv[2])
+assert len(ref) == 3, f"reference run produced {len(ref)} results"
+assert ref == rec, "recovered result set differs from uninterrupted run:\n%r\n%r" % (ref, rec)
+stats = json.load(open(sys.argv[3]))
+# The first query (transfer) completed and was acked before the SIGKILL:
+# the recovered instance must never have admitted it again.
+assert stats["kinds"]["transfer"]["accepted"] == 0, stats["kinds"]["transfer"]
+print("recovery OK: %d results byte-identical, no duplicate execution" % len(rec))
+PYEOF
+kill -TERM "$rec2_pid"
+wait "$rec2_pid"
+
 echo "== bench gate (perf-regression rules over bench output) =="
 # tools/bench_gate.py compares a bench's JSON rows against the committed
 # baseline rules; a byte-identity break or an order-of-magnitude latency
@@ -226,7 +337,8 @@ for san in thread undefined; do
   sbuild="$build-$san"
   cmake -B "$sbuild" -S "$repo" -DPPD_SANITIZE="$san" >/dev/null
   cmake --build "$sbuild" -j "$(nproc)" \
-    --target test_resil test_exec test_cache test_net test_sta >/dev/null
+    --target test_resil test_exec test_cache test_net test_chaos \
+    test_recovery test_sta >/dev/null
   echo "-- $san: test_resil"
   "$sbuild/tests/test_resil" --gtest_brief=1
   echo "-- $san: test_exec"
@@ -235,6 +347,10 @@ for san in thread undefined; do
   "$sbuild/tests/test_cache" --gtest_brief=1
   echo "-- $san: test_net"
   "$sbuild/tests/test_net" --gtest_brief=1
+  echo "-- $san: test_chaos"
+  "$sbuild/tests/test_chaos" --gtest_brief=1
+  echo "-- $san: test_recovery"
+  "$sbuild/tests/test_recovery" --gtest_brief=1
   echo "-- $san: test_sta"
   "$sbuild/tests/test_sta" --gtest_brief=1
 done

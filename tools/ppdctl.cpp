@@ -42,7 +42,24 @@
 //       Pull the server's Chrome trace-event dump of recent served-query
 //       spans (load in chrome://tracing or ui.perfetto.dev; result events'
 //       "qid" matches the spans' args.qid).
+//
+// Resilience flags (global, any mode):
+//
+//   --retries=N        extra attempts after a failed connect, a BUSY
+//                      submit, or a dropped connection mid-batch
+//                      (default 0 = fail fast)
+//   --retry-backoff=s  base backoff before a retry, doubling per attempt
+//                      (default 0.2)
+//   --resume=TOKEN     RESUME this session token instead of opening a
+//                      fresh session (journal-backed servers only); batch
+//                      mode re-issues unacknowledged queries idempotently
+//                      by qid after a reconnect, so a killed-and-recovered
+//                      ppdd yields the same result set as an uninterrupted
+//                      run.
 #include <unistd.h>
+
+#include <chrono>
+#include <thread>
 
 #include <fstream>
 #include <iostream>
@@ -53,6 +70,7 @@
 #include "ppd/net/client.hpp"
 #include "ppd/net/protocol.hpp"
 #include "ppd/obs/run.hpp"
+#include "ppd/resil/retry.hpp"
 #include "ppd/util/cli.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/util/strings.hpp"
@@ -60,6 +78,62 @@
 namespace {
 
 using namespace ppd;
+
+/// Where and how persistently to reach the server (the global flags).
+struct Endpoint {
+  std::uint16_t port = net::kDefaultPort;
+  int retries = 0;          ///< extra attempts after the first
+  double backoff_s = 0.2;   ///< base backoff, doubled per attempt
+};
+
+void backoff_sleep(const Endpoint& ep, int attempt) {
+  if (attempt <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      ep.backoff_s * static_cast<double>(1 << std::min(attempt - 1, 8))));
+}
+
+/// A ServiceError that means "the connection is gone" (retry/resume-able),
+/// as opposed to a definitive ERR reply from the server.
+bool is_disconnect(const net::ServiceError& e) {
+  const std::string what = e.what();
+  return what.find("closed") != std::string::npos;
+}
+
+/// Connect (or RESUME) with the --retries/--retry-backoff ladder. A
+/// definitive server refusal (ERR, e.g. an unresumable token) is not
+/// retried — only socket-level failures and closed streams are.
+net::Client connect_with_retry(const Endpoint& ep,
+                               const std::string& resume_token) {
+  std::optional<net::Client> client;
+  std::string last_error;
+  const resil::RetryPolicy policy{
+      "ppdctl.connect", {{"connect", 1 + std::max(ep.retries, 0)}}};
+  const auto outcome = resil::run_ladder(
+      policy,
+      [&](const resil::RetryRung&, int attempt) {
+        backoff_sleep(ep, attempt);
+        try {
+          client = resume_token.empty()
+                       ? net::Client::connect(ep.port)
+                       : net::Client::resume(ep.port, resume_token);
+          return true;
+        } catch (const net::NetError& e) {
+          last_error = e.what();
+          return false;
+        } catch (const net::ServiceError& e) {
+          if (!is_disconnect(e)) throw;
+          last_error = e.what();
+          return false;
+        }
+      },
+      resil::Deadline::never(), "ppdctl connect");
+  if (!outcome.success)
+    throw net::ServiceError("cannot reach ppdd on port " +
+                            std::to_string(ep.port) + " after " +
+                            std::to_string(outcome.total_attempts) +
+                            " attempts: " + last_error);
+  return std::move(*client);
+}
 
 std::string slurp_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
@@ -239,7 +313,61 @@ int cmd_trace(net::Client& client, int argc, char** argv) {
   return 0;
 }
 
-int cmd_batch(net::Client& client) {
+/// One batch query with the full recovery ladder: BUSY backs off and
+/// retries; a dropped connection reconnects, RESUMEs the same session and
+/// re-issues the query by qid — the server dedups ids it already ran (or
+/// redelivers the journaled result for acked ones), so a crash/restart
+/// cycle cannot double-execute or lose a query.
+net::Client::Result run_batch_query(net::Client& client, const Endpoint& ep,
+                                    const std::string& kind,
+                                    const std::string& arg) {
+  std::uint64_t issued_id = 0;
+  net::Client::Result res;
+  bool got = false;
+  std::string last_error = "BUSY";
+  const resil::RetryPolicy policy{
+      "ppdctl.query", {{"submit", 1 + std::max(ep.retries, 0)}}};
+  const auto outcome = resil::run_ladder(
+      policy,
+      [&](const resil::RetryRung&, int attempt) {
+        backoff_sleep(ep, attempt);
+        try {
+          net::Client::SubmitOptions opts;
+          opts.id = issued_id;  // 0 on the first attempt = fresh admission
+          const auto sub = client.submit(kind, arg, opts);
+          if (sub.busy) {
+            last_error = sub.reply;
+            return false;
+          }
+          issued_id = sub.id;
+          res = client.wait(sub.id);
+          got = true;
+          return true;
+        } catch (const net::NetError& e) {
+          last_error = e.what();
+        } catch (const net::ServiceError& e) {
+          if (!is_disconnect(e)) throw;
+          last_error = e.what();
+        }
+        // Connection lost mid-query: reconnect and RESUME this session.
+        // The next attempt re-issues `issued_id` idempotently.
+        const std::string token = client.session();
+        try {
+          client = connect_with_retry(ep, token);
+        } catch (const net::ServiceError& e) {
+          last_error = e.what();  // not resumable (no journal / evicted)
+        }
+        return false;
+      },
+      resil::Deadline::never(), "ppdctl query");
+  if (!got)
+    throw net::ServiceError("query " + kind + " failed after " +
+                            std::to_string(outcome.total_attempts) +
+                            " attempts: " + last_error);
+  return res;
+}
+
+int cmd_batch(net::Client& client, const Endpoint& ep) {
   int worst = 0;
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -265,7 +393,8 @@ int cmd_batch(net::Client& client) {
         client.upload(words[1], slurp_file(words[2]));
       } else if (util::iequals(cmd, "query") && words.size() >= 2) {
         const std::string arg = words.size() > 2 ? words[2] : std::string();
-        const net::Client::Result res = client.run(words[1], arg);
+        const net::Client::Result res =
+            run_batch_query(client, ep, words[1], arg);
         std::cout << res.raw << "\n";
         if (res.status != "ok" || res.exit_code != 0) worst = 1;
       } else {
@@ -284,24 +413,37 @@ int cmd_batch(net::Client& client) {
 int main(int argc, char** argv) {
   ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
   try {
-    // Strip the global --port flag; everything after the mode word belongs
-    // to the mode (query flags are session keys, not ppdctl flags).
-    std::uint16_t port = net::kDefaultPort;
-    util::strip_args(argc, argv, [&port](std::string_view arg) {
-      if (!util::starts_with(arg, "--port=")) return false;
-      port = static_cast<std::uint16_t>(
-          std::stoi(std::string(arg.substr(std::string("--port=").size()))));
+    // Strip the global flags; everything after the mode word belongs to
+    // the mode (query flags are session keys, not ppdctl flags).
+    Endpoint ep;
+    std::string resume_token;
+    util::strip_args(argc, argv, [&ep, &resume_token](std::string_view arg) {
+      const auto value = [&arg](const char* prefix) {
+        return std::string(arg.substr(std::string(prefix).size()));
+      };
+      if (util::starts_with(arg, "--port=")) {
+        ep.port = static_cast<std::uint16_t>(std::stoi(value("--port=")));
+      } else if (util::starts_with(arg, "--retries=")) {
+        ep.retries = std::stoi(value("--retries="));
+      } else if (util::starts_with(arg, "--retry-backoff=")) {
+        ep.backoff_s = std::stod(value("--retry-backoff="));
+      } else if (util::starts_with(arg, "--resume=")) {
+        resume_token = value("--resume=");
+      } else {
+        return false;
+      }
       return true;
     });
     if (argc < 2) {
-      std::cerr << "usage: ppdctl [--port=N] "
+      std::cerr << "usage: ppdctl [--port=N] [--retries=N] "
+                   "[--retry-backoff=s] [--resume=TOKEN] "
                    "<ping|stats|query|batch|subscribe|top|trace> ...\n"
                    "(see the header of tools/ppdctl.cpp)\n";
       return 2;
     }
     const std::string mode = argv[1];
 
-    net::Client client = net::Client::connect(port);
+    net::Client client = connect_with_retry(ep, resume_token);
     int code = 2;
     if (mode == "ping") {
       std::cout << client.ping() << " (session " << client.session() << ")\n";
@@ -312,7 +454,7 @@ int main(int argc, char** argv) {
     } else if (mode == "query") {
       code = cmd_query(client, argc - 2, argv + 2);
     } else if (mode == "batch") {
-      code = cmd_batch(client);
+      code = cmd_batch(client, ep);
     } else if (mode == "subscribe") {
       code = cmd_subscribe(client, argc - 2, argv + 2);
     } else if (mode == "top") {

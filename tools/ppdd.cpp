@@ -2,6 +2,9 @@
 //
 //   ppdd [--port=N] [--port-file=FILE] [--max-queue=N] [--drain-grace=s]
 //        [--slow-query=s] [--trace-ring=N]
+//        [--max-upload-bytes=N] [--max-uploads=N] [--max-line=N]
+//        [--max-backlog=N] [--max-inflight=N] [--shed-watermark=N]
+//        [--journal=FILE] [--recover]
 //        [--metrics=F] [--metrics-format=json|text] [--trace=F]
 //        [--log-level=L] [--log-json=F]
 //
@@ -22,6 +25,26 @@
 //   --trace-ring=N  keep a sliding window of ~N trace events per thread so
 //                   `ppdctl trace` can dump recent served-query spans from
 //                   a long-running daemon (default 8192, 0 disables)
+//
+// Hardening knobs (PR 9) — every per-session resource is capped, overload
+// is shed deterministically, and sessions are crash-recoverable:
+//
+//   --max-upload-bytes=N  per-session upload budget (default 4 MiB);
+//                         over-budget uploads answer ERR quota.upload_bytes
+//   --max-uploads=N       per-session blob count cap (default 64)
+//   --max-line=N          CONTROL line length cap in bytes (default 64 KiB;
+//                         longer lines answer ERR quota.line)
+//   --max-backlog=N       undelivered result events buffered per session
+//                         before QUERY answers BUSY backlog (default 8)
+//   --max-inflight=N      process-wide in-flight query ceiling (default 64,
+//                         0 = unlimited); at the ceiling: BUSY server
+//   --shed-watermark=N    in-flight jobs at which load shedding starts
+//                         refusing low-priority kinds (coverage/rmin first,
+//                         then calibrate); 0 = half the ceiling
+//   --journal=FILE        append-only session journal: SET/UPLOAD/accepted
+//                         qids/delivered results survive a crash
+//   --recover             replay --journal on start and rebuild its
+//                         sessions (detached; clients reconnect via RESUME)
 //
 // The standard obs flags (--metrics= etc., shared with every other binary)
 // are honoured too; the metrics snapshot and Chrome trace are flushed when
@@ -60,9 +83,12 @@ int main(int argc, char** argv) {
   ppd::obs::ScopedRun run(ppd::obs::extract_run_options(argc, argv));
   try {
     // No subcommand word: Cli skips argv[0] itself.
-    const ppd::util::Cli cli(argc, argv,
-                             {"port", "port-file", "max-queue", "drain-grace",
-                              "slow-query", "trace-ring"});
+    const ppd::util::Cli cli(
+        argc, argv,
+        {"port", "port-file", "max-queue", "drain-grace", "slow-query",
+         "trace-ring", "max-upload-bytes", "max-uploads", "max-line",
+         "max-backlog", "max-inflight", "shed-watermark", "journal",
+         "recover"});
 
     ppd::net::ServerOptions options;
     options.port = static_cast<std::uint16_t>(
@@ -71,6 +97,22 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get("max-queue", 8));
     options.drain_grace_seconds = cli.get("drain-grace", 30.0);
     options.slow_query_seconds = cli.get("slow-query", 1.0);
+    options.limits.max_upload_bytes = static_cast<std::size_t>(
+        cli.get("max-upload-bytes", static_cast<int>(4 << 20)));
+    options.limits.max_uploads =
+        static_cast<std::size_t>(cli.get("max-uploads", 64));
+    options.limits.max_line_bytes = static_cast<std::size_t>(
+        cli.get("max-line", static_cast<int>(64 << 10)));
+    options.limits.max_backlog =
+        static_cast<std::size_t>(cli.get("max-backlog", 8));
+    options.max_inflight_total =
+        static_cast<std::size_t>(cli.get("max-inflight", 64));
+    options.shed_watermark =
+        static_cast<std::size_t>(cli.get("shed-watermark", 0));
+    options.journal_path = cli.get("journal", std::string());
+    options.recover = cli.has("recover");
+    if (options.recover && options.journal_path.empty())
+      throw ppd::ParseError("--recover needs --journal=FILE");
 
     run.set_meta(0, ppd::exec::ThreadPool::global().size());
 
