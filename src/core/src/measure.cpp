@@ -7,6 +7,7 @@
 #include "ppd/obs/metrics.hpp"
 #include "ppd/resil/faultplan.hpp"
 #include "ppd/spice/analysis.hpp"
+#include "ppd/spice/batch.hpp"
 #include "ppd/spice/hash.hpp"
 #include "ppd/util/error.hpp"
 #include "ppd/wave/waveform.hpp"
@@ -38,6 +39,13 @@ spice::TransientOptions make_transient_options(const SimSettings& sim,
   opt.integrator = sim.integrator;
   opt.adaptive = sim.adaptive;
   opt.dt_max = sim.dt_max;
+  opt.dt_min = sim.dt_min;
+  // Tolerances steer BOTH Newton loops — the transient's and the operating
+  // point's — so a loosened measurement is loose end to end.
+  opt.newton.abstol = sim.newton_abstol;
+  opt.newton.reltol = sim.newton_reltol;
+  opt.op.newton.abstol = sim.newton_abstol;
+  opt.op.newton.reltol = sim.newton_reltol;
   // One budget covers both phases: the transient's deadline is shared with
   // its initial operating point, so a hung OP and a hung integration loop
   // surface as the same TimeoutError within ~1x the budget. op.budget_seconds
@@ -46,6 +54,23 @@ spice::TransientOptions make_transient_options(const SimSettings& sim,
   opt.budget_seconds = sim.budget_seconds;
   // The measurements only look at the path terminals.
   opt.probe = {path.input(), path.output()};
+  // Seed the operating point with every stage's DC logic level. A sensitized
+  // path is a chain of primitives with side inputs at non-controlling
+  // values, so each stage resolves to an inverter of the previous level and
+  // the ladder is known in closed form from the input's rest level. A
+  // flat-zero Newton start loses the operating point beyond ~60 stages
+  // (every homotopy rung exhausted); the seeded start converges in a few
+  // iterations at any chain length.
+  const double vdd = path.netlist().process().vdd;
+  bool high = path.rest_level() > 0.5 * vdd;
+  opt.op.nodesets.reserve(path.length() + 1);
+  opt.op.nodesets.emplace_back(path.input(), high ? vdd : 0.0);
+  const auto& stages = path.stages();
+  const auto& outputs = path.stage_outputs();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (cells::gate_inverting(path.netlist().gate(stages[i]).kind)) high = !high;
+    opt.op.nodesets.emplace_back(outputs[i], high ? vdd : 0.0);
+  }
   return opt;
 }
 
@@ -68,6 +93,14 @@ std::uint64_t measure_cache_key(const std::string& domain,
   h.u8(sim.integrator == spice::Integrator::kTrapezoidal ? 0 : 1);
   h.boolean(sim.adaptive);
   h.f64(sim.dt_max);
+  // Every solver knob that changes the computed waveform must land in the
+  // key: dt_min moves the adaptive rejection floor and the Newton tolerances
+  // move every iterate, so two measurements differing only here are NOT the
+  // same measurement (omitting them let a run with loose tolerances poison
+  // the cache for a later strict run).
+  h.f64(sim.dt_min);
+  h.f64(sim.newton_abstol);
+  h.f64(sim.newton_reltol);
   h.f64(t_stop);
   h.i64(path.input());
   h.i64(path.output());
@@ -146,6 +179,117 @@ std::optional<double> output_pulse_width(cells::Path& path, PulseKind kind,
   const auto width = wave::pulse_width(res.wave(path.output()), half, positive_out);
   if (use_cache) cache::solve_cache().put(key, encode_measurement(width));
   return width;
+}
+
+std::vector<BatchOutcome> batch_path_delay(
+    const std::vector<cells::Path*>& paths, bool input_rising,
+    const SimSettings& sim) {
+  std::vector<BatchOutcome> out(paths.size());
+  if (paths.empty()) return out;
+  const bool use_cache = measurement_cache_usable();
+  const double t_stop = sim.t_launch + sim.t_tail;
+  // Resolve cache hits up front; only the misses enter the batch.
+  std::vector<std::size_t> pending;
+  std::vector<std::uint64_t> keys(paths.size(), 0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    PPD_REQUIRE(paths[i]->input() == paths[0]->input() &&
+                    paths[i]->output() == paths[0]->output(),
+                "batched paths must share their terminal nodes");
+    paths[i]->drive_transition(input_rising, sim.t_launch);
+    if (use_cache) {
+      keys[i] = measure_cache_key("core.path_delay", *paths[i], sim, t_stop);
+      if (const auto cached = cache::solve_cache().get(keys[i]);
+          cached.has_value() && cached->size() == 2) {
+        out[i].value = decode_measurement(*cached);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+  if (pending.empty()) return out;
+
+  spice::BatchOptions bopt;
+  bopt.base = make_transient_options(sim, t_stop, *paths[pending.front()]);
+  spice::BatchTransient batch(bopt);
+  for (const std::size_t i : pending)
+    batch.add(paths[i]->netlist().circuit(), t_stop);
+  const auto results = batch.run();
+
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    const std::size_t i = pending[k];
+    const spice::BatchSampleResult& r = results[k];
+    if (r.failed) {
+      out[i].failed = true;
+      out[i].error = r.error;
+      continue;
+    }
+    const double half = paths[i]->netlist().process().vdd / 2.0;
+    const bool out_rising = paths[i]->same_polarity() == input_rising;
+    out[i].value = wave::propagation_delay(
+        r.result.wave(paths[i]->input()), r.result.wave(paths[i]->output()),
+        half, input_rising ? wave::Edge::kRise : wave::Edge::kFall,
+        out_rising ? wave::Edge::kRise : wave::Edge::kFall);
+    if (use_cache)
+      cache::solve_cache().put(keys[i], encode_measurement(out[i].value));
+  }
+  return out;
+}
+
+std::vector<BatchOutcome> batch_output_pulse_width(
+    const std::vector<cells::Path*>& paths, PulseKind kind,
+    const std::vector<double>& w_in, const SimSettings& sim) {
+  PPD_REQUIRE(w_in.size() == paths.size(),
+              "need one input width per batched path");
+  std::vector<BatchOutcome> out(paths.size());
+  if (paths.empty()) return out;
+  const bool use_cache = measurement_cache_usable();
+  const bool positive_in = kind == PulseKind::kH;
+  std::vector<std::size_t> pending;
+  std::vector<std::uint64_t> keys(paths.size(), 0);
+  std::vector<double> t_stops(paths.size(), 0.0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    PPD_REQUIRE(paths[i]->input() == paths[0]->input() &&
+                    paths[i]->output() == paths[0]->output(),
+                "batched paths must share their terminal nodes");
+    paths[i]->drive_pulse(positive_in, w_in[i], sim.t_launch);
+    t_stops[i] = sim.t_launch + w_in[i] + sim.t_tail;
+    if (use_cache) {
+      keys[i] =
+          measure_cache_key("core.pulse_width", *paths[i], sim, t_stops[i]);
+      if (const auto cached = cache::solve_cache().get(keys[i]);
+          cached.has_value() && cached->size() == 2) {
+        out[i].value = decode_measurement(*cached);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+  if (pending.empty()) return out;
+
+  spice::BatchOptions bopt;
+  bopt.base = make_transient_options(sim, t_stops[pending.front()],
+                                     *paths[pending.front()]);
+  spice::BatchTransient batch(bopt);
+  for (const std::size_t i : pending)
+    batch.add(paths[i]->netlist().circuit(), t_stops[i]);
+  const auto results = batch.run();
+
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    const std::size_t i = pending[k];
+    const spice::BatchSampleResult& r = results[k];
+    if (r.failed) {
+      out[i].failed = true;
+      out[i].error = r.error;
+      continue;
+    }
+    const double half = paths[i]->netlist().process().vdd / 2.0;
+    const bool positive_out = paths[i]->same_polarity() == positive_in;
+    out[i].value =
+        wave::pulse_width(r.result.wave(paths[i]->output()), half, positive_out);
+    if (use_cache)
+      cache::solve_cache().put(keys[i], encode_measurement(out[i].value));
+  }
+  return out;
 }
 
 TransferCurve transfer_function(cells::Path& path, PulseKind kind,

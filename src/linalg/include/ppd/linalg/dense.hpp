@@ -25,6 +25,12 @@ class DenseMatrix {
   /// Reset every entry to zero without reallocating.
   void set_zero();
 
+  /// Raw column-major storage (entry (r, c) lives at data()[c * rows() + r]).
+  /// Exposed for the in-place factorization workspace, which needs
+  /// unchecked access in its inner loops.
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
   /// y = A * x  (dimensions must match).
   [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
 
@@ -55,6 +61,27 @@ class DenseLu {
   DenseMatrix lu_;
   std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i] of A
   int perm_sign_ = 1;
+};
+
+/// Reusable in-place LU workspace: factorizes a caller-owned matrix without
+/// copying it and solves into a caller-owned vector, so a Newton loop that
+/// re-assembles the same matrix every iteration allocates nothing. The
+/// pivoting and elimination perform the exact operation sequence of DenseLu,
+/// so solve results are bit-identical to the allocating path.
+class DenseLuWorkspace {
+ public:
+  /// Factorize `a` IN PLACE (`a` is overwritten with its LU factors and must
+  /// stay alive until the next factor() call). Throws NumericalError when
+  /// the matrix is numerically singular.
+  void factor(DenseMatrix& a, double pivot_tol = 1e-13);
+
+  /// x = A^-1 b using the last factorization. `x` is resized; `b` and `x`
+  /// must be distinct vectors.
+  void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
+
+ private:
+  DenseMatrix* lu_ = nullptr;      // last factored matrix (not owned)
+  std::vector<std::size_t> perm_;  // row permutation, as in DenseLu
 };
 
 /// Vector helpers shared by the solvers and the Newton loop.

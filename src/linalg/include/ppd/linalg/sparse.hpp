@@ -55,6 +55,11 @@ class SparseMatrix {
   [[nodiscard]] const std::vector<std::size_t>& row_idx() const { return idx_; }
   [[nodiscard]] const std::vector<double>& values() const { return val_; }
 
+  /// Mutable value access for structure-frozen reassembly: callers that
+  /// keep the sparsity pattern fixed (ppd::spice frozen MNA) rewrite the
+  /// numeric values in place instead of rebuilding the matrix.
+  [[nodiscard]] std::vector<double>& mutable_values() { return val_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -65,11 +70,33 @@ class SparseMatrix {
 
 /// Sparse LU, left-looking with partial pivoting.
 /// Throws NumericalError when the matrix is numerically singular.
+///
+/// Factor-once/solve-many: factor() records the per-column update pattern and
+/// pivot order alongside the factors, so a later matrix with the SAME
+/// sparsity pattern can be refactorized numerically in place with
+/// refactor() — no symbolic DFS, no allocation. refactor() verifies at every
+/// column that the frozen pivot is still the one partial pivoting would
+/// choose and that no factor entry appeared or vanished; on any mismatch it
+/// returns false (the caller falls back to factor()), which makes a
+/// successful refactor bit-identical to a from-scratch factorization.
 class SparseLu {
  public:
+  SparseLu() = default;
   explicit SparseLu(const SparseMatrix& a, double pivot_tol = 1e-13);
 
+  /// Full (symbolic + numeric) factorization; reuses internal buffers.
+  void factor(const SparseMatrix& a, double pivot_tol = 1e-13);
+
+  /// Numeric-only refactorization of a matrix with the same sparsity pattern
+  /// as the last factor() call. Returns false when the frozen structure or
+  /// pivot order no longer matches (caller should factor() from scratch).
+  [[nodiscard]] bool refactor(const SparseMatrix& a, double pivot_tol = 1e-13);
+
+  [[nodiscard]] bool factored() const { return n_ > 0; }
+
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+  /// solve() into a caller-owned vector (resized; must not alias `b`).
+  void solve_into(const std::vector<double>& b, std::vector<double>& x) const;
 
   [[nodiscard]] std::size_t order() const { return n_; }
   [[nodiscard]] std::size_t factor_nonzeros() const {
@@ -84,6 +111,12 @@ class SparseLu {
   std::vector<std::size_t> u_ptr_, u_idx_;
   std::vector<double> u_val_;
   std::vector<std::size_t> pinv_;  // original row -> pivot position
+  // Frozen structure for refactor(): per-column x-pattern in the traversal
+  // order factor() used (updates run over it back-to-front), plus the
+  // matrix nonzero count it was recorded against.
+  std::vector<std::size_t> pat_ptr_, pat_rows_;
+  std::size_t a_nnz_ = 0;
+  std::vector<double> x_work_;  // refactor scratch (original-row indexed)
 };
 
 }  // namespace ppd::linalg

@@ -100,6 +100,69 @@ double DenseLu::determinant() const {
   return det;
 }
 
+void DenseLuWorkspace::factor(DenseMatrix& a, double pivot_tol) {
+  PPD_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
+  const std::size_t n = a.rows();
+  lu_ = &a;
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  double* d = a.data();  // column-major: (r, c) at d[c * n + r]
+
+  // Same pivot choices and per-entry arithmetic as DenseLu; only the update
+  // traversal runs column-major (each entry still receives the identical
+  // single fused update per elimination step, so results match bitwise).
+  for (std::size_t k = 0; k < n; ++k) {
+    double* colk = d + k * n;
+    std::size_t piv = k;
+    double piv_mag = std::abs(colk[k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(colk[r]);
+      if (mag > piv_mag) {
+        piv = r;
+        piv_mag = mag;
+      }
+    }
+    if (!(piv_mag > pivot_tol))
+      throw NumericalError("DenseLu: matrix is numerically singular at column " +
+                           std::to_string(k));
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(d[c * n + k], d[c * n + piv]);
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const double inv_piv = 1.0 / colk[k];
+    for (std::size_t r = k + 1; r < n; ++r) colk[r] *= inv_piv;
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double* colc = d + c * n;
+      const double pk = colc[k];
+      if (pk == 0.0) continue;
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const double m = colk[r];
+        if (m != 0.0) colc[r] -= m * pk;
+      }
+    }
+  }
+}
+
+void DenseLuWorkspace::solve_into(const std::vector<double>& b,
+                                  std::vector<double>& x) const {
+  PPD_REQUIRE(lu_ != nullptr, "solve_into before factor");
+  PPD_REQUIRE(&b != &x, "b and x must be distinct");
+  const std::size_t n = lu_->rows();
+  PPD_REQUIRE(b.size() == n, "dimension mismatch in solve");
+  x.resize(n);
+  const double* d = lu_->data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= d[j * n + i] * x[j];
+    x[i] = s;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= d[j * n + i] * x[j];
+    x[i] = s / d[i * n + i];
+  }
+}
+
 double norm_inf(const std::vector<double>& v) {
   double m = 0.0;
   for (double x : v) m = std::max(m, std::abs(x));

@@ -83,15 +83,27 @@ double SparseMatrix::at(std::size_t row, std::size_t col) const {
 }
 
 SparseLu::SparseLu(const SparseMatrix& a, double pivot_tol) {
+  factor(a, pivot_tol);
+}
+
+void SparseLu::factor(const SparseMatrix& a, double pivot_tol) {
   PPD_REQUIRE(a.rows() == a.cols(), "LU needs a square matrix");
   n_ = a.rows();
+  a_nnz_ = a.nonzeros();
   pinv_.assign(n_, kNone);
 
   l_ptr_.assign(n_ + 1, 0);
   u_ptr_.assign(n_ + 1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_idx_.clear();
+  u_val_.clear();
+  pat_ptr_.assign(n_ + 1, 0);
+  pat_rows_.clear();
 
   // Workspaces for the per-column sparse triangular solve.
-  std::vector<double> x(n_, 0.0);
+  std::vector<double>& x = x_work_;
+  x.assign(n_, 0.0);
   std::vector<char> mark(n_, 0);
   std::vector<std::size_t> pattern;        // nonzero rows of x (original indices)
   std::vector<std::size_t> dfs_stack, dfs_pos;
@@ -185,13 +197,108 @@ SparseLu::SparseLu(const SparseMatrix& a, double pivot_tol) {
       x[r] = 0.0;
     }
     l_ptr_[j + 1] = l_idx_.size();
+
+    // Freeze this column's traversal order for refactor().
+    pat_rows_.insert(pat_rows_.end(), pattern.begin(), pattern.end());
+    pat_ptr_[j + 1] = pat_rows_.size();
   }
 }
 
+bool SparseLu::refactor(const SparseMatrix& a, double pivot_tol) {
+  // Precondition: same sparsity pattern as the matrix passed to factor().
+  // (Cheap guards only; the per-column walk below catches every numeric
+  // divergence from the frozen structure and bails to a full factor.)
+  if (n_ == 0 || a.rows() != n_ || a.cols() != n_ || a.nonzeros() != a_nnz_)
+    return false;
+
+  const auto& ap = a.col_ptr();
+  const auto& ai = a.row_idx();
+  const auto& av = a.values();
+  std::vector<double>& x = x_work_;  // zeroed outside the pattern (invariant)
+
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t pat_lo = pat_ptr_[j];
+    const std::size_t pat_hi = pat_ptr_[j + 1];
+
+    // Scatter A(:, j); its rows are a subset of the frozen pattern.
+    for (std::size_t t = pat_lo; t < pat_hi; ++t) x[pat_rows_[t]] = 0.0;
+    for (std::size_t k = ap[j]; k < ap[j + 1]; ++k) x[ai[k]] = av[k];
+
+    // Numeric update in the exact traversal order factor() used. Rows with
+    // pivot position >= j were "not yet pivotal" when this column was first
+    // factored.
+    for (std::size_t t = pat_hi; t-- > pat_lo;) {
+      const std::size_t r = pat_rows_[t];
+      const std::size_t piv = pinv_[r];
+      if (piv >= j) continue;
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t k = l_ptr_[piv]; k < l_ptr_[piv + 1]; ++k)
+        x[l_idx_[k]] -= l_val_[k] * xr;
+    }
+
+    // Verify the frozen pivot is still the partial-pivoting choice (same
+    // scan order and strict-greater tie-break as factor()).
+    std::size_t best = kNone;
+    double best_mag = 0.0;
+    for (std::size_t t = pat_lo; t < pat_hi; ++t) {
+      const std::size_t r = pat_rows_[t];
+      if (pinv_[r] < j) continue;
+      const double mag = std::abs(x[r]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    bool ok = best != kNone && pinv_[best] == j && best_mag > pivot_tol;
+
+    // Rewrite U then L values in place, verifying the frozen value-pattern
+    // (entries that were dropped as exact zeros must stay zero and vice
+    // versa — else structure changed and results would not match a from-
+    // scratch factorization).
+    std::size_t uk = u_ptr_[j];
+    std::size_t lk = l_ptr_[j];
+    const double pivot = ok ? x[best] : 1.0;
+    if (ok) {
+      for (std::size_t t = pat_lo; t < pat_hi && ok; ++t) {
+        const std::size_t r = pat_rows_[t];
+        if (pinv_[r] < j) {
+          if (x[r] != 0.0) {
+            if (uk + 1 >= u_ptr_[j + 1] || u_idx_[uk] != pinv_[r]) ok = false;
+            else u_val_[uk++] = x[r];
+          }
+        } else if (r != best) {
+          if (x[r] != 0.0) {
+            if (lk >= l_ptr_[j + 1] || l_idx_[lk] != r) ok = false;
+            else l_val_[lk++] = x[r] / pivot;
+          }
+        }
+      }
+      // The diagonal is stored last in each U column; every frozen slot must
+      // have been refilled.
+      ok = ok && uk == u_ptr_[j + 1] - 1 && lk == l_ptr_[j + 1];
+      if (ok) u_val_[uk] = pivot;
+    }
+
+    // Restore the x == 0 invariant before returning or moving on.
+    for (std::size_t t = pat_lo; t < pat_hi; ++t) x[pat_rows_[t]] = 0.0;
+    if (!ok) return false;
+  }
+  return true;
+}
+
 std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  std::vector<double> y;
+  solve_into(b, y);
+  return y;
+}
+
+void SparseLu::solve_into(const std::vector<double>& b,
+                          std::vector<double>& y) const {
   PPD_REQUIRE(b.size() == n_, "dimension mismatch in solve");
+  PPD_REQUIRE(&b != &y, "b and x must be distinct");
   // Permute b into pivot order: y[pinv_[r]] = b[r].
-  std::vector<double> y(n_);
+  y.resize(n_);
   for (std::size_t r = 0; r < n_; ++r) y[pinv_[r]] = b[r];
 
   // Forward solve with unit-lower L (columns indexed by pivot position,
@@ -211,7 +318,6 @@ std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
     if (yj == 0.0) continue;
     for (std::size_t k = u_ptr_[j]; k < last; ++k) y[u_idx_[k]] -= u_val_[k] * yj;
   }
-  return y;
 }
 
 }  // namespace ppd::linalg

@@ -67,12 +67,22 @@ struct OpResult {
 /// PPD_CACHE=0 disables the reuse entirely.
 [[nodiscard]] OpResult run_op(Circuit& circuit, const OpOptions& options = {});
 
+/// Adaptive time-step controller (active only when `adaptive` is set):
+/// `kIterationCount` grows/shrinks the step on Newton iteration counts (the
+/// classic SPICE heuristic, and the historical behavior); `kLte` holds a
+/// trapezoidal local-truncation estimate — the distance between the solved
+/// point and a divided-difference predictor — under `lte_tol`, rejecting and
+/// resizing steps that exceed it.
+enum class StepControl { kIterationCount, kLte };
+
 struct TransientOptions {
   double t_stop = 4e-9;
   double dt = 1e-12;            ///< base step
   Integrator integrator = Integrator::kTrapezoidal;
   NewtonOptions newton;
-  bool adaptive = false;        ///< iteration-count time-step control
+  bool adaptive = false;        ///< adaptive time-step control
+  StepControl step_control = StepControl::kIterationCount;
+  double lte_tol = 2e-3;        ///< LTE accept threshold [V] (kLte only)
   double dt_min = 1e-15;
   double dt_max = 2e-11;
   /// Use the sparse solver when the MNA order exceeds this; 0 forces sparse.

@@ -1,0 +1,94 @@
+// Batched Monte-Carlo transient kernel: factor-once/solve-many.
+//
+// A Monte-Carlo sweep solves the SAME circuit topology hundreds of times
+// with per-sample parameter deltas (W, R_open, C scaling). The scalar
+// run_transient() path rediscovers everything per sample and per Newton
+// iteration: triplet buffers grow from empty, the sparse symbolic analysis
+// reruns, and every linear solve allocates fresh vectors. BatchTransient
+// removes all of that steady-state work:
+//
+//  - each sample's MnaSystem is structure-frozen after the first transient
+//    assemble: later iterations scatter values into the retained sparsity
+//    pattern and refactor numerically in place (LU pattern + elimination
+//    ordering reused, full factorization as automatic fallback);
+//  - Newton solves write into a persistent caller-owned workspace — zero
+//    allocations per iteration once the first step has sized the buffers;
+//  - quiescent MOSFETs are bypassed: a cached model evaluation is reused
+//    while the terminal voltages are bitwise unchanged (tol = 0, bit-safe)
+//    or within an opt-in tolerance.
+//
+// Samples advance in lock-step, one attempted time step per round. A sample
+// that diverges (Newton failure at dt_min, wall-clock expiry) drops OUT OF
+// THE BATCH — flagged failed with the error preserved — while the remaining
+// samples keep integrating; the batch never takes the whole sweep down.
+//
+// Bit-identity contract: at a fixed step (adaptive = false) with the
+// default bypass tolerance of 0, every per-sample waveform is bit-identical
+// to what run_transient() produces for the same circuit, because both
+// drivers share one TransientStepper/newton_solve implementation and the
+// frozen linear path reproduces the from-scratch factorization exactly
+// (verified-or-fallback refactorization, ctor-order duplicate scatter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppd/spice/analysis.hpp"
+#include "ppd/spice/circuit.hpp"
+
+namespace ppd::spice {
+
+/// Batch-wide policy. `base` is applied to every sample (t_stop may be
+/// overridden per sample at add()).
+struct BatchOptions {
+  TransientOptions base;
+  /// Reuse cached MOSFET evaluations for quiescent devices. At
+  /// bypass_tol = 0 (default) reuse needs bitwise-equal terminal voltages
+  /// and is bit-safe; > 0 trades bit-identity for more skipped evaluations.
+  bool bypass = true;
+  double bypass_tol = 0.0;
+};
+
+/// Outcome of one batch sample.
+struct BatchSampleResult {
+  TransientResult result;       ///< valid only when !failed
+  bool failed = false;
+  std::string error;            ///< failure reason when failed
+  std::uint64_t bypass_hits = 0;   ///< MOSFET stamps served from cache
+  std::uint64_t bypass_evals = 0;  ///< MOSFET stamps that re-evaluated
+};
+
+/// Factor-once/solve-many transient over N same-topology circuits.
+/// Usage: construct, add() each sample's circuit (caller keeps ownership
+/// and the circuits must outlive run()), then run() exactly once.
+class BatchTransient {
+ public:
+  explicit BatchTransient(BatchOptions options);
+  ~BatchTransient();
+
+  BatchTransient(const BatchTransient&) = delete;
+  BatchTransient& operator=(const BatchTransient&) = delete;
+
+  /// Enroll one sample. `t_stop` <= 0 means options.base.t_stop. All
+  /// enrolled circuits must share one topology (same nodes, same device
+  /// order and terminal wiring) — parameter values are free to differ.
+  void add(Circuit& circuit, double t_stop = 0.0);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Advance all samples to their t_stop in lock-step. Per-sample failures
+  /// are captured in the corresponding BatchSampleResult; run() itself
+  /// throws only on misuse (empty batch, mixed topologies, second call).
+  [[nodiscard]] std::vector<BatchSampleResult> run();
+
+ private:
+  struct Sample;
+
+  BatchOptions options_;
+  std::vector<std::unique_ptr<Sample>> samples_;
+  bool ran_ = false;
+};
+
+}  // namespace ppd::spice

@@ -8,6 +8,7 @@
 // Figs. 6-9.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,18 @@ constexpr NodeId kGround = 0;
 enum class AnalysisMode { kOperatingPoint, kTransient };
 enum class Integrator { kBackwardEuler, kTrapezoidal };
 
+/// Quiescent-device bypass policy and counters, threaded through
+/// StampContext by the batch transient kernel. `tol == 0` (the default)
+/// reuses a cached model evaluation only when the terminal voltages are
+/// bitwise unchanged since it was computed — always bit-safe; `tol > 0`
+/// trades bit-identity for more skipped evaluations (classic SPICE bypass,
+/// opt-in).
+struct MosBypass {
+  double tol = 0.0;
+  std::uint64_t hits = 0;   ///< stamps served from the cached evaluation
+  std::uint64_t evals = 0;  ///< stamps that re-evaluated the model
+};
+
 /// Everything a device needs to stamp its (linearized, discretized)
 /// companion model for the current Newton iterate.
 struct StampContext {
@@ -33,6 +46,12 @@ struct StampContext {
   double gmin = 1e-9;
   double source_scale = 1.0;  ///< source-stepping homotopy factor
   const std::vector<double>* x = nullptr;  ///< current iterate (may be null in OP start)
+  MosBypass* bypass = nullptr;  ///< null = no bypass (scalar path)
+  /// True during a frozen partial re-assembly (engine_detail.hpp): the MNA
+  /// slots still hold this device's last-stamped values, so a device whose
+  /// stamp inputs are BITWISE unchanged since that stamp may return without
+  /// stamping at all — the replay reproduces its values exactly.
+  bool replay = false;
 };
 
 class Device {
@@ -57,6 +76,15 @@ class Device {
   [[nodiscard]] virtual bool is_nonlinear() const { return false; }
   [[nodiscard]] virtual bool is_dynamic() const { return false; }
 
+  /// True when the device's stamp values can change between accepted time
+  /// points of one transient (dynamic state, nonlinearity, or explicit time
+  /// dependence). Devices returning false — resistors — stamp once per
+  /// frozen transient; partial re-assembly replays their recorded values
+  /// verbatim on every later step (see engine_detail.hpp).
+  [[nodiscard]] virtual bool stamp_time_varying() const {
+    return is_dynamic() || is_nonlinear();
+  }
+
   /// Stamp the device into the MNA system.
   virtual void stamp(MnaSystem& mna, const StampContext& ctx) const = 0;
 
@@ -64,8 +92,12 @@ class Device {
   virtual void begin_transient(const std::vector<double>& x_op);
 
   /// Called when a time step is accepted so dynamic devices can update
-  /// their integration state.
-  virtual void commit_step(const StampContext& ctx, const std::vector<double>& x);
+  /// their integration state. Returns true when that state — any input of
+  /// the device's next stamp other than the iterate itself — changed
+  /// BITWISE, so the selective re-assembly walk (engine_detail.hpp) knows
+  /// the device must be revisited on the next step; devices without stamp
+  /// state return false.
+  virtual bool commit_step(const StampContext& ctx, const std::vector<double>& x);
 
  protected:
   /// MNA index of terminal `i` (kGroundIndex for ground).
@@ -107,7 +139,7 @@ class Capacitor final : public Device {
   [[nodiscard]] bool is_dynamic() const override { return true; }
   void stamp(MnaSystem& mna, const StampContext& ctx) const override;
   void begin_transient(const std::vector<double>& x_op) override;
-  void commit_step(const StampContext& ctx, const std::vector<double>& x) override;
+  bool commit_step(const StampContext& ctx, const std::vector<double>& x) override;
 
  private:
   [[nodiscard]] double branch_voltage(const std::vector<double>& x) const;
@@ -115,6 +147,10 @@ class Capacitor final : public Device {
   double farads_;
   double v_state_ = 0.0;  ///< voltage at the last accepted point
   double i_state_ = 0.0;  ///< current at the last accepted point (TRAP memory)
+  // Inputs of the last transient stamp, for the ctx.replay quiescent skip
+  // (bitwise compare; only consulted during frozen partial re-assembly).
+  mutable double st_h_ = 0.0, st_v_ = 0.0, st_i_ = 0.0;
+  mutable bool st_valid_ = false;
 };
 
 /// Independent voltage source from nodes()[0] (+) to nodes()[1] (-); adds
@@ -128,6 +164,9 @@ class VoltageSource final : public Device {
   [[nodiscard]] double value_at(double t) const;
 
   [[nodiscard]] std::size_t aux_rows() const override { return 1; }
+  // Conservatively time-varying: the rhs tracks value_at(t). A DC spec
+  // could replay, but sources are too few for the distinction to matter.
+  [[nodiscard]] bool stamp_time_varying() const override { return true; }
   void stamp(MnaSystem& mna, const StampContext& ctx) const override;
 
   /// MNA index of this source's branch current (valid after finalize).
@@ -147,6 +186,7 @@ class CurrentSource final : public Device {
   [[nodiscard]] const SourceSpec& spec() const { return spec_; }
   void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
 
+  [[nodiscard]] bool stamp_time_varying() const override { return true; }
   void stamp(MnaSystem& mna, const StampContext& ctx) const override;
 
  private:
@@ -194,6 +234,11 @@ class Mosfet final : public Device {
   [[nodiscard]] Eval square_law(double vgs, double vds) const;
 
   MosParams params_;
+  // Last evaluation, cached for MosBypass (only maintained when a bypass
+  // policy is active; a Circuit is used by one thread at a time).
+  mutable double bp_vd_ = 0.0, bp_vg_ = 0.0, bp_vs_ = 0.0;
+  mutable Eval bp_e_{0.0, 0.0, 0.0};
+  mutable bool bp_valid_ = false;
 };
 
 }  // namespace ppd::spice

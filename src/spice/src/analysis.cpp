@@ -1,10 +1,13 @@
 #include "ppd/spice/analysis.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "engine_detail.hpp"
 #include "ppd/cache/solve_cache.hpp"
 #include "ppd/obs/log.hpp"
 #include "ppd/obs/metrics.hpp"
@@ -19,28 +22,125 @@
 
 namespace ppd::spice {
 
+namespace detail {
+
 namespace {
 
-/// Stamp every device plus the global gmin-to-ground leak.
-void assemble(Circuit& circuit, MnaSystem& mna, const StampContext& ctx) {
+[[nodiscard]] bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+void assemble(Circuit& circuit, MnaSystem& mna, const StampContext& ctx,
+              AssemblePlan* plan, AssemblePhase phase) {
+  if (plan != nullptr && plan->learned && mna.replay_ready() &&
+      phase != AssemblePhase::kFull) {
+    // Partial re-assembly: restamp only the devices whose values can have
+    // changed since their slots were last written; everything else (and the
+    // gmin leak) replays verbatim. Skipping the per-device virtual walk is
+    // the point — at MC sizes assembly, not the solve, dominates a Newton
+    // iteration.
+    const auto& devices = circuit.devices();
+    StampContext rctx = ctx;
+    rctx.replay = true;  // slots retain values: quiescent devices may skip
+    mna.note_partial();
+    if (plan->selective && !plan->all_dirty) {
+      // Dirty-driven walk: only devices whose stamp inputs actually moved
+      // since their last visit. The epoch dedupes a device watched by
+      // several dirty nodes within one walk.
+      ++plan->epoch;
+      const auto visit = [&](std::size_t i) {
+        if (plan->visit_epoch[i] == plan->epoch) return;
+        plan->visit_epoch[i] = plan->epoch;
+        mna.seek(plan->marks[i]);
+        devices[i]->stamp(mna, rctx);
+      };
+      for (std::size_t nidx = 0; nidx < plan->node_dirty.size(); ++nidx) {
+        if (!plan->node_dirty[nidx]) continue;
+        plan->node_dirty[nidx] = 0;
+        for (std::uint32_t d : plan->node_watch[nidx]) visit(d);
+      }
+      if (phase == AssemblePhase::kStepRefresh) {
+        for (std::size_t i : plan->sources) visit(i);
+        for (std::size_t i : plan->refresh) {
+          if (!plan->dev_dirty[i]) continue;
+          plan->dev_dirty[i] = 0;
+          visit(i);
+        }
+      }
+      return;
+    }
+    const auto& list = phase == AssemblePhase::kStepRefresh ? plan->refresh
+                                                            : plan->nonlinear;
+    for (std::size_t i : list) {
+      mna.seek(plan->marks[i]);
+      devices[i]->stamp(mna, rctx);
+    }
+    if (plan->selective) {
+      // A full list walk consumes every pending change its phase covers:
+      // node-driven dirt only ever targets nonlinear devices (both lists),
+      // commit-driven dirt needs the refresh list (kStepRefresh only).
+      std::fill(plan->node_dirty.begin(), plan->node_dirty.end(), 0);
+      if (phase == AssemblePhase::kStepRefresh) {
+        std::fill(plan->dev_dirty.begin(), plan->dev_dirty.end(), 0);
+        plan->all_dirty = false;
+      }
+    }
+    return;
+  }
   mna.reset();
-  for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
+  const bool learn = plan != nullptr && mna.frozen() && !mna.replay_ready();
+  if (learn) {
+    plan->refresh.clear();
+    plan->nonlinear.clear();
+    plan->marks.clear();
+    plan->marks.reserve(circuit.devices().size());
+    plan->sources.clear();
+    plan->node_watch.assign(circuit.node_count() - 1, {});
+  }
+  for (std::size_t i = 0; i < circuit.devices().size(); ++i) {
+    const auto& dev = circuit.devices()[i];
+    if (learn) {
+      plan->marks.push_back(mna.mark());
+      if (dev->stamp_time_varying()) plan->refresh.push_back(i);
+      if (dev->is_nonlinear()) {
+        plan->nonlinear.push_back(i);
+        for (NodeId n : dev->nodes())
+          if (n != kGround)
+            plan->node_watch[static_cast<std::size_t>(n - 1)].push_back(
+                static_cast<std::uint32_t>(i));
+      } else if (!dev->is_dynamic() && dev->stamp_time_varying()) {
+        plan->sources.push_back(i);
+      }
+    }
+    dev->stamp(mna, ctx);
+  }
   const std::size_t nodes = circuit.node_count() - 1;
   for (std::size_t i = 0; i < nodes; ++i)
     mna.add(static_cast<MnaIndex>(i), static_cast<MnaIndex>(i), ctx.gmin);
+  if (learn) {
+    // Arm selective refresh BEFORE the first Newton update runs, so the
+    // updates applied while converging this very solve are tracked; the
+    // machinery starts all_dirty and earns its first selective walk only
+    // after a full kStepRefresh pass has synced slots with the dirty sets.
+    plan->node_dirty.assign(nodes, 0);
+    plan->dev_dirty.assign(circuit.devices().size(), 0);
+    plan->visit_epoch.assign(circuit.devices().size(), 0);
+    plan->epoch = 0;
+    plan->all_dirty = true;
+    plan->selective = true;
+    plan->learned = true;
+  }
 }
 
-struct NewtonOutcome {
-  bool converged = false;
-  int iterations = 0;
-  /// Inf-norm of the final iteration's (clamped) node-voltage update [V] —
-  /// the convergence metric, reported in failure diagnostics.
-  double residual = 0.0;
-};
+}  // namespace detail
 
-/// Newton-Raphson: iterate full solves of the linearized system until the
-/// voltage update is below tolerance. `x` carries the initial guess in and
-/// the solution out.
+namespace {
+
+using detail::NewtonOutcome;
+using detail::NewtonWorkspace;
+
 /// Histogram of iterations-to-convergence per Newton solve; 1..256 covers
 /// everything max_iterations allows, log bins keep the fast common case
 /// (2-5 iterations) resolved.
@@ -55,41 +155,64 @@ void record_newton(const NewtonOutcome& out) {
 NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
                                 StampContext ctx, const NewtonOptions& opt,
                                 std::vector<double>& x,
-                                const resil::Deadline& deadline) {
+                                const resil::Deadline& deadline,
+                                NewtonWorkspace* ws, detail::AssemblePlan* plan,
+                                detail::AssemblePhase first_phase) {
   const std::size_t node_unknowns = circuit.node_count() - 1;
   NewtonOutcome out;
   // Chaos seam: poison the first iterate so the non-finite guard below —
   // the real hard-failure path — trips. No-op without an active FaultScope.
   const bool poison_first = resil::inject_newton_nan();
 
+  std::vector<double> x_new_local;
   for (int it = 0; it < opt.max_iterations; ++it) {
     if (deadline.expired())
       throw TimeoutError("Newton solve exceeded its wall-clock budget (" +
                          std::to_string(out.iterations) + " iterations in)");
     ctx.x = &x;
-    assemble(circuit, mna, ctx);
-    std::vector<double> x_new;
+    // Only the iterate moves between iterations of one solve, so after the
+    // first assemble a learned plan needs nothing but the nonlinear stamps.
+    detail::assemble(circuit, mna, ctx, plan,
+                     it == 0 ? first_phase
+                             : detail::AssemblePhase::kIterateRefresh);
     try {
-      x_new = mna.solve();
+      // Same linear solve either way; the workspace variant reuses the
+      // caller's buffer (and the frozen factorization path of MnaSystem).
+      if (ws != nullptr)
+        mna.solve_into(ws->x_new);
+      else
+        x_new_local = mna.solve();
     } catch (const NumericalError&) {
       // Singular linearization (e.g. fully cut-off stacks at a flat start):
       // report non-convergence and let the caller's homotopy ladder or step
       // control take over.
       return out;
     }
+    const std::vector<double>& x_new = ws != nullptr ? ws->x_new : x_new_local;
     ++out.iterations;
 
     // Clamp node-voltage updates (not branch currents) to aid convergence.
+    // The convergence test and the applied update use the clamped step; the
+    // reported residual is the unclamped inf-norm, so failure diagnostics
+    // show the true update instead of saturating at dv_max.
+    // With a selective plan armed, record which node entries the update
+    // actually moved BITWISE — that dirty set is what the next partial
+    // assemble's device walk is driven by (see detail::assemble).
+    const bool track = plan != nullptr && plan->selective &&
+                       plan->node_dirty.size() >= node_unknowns;
     bool converged = true;
     double max_dv = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       double dv = x_new[i] - x[i];
       if (i < node_unknowns) {
+        max_dv = std::max(max_dv, std::abs(dv));
         dv = std::clamp(dv, -opt.dv_max, opt.dv_max);
         if (std::abs(dv) > opt.abstol + opt.reltol * std::abs(x[i]))
           converged = false;
-        max_dv = std::max(max_dv, std::abs(dv));
+        const double before = x[i];
         x[i] += dv;
+        if (track && !detail::bits_equal(before, x[i]))
+          plan->node_dirty[i] = 1;
       } else {
         x[i] = x_new[i];
       }
@@ -110,9 +233,14 @@ NewtonOutcome newton_solve_impl(Circuit& circuit, MnaSystem& mna,
   return out;
 }
 
+}  // namespace
+
+namespace detail {
+
 NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
                            const NewtonOptions& opt, std::vector<double>& x,
-                           const resil::Deadline& deadline = {}) {
+                           const resil::Deadline& deadline, NewtonWorkspace* ws,
+                           AssemblePlan* plan, AssemblePhase first_phase) {
   // Chaos seam: report non-convergence without solving, exercising the
   // callers' recovery ladders. No-op without an active FaultScope.
   if (resil::inject_newton_nonconvergence()) {
@@ -120,10 +248,18 @@ NewtonOutcome newton_solve(Circuit& circuit, MnaSystem& mna, StampContext ctx,
     record_newton(out);
     return out;
   }
-  const NewtonOutcome out = newton_solve_impl(circuit, mna, ctx, opt, x, deadline);
+  const NewtonOutcome out = newton_solve_impl(circuit, mna, ctx, opt, x,
+                                              deadline, ws, plan, first_phase);
   record_newton(out);
   return out;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::assemble;
+using detail::newton_solve;
 
 /// Run a homotopy schedule: solve each context in order, each stage starting
 /// from the previous stage's solution; every stage must converge. The gmin
@@ -193,9 +329,13 @@ bool op_verified_at(Circuit& circuit, MnaSystem& mna, StampContext ctx,
   return true;
 }
 
-/// run_op with the wall-clock deadline supplied by the caller, so
-/// run_transient can thread ONE shared deadline through both its phases
-/// instead of granting the operating point a second full budget.
+}  // namespace
+
+namespace detail {
+
+/// run_op with the wall-clock deadline supplied by the caller, so transient
+/// drivers can thread ONE shared deadline through both phases instead of
+/// granting the operating point a second full budget.
 OpResult run_op_with_deadline(Circuit& circuit, const OpOptions& options,
                               const resil::Deadline& deadline) {
   const obs::Span span("spice.run_op");
@@ -345,7 +485,172 @@ OpResult run_op_with_deadline(Circuit& circuit, const OpOptions& options,
   throw NumericalError(msg);
 }
 
-}  // namespace
+void init_transient_result(const Circuit& circuit,
+                           const std::vector<NodeId>& probe,
+                           TransientResult& result,
+                           std::vector<std::size_t>& probe_list) {
+  result.node_names.resize(circuit.node_count());
+  result.node_waves.resize(circuit.node_count());
+  for (std::size_t i = 0; i < circuit.node_count(); ++i)
+    result.node_names[i] = circuit.node_name(static_cast<NodeId>(i));
+  result.probed.assign(circuit.node_count(), probe.empty());
+  result.probed[0] = false;
+  for (NodeId n : probe) {
+    PPD_REQUIRE(n > 0 && static_cast<std::size_t>(n) < circuit.node_count(),
+                "probe node out of range");
+    result.probed[static_cast<std::size_t>(n)] = true;
+  }
+  probe_list.clear();
+  for (std::size_t i = 1; i < circuit.node_count(); ++i)
+    if (result.probed[i]) probe_list.push_back(i);
+}
+
+TransientStepper::TransientStepper(Circuit& circuit, MnaSystem& mna,
+                                   const TransientOptions& options,
+                                   double t_stop, resil::Deadline deadline,
+                                   const std::vector<double>& x_op,
+                                   NewtonWorkspace* ws, MosBypass* bypass)
+    : circuit_(circuit),
+      mna_(mna),
+      options_(options),
+      deadline_(deadline),
+      ws_(ws),
+      bypass_(bypass),
+      node_unknowns_(circuit.node_count() - 1),
+      t_stop_(t_stop),
+      // Relative end-of-sweep guard: accumulated t += h carries rounding at
+      // the scale of t_stop, so the old absolute 1e-21 epsilon was
+      // meaningless against nanosecond sweeps.
+      t_end_(t_stop * (1.0 - 1e-12)),
+      h_(options.dt),
+      x_(x_op) {
+  PPD_REQUIRE(t_stop_ > 0.0, "t_stop must be positive");
+}
+
+TransientStepper::Outcome TransientStepper::step() {
+  if (t_ >= t_end_) return Outcome::kFinished;
+  if (deadline_.expired())
+    throw TimeoutError("transient exceeded its wall-clock budget at t = " +
+                       std::to_string(t_) + " of " + std::to_string(t_stop_) +
+                       " s" +
+                       (circuit_.source().empty()
+                            ? ""
+                            : " [" + circuit_.source() + "]"));
+
+  const double rem = t_stop_ - t_;
+  if (rem < options_.dt_min) {
+    // A rejection ladder left a sub-dt_min sliver: a C/h companion at such h
+    // is ill-conditioned and the rejection path could not shrink further.
+    // Snap the trace to t_stop instead of integrating the sliver.
+    t_ = t_stop_;
+    snapped_ = true;
+    return Outcome::kFinished;
+  }
+  h_ = std::min(h_, rem);
+  // Absorb a would-be final sliver into this step (growing h by < dt_min) so
+  // the sweep lands exactly on t_stop — but never right after a rejection,
+  // where re-growing h would retry the step size that just failed.
+  if (!just_rejected_ && rem - h_ < options_.dt_min) h_ = rem;
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.integrator = options_.integrator;
+  ctx.t = t_ + h_;
+  ctx.h = h_;
+  ctx.gmin = options_.newton.gmin;
+  ctx.bypass = bypass_;
+
+  // A new step size invalidates every dynamic companion (geq = C/h) at
+  // once; selective refresh must not skip caps on state bits alone, so a
+  // bitwise h change forces the next walk to be a full one.
+  if (!have_stamp_h_ || !bits_equal(h_, stamp_h_)) plan_.all_dirty = true;
+  stamp_h_ = h_;
+  have_stamp_h_ = true;
+
+  x_try_ = x_;  // previous point as predictor
+  // Entering a step only the time-varying stamps can differ from the slots'
+  // recorded values (static stamps are constant across the whole transient),
+  // so a learned plan assembles kStepRefresh here and kIterateRefresh inside
+  // the Newton loop. Unfrozen MnaSystems (the scalar path) ignore the plan.
+  const NewtonOutcome outcome =
+      newton_solve(circuit_, mna_, ctx, options_.newton, x_try_, deadline_,
+                   ws_, &plan_, AssemblePhase::kStepRefresh);
+  last_iterations_ = outcome.iterations;
+
+  if (!outcome.converged) {
+    if (!options_.adaptive || h_ <= options_.dt_min * 1.0001)
+      throw NumericalError("transient Newton failed at t = " +
+                           std::to_string(ctx.t));
+    just_rejected_ = true;
+    // The failed Newton left slots stamped along an abandoned trajectory
+    // the dirty sets no longer describe — restamp everything on retry.
+    plan_.all_dirty = true;
+    h_ = std::max(h_ * 0.25, options_.dt_min);
+    return Outcome::kRejected;
+  }
+
+  // LTE control: hold the distance between the solved point and a divided-
+  // difference predictor under lte_tol. The linear predictor makes this a
+  // curvature-scale (second-order) estimate; the h/(h + h_prev) factor damps
+  // it toward the local-truncation scale of the trapezoidal rule.
+  double lte = -1.0;
+  if (options_.adaptive && options_.step_control == StepControl::kLte &&
+      have_history_) {
+    const double ratio = h_ / h_prev_;
+    double err = 0.0;
+    for (std::size_t i = 0; i < node_unknowns_; ++i) {
+      const double pred = x_[i] + ratio * (x_[i] - x_prev_[i]);
+      err = std::max(err, std::abs(x_try_[i] - pred));
+    }
+    lte = err * (h_ / (h_ + h_prev_));
+    if (lte > options_.lte_tol && h_ > options_.dt_min * 1.0001) {
+      just_rejected_ = true;
+      plan_.all_dirty = true;  // slots follow the abandoned iterate
+      h_ = std::max(
+          h_ * std::max(0.25, 0.9 * std::sqrt(options_.lte_tol / lte)),
+          options_.dt_min);
+      return Outcome::kRejected;
+    }
+  }
+
+  // Accept the step.
+  if (options_.step_control == StepControl::kLte) x_prev_ = x_;
+  std::swap(x_, x_try_);
+  const auto& devs = circuit_.devices();
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    // Commit reports bitwise state changes; with selective refresh armed
+    // those become next step's restamp set (untracked otherwise).
+    const bool state_moved = devs[i]->commit_step(ctx, x_);
+    if (state_moved && plan_.selective) plan_.dev_dirty[i] = 1;
+  }
+  t_ += h_;
+  if (t_ >= t_end_) t_ = t_stop_;  // record the final point at exactly t_stop
+  h_prev_ = h_;
+  have_history_ = true;
+  just_rejected_ = false;
+
+  if (options_.adaptive) {
+    if (options_.step_control == StepControl::kIterationCount) {
+      // NR iteration counts steering the step (SPICE's iteration-count
+      // time-step control): grow when Newton converges quickly, shrink on
+      // slow convergence.
+      constexpr int kFastIterations = 3;
+      constexpr int kSlowIterations = 8;
+      if (outcome.iterations <= kFastIterations)
+        h_ = std::min(h_ * 1.5, options_.dt_max);
+      else if (outcome.iterations >= kSlowIterations)
+        h_ = std::max(h_ * 0.5, options_.dt_min);
+    } else if (lte >= 0.0) {
+      const double factor =
+          std::min(2.0, 0.9 * std::sqrt(options_.lte_tol /
+                                        std::max(lte, 1e-30)));
+      h_ = std::clamp(h_ * factor, options_.dt_min, options_.dt_max);
+    }
+  }
+  return Outcome::kAccepted;
+}
+
+}  // namespace detail
 
 double OpResult::voltage(NodeId n) const {
   if (n == kGround) return 0.0;
@@ -355,8 +660,8 @@ double OpResult::voltage(NodeId n) const {
 }
 
 OpResult run_op(Circuit& circuit, const OpOptions& options) {
-  return run_op_with_deadline(circuit, options,
-                              resil::Deadline::after(options.budget_seconds));
+  return detail::run_op_with_deadline(
+      circuit, options, resil::Deadline::after(options.budget_seconds));
 }
 
 const wave::Waveform& TransientResult::wave(NodeId n) const {
@@ -386,7 +691,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options)
   // run for twice its budget). An explicit op.budget_seconds still tightens
   // the OP phase further when set.
   const resil::Deadline deadline = resil::Deadline::after(options.budget_seconds);
-  const OpResult op = run_op_with_deadline(
+  const OpResult op = detail::run_op_with_deadline(
       circuit, options.op,
       resil::Deadline::earliest(
           deadline, resil::Deadline::after(options.op.budget_seconds)));
@@ -399,79 +704,33 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options)
   for (const auto& dev : circuit.devices()) dev->begin_transient(op.x);
 
   TransientResult result;
-  result.node_names.resize(circuit.node_count());
-  result.node_waves.resize(circuit.node_count());
-  for (std::size_t i = 0; i < circuit.node_count(); ++i)
-    result.node_names[i] = circuit.node_name(static_cast<NodeId>(i));
-  result.probed.assign(circuit.node_count(), options.probe.empty());
-  result.probed[0] = false;
-  for (NodeId n : options.probe) {
-    PPD_REQUIRE(n > 0 && static_cast<std::size_t>(n) < circuit.node_count(),
-                "probe node out of range");
-    result.probed[static_cast<std::size_t>(n)] = true;
-  }
   std::vector<std::size_t> probe_list;
-  for (std::size_t i = 1; i < circuit.node_count(); ++i)
-    if (result.probed[i]) probe_list.push_back(i);
+  detail::init_transient_result(circuit, options.probe, result, probe_list);
 
-  std::vector<double> x = op.x;
-  auto record = [&](double t) {
+  auto record = [&](double t, const std::vector<double>& x) {
     for (std::size_t i : probe_list) result.node_waves[i].append(t, x[i - 1]);
   };
   // Record the operating point at t = 0.
-  for (std::size_t i : probe_list) result.node_waves[i].append(0.0, op.x[i - 1]);
+  record(0.0, op.x);
 
-  double t = 0.0;
-  double h = options.dt;
-  // NR iteration counts steering the adaptive step (SPICE's iteration-count
-  // time-step control): grow when Newton converges quickly, shrink on slow
-  // or failed convergence.
-  constexpr int kFastIterations = 3;
-  constexpr int kSlowIterations = 8;
-
-  while (t < options.t_stop - 1e-21) {
-    if (deadline.expired())
-      throw TimeoutError("transient exceeded its wall-clock budget at t = " +
-                         std::to_string(t) + " of " +
-                         std::to_string(options.t_stop) + " s" +
-                         (circuit.source().empty() ? ""
-                                                   : " [" + circuit.source() + "]"));
-    h = std::min(h, options.t_stop - t);
-    StampContext ctx;
-    ctx.mode = AnalysisMode::kTransient;
-    ctx.integrator = options.integrator;
-    ctx.t = t + h;
-    ctx.h = h;
-    ctx.gmin = options.newton.gmin;
-
-    std::vector<double> x_try = x;  // previous point as predictor
-    const NewtonOutcome outcome =
-        newton_solve(circuit, mna, ctx, options.newton, x_try, deadline);
-    result.newton_iterations += static_cast<std::size_t>(outcome.iterations);
-
-    if (!outcome.converged) {
+  detail::TransientStepper stepper(circuit, mna, options, options.t_stop,
+                                   deadline, op.x, /*ws=*/nullptr,
+                                   /*bypass=*/nullptr);
+  for (;;) {
+    const auto outcome = stepper.step();
+    if (outcome == detail::TransientStepper::Outcome::kFinished) break;
+    result.newton_iterations +=
+        static_cast<std::size_t>(stepper.last_iterations());
+    if (outcome == detail::TransientStepper::Outcome::kAccepted) {
+      record(stepper.time(), stepper.x());
+      ++result.steps;
+    } else {
       ++result.rejected_steps;
-      if (!options.adaptive || h <= options.dt_min * 1.0001)
-        throw NumericalError("transient Newton failed at t = " +
-                             std::to_string(ctx.t));
-      h = std::max(h * 0.25, options.dt_min);
-      continue;
-    }
-
-    // Accept the step.
-    x = std::move(x_try);
-    for (const auto& dev : circuit.devices()) dev->commit_step(ctx, x);
-    t += h;
-    record(t);
-    ++result.steps;
-
-    if (options.adaptive) {
-      if (outcome.iterations <= kFastIterations)
-        h = std::min(h * 1.5, options.dt_max);
-      else if (outcome.iterations >= kSlowIterations)
-        h = std::max(h * 0.5, options.dt_min);
     }
   }
+  // Sub-dt_min sliver snapped away: hold the last solution to exactly t_stop
+  // so the waveform still ends on the nose.
+  if (stepper.snapped_without_step()) record(stepper.time(), stepper.x());
   if (obs::metrics_enabled()) {
     obs::counter("spice.transient.runs").add();
     obs::counter("spice.transient.steps").add(result.steps);

@@ -1,0 +1,188 @@
+#include "ppd/spice/batch.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "engine_detail.hpp"
+#include "ppd/obs/metrics.hpp"
+#include "ppd/obs/trace.hpp"
+#include "ppd/resil/deadline.hpp"
+#include "ppd/util/error.hpp"
+
+namespace ppd::spice {
+
+struct BatchTransient::Sample {
+  Circuit* circuit = nullptr;
+  double t_stop = 0.0;
+  std::unique_ptr<MnaSystem> mna;
+  std::unique_ptr<detail::TransientStepper> stepper;
+  detail::NewtonWorkspace ws;
+  MosBypass bypass;
+  BatchSampleResult out;
+  std::vector<std::size_t> probe_list;
+  bool done = false;
+
+  void fail(const std::string& why) {
+    out.failed = true;
+    out.error = why;
+    done = true;
+    stepper.reset();  // release iterate buffers of a dead sample
+  }
+};
+
+BatchTransient::BatchTransient(BatchOptions options)
+    : options_(std::move(options)) {
+  PPD_REQUIRE(options_.base.t_stop > 0.0, "t_stop must be positive");
+  PPD_REQUIRE(options_.base.dt > 0.0, "dt must be positive");
+  PPD_REQUIRE(options_.bypass_tol >= 0.0, "bypass_tol must be >= 0");
+}
+
+BatchTransient::~BatchTransient() = default;
+
+void BatchTransient::add(Circuit& circuit, double t_stop) {
+  PPD_REQUIRE(!ran_, "BatchTransient::run() already consumed this batch");
+  auto s = std::make_unique<Sample>();
+  s->circuit = &circuit;
+  s->t_stop = t_stop > 0.0 ? t_stop : options_.base.t_stop;
+  s->bypass.tol = options_.bypass_tol;
+  samples_.push_back(std::move(s));
+}
+
+namespace {
+
+/// Samples share MNA structure only when their circuits are the same
+/// topology: node set, device order, terminal wiring and auxiliary rows.
+/// Parameter values (R, C, W) are deliberately NOT compared.
+bool same_topology(const Circuit& a, const Circuit& b) {
+  if (a.node_count() != b.node_count()) return false;
+  if (a.device_count() != b.device_count()) return false;
+  for (std::size_t i = 0; i < a.device_count(); ++i) {
+    const Device& da = a.device(i);
+    const Device& db = b.device(i);
+    if (da.nodes() != db.nodes()) return false;
+    if (da.aux_rows() != db.aux_rows()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<BatchSampleResult> BatchTransient::run() {
+  PPD_REQUIRE(!ran_, "BatchTransient::run() already consumed this batch");
+  PPD_REQUIRE(!samples_.empty(), "batch has no samples");
+  ran_ = true;
+  const obs::Span span("spice.batch_transient");
+  const auto start = std::chrono::steady_clock::now();
+
+  const Circuit& reference = *samples_.front()->circuit;
+  for (const auto& s : samples_)
+    PPD_REQUIRE(same_topology(reference, *s->circuit),
+                "batch samples must share one circuit topology");
+
+  const TransientOptions& base = options_.base;
+  // One wall-clock budget covers the whole batch: the samples advance in
+  // lock-step, so per-sample deadlines would all expire together anyway.
+  const resil::Deadline deadline = resil::Deadline::after(base.budget_seconds);
+  const resil::Deadline op_deadline = resil::Deadline::earliest(
+      deadline, resil::Deadline::after(base.op.budget_seconds));
+
+  // Phase 1 — per-sample setup: operating point, frozen MnaSystem, stepper.
+  // A sample that fails its OP is quarantined here and never steps.
+  for (auto& s : samples_) {
+    Circuit& circuit = *s->circuit;
+    TransientOptions opt = base;
+    opt.t_stop = s->t_stop;
+    try {
+      const OpResult op =
+          detail::run_op_with_deadline(circuit, opt.op, op_deadline);
+      circuit.finalize();
+      const std::size_t n = circuit.unknown_count();
+      const bool use_sparse =
+          opt.sparse_threshold == 0 || n > opt.sparse_threshold;
+      s->mna = std::make_unique<MnaSystem>(n, use_sparse);
+      // Factor-once seam: the first transient assemble learns the sparsity
+      // pattern and elimination ordering; every later iteration reuses them.
+      s->mna->freeze_structure();
+      for (const auto& dev : circuit.devices()) dev->begin_transient(op.x);
+      detail::init_transient_result(circuit, opt.probe, s->out.result,
+                                    s->probe_list);
+      for (std::size_t i : s->probe_list)
+        s->out.result.node_waves[i].append(0.0, op.x[i - 1]);
+      s->stepper = std::make_unique<detail::TransientStepper>(
+          circuit, *s->mna, base, s->t_stop, deadline, op.x, &s->ws,
+          options_.bypass ? &s->bypass : nullptr);
+    } catch (const std::exception& e) {
+      s->fail(e.what());
+    }
+  }
+
+  // Phase 2 — lock-step integration: one attempted step per live sample per
+  // round. Divergence drops the sample, not the batch.
+  std::size_t live = 0;
+  for (const auto& s : samples_)
+    if (!s->done) ++live;
+  while (live > 0) {
+    for (auto& s : samples_) {
+      if (s->done) continue;
+      try {
+        const auto outcome = s->stepper->step();
+        if (outcome == detail::TransientStepper::Outcome::kFinished) {
+          if (s->stepper->snapped_without_step()) {
+            for (std::size_t i : s->probe_list)
+              s->out.result.node_waves[i].append(s->stepper->time(),
+                                                 s->stepper->x()[i - 1]);
+          }
+          s->done = true;
+          --live;
+          continue;
+        }
+        s->out.result.newton_iterations +=
+            static_cast<std::size_t>(s->stepper->last_iterations());
+        if (outcome == detail::TransientStepper::Outcome::kAccepted) {
+          for (std::size_t i : s->probe_list)
+            s->out.result.node_waves[i].append(s->stepper->time(),
+                                               s->stepper->x()[i - 1]);
+          ++s->out.result.steps;
+        } else {
+          ++s->out.result.rejected_steps;
+        }
+      } catch (const std::exception& e) {
+        s->fail(e.what());
+        --live;
+      }
+    }
+  }
+
+  std::vector<BatchSampleResult> results;
+  results.reserve(samples_.size());
+  std::size_t failed = 0, steps = 0, rejected = 0;
+  std::uint64_t hits = 0, evals = 0;
+  for (auto& s : samples_) {
+    s->out.bypass_hits = s->bypass.hits;
+    s->out.bypass_evals = s->bypass.evals;
+    if (s->out.failed) ++failed;
+    steps += s->out.result.steps;
+    rejected += s->out.result.rejected_steps;
+    hits += s->bypass.hits;
+    evals += s->bypass.evals;
+    results.push_back(std::move(s->out));
+  }
+  samples_.clear();
+
+  if (obs::metrics_enabled()) {
+    obs::counter("spice.batch.runs").add();
+    obs::counter("spice.batch.samples").add(results.size());
+    obs::counter("spice.batch.failed_samples").add(failed);
+    obs::counter("spice.transient.steps").add(steps);
+    obs::counter("spice.transient.rejected_steps").add(rejected);
+    obs::counter("spice.bypass.hits").add(hits);
+    obs::counter("spice.bypass.evals").add(evals);
+    obs::histogram("spice.batch.seconds", {1e-6, 1e4, 50})
+        .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count());
+  }
+  return results;
+}
+
+}  // namespace ppd::spice

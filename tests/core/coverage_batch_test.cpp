@@ -1,0 +1,90 @@
+// Batched coverage contract: with `batch` set, the MC population advances
+// through the factor-once/solve-many kernel and the resulting coverage
+// POPULATION — every cell of every curve — is identical to the scalar
+// path's, at a fixed step and at any thread count. The solve cache is
+// cleared between passes so the comparison exercises the kernel, not
+// measurement memoization.
+#include "ppd/core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppd/cache/solve_cache.hpp"
+
+namespace ppd::core {
+namespace {
+
+PathFactory rop_factory() {
+  PathFactory f;
+  f.options.kinds.assign(3, cells::GateKind::kInv);
+  faults::PathFaultSpec spec;
+  spec.kind = faults::FaultKind::kExternalRopOutput;
+  spec.stage = 1;
+  f.fault = spec;
+  return f;
+}
+
+CoverageOptions fixed_step_coverage() {
+  CoverageOptions o;
+  o.samples = 4;
+  o.seed = 21;
+  o.variation = mc::VariationModel::uniform_sigma(0.05);
+  o.resistances = {1e3, 8e3, 40e3, 200e3};
+  o.sim.adaptive = false;  // the bit-identity regime
+  return o;
+}
+
+CoverageResult run_delay(const CoverageOptions& o) {
+  const PathFactory f = rop_factory();
+  DelayTestCalibration cal;
+  cal.t_nominal = 0.6e-9;
+  cache::SolveCache::global().clear();
+  return run_delay_coverage(f, cal, o);
+}
+
+CoverageResult run_pulse(const CoverageOptions& o) {
+  const PathFactory f = rop_factory();
+  PulseTestCalibration cal;
+  cal.w_in = 0.3e-9;
+  cal.w_th = 0.1e-9;
+  cache::SolveCache::global().clear();
+  return run_pulse_coverage(f, cal, o);
+}
+
+void expect_same_population(const CoverageResult& a, const CoverageResult& b) {
+  EXPECT_EQ(a.coverage, b.coverage);  // exact, not approximate
+  EXPECT_EQ(a.simulations, b.simulations);
+  EXPECT_EQ(a.resistances, b.resistances);
+  EXPECT_EQ(a.n_quarantined(), b.n_quarantined());
+}
+
+TEST(CoverageBatch, DelayPopulationIdenticalToScalarAtFixedStep) {
+  CoverageOptions o = fixed_step_coverage();
+  const CoverageResult scalar = run_delay(o);
+  o.batch = true;
+  const CoverageResult batched = run_delay(o);
+  expect_same_population(scalar, batched);
+}
+
+TEST(CoverageBatch, PulsePopulationIdenticalToScalarAtFixedStep) {
+  CoverageOptions o = fixed_step_coverage();
+  const CoverageResult scalar = run_pulse(o);
+  o.batch = true;
+  const CoverageResult batched = run_pulse(o);
+  expect_same_population(scalar, batched);
+}
+
+TEST(CoverageBatch, ThreadedBatchMatchesSerialBatch) {
+  // Resistance columns fan out over the exec pool while each column's
+  // samples advance through one batch — the workload the sanitizer stage
+  // runs under TSan. The population must not depend on the thread count.
+  CoverageOptions o = fixed_step_coverage();
+  o.batch = true;
+  o.threads = 1;
+  const CoverageResult serial = run_delay(o);
+  o.threads = 2;
+  const CoverageResult threaded = run_delay(o);
+  expect_same_population(serial, threaded);
+}
+
+}  // namespace
+}  // namespace ppd::core

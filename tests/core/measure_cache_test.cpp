@@ -1,0 +1,64 @@
+// Measurement-cache key regression: every solver knob that changes the
+// computed waveform must land in the content key. Omitting dt_min and the
+// Newton tolerances let a measurement taken with loose settings poison the
+// cache for a later strict run — the second run silently replayed the
+// first's result instead of recomputing.
+#include <gtest/gtest.h>
+
+#include "ppd/cache/solve_cache.hpp"
+#include "ppd/core/measure.hpp"
+
+namespace ppd::core {
+namespace {
+
+TEST(MeasureCacheKey, SolverTolerancesSeparateCacheEntries) {
+  PathFactory factory;
+  factory.options.kinds.assign(3, cells::GateKind::kInv);
+  PathInstance inst = make_instance(factory, 0.0, nullptr);
+
+  cache::SolveCache& cache = cache::SolveCache::global();
+  cache.clear();
+  SimSettings sim;  // adaptive by default, so dt_min participates
+
+  const auto misses = [&] { return cache.totals().misses; };
+
+  // Cold: the measurement key misses and the result is stored.
+  const std::uint64_t m0 = misses();
+  const auto base = path_delay(inst.path, /*input_rising=*/true, sim);
+  EXPECT_GT(misses(), m0);
+
+  // Identical settings: served from the cache, no recompute.
+  const std::uint64_t m1 = misses();
+  const auto replay = path_delay(inst.path, true, sim);
+  EXPECT_EQ(misses(), m1);
+  EXPECT_EQ(replay, base);
+
+  // Differing ONLY in a Newton tolerance: NOT the same measurement — the
+  // key must miss and force a recompute (the poisoning bug replayed here).
+  SimSettings loose = sim;
+  loose.newton_reltol = 1e-2;
+  const std::uint64_t m2 = misses();
+  static_cast<void>(path_delay(inst.path, true, loose));
+  EXPECT_GT(misses(), m2);
+
+  SimSettings loose_abs = sim;
+  loose_abs.newton_abstol = 1e-4;
+  const std::uint64_t m3 = misses();
+  static_cast<void>(path_delay(inst.path, true, loose_abs));
+  EXPECT_GT(misses(), m3);
+
+  // Differing ONLY in the adaptive rejection floor: same story.
+  SimSettings floor = sim;
+  floor.dt_min = 1e-13;
+  const std::uint64_t m4 = misses();
+  static_cast<void>(path_delay(inst.path, true, floor));
+  EXPECT_GT(misses(), m4);
+
+  // And the original settings still hit their own entry afterwards.
+  const std::uint64_t m5 = misses();
+  EXPECT_EQ(path_delay(inst.path, true, sim), base);
+  EXPECT_EQ(misses(), m5);
+}
+
+}  // namespace
+}  // namespace ppd::core

@@ -1,0 +1,123 @@
+// BatchTransient contract tests: at a fixed step the batched kernel's
+// per-sample waveforms are bit-identical to scalar run_transient() on the
+// same circuits, and misuse (empty batch, mixed topologies, double run) is
+// rejected up front.
+#include "ppd/spice/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "ppd/cells/path.hpp"
+#include "ppd/spice/analysis.hpp"
+#include "ppd/util/error.hpp"
+#include "ppd/wave/waveform.hpp"
+
+namespace ppd::spice {
+namespace {
+
+[[nodiscard]] bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// Same topology for every sample; only the output load value varies (the
+// MC-sweep shape: one structure, per-sample parameter deltas).
+cells::Path make_sample(double load_f) {
+  cells::Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(3, cells::GateKind::kInv);
+  cells::Path path = cells::build_path(proc, po);
+  path.netlist().add_load("Cl", path.output(), load_f);
+  path.drive_pulse(/*positive=*/true, /*width=*/0.5e-9, /*t_launch=*/0.3e-9);
+  return path;
+}
+
+TransientOptions fixed_step_options() {
+  TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 2e-12;
+  opt.adaptive = false;
+  return opt;
+}
+
+TEST(BatchTransient, FixedStepWaveformsBitIdenticalToScalar) {
+  const std::vector<double> loads{5e-15, 10e-15, 20e-15, 40e-15};
+  const TransientOptions opt = fixed_step_options();
+
+  // Scalar references on one set of instances...
+  std::vector<TransientResult> scalar;
+  for (double load : loads) {
+    cells::Path path = make_sample(load);
+    scalar.push_back(run_transient(path.netlist().circuit(), opt));
+  }
+
+  // ...the batch on a second, identically built set.
+  std::vector<cells::Path> paths;
+  paths.reserve(loads.size());
+  for (double load : loads) paths.push_back(make_sample(load));
+  BatchOptions bopt;
+  bopt.base = opt;
+  BatchTransient batch(bopt);
+  for (auto& p : paths) batch.add(p.netlist().circuit());
+  const std::vector<BatchSampleResult> results = batch.run();
+
+  ASSERT_EQ(results.size(), loads.size());
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    ASSERT_FALSE(results[s].failed) << results[s].error;
+    const TransientResult& a = scalar[s];
+    const TransientResult& b = results[s].result;
+    EXPECT_EQ(a.steps, b.steps);
+    ASSERT_EQ(a.node_waves.size(), b.node_waves.size());
+    for (std::size_t n = 1; n < a.node_waves.size(); ++n) {
+      if (!a.probed[n]) continue;
+      const wave::Waveform& wa = a.node_waves[n];
+      const wave::Waveform& wb = b.node_waves[n];
+      ASSERT_EQ(wa.size(), wb.size()) << "node " << a.node_names[n];
+      for (std::size_t i = 0; i < wa.size(); ++i) {
+        EXPECT_TRUE(bits_equal(wa.time(i), wb.time(i)))
+            << "node " << a.node_names[n] << " sample " << i;
+        EXPECT_TRUE(bits_equal(wa.value(i), wb.value(i)))
+            << "node " << a.node_names[n] << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchTransient, RejectsEmptyBatch) {
+  BatchOptions bopt;
+  bopt.base = fixed_step_options();
+  BatchTransient batch(bopt);
+  EXPECT_THROW(static_cast<void>(batch.run()), PreconditionError);
+}
+
+TEST(BatchTransient, RejectsMixedTopologies) {
+  cells::Path a = make_sample(10e-15);
+  cells::Process proc;
+  cells::PathOptions po;
+  po.kinds.assign(5, cells::GateKind::kInv);  // different node/device count
+  cells::Path b = cells::build_path(proc, po);
+  b.drive_pulse(true, 0.5e-9, 0.3e-9);
+
+  BatchOptions bopt;
+  bopt.base = fixed_step_options();
+  BatchTransient batch(bopt);
+  batch.add(a.netlist().circuit());
+  batch.add(b.netlist().circuit());
+  EXPECT_THROW(static_cast<void>(batch.run()), PreconditionError);
+}
+
+TEST(BatchTransient, RejectsSecondRun) {
+  cells::Path p = make_sample(10e-15);
+  BatchOptions bopt;
+  bopt.base = fixed_step_options();
+  BatchTransient batch(bopt);
+  batch.add(p.netlist().circuit());
+  const auto first = batch.run();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_THROW(static_cast<void>(batch.run()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ppd::spice
